@@ -1,0 +1,78 @@
+"""Shared fixtures for the benchmark harness.
+
+The expensive inputs — the nine-month fork simulation, the replay
+workload, the message-level partition run — are produced once per session
+and shared across every figure benchmark.  Each benchmark then times the
+*analysis* step it exercises and writes its regenerated figure to
+``benchmarks/output/`` as both a text table and a CSV.
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.core import EchoDetector
+from repro.core.metrics import trace_transactions_per_day
+from repro.scenarios.partition_event import (
+    PartitionScenario,
+    PartitionScenarioConfig,
+)
+from repro.scenarios.replay_attack import ReplayWorkload, ReplayWorkloadConfig
+from repro.sim.engine import ForkSimConfig, ForkSimulation
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+#: The paper's measurement window: July 20, 2016 → mid-April 2017.
+FULL_DAYS = 270
+
+
+@pytest.fixture(scope="session")
+def fork_result():
+    """The full nine-month, two-chain reconstruction."""
+    config = ForkSimConfig(days=FULL_DAYS, prefork_days=14)
+    return ForkSimulation(config).run()
+
+
+@pytest.fixture(scope="session")
+def daily_tx_totals(fork_result):
+    eth = trace_transactions_per_day(
+        fork_result.eth_trace, fork_result.fork_timestamp
+    )
+    etc = trace_transactions_per_day(
+        fork_result.etc_trace, fork_result.fork_timestamp
+    )
+    return eth, etc
+
+
+@pytest.fixture(scope="session")
+def echo_data(fork_result, daily_tx_totals):
+    """Replay workload + a detector that has consumed it."""
+    eth_daily, etc_daily = daily_tx_totals
+    workload = ReplayWorkload(ReplayWorkloadConfig(days=FULL_DAYS))
+    records, truth = workload.generate(eth_daily.values, etc_daily.values)
+    detector = EchoDetector()
+    detector.observe_records(records)
+    return detector, truth, records
+
+
+@pytest.fixture(scope="session")
+def partition_result():
+    """The message-level node-census run (Observation 1)."""
+    return PartitionScenario(PartitionScenarioConfig()).run()
+
+
+@pytest.fixture(scope="session")
+def output_dir():
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    return OUTPUT_DIR
+
+
+def publish(output_dir, name, figure, sample_days=7):
+    """Write a regenerated figure as text + CSV and echo it to stdout."""
+    text = figure.render(sample_days=sample_days)
+    (output_dir / f"{name}.txt").write_text(text + "\n")
+    figure.write_csv(output_dir / f"{name}.csv")
+    print()
+    print(text)
+    return text

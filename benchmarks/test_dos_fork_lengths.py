@@ -1,0 +1,52 @@
+"""Experiment tbl-forks — Section 2.1's fork-length comparison:
+
+"ETC's fork lasted much longer than ETH's — 3,583 blocks versus 86 —
+likely due to ETC's smaller network size."
+
+Regenerates the two numbers from the upgrade-fork model: laggard
+hashpower mines the dying branch until operators notice, and noticing is
+slow on a small, lightly monitored network.
+"""
+
+from repro.scenarios.dos_forks import (
+    ETC_DIFFUSE_FORK,
+    ETH_EIP150_FORK,
+    compare_upgrade_forks,
+)
+
+
+def test_fork_length_table(benchmark, output_dir):
+    eth_outcome, etc_outcome = benchmark.pedantic(
+        compare_upgrade_forks, kwargs={"trials": 25}, rounds=1, iterations=1
+    )
+
+    rows = [
+        "=== Section 2.1 fork-length comparison ===",
+        f"{'fork':>28} {'branch blocks':>14} {'paper':>8} {'resolved in':>12}",
+        f"{eth_outcome.config.name:>28} "
+        f"{eth_outcome.minority_branch_length:>14d} {'86':>8} "
+        f"{eth_outcome.resolution_hours:>10.1f}h",
+        f"{etc_outcome.config.name:>28} "
+        f"{etc_outcome.minority_branch_length:>14d} {'3583':>8} "
+        f"{etc_outcome.resolution_hours:>10.1f}h",
+    ]
+    table = "\n".join(rows)
+    (output_dir / "fork_lengths.txt").write_text(table + "\n")
+    print()
+    print(table)
+
+    # Orders of magnitude and the ratio are the reproduction targets.
+    assert 30 <= eth_outcome.minority_branch_length <= 300
+    assert 1_500 <= etc_outcome.minority_branch_length <= 8_000
+    ratio = (
+        etc_outcome.minority_branch_length
+        / max(eth_outcome.minority_branch_length, 1)
+    )
+    print(f"\nlength ratio ETC:ETH = {ratio:.0f}x (paper: ~42x)")
+    assert 10 <= ratio <= 150
+
+    # The cause is the notice time, not the laggard share alone.
+    assert (
+        ETC_DIFFUSE_FORK.mean_notice_hours
+        > 5 * ETH_EIP150_FORK.mean_notice_hours
+    )

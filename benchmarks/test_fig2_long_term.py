@@ -1,0 +1,59 @@
+"""Experiment fig2 — Figure 2: difficulty, transactions/day, and contract
+fraction over the nine months after the fork.
+
+Paper's reading (Section 3.3):
+* ETH's difficulty is "roughly an order of magnitude" above ETC's;
+* the transaction ratio is "roughly 2.5:1 for most of the measurement
+  study but increased to up to 5:1 in late March 2017";
+* the contract-call fraction "was similar in the two networks until very
+  recently".
+"""
+
+from conftest import publish
+
+from repro.core.report import figure_2
+from repro.data.windows import DAY
+
+
+def test_figure_2(benchmark, fork_result, output_dir):
+    figure = benchmark.pedantic(
+        figure_2, args=(fork_result,), rounds=1, iterations=1
+    )
+    publish(output_dir, "figure2", figure, sample_days=14)
+
+    fork_ts = fork_result.fork_timestamp
+
+    def window_mean(series, start_day, end_day):
+        clipped = series.clip_time(
+            fork_ts + start_day * DAY, fork_ts + end_day * DAY
+        )
+        return clipped.mean()
+
+    # Order-of-magnitude difficulty gap once both sides settle.
+    eth_difficulty = window_mean(figure.series["ETH difficulty"], 30, 260)
+    etc_difficulty = window_mean(figure.series["ETC difficulty"], 30, 260)
+    ratio = eth_difficulty / etc_difficulty
+    print(f"\ndifficulty ratio ETH:ETC = {ratio:.1f} (paper: ~10x)")
+    assert 6 <= ratio <= 20
+
+    # Transaction ratio: ~2.5:1 mid-study, ~5:1 late March.
+    mid_ratio = window_mean(
+        figure.series["ETH tx/day"], 30, 200
+    ) / window_mean(figure.series["ETC tx/day"], 30, 200)
+    late_ratio = window_mean(
+        figure.series["ETH tx/day"], 245, 268
+    ) / window_mean(figure.series["ETC tx/day"], 245, 268)
+    print(f"tx ratio mid-study {mid_ratio:.2f} (paper ~2.5), "
+          f"late March {late_ratio:.2f} (paper ~5)")
+    assert 2.0 <= mid_ratio <= 3.2
+    assert 4.0 <= late_ratio <= 6.5
+
+    # Contract fractions similar for months, diverging at the end.
+    eth_early = window_mean(figure.series["ETH contract %"], 30, 180)
+    etc_early = window_mean(figure.series["ETC contract %"], 30, 180)
+    assert abs(eth_early - etc_early) < 8
+    eth_late = window_mean(figure.series["ETH contract %"], 255, 269)
+    etc_late = window_mean(figure.series["ETC contract %"], 255, 269)
+    print(f"contract %% early: ETH {eth_early:.0f} vs ETC {etc_early:.0f}; "
+          f"late: ETH {eth_late:.0f} vs ETC {etc_late:.0f}")
+    assert eth_late - etc_late > 20

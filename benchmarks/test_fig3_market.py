@@ -1,0 +1,63 @@
+"""Experiment fig3 — Figure 3: expected hashes per USD in ETH and ETC.
+
+Paper's reading (Section 3.3, "Network efficiency"):
+* "a very strong correlation ... in fact, the curves are almost
+  identical" — market efficiency via miner arbitrage;
+* "the drop in late October/early November is correlated with the launch
+  of Zcash";
+* "the drop ... in March is correlated with an increase in the market
+  value of ether" (difficulty lagging the price rally).
+"""
+
+from conftest import publish
+
+from repro.core.market_analysis import market_efficiency_report
+from repro.core.report import figure_3
+from repro.data.windows import DAY
+
+
+def test_figure_3(benchmark, fork_result, output_dir):
+    figure = benchmark.pedantic(
+        figure_3, args=(fork_result,), rounds=1, iterations=1
+    )
+    publish(output_dir, "figure3", figure, sample_days=14)
+
+    eth = figure.series["ETH hashes/USD"]
+    etc = figure.series["ETC hashes/USD"]
+    report = market_efficiency_report(eth, etc, fork_result.fork_timestamp)
+
+    print(
+        f"\npearson={report.correlation:.4f} (paper: 'very strong'), "
+        f"median relative gap={report.median_relative_gap:.3f} "
+        f"(paper: 'almost identical')"
+    )
+    assert report.correlation > 0.9
+    assert report.median_relative_gap < 0.15
+    assert report.curves_nearly_identical
+
+    # The Zcash dip (late October = ~day 100) and the March dip.
+    assert report.zcash_dip is not None, "no autumn dip found"
+    zcash_when, zcash_depth = report.zcash_dip
+    zcash_day = (zcash_when - fork_result.fork_timestamp) / DAY
+    print(f"Zcash dip at day {zcash_day:.0f} (launch day 100), "
+          f"depth {zcash_depth:.0%}")
+    assert 95 <= zcash_day <= 140
+    assert zcash_depth > 0.05
+
+    assert report.march_dip is not None, "no March dip found"
+    march_when, march_depth = report.march_dip
+    march_day = (march_when - fork_result.fork_timestamp) / DAY
+    print(f"March dip at day {march_day:.0f} (rally ~day 250), "
+          f"depth {march_depth:.0%}")
+    assert 230 <= march_day <= 270
+    assert march_depth > 0.2
+
+    # Scale check: the paper's y-axis runs ~0.8-2.6 x10^12 hashes/USD.
+    # Skip the first fortnight — ETC's difficulty is still climbing out
+    # of its post-fork trough there (Figure 1's subject, not Figure 3's).
+    settled_start = fork_result.fork_timestamp + 14 * DAY
+    values = (
+        eth.clip_time(settled_start, float("inf")).values
+        + etc.clip_time(settled_start, float("inf")).values
+    )
+    assert 1e11 < min(values) and max(values) < 2e13

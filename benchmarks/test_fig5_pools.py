@@ -1,0 +1,85 @@
+"""Experiment fig5 / obs6 — Figure 5: top-1/3/5 pool block shares.
+
+Paper's reading (Section 3.3, "Pool mining"):
+* ETH's ratios are constant over time and equal the pre-fork ratios (the
+  pools migrated immediately and wholesale);
+* ETC's top pools mined "a considerably smaller fraction" for months;
+* ETC "eventually converged on the same relative ratios" as ETH.
+"""
+
+from conftest import publish
+
+from repro.core.observations import observation_6
+from repro.core.pools import convergence_day, migration_consistency
+from repro.core.report import figure_5
+from repro.data.windows import DAY
+
+
+def test_figure_5(benchmark, fork_result, output_dir):
+    figure = benchmark.pedantic(
+        figure_5, args=(fork_result,), rounds=1, iterations=1
+    )
+    publish(output_dir, "figure5", figure, sample_days=14)
+
+    fork_ts = fork_result.fork_timestamp
+    eth_top5 = figure.series["ETH top 5"]
+    etc_top5 = figure.series["ETC top 5"]
+    eth_top1 = figure.series["ETH top 1"]
+
+    def window_mean(series, start_day, end_day):
+        return series.clip_time(
+            fork_ts + start_day * DAY, fork_ts + end_day * DAY
+        ).mean()
+
+    # ETH concentration is stable: first month ≈ last month.
+    eth_early = window_mean(eth_top5, 0, 30)
+    eth_late = window_mean(eth_top5, 240, 270)
+    print(f"\nETH top-5: early {eth_early:.0f}% vs late {eth_late:.0f}% "
+          f"(paper: constant, ~75-80%)")
+    assert abs(eth_early - eth_late) < 8
+    assert 65 <= eth_early <= 90
+    assert 20 <= window_mean(eth_top1, 0, 270) <= 35
+
+    # ETC starts far below and converges.
+    etc_early = window_mean(etc_top5, 0, 30)
+    etc_late = window_mean(etc_top5, 240, 270)
+    print(f"ETC top-5: early {etc_early:.0f}% vs late {etc_late:.0f}% "
+          f"(paper: low for months, then ETH-like)")
+    assert etc_early < eth_early - 15
+    assert abs(etc_late - eth_late) < 10
+
+    converged_at = convergence_day(eth_top5, etc_top5)
+    assert converged_at is not None
+    converged_days = (converged_at - fork_ts) / DAY
+    print(f"convergence day: {converged_days:.0f} "
+          f"(paper: 'a relatively slow process', months)")
+    assert 30 <= converged_days <= 240
+
+    observation = observation_6(fork_result)
+    print(observation.render())
+    assert observation.holds
+
+
+def test_pool_migration_consistency(benchmark, fork_result):
+    """The paper 'verified that the top mining pools' addresses before
+    the fork are consistent across ETH'."""
+    fork_ts = fork_result.fork_timestamp
+    trace = fork_result.eth_trace
+    prefork = [
+        (trace.timestamps[i], trace.miner_of(i))
+        for i in range(len(trace))
+        if trace.timestamps[i] < fork_ts
+        and not trace.miner_of(i).startswith("solo-")
+    ]
+    postfork = [
+        (trace.timestamps[i], trace.miner_of(i))
+        for i in range(len(trace))
+        if fork_ts <= trace.timestamps[i] < fork_ts + 30 * DAY
+        and not trace.miner_of(i).startswith("solo-")
+    ]
+    overlap = benchmark.pedantic(
+        migration_consistency, args=(prefork, postfork),
+        kwargs={"top_n": 5}, rounds=1, iterations=1,
+    )
+    print(f"\npre/post-fork top-5 pool identity overlap: {overlap:.2f}")
+    assert overlap == 1.0

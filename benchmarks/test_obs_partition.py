@@ -1,0 +1,56 @@
+"""Experiment obs1 — "ETC experienced a sudden loss of roughly 90% of the
+nodes in its network immediately after the fork."
+
+Runs the message-level P2P scenario: a population of full nodes, 90% of
+which upgrade before the activation height; at the fork the handshake
+fork-check and invalid-block disconnects tear the mesh apart, and a
+crawler seeded at an ETC node watches its reachable network implode.
+"""
+
+from repro.core.observations import observation_1
+from repro.scenarios.partition_event import (
+    PartitionScenario,
+    PartitionScenarioConfig,
+)
+
+
+def test_node_census_collapse(benchmark, partition_result, output_dir):
+    result = partition_result
+
+    # Print the census table (the node-count time series).
+    lines = ["=== Observation 1: node census around the fork ===",
+             "  time(s)  ETH-height ETC-height  reach(ETH) reach(ETC)  "
+             "peers(ETH) peers(ETC)"]
+    for snapshot in result.snapshots:
+        lines.append(
+            f"{snapshot.time:9.0f} {snapshot.eth_height:11d} "
+            f"{snapshot.etc_height:10d} {snapshot.eth_reachable:11d} "
+            f"{snapshot.etc_reachable:10d} {snapshot.eth_mean_peers:11.1f} "
+            f"{snapshot.etc_mean_peers:10.1f}"
+        )
+    table = "\n".join(lines)
+    (output_dir / "obs1_partition.txt").write_text(table + "\n")
+    print()
+    print(table)
+
+    loss = result.node_loss_fraction()
+    print(f"\nETC reachable-network loss: {loss:.0%} (paper: ~90%)")
+    print(f"handshake refusals: {result.handshake_refusals}, "
+          f"incompatible disconnects: {result.incompatible_disconnects}")
+
+    observation = observation_1(result)
+    print(observation.render())
+    assert observation.holds
+    assert 0.75 <= loss <= 0.95
+    assert result.incompatible_disconnects > 0
+
+    # Timing: a smaller partition run end-to-end.
+    def small_run():
+        config = PartitionScenarioConfig(
+            num_nodes=30, num_miners=9, fork_block=20,
+            post_fork_horizon=1800.0,
+        )
+        return PartitionScenario(config).run()
+
+    small = benchmark.pedantic(small_run, rounds=1, iterations=1)
+    assert small.fork_time is not None

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Mining economics across the partition — Figure 3.
+
+Reproduces the paper's market-efficiency analysis: the expected number of
+hashes a miner must compute per USD earned, for ETH and ETC, over nine
+months — including the Zcash-launch dip (late October 2016) and the
+March 2017 repricing dip — and quantifies how close to identical the two
+curves are.
+
+Run: ``python examples/market_efficiency.py``
+"""
+
+from repro.core import figure_3, market_efficiency_report
+from repro.core.metrics import trace_daily_mean_difficulty
+from repro.core.market_analysis import hashes_per_usd_series
+from repro.data.windows import DAY
+from repro.sim import ForkSimConfig, ForkSimulation
+
+
+def main() -> None:
+    print("simulating nine months of both chains plus the market...")
+    result = ForkSimulation(ForkSimConfig(days=270, prefork_days=7)).run()
+
+    figure = figure_3(result)
+    print()
+    print(figure.render(sample_days=10))
+
+    eth = hashes_per_usd_series(
+        trace_daily_mean_difficulty(result.eth_trace, result.fork_timestamp),
+        result.rates, "ETH", result.fork_timestamp,
+    )
+    etc = hashes_per_usd_series(
+        trace_daily_mean_difficulty(result.etc_trace, result.fork_timestamp),
+        result.rates, "ETC", result.fork_timestamp,
+    )
+    report = market_efficiency_report(eth, etc, result.fork_timestamp)
+
+    print()
+    print("=== market-efficiency reading ===")
+    print(f"pearson correlation:  {report.correlation:.4f}  "
+          f"(paper: 'a very strong correlation')")
+    print(f"median relative gap:  {report.median_relative_gap:.1%}  "
+          f"(paper: 'the curves are almost identical')")
+    if report.zcash_dip:
+        when, depth = report.zcash_dip
+        print(f"autumn dip: day {(when - result.fork_timestamp) / DAY:.0f}, "
+              f"depth {depth:.0%}  (Zcash launched day 100)")
+    if report.march_dip:
+        when, depth = report.march_dip
+        print(f"spring dip: day {(when - result.fork_timestamp) / DAY:.0f}, "
+              f"depth {depth:.0%}  (the March ether rally: price moved "
+              f"faster than difficulty)")
+    print()
+    print("why the curves coincide: profit hashpower flows to the higher-")
+    print("revenue chain until difficulty/price equalizes. Ideological")
+    print("miners don't break this — their pins only matter when they")
+    print("exceed what arbitrage would allocate anyway (water-filling).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Watch the network partition happen, message by message — Observation 1.
+
+Runs the message-level P2P scenario: 60 full nodes (Kademlia discovery,
+devp2p-style gossip, real block validation), 90% of which upgrade before
+the fork activates.  At the fork block the chains diverge; handshake
+fork-checks and invalid-block disconnects cascade; and the crawl from an
+ETC seed node — the paper's measurement vantage — collapses by ~90%.
+
+Run: ``python examples/p2p_partition.py``
+"""
+
+from repro.scenarios import PartitionScenario, PartitionScenarioConfig
+
+
+def main() -> None:
+    config = PartitionScenarioConfig(
+        num_nodes=60,
+        num_miners=18,
+        upgrade_fraction=0.9,
+        fork_block=40,
+        post_fork_horizon=4 * 3600.0,
+    )
+    print(f"simulating {config.num_nodes} nodes "
+          f"({config.num_miners} miners), fork at block "
+          f"{config.fork_block}, {config.upgrade_fraction:.0%} upgrading...")
+    result = PartitionScenario(config).run()
+
+    print(f"\nfork detected at t={result.fork_time:.0f}s of simulated time")
+    print(f"{'time':>8} {'ETH-h':>6} {'ETC-h':>6} {'reach(ETH)':>11} "
+          f"{'reach(ETC)':>11} {'peers(ETH)':>11} {'peers(ETC)':>11}")
+    for snapshot in result.snapshots:
+        marker = "  <-- FORK" if (
+            result.fork_time is not None
+            and 0 <= snapshot.time - result.fork_time < config.census_interval
+        ) else ""
+        print(
+            f"{snapshot.time:8.0f} {snapshot.eth_height:6d} "
+            f"{snapshot.etc_height:6d} {snapshot.eth_reachable:11d} "
+            f"{snapshot.etc_reachable:11d} {snapshot.eth_mean_peers:11.1f} "
+            f"{snapshot.etc_mean_peers:11.1f}{marker}"
+        )
+
+    loss = result.node_loss_fraction()
+    print(f"\nETC reachable-network loss: {loss:.0%} "
+          f"(paper: 'a sudden loss of roughly 90% of the nodes')")
+    print(f"handshake refusals:        {result.handshake_refusals}")
+    print(f"incompatible disconnects:  {result.incompatible_disconnects}")
+    print("\nNote the mechanism: Kademlia discovery is fork-blind, so nodes")
+    print("keep finding peers from the other side — and keep being dropped")
+    print("at the eth-handshake fork check. The partition lives one layer")
+    print("above discovery, exactly as the paper describes (Section 2.2).")
+
+
+if __name__ == "__main__":
+    main()

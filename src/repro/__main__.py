@@ -1,0 +1,147 @@
+"""Command-line entry point: ``python -m repro``.
+
+Subcommands:
+
+``observations``
+    Run a compact reproduction (configurable horizon) and print the
+    paper's six-observation scoreboard.
+
+``figure N``
+    Regenerate one of the paper's figures (1-5) as a text table, with
+    optional CSV output.
+
+``fork-lengths``
+    Print the Section 2.1 fork-length comparison (86 vs 3,583 blocks).
+
+The full-fidelity runs live in ``benchmarks/``; this CLI trades horizon
+for latency so a first look takes tens of seconds, not minutes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Optional
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Reproduction of 'Stick a fork in it' (HotNets 2017)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    obs = sub.add_parser(
+        "observations", help="run the reproduction and print the scoreboard"
+    )
+    obs.add_argument("--days", type=int, default=270,
+                     help="simulated days after the fork (default 270, the "
+                          "paper's window; shorter runs are faster but the "
+                          "nine-month observations 3 and 6 need the full "
+                          "horizon)")
+    obs.add_argument("--seed", type=int, default=2016_07_20)
+
+    fig = sub.add_parser("figure", help="regenerate one figure")
+    fig.add_argument("number", type=int, choices=range(1, 6))
+    fig.add_argument("--days", type=int, default=150)
+    fig.add_argument("--seed", type=int, default=2016_07_20)
+    fig.add_argument("--sample-days", type=int, default=7)
+    fig.add_argument("--csv", type=str, default=None,
+                     help="also write the series to this CSV path")
+
+    sub.add_parser("fork-lengths",
+                   help="the Section 2.1 fork-length comparison")
+    return parser
+
+
+def _run_simulation(days: int, seed: int):
+    from .sim.engine import ForkSimConfig, ForkSimulation
+
+    print(f"simulating {days} days from the fork (seed {seed})...",
+          file=sys.stderr)
+    start = time.time()
+    result = ForkSimulation(
+        ForkSimConfig(days=days, prefork_days=7, seed=seed)
+    ).run()
+    print(f"done in {time.time() - start:.0f}s", file=sys.stderr)
+    return result
+
+
+def _echo_detector(result):
+    from .core import EchoDetector
+    from .core.metrics import trace_transactions_per_day
+    from .scenarios.replay_attack import ReplayWorkload, ReplayWorkloadConfig
+
+    eth = trace_transactions_per_day(result.eth_trace, result.fork_timestamp)
+    etc = trace_transactions_per_day(result.etc_trace, result.fork_timestamp)
+    workload = ReplayWorkload(ReplayWorkloadConfig(days=result.config.days))
+    records, _ = workload.generate(eth.values, etc.values)
+    detector = EchoDetector()
+    detector.observe_records(records)
+    return detector
+
+
+def cmd_observations(args) -> int:
+    from .core.observations import evaluate_all
+    from .scenarios.partition_event import (
+        PartitionScenario,
+        PartitionScenarioConfig,
+    )
+
+    if args.days < 270:
+        print(
+            f"note: observations 3 and 6 are nine-month claims; at "
+            f"{args.days} days they may rightly fail to reproduce",
+            file=sys.stderr,
+        )
+    result = _run_simulation(args.days, args.seed)
+    detector = _echo_detector(result)
+    print("running the message-level partition scenario...", file=sys.stderr)
+    partition = PartitionScenario(PartitionScenarioConfig()).run()
+
+    print()
+    for observation in evaluate_all(result, partition, detector):
+        print(observation.render())
+    return 0
+
+
+def cmd_figure(args) -> int:
+    from .core import figure_1, figure_2, figure_3, figure_4, figure_5
+
+    result = _run_simulation(args.days, args.seed)
+    generators = {1: figure_1, 2: figure_2, 3: figure_3, 5: figure_5}
+    if args.number == 4:
+        figure = figure_4(result, _echo_detector(result))
+    else:
+        figure = generators[args.number](result)
+    print()
+    print(figure.render(sample_days=args.sample_days))
+    if args.csv:
+        rows = figure.write_csv(args.csv)
+        print(f"\nwrote {rows} rows to {args.csv}", file=sys.stderr)
+    return 0
+
+
+def cmd_fork_lengths(_args) -> int:
+    from .scenarios.dos_forks import compare_upgrade_forks
+
+    eth, etc = compare_upgrade_forks()
+    print(f"{'fork':>28} {'branch blocks':>14} {'paper':>8}")
+    print(f"{eth.config.name:>28} {eth.minority_branch_length:>14d} {'86':>8}")
+    print(f"{etc.config.name:>28} {etc.minority_branch_length:>14d} {'3583':>8}")
+    return 0
+
+
+def main(argv: Optional[list] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "observations": cmd_observations,
+        "figure": cmd_figure,
+        "fork-lengths": cmd_fork_lengths,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,19 @@
+"""Comparator algorithms for the ablation benchmarks."""
+
+from .bitcoin_difficulty import (
+    BitcoinDifficulty,
+    EmergencyDifficulty,
+    RecoveryOutcome,
+    ethereum_recovery_stepper,
+    simulate_recovery,
+)
+from .naive_echo import naive_echo_join
+
+__all__ = [
+    "BitcoinDifficulty",
+    "EmergencyDifficulty",
+    "RecoveryOutcome",
+    "simulate_recovery",
+    "ethereum_recovery_stepper",
+    "naive_echo_join",
+]

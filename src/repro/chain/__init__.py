@@ -1,0 +1,97 @@
+"""Ethereum-style blockchain substrate.
+
+Everything consensus-level lives here: RLP encoding, hashing/signatures,
+transactions (with and without EIP-155 replay protection), blocks, the
+Merkle trie, account state, the Homestead difficulty algorithm, per-chain
+fork configuration, validation, and the heaviest-chain block store.
+"""
+
+from .block import Block, BlockHeader, transactions_root
+from .chainstore import Blockchain, ImportResult
+from .config import (
+    BLOCK_REWARD,
+    DAO_FORK_BLOCK,
+    ETC_CONFIG,
+    ETH_CONFIG,
+    PRE_FORK_CONFIG,
+    ChainConfig,
+)
+from .crypto import PrivateKey, Signature, keccak256, recover, sign
+from .difficulty import (
+    HOMESTEAD_RULE,
+    MIN_DIFFICULTY,
+    TARGET_BLOCK_TIME,
+    equilibrium_difficulty,
+    expected_block_time,
+    frontier_difficulty,
+    homestead_difficulty,
+)
+from .genesis import build_genesis
+from .processor import (
+    TransactionRejected,
+    apply_block,
+    apply_transaction,
+    validate_transaction_for_chain,
+)
+from .receipt import ExecutionStatus, LogEntry, Receipt
+from .state import Account, InsufficientBalance, StateDB
+from .transaction import (
+    CONTRACT_CREATION,
+    SignedTransaction,
+    Transaction,
+    TransactionError,
+    sign_transaction,
+)
+from .types import Address, Hash32, Wei, ether, from_wei, to_wei
+from .validation import ValidationError, validate_body, validate_header
+
+__all__ = [
+    "Address",
+    "Hash32",
+    "Wei",
+    "ether",
+    "to_wei",
+    "from_wei",
+    "PrivateKey",
+    "Signature",
+    "keccak256",
+    "sign",
+    "recover",
+    "Transaction",
+    "SignedTransaction",
+    "sign_transaction",
+    "TransactionError",
+    "CONTRACT_CREATION",
+    "Block",
+    "BlockHeader",
+    "transactions_root",
+    "Account",
+    "StateDB",
+    "InsufficientBalance",
+    "Receipt",
+    "LogEntry",
+    "ExecutionStatus",
+    "ChainConfig",
+    "ETH_CONFIG",
+    "ETC_CONFIG",
+    "PRE_FORK_CONFIG",
+    "DAO_FORK_BLOCK",
+    "BLOCK_REWARD",
+    "MIN_DIFFICULTY",
+    "TARGET_BLOCK_TIME",
+    "HOMESTEAD_RULE",
+    "homestead_difficulty",
+    "frontier_difficulty",
+    "expected_block_time",
+    "equilibrium_difficulty",
+    "build_genesis",
+    "Blockchain",
+    "ImportResult",
+    "ValidationError",
+    "validate_header",
+    "validate_body",
+    "apply_block",
+    "apply_transaction",
+    "TransactionRejected",
+    "validate_transaction_for_chain",
+]

@@ -1,0 +1,178 @@
+"""Block headers and bodies.
+
+Headers carry everything the paper's analysis reads off the chain:
+
+* ``number`` and ``timestamp`` → blocks-per-hour and inter-block deltas
+  (Figure 1 top/bottom);
+* ``difficulty`` → the difficulty series (Figures 1-2) and, divided by the
+  block reward and the exchange rate, the hashes-per-USD series (Figure 3);
+* ``coinbase`` — "the 'winner' of each block, which contains the address to
+  which the 5 ether award are transferred" (Section 3.3) → the pool
+  concentration analysis (Figure 5);
+* the transaction list → transactions/day, contract-call fraction
+  (Figure 2) and the echo detector's per-chain hash streams (Figure 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+from typing import Sequence, Tuple
+
+from . import encoding
+from .crypto import keccak256
+from .transaction import SignedTransaction
+from .trie import MerkleTrie
+from .types import Address, Hash32
+
+__all__ = [
+    "BlockHeader",
+    "Block",
+    "transactions_root",
+    "ommers_root",
+    "EMPTY_OMMERS_ROOT",
+    "GENESIS_PARENT_HASH",
+    "MAX_OMMERS_PER_BLOCK",
+    "MAX_OMMER_DEPTH",
+]
+
+#: Parent hash of the genesis block.
+GENESIS_PARENT_HASH = Hash32.zero()
+
+#: Protocol limits on uncle (ommer) inclusion.
+MAX_OMMERS_PER_BLOCK = 2
+MAX_OMMER_DEPTH = 6
+
+
+def transactions_root(transactions: Sequence[SignedTransaction]) -> Hash32:
+    """Merkle commitment to an ordered transaction list."""
+    trie = MerkleTrie()
+    for index, tx in enumerate(transactions):
+        trie.set(encoding.encode_int(index) or b"\x00", bytes(tx.tx_hash))
+    return trie.root
+
+
+def ommers_root(ommers: Sequence["BlockHeader"]) -> Hash32:
+    """Commitment to a block's uncle list (hash of the header hashes).
+
+    Uncles are Ethereum's answer to transient forks: a block that lost a
+    race can still be referenced by a later winner, earning its miner a
+    partial reward and the includer a bonus — which reduces the incentive
+    to centralize against propagation delay.
+    """
+    payload = encoding.encode([bytes(header.block_hash) for header in ommers])
+    return keccak256(payload)
+
+
+#: Commitment of the empty uncle list (the overwhelmingly common case).
+EMPTY_OMMERS_ROOT = keccak256(encoding.encode([]))
+
+
+@dataclass(frozen=True)
+class BlockHeader:
+    """Consensus header; its hash is the block's identity."""
+
+    parent_hash: Hash32
+    number: int
+    timestamp: int
+    difficulty: int
+    coinbase: Address
+    state_root: Hash32
+    tx_root: Hash32
+    gas_limit: int
+    gas_used: int
+    #: Proof-of-work witness.  Real clients verify an Ethash mixhash; our
+    #: simulated miners stamp the winning draw here so blocks are traceable
+    #: to the mining event that produced them.
+    nonce: int = 0
+    extra_data: bytes = b""
+    #: Commitment to the uncle list; defaults to the empty-list root.
+    ommers_hash: Hash32 = EMPTY_OMMERS_ROOT
+
+    def __post_init__(self) -> None:
+        if self.number < 0:
+            raise ValueError("block number must be non-negative")
+        if self.difficulty <= 0:
+            raise ValueError("difficulty must be positive")
+        if self.gas_used > self.gas_limit:
+            raise ValueError("gas used exceeds gas limit")
+        if len(self.extra_data) > 32:
+            raise ValueError("extra data limited to 32 bytes")
+
+    def encode(self) -> bytes:
+        return encoding.encode(
+            [
+                bytes(self.parent_hash),
+                self.number,
+                self.timestamp,
+                self.difficulty,
+                bytes(self.coinbase),
+                bytes(self.state_root),
+                bytes(self.tx_root),
+                self.gas_limit,
+                self.gas_used,
+                self.nonce,
+                self.extra_data,
+                bytes(self.ommers_hash),
+            ]
+        )
+
+    @cached_property
+    def block_hash(self) -> Hash32:
+        return keccak256(self.encode())
+
+
+@dataclass(frozen=True)
+class Block:
+    """A sealed block: header, transaction list, and uncle headers."""
+
+    header: BlockHeader
+    transactions: Tuple[SignedTransaction, ...] = field(default_factory=tuple)
+    ommers: Tuple[BlockHeader, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "transactions", tuple(self.transactions))
+        object.__setattr__(self, "ommers", tuple(self.ommers))
+
+    # Header passthroughs: analysis code reads blocks, not headers.
+    @property
+    def block_hash(self) -> Hash32:
+        return self.header.block_hash
+
+    @property
+    def parent_hash(self) -> Hash32:
+        return self.header.parent_hash
+
+    @property
+    def number(self) -> int:
+        return self.header.number
+
+    @property
+    def timestamp(self) -> int:
+        return self.header.timestamp
+
+    @property
+    def difficulty(self) -> int:
+        return self.header.difficulty
+
+    @property
+    def coinbase(self) -> Address:
+        return self.header.coinbase
+
+    @property
+    def is_genesis(self) -> bool:
+        return self.number == 0
+
+    def consistent_tx_root(self) -> bool:
+        """Does the header's tx commitment match the carried body?"""
+        return self.header.tx_root == transactions_root(self.transactions)
+
+    def consistent_ommers_root(self) -> bool:
+        """Does the header's uncle commitment match the carried uncles?"""
+        return self.header.ommers_hash == ommers_root(self.ommers)
+
+    def transaction_hashes(self) -> Tuple[Hash32, ...]:
+        return tuple(tx.tx_hash for tx in self.transactions)
+
+    def __len__(self) -> int:
+        return len(self.transactions)

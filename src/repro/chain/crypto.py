@@ -1,0 +1,168 @@
+"""Hashing and (simulated) signature primitives.
+
+Real Ethereum uses Keccak-256 for all identities and secp256k1 ECDSA for
+transaction signatures.  Python's standard library ships SHA3-256 (the NIST
+finalization of Keccak); the two differ only in a padding byte, and nothing
+in this library depends on matching mainnet digests — only on the digest
+being a collision-resistant 32-byte function, which SHA3-256 is.  We expose
+it under the name ``keccak256`` to keep the call sites reading like the
+protocol specification.
+
+Signatures are the one place we deliberately simulate rather than implement:
+secp256k1 point arithmetic adds nothing to the paper's analysis (the paper
+never inspects signatures; it only relies on the fact that a signed
+transaction is *valid on both chains* when no chain id separates them).  Our
+``sign``/``recover`` scheme is an HMAC-style keyed construction that has the
+same interface properties the protocol needs:
+
+* only the holder of the private key can produce a signature that recovers
+  to the corresponding address;
+* the signature commits to the exact signed payload (any mutation breaks
+  recovery);
+* recovery yields the sender address from (payload, signature) alone, like
+  ``ecrecover``.
+
+This preserves the replay-attack mechanics exactly: a transaction signed
+without a chain id verifies on either chain, and one signed under EIP-155
+binds the chain id into the signed payload and therefore fails recovery when
+rebroadcast on the other chain.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass
+from typing import Optional
+
+from .types import Address, Hash32
+
+__all__ = [
+    "keccak256",
+    "keccak256_hex",
+    "PrivateKey",
+    "Signature",
+    "sign",
+    "recover",
+    "address_from_key",
+    "SignatureError",
+]
+
+
+class SignatureError(ValueError):
+    """Raised when a signature is malformed or does not verify."""
+
+
+def keccak256(data: bytes) -> Hash32:
+    """32-byte collision-resistant digest used for all chain identities."""
+    return Hash32(hashlib.sha3_256(bytes(data)).digest())
+
+
+def keccak256_hex(data: bytes) -> str:
+    return keccak256(data).hex_prefixed
+
+
+@dataclass(frozen=True)
+class PrivateKey:
+    """An account's signing key.
+
+    Keys are 32 opaque bytes.  The public "key" is derived by hashing, and
+    the address is the trailing 20 bytes of that hash, mirroring Ethereum's
+    ``address = keccak(pubkey)[12:]`` derivation.
+    """
+
+    secret: bytes
+
+    def __post_init__(self) -> None:
+        if len(self.secret) != 32:
+            raise ValueError("private key must be 32 bytes")
+
+    @classmethod
+    def from_seed(cls, seed: str) -> "PrivateKey":
+        """Derive a deterministic key from a human-readable seed string."""
+        return cls(keccak256(b"repro-key:" + seed.encode("utf-8")))
+
+    @property
+    def public_key(self) -> bytes:
+        return keccak256(b"pub:" + self.secret)
+
+    @property
+    def address(self) -> Address:
+        return Address(self.public_key[12:])
+
+
+@dataclass(frozen=True)
+class Signature:
+    """A recoverable signature over a message hash.
+
+    ``proof`` plays the role of (r, s): a MAC binding the key to the message.
+    ``pubkey`` plays the role of the recovery id ``v`` plus the recovered
+    point: it lets verifiers recompute the signer's address.  A verifier
+    checks that ``proof`` is the correct MAC for (pubkey, message); forging
+    it requires the private key, since the MAC key is derived from it.
+    """
+
+    proof: bytes
+    pubkey: bytes
+
+    def __post_init__(self) -> None:
+        if len(self.proof) != 32 or len(self.pubkey) != 32:
+            raise ValueError("signature components must be 32 bytes each")
+
+    def to_bytes(self) -> bytes:
+        return self.proof + self.pubkey
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "Signature":
+        if len(raw) != 64:
+            raise SignatureError("serialized signature must be 64 bytes")
+        return cls(proof=raw[:32], pubkey=raw[32:])
+
+
+def _mac_key(key: PrivateKey) -> bytes:
+    # The MAC key is a one-way function of the secret; revealing signatures
+    # therefore reveals nothing about the secret itself.
+    return keccak256(b"mac:" + key.secret)
+
+
+def _expected_proof(mac_key: bytes, pubkey: bytes, message_hash: bytes) -> bytes:
+    return hmac.new(mac_key, pubkey + message_hash, hashlib.sha3_256).digest()
+
+
+def sign(key: PrivateKey, message_hash: Hash32) -> Signature:
+    """Sign a 32-byte message hash with ``key``.
+
+    Signing registers the key's verification material in the process-global
+    registry consulted by :func:`recover` (see that function's docstring).
+    """
+    _KEY_REGISTRY[bytes(key.public_key)] = _mac_key(key)
+    proof = _expected_proof(_mac_key(key), key.public_key, bytes(message_hash))
+    return Signature(proof=proof, pubkey=bytes(key.public_key))
+
+
+def recover(message_hash: Hash32, signature: Signature) -> Optional[Address]:
+    """Recover the signer address, or ``None`` if the signature is invalid.
+
+    Because verification requires the MAC key (derived from the secret), we
+    keep a process-global registry of every key that has ever signed.  This
+    mirrors how a simulation owns all its actors; it is *not* a claim about
+    real-world verifiability, which ECDSA provides mathematically.  The
+    registry is an implementation detail hidden behind the ``ecrecover``-like
+    interface.
+    """
+    mac_key = _KEY_REGISTRY.get(signature.pubkey)
+    if mac_key is None:
+        return None
+    expected = _expected_proof(mac_key, signature.pubkey, bytes(message_hash))
+    if not hmac.compare_digest(expected, signature.proof):
+        return None
+    return Address(signature.pubkey[12:])
+
+
+def address_from_key(key: PrivateKey) -> Address:
+    return key.address
+
+
+# Registry mapping public key -> MAC key, populated at signing time so that
+# recovery can verify signatures without access to the secret.
+_KEY_REGISTRY: dict = {}

@@ -1,0 +1,186 @@
+"""RLP (Recursive Length Prefix) encoding and decoding.
+
+RLP is Ethereum's canonical serialization for blocks, transactions, and trie
+nodes; transaction hashes — the identity used by the paper's echo (replay)
+detection — are keccak digests of RLP payloads.  We implement the full
+specification from the Yellow Paper, Appendix B:
+
+* A single byte in ``[0x00, 0x7f]`` encodes as itself.
+* A string of 0-55 bytes encodes as ``0x80 + len`` followed by the string.
+* A longer string encodes as ``0xb7 + len(len)`` followed by the big-endian
+  length and the string.
+* A list whose encoded payload is 0-55 bytes encodes as ``0xc0 + len`` plus
+  the concatenated items; longer lists use ``0xf7 + len(len)``.
+
+Integers are encoded as their minimal big-endian byte representation (zero is
+the empty string).  Decoding is strict: non-canonical encodings (leading
+zeros in lengths, single bytes encoded long-form, trailing garbage) raise
+:class:`RLPDecodingError`, matching the consensus-critical behaviour of real
+clients.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Tuple, Union
+
+__all__ = [
+    "RLPError",
+    "RLPEncodingError",
+    "RLPDecodingError",
+    "encode",
+    "decode",
+    "encode_int",
+    "decode_int",
+]
+
+RLPItem = Union[bytes, bytearray, int, str, "RLPList"]
+RLPList = List["RLPItem"]
+
+_SHORT_STRING_OFFSET = 0x80
+_LONG_STRING_OFFSET = 0xB7
+_SHORT_LIST_OFFSET = 0xC0
+_LONG_LIST_OFFSET = 0xF7
+_MAX_SHORT_LENGTH = 55
+
+
+class RLPError(ValueError):
+    """Base class for RLP failures."""
+
+
+class RLPEncodingError(RLPError):
+    """Raised when a value cannot be represented in RLP."""
+
+
+class RLPDecodingError(RLPError):
+    """Raised on malformed or non-canonical RLP input."""
+
+
+def encode_int(value: int) -> bytes:
+    """Encode a non-negative integer as minimal big-endian bytes.
+
+    Zero encodes as the empty byte string, per the Yellow Paper.
+    """
+    if value < 0:
+        raise RLPEncodingError("RLP cannot encode negative integers")
+    if value == 0:
+        return b""
+    return value.to_bytes((value.bit_length() + 7) // 8, "big")
+
+
+def decode_int(payload: bytes) -> int:
+    """Decode minimal big-endian bytes into an integer (strict)."""
+    if payload and payload[0] == 0:
+        raise RLPDecodingError("integer has leading zero byte")
+    return int.from_bytes(payload, "big")
+
+
+def _encode_length(length: int, short_offset: int) -> bytes:
+    if length <= _MAX_SHORT_LENGTH:
+        return bytes([short_offset + length])
+    length_bytes = encode_int(length)
+    long_offset = short_offset + _MAX_SHORT_LENGTH
+    return bytes([long_offset + len(length_bytes)]) + length_bytes
+
+
+def encode(item: RLPItem) -> bytes:
+    """Encode ``item`` (bytes, int, str, or nested list thereof) as RLP."""
+    if isinstance(item, (bytes, bytearray)):
+        payload = bytes(item)
+        if len(payload) == 1 and payload[0] < _SHORT_STRING_OFFSET:
+            return payload
+        return _encode_length(len(payload), _SHORT_STRING_OFFSET) + payload
+    if isinstance(item, bool):
+        # bool is a subclass of int; reject it explicitly to avoid silently
+        # serializing flags that callers meant to encode some other way.
+        raise RLPEncodingError("RLP does not define a boolean type")
+    if isinstance(item, int):
+        return encode(encode_int(item))
+    if isinstance(item, str):
+        return encode(item.encode("utf-8"))
+    if isinstance(item, (list, tuple)):
+        payload = b"".join(encode(sub) for sub in item)
+        return _encode_length(len(payload), _SHORT_LIST_OFFSET) + payload
+    raise RLPEncodingError(f"cannot RLP-encode object of type {type(item)!r}")
+
+
+def _decode_item(data: bytes, offset: int) -> Tuple[Any, int]:
+    """Decode one item starting at ``offset``; return (item, next_offset)."""
+    if offset >= len(data):
+        raise RLPDecodingError("unexpected end of input")
+    prefix = data[offset]
+
+    if prefix < _SHORT_STRING_OFFSET:
+        return bytes([prefix]), offset + 1
+
+    if prefix <= _LONG_STRING_OFFSET:
+        length = prefix - _SHORT_STRING_OFFSET
+        start = offset + 1
+        end = start + length
+        if end > len(data):
+            raise RLPDecodingError("string extends past end of input")
+        payload = data[start:end]
+        if length == 1 and payload[0] < _SHORT_STRING_OFFSET:
+            raise RLPDecodingError("single byte should be encoded as itself")
+        return payload, end
+
+    if prefix < _SHORT_LIST_OFFSET:
+        length_of_length = prefix - _LONG_STRING_OFFSET
+        length, start = _read_long_length(data, offset, length_of_length)
+        end = start + length
+        if end > len(data):
+            raise RLPDecodingError("string extends past end of input")
+        return data[start:end], end
+
+    if prefix <= _LONG_LIST_OFFSET:
+        length = prefix - _SHORT_LIST_OFFSET
+        start = offset + 1
+        return _decode_list_payload(data, start, start + length)
+
+    length_of_length = prefix - _LONG_LIST_OFFSET
+    length, start = _read_long_length(data, offset, length_of_length)
+    return _decode_list_payload(data, start, start + length)
+
+
+def _read_long_length(
+    data: bytes, offset: int, length_of_length: int
+) -> Tuple[int, int]:
+    start = offset + 1
+    end = start + length_of_length
+    if end > len(data):
+        raise RLPDecodingError("length field extends past end of input")
+    length_bytes = data[start:end]
+    if length_bytes and length_bytes[0] == 0:
+        raise RLPDecodingError("length field has leading zero")
+    length = int.from_bytes(length_bytes, "big")
+    if length <= _MAX_SHORT_LENGTH:
+        raise RLPDecodingError("long-form encoding used for short payload")
+    return length, end
+
+
+def _decode_list_payload(
+    data: bytes, start: int, end: int
+) -> Tuple[list, int]:
+    if end > len(data):
+        raise RLPDecodingError("list extends past end of input")
+    items = []
+    cursor = start
+    while cursor < end:
+        item, cursor = _decode_item(data, cursor)
+        items.append(item)
+    if cursor != end:
+        raise RLPDecodingError("list payload length mismatch")
+    return items, end
+
+
+def decode(data: bytes) -> Any:
+    """Decode a complete RLP payload; raise on trailing bytes.
+
+    Strings come back as ``bytes`` and lists as Python lists.  Callers that
+    expect integers should apply :func:`decode_int` to the byte fields.
+    """
+    if not isinstance(data, (bytes, bytearray)):
+        raise RLPDecodingError("RLP input must be bytes")
+    item, end = _decode_item(bytes(data), 0)
+    if end != len(data):
+        raise RLPDecodingError(f"{len(data) - end} trailing bytes after item")
+    return item

@@ -1,0 +1,102 @@
+"""Gas accounting constants and intrinsic-gas calculation.
+
+Gas is Ethereum's execution-metering unit: every transaction pays an
+intrinsic cost up front, and contract execution pays per operation.  Two of
+the paper's background facts live here:
+
+* "each operation the code executes, and each byte of memory the code uses,
+  costs gas" (Section 2.1) — the per-opcode schedule consumed by
+  :mod:`repro.evm`;
+* the November 2016 ETH hard fork "to increase the cost of a particular
+  contract call" (EIP-150, Section 2.1) — :func:`call_gas_cost` switches
+  schedules at the fork, which is how we reproduce the DoS-fork scenario.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "GasSchedule",
+    "FRONTIER_SCHEDULE",
+    "TANGERINE_SCHEDULE",
+    "intrinsic_gas",
+    "TX_GAS",
+    "TX_CREATE_GAS",
+    "TX_DATA_ZERO_GAS",
+    "TX_DATA_NONZERO_GAS",
+    "BLOCK_GAS_LIMIT",
+]
+
+#: Base cost of any transaction.
+TX_GAS = 21_000
+#: Additional base cost of contract creation.
+TX_CREATE_GAS = 32_000
+#: Per-byte calldata costs.
+TX_DATA_ZERO_GAS = 4
+TX_DATA_NONZERO_GAS = 68
+
+#: Default block gas limit (mainnet hovered near this through 2016-17).
+BLOCK_GAS_LIMIT = 4_700_000
+
+
+@dataclass(frozen=True)
+class GasSchedule:
+    """Per-operation gas costs for one protocol era."""
+
+    base: int = 2  # trivial ops: POP, PC, etc.
+    verylow: int = 3  # arithmetic, PUSH, DUP, SWAP
+    low: int = 5  # MUL, DIV, MOD
+    mid: int = 8  # ADDMOD, JUMP
+    high: int = 10  # JUMPI
+    jumpdest: int = 1
+    sload: int = 50
+    sstore_set: int = 20_000
+    sstore_reset: int = 5_000
+    sstore_refund: int = 15_000
+    balance: int = 20
+    extcode: int = 20
+    call: int = 40
+    call_value: int = 9_000
+    call_stipend: int = 2_300
+    call_new_account: int = 25_000
+    create: int = 32_000
+    selfdestruct: int = 0
+    selfdestruct_refund: int = 24_000
+    memory_word: int = 3
+    log: int = 375
+    log_topic: int = 375
+    log_data_byte: int = 8
+    sha3: int = 30
+    sha3_word: int = 6
+    copy_word: int = 3
+    #: EIP-150's "all but one 64th" rule: a CALL may forward at most
+    #: 63/64 of remaining gas, defeating deep-recursion DoS contracts.
+    cap_call_gas: bool = False
+
+
+#: Pre-EIP-150 schedule.  The tiny costs of state-reading ops (BALANCE,
+#: EXTCODESIZE, CALL at 40 gas) are what made the autumn-2016 DoS attacks
+#: cheap, forcing the hard forks described in the paper's Section 2.1.
+FRONTIER_SCHEDULE = GasSchedule()
+
+#: EIP-150 ("Tangerine Whistle") repricing, adopted by ETH on 2016-11-22 and
+#: by ETC on 2017-01-13.
+TANGERINE_SCHEDULE = GasSchedule(
+    sload=200,
+    balance=400,
+    extcode=700,
+    call=700,
+    selfdestruct=5_000,
+    cap_call_gas=True,
+)
+
+
+def intrinsic_gas(data: bytes, is_create: bool) -> int:
+    """Up-front gas charged before any execution happens."""
+    gas = TX_GAS
+    if is_create:
+        gas += TX_CREATE_GAS
+    for byte in data:
+        gas += TX_DATA_ZERO_GAS if byte == 0 else TX_DATA_NONZERO_GAS
+    return gas

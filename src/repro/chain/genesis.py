@@ -1,0 +1,51 @@
+"""Genesis block construction.
+
+Both ETH and ETC share one genesis (and 1.92M blocks of history above it);
+the fork is a divergence, not two origins.  Scenario code builds a single
+genesis with funded accounts, grows a shared prefix, and only then splits.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from .block import GENESIS_PARENT_HASH, Block, BlockHeader, transactions_root
+from .difficulty import MIN_DIFFICULTY
+from .gas import BLOCK_GAS_LIMIT
+from .state import StateDB
+from .types import Address, Wei
+
+__all__ = ["build_genesis", "GENESIS_TIMESTAMP"]
+
+#: Default genesis timestamp: 2015-07-30, Ethereum's launch day.
+GENESIS_TIMESTAMP = 1_438_226_773
+
+
+def build_genesis(
+    alloc: Optional[Dict[Address, Wei]] = None,
+    timestamp: int = GENESIS_TIMESTAMP,
+    difficulty: int = MIN_DIFFICULTY,
+    gas_limit: int = BLOCK_GAS_LIMIT,
+) -> Tuple[Block, StateDB]:
+    """Create the genesis block and its pre-funded world state.
+
+    ``alloc`` maps addresses to initial wei balances (the "premine"); the
+    returned state's root is committed into the genesis header.
+    """
+    state = StateDB()
+    for address, balance in (alloc or {}).items():
+        state.credit(address, balance)
+
+    header = BlockHeader(
+        parent_hash=GENESIS_PARENT_HASH,
+        number=0,
+        timestamp=timestamp,
+        difficulty=difficulty,
+        coinbase=Address.zero(),
+        state_root=state.state_root,
+        tx_root=transactions_root(()),
+        gas_limit=gas_limit,
+        gas_used=0,
+        extra_data=b"repro-genesis",
+    )
+    return Block(header=header), state

@@ -1,0 +1,210 @@
+"""The state-transition function: applying transactions and blocks.
+
+``apply_transaction`` is where a rebroadcast transaction either lands or
+bounces: the checks it performs (signature recovery, chain-id acceptance,
+nonce match, balance sufficiency) are exactly the conditions the paper
+states for a successful echo — "if the source account still had sufficient
+credit, it would be processed as a valid transaction" (Section 3.3).
+
+``apply_block`` executes a full block against a state copy: transactions in
+order, then the 5-ether coinbase reward.  Both chains run this same code
+with different :class:`~repro.chain.config.ChainConfig` values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..evm.vm import EVM, BlockEnvironment, Message
+from .block import Block
+from .config import ChainConfig
+from .gas import intrinsic_gas
+from .receipt import ExecutionStatus, Receipt
+from .state import StateDB
+from .transaction import SignedTransaction, TransactionError
+from .types import Address, Wei
+
+__all__ = [
+    "TransactionRejected",
+    "apply_transaction",
+    "apply_block",
+    "validate_transaction_for_chain",
+]
+
+
+class TransactionRejected(TransactionError):
+    """The transaction cannot even begin executing on this chain.
+
+    Distinct from a failed execution (which still lands on chain, consumes
+    gas, and produces a receipt): a rejected transaction never enters a
+    block.  Rejection reasons are stable strings used by the mempool and
+    the echo analysis.
+    """
+
+    def __init__(self, reason: str) -> None:
+        super().__init__(reason)
+        self.reason = reason
+
+
+def validate_transaction_for_chain(
+    state: StateDB,
+    tx: SignedTransaction,
+    config: ChainConfig,
+    block_number: int,
+) -> Optional[str]:
+    """Pre-execution validity check; returns a rejection reason or None.
+
+    Shared by the mempool (admission) and the processor (execution), so a
+    transaction accepted into a block is always executable.
+    """
+    if not tx.verify():
+        return "invalid-signature"
+    if not config.accepts_transaction_chain_id(tx.payload.chain_id, block_number):
+        return "wrong-chain-id"
+    sender = tx.sender
+    expected_nonce = state.nonce_of(sender)
+    if tx.nonce < expected_nonce:
+        return "nonce-too-low"
+    if tx.nonce > expected_nonce:
+        return "nonce-too-high"
+    if tx.gas_limit < intrinsic_gas(tx.data, tx.payload.is_contract_creation):
+        return "intrinsic-gas-too-high"
+    upfront = tx.value + tx.gas_limit * tx.gas_price
+    if state.balance_of(sender) < upfront:
+        return "insufficient-funds"
+    return None
+
+
+def apply_transaction(
+    state: StateDB,
+    tx: SignedTransaction,
+    config: ChainConfig,
+    env: BlockEnvironment,
+) -> Receipt:
+    """Execute one transaction, mutating ``state``; returns its receipt.
+
+    Raises :class:`TransactionRejected` if the transaction is not valid on
+    this chain at this state (it would never have been mined).
+    """
+    reason = validate_transaction_for_chain(state, tx, config, env.block_number)
+    if reason is not None:
+        raise TransactionRejected(reason)
+
+    sender = tx.sender
+    gas_cost = tx.gas_limit * tx.gas_price
+    state.debit(sender, gas_cost)  # buy gas up front
+    state.increment_nonce(sender)
+
+    base_gas = intrinsic_gas(tx.data, tx.payload.is_contract_creation)
+    execution_gas = tx.gas_limit - base_gas
+
+    evm = EVM(state, env)
+    message = Message(
+        sender=sender,
+        to=tx.to,
+        value=tx.value,
+        data=b"" if tx.payload.is_contract_creation else tx.data,
+        gas=execution_gas,
+        origin=sender,
+        gas_price=tx.gas_price,
+        code=tx.data if tx.payload.is_contract_creation else None,
+    )
+    result = evm.execute(message)
+
+    gas_used = base_gas + result.gas_used
+    # Refund rule: storage-clear/selfdestruct refunds capped at half of the
+    # gas actually used.
+    refund = min(result.gas_refund, gas_used // 2)
+    gas_used -= refund
+
+    # Return the unused portion of the gas purchase; pay the miner the rest.
+    state.credit(sender, (tx.gas_limit - gas_used) * tx.gas_price)
+    state.credit(env.coinbase, gas_used * tx.gas_price)
+
+    if result.success:
+        status = ExecutionStatus.SUCCESS
+    elif result.error == "reverted":
+        status = ExecutionStatus.REVERTED
+    elif result.gas_left == 0 and result.error and "gas" in result.error:
+        status = ExecutionStatus.OUT_OF_GAS
+    else:
+        status = ExecutionStatus.ERROR
+
+    return Receipt(
+        tx_hash=tx.tx_hash,
+        block_number=env.block_number,
+        chain_name=env.chain_name,
+        status=status,
+        gas_used=gas_used,
+        sender=sender,
+        to=tx.to,
+        contract_address=result.created_address,
+        logs=tuple(result.logs),
+        value_transferred=tx.value if result.success else 0,
+    )
+
+
+@dataclass
+class BlockResult:
+    """Outcome of executing a block's transactions against a state."""
+
+    receipts: Tuple[Receipt, ...]
+    gas_used: int
+    fees_paid: Wei
+
+
+def apply_block(
+    state: StateDB,
+    block: Block,
+    config: ChainConfig,
+    irregular_transfers: Optional[List[Tuple[Address, Address]]] = None,
+) -> BlockResult:
+    """Execute ``block`` on ``state``: txs in order, then the block reward.
+
+    ``irregular_transfers`` carries DAO-fork style state edits applied
+    *before* transactions when this block is a fork-activation block on a
+    chain that supports the fork (``(source, destination)`` pairs).
+    """
+    env = BlockEnvironment(
+        block_number=block.number,
+        timestamp=block.timestamp,
+        difficulty=block.difficulty,
+        coinbase=block.coinbase,
+        gas_limit=block.header.gas_limit,
+        chain_name=config.name,
+        schedule=config.gas_schedule(block.number),
+    )
+
+    if (
+        irregular_transfers
+        and config.dao_fork_support
+        and block.number == config.dao_fork_block
+    ):
+        for source, destination in irregular_transfers:
+            state.apply_irregular_transfer(source, destination)
+
+    receipts = []
+    total_gas = 0
+    total_fees: Wei = 0
+    for tx in block.transactions:
+        receipt = apply_transaction(state, tx, config, env)
+        receipts.append(receipt)
+        total_gas += receipt.gas_used
+        total_fees += receipt.gas_used * tx.gas_price
+
+    state.credit(block.coinbase, config.block_reward)
+
+    # Uncle economics (Yellow Paper §11.3): each referenced uncle's miner
+    # earns (8 - distance)/8 of the block reward, and the includer earns
+    # an extra 1/32 per uncle — the incentive that makes losing a
+    # transient-fork race survivable.
+    for ommer in block.ommers:
+        distance = block.number - ommer.number
+        uncle_reward = config.block_reward * (8 - distance) // 8
+        state.credit(ommer.coinbase, uncle_reward)
+        state.credit(block.coinbase, config.block_reward // 32)
+
+    return BlockResult(
+        receipts=tuple(receipts), gas_used=total_gas, fees_paid=total_fees
+    )

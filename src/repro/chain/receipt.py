@@ -1,0 +1,68 @@
+"""Transaction receipts: the per-transaction execution record.
+
+Receipts let the analysis layer distinguish *successful* contract calls from
+reverted ones and account for gas actually consumed.  They also record the
+replay provenance flag used by tests: a receipt knows which chain executed
+the transaction, so an echoed transaction produces receipts on both chains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from .types import Address, Hash32, Wei
+
+__all__ = ["LogEntry", "Receipt", "ExecutionStatus"]
+
+
+class ExecutionStatus:
+    """Outcome codes for executed transactions."""
+
+    SUCCESS = "success"
+    REVERTED = "reverted"
+    OUT_OF_GAS = "out-of-gas"
+    ERROR = "error"
+
+    ALL = (SUCCESS, REVERTED, OUT_OF_GAS, ERROR)
+
+
+@dataclass(frozen=True)
+class LogEntry:
+    """An EVM LOG record (event)."""
+
+    address: Address
+    topics: Tuple[int, ...]
+    data: bytes
+
+
+@dataclass(frozen=True)
+class Receipt:
+    """Execution summary for one transaction within one block."""
+
+    tx_hash: Hash32
+    block_number: int
+    chain_name: str
+    status: str
+    gas_used: int
+    sender: Address
+    to: Optional[Address]
+    #: Address of the contract created, if this was a creation.
+    contract_address: Optional[Address] = None
+    logs: Tuple[LogEntry, ...] = field(default_factory=tuple)
+    #: Wei actually moved (zero when execution reverted).
+    value_transferred: Wei = 0
+
+    def __post_init__(self) -> None:
+        if self.status not in ExecutionStatus.ALL:
+            raise ValueError(f"unknown execution status {self.status!r}")
+        if self.gas_used < 0:
+            raise ValueError("gas used must be non-negative")
+
+    @property
+    def succeeded(self) -> bool:
+        return self.status == ExecutionStatus.SUCCESS
+
+    @property
+    def created_contract(self) -> bool:
+        return self.contract_address is not None

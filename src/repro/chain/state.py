@@ -1,0 +1,259 @@
+"""Account state: balances, nonces, contract code and storage.
+
+The world state is a mapping ``address -> account`` committed into a Merkle
+trie root (``state_root`` in every block header).  Both networks in the
+paper share one world state up to block 1,920,000 and then diverge — most
+visibly at the DAO fork block itself, where ETH applies an "irregular state
+change" moving the attacker's ether to a refund contract while ETC leaves
+the balances untouched.  :meth:`StateDB.apply_irregular_transfer` implements
+exactly that mechanism.
+
+``StateDB`` supports cheap snapshot/revert (used by the EVM for failed inner
+calls) and whole-state forking (used when a chain splits).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Iterator, List, Tuple
+
+from . import encoding
+from .crypto import keccak256
+from .trie import MerkleTrie
+from .types import Address, Hash32, Wei
+
+__all__ = ["Account", "StateDB", "StateError", "InsufficientBalance"]
+
+
+class StateError(Exception):
+    """Base class for state-transition failures."""
+
+
+class InsufficientBalance(StateError):
+    """An account tried to spend more wei than it holds."""
+
+
+@dataclass(frozen=True)
+class Account:
+    """One entry in the world state.
+
+    ``storage_root`` and ``code_hash`` match Ethereum's layout; storage
+    itself lives beside the account in :class:`StateDB` (keyed by address)
+    rather than in per-account tries, which changes nothing observable.
+    """
+
+    nonce: int = 0
+    balance: Wei = 0
+    code: bytes = b""
+
+    @property
+    def is_contract(self) -> bool:
+        return len(self.code) > 0
+
+    @property
+    def code_hash(self) -> Hash32:
+        return keccak256(self.code)
+
+    def encode(self, storage_root: Hash32) -> bytes:
+        return encoding.encode(
+            [self.nonce, self.balance, bytes(storage_root), bytes(self.code_hash)]
+        )
+
+
+_EMPTY_ACCOUNT = Account()
+
+
+class StateDB:
+    """Mutable world state with snapshots and an authenticated root.
+
+    The common pattern is::
+
+        state = StateDB()
+        state.credit(addr, ether(10))
+        snapshot = state.snapshot()
+        ...  # speculative execution
+        state.revert(snapshot)      # or discard the snapshot
+        root = state.state_root     # commitment for the block header
+    """
+
+    def __init__(self) -> None:
+        self._accounts: Dict[Address, Account] = {}
+        self._storage: Dict[Address, Dict[int, int]] = {}
+        # Journal of (undo-closure) entries since each snapshot boundary.
+        self._journal: List[Tuple[str, tuple]] = []
+        self._snapshots: List[int] = []
+
+    # -- account access ----------------------------------------------------
+
+    def account(self, address: Address) -> Account:
+        """Current account record (a default empty account if untouched)."""
+        return self._accounts.get(address, _EMPTY_ACCOUNT)
+
+    def balance_of(self, address: Address) -> Wei:
+        return self.account(address).balance
+
+    def nonce_of(self, address: Address) -> int:
+        return self.account(address).nonce
+
+    def code_of(self, address: Address) -> bytes:
+        return self.account(address).code
+
+    def is_contract(self, address: Address) -> bool:
+        return self.account(address).is_contract
+
+    def exists(self, address: Address) -> bool:
+        return address in self._accounts
+
+    def accounts(self) -> Iterator[Address]:
+        return iter(self._accounts)
+
+    # -- mutation (journaled) ------------------------------------------------
+
+    def _set_account(self, address: Address, account: Account) -> None:
+        previous = self._accounts.get(address)
+        self._journal.append(("account", (address, previous)))
+        self._accounts[address] = account
+
+    def credit(self, address: Address, amount: Wei) -> None:
+        """Add ``amount`` wei to ``address`` (mining rewards, transfers in)."""
+        if amount < 0:
+            raise StateError("credit amount must be non-negative")
+        account = self.account(address)
+        self._set_account(address, replace(account, balance=account.balance + amount))
+
+    def debit(self, address: Address, amount: Wei) -> None:
+        """Remove ``amount`` wei; raises :class:`InsufficientBalance`."""
+        if amount < 0:
+            raise StateError("debit amount must be non-negative")
+        account = self.account(address)
+        if account.balance < amount:
+            raise InsufficientBalance(
+                f"{address.hex_prefixed} holds {account.balance} wei, "
+                f"needs {amount}"
+            )
+        self._set_account(address, replace(account, balance=account.balance - amount))
+
+    def transfer(self, sender: Address, recipient: Address, amount: Wei) -> None:
+        self.debit(sender, amount)
+        self.credit(recipient, amount)
+
+    def apply_irregular_transfer(
+        self, source: Address, destination: Address
+    ) -> Wei:
+        """Move a full balance outside normal transaction rules.
+
+        This is the DAO-fork mechanism: at the fork block, ETH clients moved
+        the attacker's (and child-DAO) balances to a withdraw contract with
+        no signed transaction authorizing it.  Returns the amount moved.
+        """
+        amount = self.balance_of(source)
+        if amount:
+            self.debit(source, amount)
+            self.credit(destination, amount)
+        return amount
+
+    def increment_nonce(self, address: Address) -> int:
+        account = self.account(address)
+        self._set_account(address, replace(account, nonce=account.nonce + 1))
+        return account.nonce + 1
+
+    def set_code(self, address: Address, code: bytes) -> None:
+        account = self.account(address)
+        self._set_account(address, replace(account, code=bytes(code)))
+
+    def storage_at(self, address: Address, slot: int) -> int:
+        return self._storage.get(address, {}).get(slot, 0)
+
+    def set_storage(self, address: Address, slot: int, value: int) -> None:
+        slots = self._storage.setdefault(address, {})
+        previous = slots.get(slot)
+        self._journal.append(("storage", (address, slot, previous)))
+        if value == 0:
+            slots.pop(slot, None)
+        else:
+            slots[slot] = value
+
+    def delete_account(self, address: Address) -> None:
+        """Remove an account entirely (SELFDESTRUCT, state clearing)."""
+        previous = self._accounts.get(address)
+        previous_storage = self._storage.get(address)
+        self._journal.append(("delete", (address, previous, previous_storage)))
+        self._accounts.pop(address, None)
+        self._storage.pop(address, None)
+
+    # -- snapshots -----------------------------------------------------------
+
+    def snapshot(self) -> int:
+        """Mark a revert point; returns an opaque snapshot id."""
+        self._snapshots.append(len(self._journal))
+        return len(self._snapshots) - 1
+
+    def revert(self, snapshot_id: int) -> None:
+        """Undo every mutation made after ``snapshot_id`` was taken."""
+        if snapshot_id >= len(self._snapshots):
+            raise StateError(f"unknown snapshot id {snapshot_id}")
+        boundary = self._snapshots[snapshot_id]
+        del self._snapshots[snapshot_id:]
+        while len(self._journal) > boundary:
+            kind, payload = self._journal.pop()
+            if kind == "account":
+                address, previous = payload
+                if previous is None:
+                    self._accounts.pop(address, None)
+                else:
+                    self._accounts[address] = previous
+            elif kind == "storage":
+                address, slot, previous = payload
+                slots = self._storage.setdefault(address, {})
+                if previous is None:
+                    slots.pop(slot, None)
+                else:
+                    slots[slot] = previous
+            elif kind == "delete":
+                address, previous, previous_storage = payload
+                if previous is not None:
+                    self._accounts[address] = previous
+                if previous_storage is not None:
+                    self._storage[address] = previous_storage
+
+    def discard_snapshot(self, snapshot_id: int) -> None:
+        """Commit to changes since ``snapshot_id`` (keep the journal tail)."""
+        if snapshot_id >= len(self._snapshots):
+            raise StateError(f"unknown snapshot id {snapshot_id}")
+        del self._snapshots[snapshot_id:]
+
+    # -- commitment and forking ----------------------------------------------
+
+    @property
+    def state_root(self) -> Hash32:
+        """Merkle commitment to the full world state.
+
+        Recomputed on demand from scratch; block producers call this once
+        per block, which keeps validation honest without journaling trie
+        updates through snapshots.
+        """
+        trie = MerkleTrie()
+        for address, account in self._accounts.items():
+            storage_root = self._storage_root(address)
+            trie.set(bytes(address), account.encode(storage_root))
+        return trie.root
+
+    def _storage_root(self, address: Address) -> Hash32:
+        slots = self._storage.get(address)
+        if not slots:
+            return MerkleTrie().root
+        trie = MerkleTrie()
+        for slot, value in slots.items():
+            trie.set(encoding.encode_int(slot) or b"\x00", encoding.encode_int(value))
+        return trie.root
+
+    def fork(self) -> "StateDB":
+        """Deep copy for a chain split: each side evolves independently."""
+        clone = StateDB()
+        clone._accounts = dict(self._accounts)
+        clone._storage = {addr: dict(slots) for addr, slots in self._storage.items()}
+        return clone
+
+    def total_supply(self) -> Wei:
+        """Sum of all balances (conservation checks in tests)."""
+        return sum(account.balance for account in self._accounts.values())

@@ -1,0 +1,186 @@
+"""Transactions, signing, and EIP-155 replay protection.
+
+This module is the heart of the paper's Section 3.3 security analysis.  A
+transaction signed *without* a chain id commits only to
+``(nonce, gas_price, gas_limit, to, value, data)`` — exactly the same bytes
+on ETH and ETC — so anyone can rebroadcast it on the sibling chain, where it
+re-executes if the sender's account state still permits it ("echo"
+transactions, Figure 4).  EIP-155 fixes this by mixing the chain id into the
+signed payload; we implement both schemes and the backwards-compatible
+opt-in, matching the history the paper describes (ETC added replay
+protection in its January 2017 fork).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Optional
+
+from . import encoding
+from .crypto import PrivateKey, Signature, keccak256, recover, sign
+from .types import Address, Hash32, Wei
+
+__all__ = [
+    "Transaction",
+    "SignedTransaction",
+    "TransactionError",
+    "sign_transaction",
+    "CONTRACT_CREATION",
+]
+
+#: Sentinel used for the ``to`` field of contract-creation transactions.
+CONTRACT_CREATION: Optional[Address] = None
+
+
+class TransactionError(ValueError):
+    """Raised for malformed or unverifiable transactions."""
+
+
+@dataclass(frozen=True)
+class Transaction:
+    """An unsigned transfer or contract call.
+
+    ``chain_id`` of ``None`` means the pre-EIP-155 format: the signature
+    does not commit to a chain, and the transaction is replayable across any
+    fork that shares the sender's account history.
+    """
+
+    nonce: int
+    gas_price: Wei
+    gas_limit: int
+    to: Optional[Address]
+    value: Wei
+    data: bytes = b""
+    chain_id: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.nonce < 0:
+            raise TransactionError("nonce must be non-negative")
+        if self.gas_price < 0:
+            raise TransactionError("gas price must be non-negative")
+        if self.gas_limit < 0:
+            raise TransactionError("gas limit must be non-negative")
+        if self.value < 0:
+            raise TransactionError("value must be non-negative")
+        if self.chain_id is not None and self.chain_id <= 0:
+            raise TransactionError("chain id must be positive when present")
+
+    @property
+    def is_contract_creation(self) -> bool:
+        return self.to is None
+
+    @property
+    def is_contract_interaction(self) -> bool:
+        """True if this is a contract call or creation (carries code/data).
+
+        The paper's Figure 2 (bottom) tracks the fraction of transactions
+        that are "contract calls rather than simple currency exchanges";
+        this predicate is the classifier behind that series.
+        """
+        return self.is_contract_creation or len(self.data) > 0
+
+    @property
+    def is_replay_protected(self) -> bool:
+        return self.chain_id is not None
+
+    def _signing_fields(self) -> list:
+        fields: list = [
+            self.nonce,
+            self.gas_price,
+            self.gas_limit,
+            bytes(self.to) if self.to is not None else b"",
+            self.value,
+            self.data,
+        ]
+        if self.chain_id is not None:
+            # EIP-155: the chain id (and two empty placeholders standing in
+            # for r and s) join the signed payload.
+            fields.extend([self.chain_id, 0, 0])
+        return fields
+
+    @property
+    def signing_hash(self) -> Hash32:
+        """The digest a sender signs; commits to chain id iff EIP-155."""
+        return keccak256(encoding.encode(self._signing_fields()))
+
+
+@dataclass(frozen=True)
+class SignedTransaction:
+    """A transaction plus its sender's signature.
+
+    Identity (``tx_hash``) covers the signature, so the same logical payload
+    signed twice has one hash — which is precisely why an echoed transaction
+    is *recognizable* across chains: the paper's detector matches hashes
+    seen on ETH against hashes seen on ETC.
+    """
+
+    payload: Transaction
+    signature: Signature
+
+    @cached_property
+    def tx_hash(self) -> Hash32:
+        fields = self.payload._signing_fields() + [self.signature.to_bytes()]
+        return keccak256(encoding.encode(fields))
+
+    @cached_property
+    def sender(self) -> Address:
+        """Recover the sender; raises if the signature does not verify."""
+        address = recover(self.payload.signing_hash, self.signature)
+        if address is None:
+            raise TransactionError("signature does not recover to a sender")
+        return address
+
+    def verify(self) -> bool:
+        """True if the signature recovers to some sender address."""
+        return recover(self.payload.signing_hash, self.signature) is not None
+
+    def valid_on_chain(self, chain_id: int) -> bool:
+        """Would this transaction be accepted by a chain with ``chain_id``?
+
+        Pre-EIP-155 transactions are valid everywhere (the replay hazard);
+        protected ones are valid only on their own chain.
+        """
+        if self.payload.chain_id is None:
+            return True
+        return self.payload.chain_id == chain_id
+
+    # Convenience passthroughs used heavily by the analysis layer.
+    @property
+    def nonce(self) -> int:
+        return self.payload.nonce
+
+    @property
+    def to(self) -> Optional[Address]:
+        return self.payload.to
+
+    @property
+    def value(self) -> Wei:
+        return self.payload.value
+
+    @property
+    def gas_price(self) -> Wei:
+        return self.payload.gas_price
+
+    @property
+    def gas_limit(self) -> int:
+        return self.payload.gas_limit
+
+    @property
+    def data(self) -> bytes:
+        return self.payload.data
+
+    @property
+    def is_contract_interaction(self) -> bool:
+        return self.payload.is_contract_interaction
+
+    @property
+    def is_replay_protected(self) -> bool:
+        return self.payload.is_replay_protected
+
+
+def sign_transaction(key: PrivateKey, payload: Transaction) -> SignedTransaction:
+    """Sign ``payload`` with ``key`` and return the sealed transaction."""
+    return SignedTransaction(
+        payload=payload, signature=sign(key, payload.signing_hash)
+    )

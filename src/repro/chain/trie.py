@@ -1,0 +1,200 @@
+"""A binary Merkle trie for authenticated key/value state.
+
+Ethereum commits its account state, transaction list, and receipts into
+Merkle-Patricia trie roots carried in every block header.  For this
+reproduction the *authentication structure* matters (state roots change when
+state changes; equal states have equal roots; proofs of inclusion exist) but
+hex-nibble Patricia compression is an implementation detail with no bearing
+on any figure.  We therefore implement a clean binary Merkle trie over
+keccak-hashed keys:
+
+* keys are hashed to 256-bit paths (like Ethereum's secure trie);
+* each internal node hashes its two children; leaves hash (path, value);
+* roots are stable: insertion order does not affect the root;
+* inclusion proofs (sibling paths) can be produced and verified.
+
+The trie is persistent-friendly: nodes are immutable and stored in a node
+store keyed by hash, so two chains forked from a common prefix share all
+unmodified subtrees — the same storage economics that let the authors run
+full nodes for both ETH and ETC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from .crypto import keccak256
+from .types import Hash32
+
+__all__ = ["MerkleTrie", "TrieProof", "verify_proof"]
+
+_DEPTH = 256  # bits in a hashed key path
+
+_EMPTY_HASHES: List[Hash32] = []
+
+
+def _empty_hash(level: int) -> Hash32:
+    """Hash of an empty subtree whose leaves sit ``level`` levels down."""
+    if not _EMPTY_HASHES:
+        current = keccak256(b"empty-leaf")
+        _EMPTY_HASHES.append(current)
+        for _ in range(_DEPTH):
+            current = keccak256(b"node:" + current + current)
+            _EMPTY_HASHES.append(current)
+    return _EMPTY_HASHES[level]
+
+
+def _leaf_hash(path: bytes, value: bytes) -> Hash32:
+    return keccak256(b"leaf:" + path + value)
+
+
+def _node_hash(left: Hash32, right: Hash32) -> Hash32:
+    return keccak256(b"node:" + left + right)
+
+
+def _bit(path: bytes, index: int) -> int:
+    return (path[index // 8] >> (7 - index % 8)) & 1
+
+
+@dataclass(frozen=True)
+class TrieProof:
+    """A Merkle inclusion (or exclusion) proof for one key."""
+
+    key: bytes
+    value: Optional[bytes]
+    siblings: Tuple[Hash32, ...]  # root-to-leaf order
+
+
+class MerkleTrie:
+    """An authenticated mapping from ``bytes`` keys to ``bytes`` values.
+
+    The structure is a fixed-depth binary trie over ``keccak256(key)``
+    paths, sparse-tree style: empty subtrees hash to precomputed constants,
+    so only populated paths are materialized.  ``root`` is the 32-byte
+    commitment carried in block headers.
+    """
+
+    def __init__(self, items: Optional[Dict[bytes, bytes]] = None) -> None:
+        self._values: Dict[bytes, bytes] = {}
+        # Populated subtree hashes keyed by (level, path-prefix-int).
+        self._nodes: Dict[Tuple[int, int], Hash32] = {}
+        if items:
+            for key, value in items.items():
+                self.set(key, value)
+
+    # -- mapping interface -------------------------------------------------
+
+    def set(self, key: bytes, value: bytes) -> None:
+        """Insert or update ``key``; empty value means deletion."""
+        if not isinstance(key, (bytes, bytearray)):
+            raise TypeError("trie keys must be bytes")
+        key = bytes(key)
+        if value == b"" or value is None:
+            self.delete(key)
+            return
+        self._values[key] = bytes(value)
+        self._update_path(key)
+
+    def get(self, key: bytes, default: Optional[bytes] = None) -> Optional[bytes]:
+        return self._values.get(bytes(key), default)
+
+    def delete(self, key: bytes) -> None:
+        key = bytes(key)
+        if key in self._values:
+            del self._values[key]
+            self._update_path(key)
+
+    def __contains__(self, key: bytes) -> bool:
+        return bytes(key) in self._values
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def items(self) -> Iterator[Tuple[bytes, bytes]]:
+        return iter(self._values.items())
+
+    def copy(self) -> "MerkleTrie":
+        """O(n) structural copy; forked chains snapshot state this way."""
+        clone = MerkleTrie()
+        clone._values = dict(self._values)
+        clone._nodes = dict(self._nodes)
+        return clone
+
+    # -- commitment --------------------------------------------------------
+
+    @property
+    def root(self) -> Hash32:
+        return self._nodes.get((0, 0), _empty_hash(_DEPTH))
+
+    def _path(self, key: bytes) -> bytes:
+        return bytes(keccak256(key))
+
+    def _update_path(self, key: bytes) -> None:
+        """Recompute hashes along ``key``'s path, root last."""
+        path = self._path(key)
+        value = self._values.get(key)
+
+        # Leaf level: level == _DEPTH, prefix is the full path as an int.
+        prefix = int.from_bytes(path, "big")
+        if value is None:
+            self._nodes.pop((_DEPTH, prefix), None)
+        else:
+            self._nodes[(_DEPTH, prefix)] = _leaf_hash(path, value)
+
+        for level in range(_DEPTH - 1, -1, -1):
+            prefix >>= 1
+            left = self._nodes.get(
+                (level + 1, prefix << 1), _empty_hash(_DEPTH - level - 1)
+            )
+            right = self._nodes.get(
+                (level + 1, (prefix << 1) | 1), _empty_hash(_DEPTH - level - 1)
+            )
+            empty = _empty_hash(_DEPTH - level)
+            combined = _node_hash(left, right)
+            if combined == empty:
+                self._nodes.pop((level, prefix), None)
+            else:
+                self._nodes[(level, prefix)] = combined
+
+    # -- proofs ------------------------------------------------------------
+
+    def prove(self, key: bytes) -> TrieProof:
+        """Produce an inclusion/exclusion proof for ``key``."""
+        key = bytes(key)
+        path = self._path(key)
+        prefix = int.from_bytes(path, "big")
+        siblings: List[Hash32] = []
+        for level in range(_DEPTH, 0, -1):
+            sibling_prefix = (prefix >> (_DEPTH - level)) ^ 1
+            sibling = self._nodes.get(
+                (level, sibling_prefix), _empty_hash(_DEPTH - level)
+            )
+            siblings.append(sibling)
+        siblings.reverse()  # root-to-leaf
+        return TrieProof(
+            key=key, value=self._values.get(key), siblings=tuple(siblings)
+        )
+
+
+def verify_proof(root: Hash32, proof: TrieProof) -> bool:
+    """Check ``proof`` against ``root``.
+
+    For inclusion proofs (``proof.value`` set) this authenticates the value;
+    for exclusion proofs it authenticates the key's absence.
+    """
+    if len(proof.siblings) != _DEPTH:
+        return False
+    path = bytes(keccak256(proof.key))
+    if proof.value is None:
+        current = _empty_hash(0)
+    else:
+        current = _leaf_hash(path, proof.value)
+    # siblings are root-to-leaf; fold from the leaf upward.
+    for level in range(_DEPTH - 1, -1, -1):
+        sibling = proof.siblings[level]
+        if _bit(path, level):
+            current = _node_hash(sibling, current)
+        else:
+            current = _node_hash(current, sibling)
+    return current == root

@@ -1,0 +1,135 @@
+"""Fundamental value types shared across the chain substrate.
+
+The real Ethereum client stack passes 20-byte addresses, 32-byte hashes, and
+unbounded integers ("wei") between every layer.  We keep the same conventions
+so that code reading this library maps directly onto the concepts in the
+paper: accounts are addresses, transactions reference addresses and carry
+wei-denominated values, and blocks/transactions are identified by 32-byte
+hashes.
+
+Values are represented as immutable ``bytes`` wrappers with validated length,
+plus a handful of unit helpers (ether/gwei/wei conversions).  Everything here
+is deliberately dependency-free.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+__all__ = [
+    "Address",
+    "Hash32",
+    "Wei",
+    "ADDRESS_LENGTH",
+    "HASH_LENGTH",
+    "WEI_PER_GWEI",
+    "WEI_PER_ETHER",
+    "to_wei",
+    "from_wei",
+    "ether",
+]
+
+ADDRESS_LENGTH = 20
+HASH_LENGTH = 32
+
+WEI_PER_GWEI = 10**9
+WEI_PER_ETHER = 10**18
+
+#: Wei amounts are plain integers; the alias documents intent in signatures.
+Wei = int
+
+
+class _FixedBytes(bytes):
+    """A ``bytes`` subclass with a fixed, validated length."""
+
+    LENGTH = 0
+
+    def __new__(cls, value: Union[bytes, bytearray, str, "_FixedBytes"]):
+        if isinstance(value, str):
+            text = value[2:] if value.startswith("0x") else value
+            raw = bytes.fromhex(text)
+        else:
+            raw = bytes(value)
+        if len(raw) != cls.LENGTH:
+            raise ValueError(
+                f"{cls.__name__} must be exactly {cls.LENGTH} bytes, "
+                f"got {len(raw)}"
+            )
+        return super().__new__(cls, raw)
+
+    @classmethod
+    def from_int(cls, value: int) -> "_FixedBytes":
+        """Build from a non-negative integer (big-endian, left-padded)."""
+        if value < 0:
+            raise ValueError("value must be non-negative")
+        return cls(value.to_bytes(cls.LENGTH, "big"))
+
+    def to_int(self) -> int:
+        return int.from_bytes(self, "big")
+
+    @property
+    def hex_prefixed(self) -> str:
+        return "0x" + self.hex()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.hex_prefixed!r})"
+
+
+class Address(_FixedBytes):
+    """A 20-byte account identifier (externally owned account or contract)."""
+
+    LENGTH = ADDRESS_LENGTH
+
+    @classmethod
+    def zero(cls) -> "Address":
+        return cls(b"\x00" * ADDRESS_LENGTH)
+
+
+class Hash32(_FixedBytes):
+    """A 32-byte digest identifying blocks, transactions, and trie nodes."""
+
+    LENGTH = HASH_LENGTH
+
+    @classmethod
+    def zero(cls) -> "Hash32":
+        return cls(b"\x00" * HASH_LENGTH)
+
+
+_UNIT_FACTORS = {
+    "wei": 1,
+    "kwei": 10**3,
+    "mwei": 10**6,
+    "gwei": WEI_PER_GWEI,
+    "szabo": 10**12,
+    "finney": 10**15,
+    "ether": WEI_PER_ETHER,
+}
+
+
+def to_wei(amount: Union[int, float], unit: str = "ether") -> Wei:
+    """Convert ``amount`` of ``unit`` into wei.
+
+    Float inputs are supported for convenience in examples and workloads but
+    are rounded to the nearest wei; chain-internal code always uses ints.
+    """
+    try:
+        factor = _UNIT_FACTORS[unit]
+    except KeyError:
+        raise ValueError(f"unknown unit {unit!r}") from None
+    if isinstance(amount, float):
+        return int(round(amount * factor))
+    return amount * factor
+
+
+def from_wei(amount: Wei, unit: str = "ether") -> float:
+    """Convert wei into a float amount of ``unit`` (for reporting only)."""
+    try:
+        factor = _UNIT_FACTORS[unit]
+    except KeyError:
+        raise ValueError(f"unknown unit {unit!r}") from None
+    return amount / factor
+
+
+def ether(amount: Union[int, float]) -> Wei:
+    """Shorthand for :func:`to_wei` with the ether unit."""
+    return to_wei(amount, "ether")

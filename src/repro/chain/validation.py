@@ -1,0 +1,184 @@
+"""Block-header validation rules.
+
+These rules are what actually *partitions* the network in a hard fork:
+an ETH node and an ETC node disagree about the validity of the DAO-fork
+block (its state root reflects the irregular transfer on one side only),
+so each rejects the other's descendants forever.  The checks here mirror
+the Yellow Paper's header validity conditions, parameterized by
+:class:`~repro.chain.config.ChainConfig`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from .block import (
+    MAX_OMMER_DEPTH,
+    MAX_OMMERS_PER_BLOCK,
+    Block,
+    BlockHeader,
+)
+from .config import ChainConfig
+from .types import Hash32
+
+__all__ = [
+    "ValidationError",
+    "validate_header",
+    "validate_body",
+    "validate_ommers",
+    "first_validation_error",
+]
+
+#: Headers may not claim timestamps more than this far into the future.
+MAX_FUTURE_DRIFT = 15 * 60
+
+#: Gas limit may move by at most parent/1024 per block (Yellow Paper).
+GAS_LIMIT_BOUND_DIVISOR = 1024
+MIN_GAS_LIMIT = 5_000
+
+
+class ValidationError(ValueError):
+    """A block failed consensus validation; carries a stable reason code."""
+
+    def __init__(self, reason: str, detail: str = "") -> None:
+        super().__init__(f"{reason}: {detail}" if detail else reason)
+        self.reason = reason
+
+
+def validate_header(
+    block: Block,
+    parent: Block,
+    config: ChainConfig,
+    now: Optional[int] = None,
+) -> None:
+    """Raise :class:`ValidationError` unless ``block`` extends ``parent``.
+
+    Checks: linkage, height, timestamp ordering (and optional future-drift
+    against wall-clock ``now``), the exact difficulty calculation, and gas
+    limit movement bounds.
+    """
+    header = block.header
+    if header.parent_hash != parent.block_hash:
+        raise ValidationError("bad-parent", "parent hash mismatch")
+    if header.number != parent.number + 1:
+        raise ValidationError(
+            "bad-number", f"{header.number} after {parent.number}"
+        )
+    if header.timestamp <= parent.timestamp:
+        raise ValidationError("bad-timestamp", "timestamp not increasing")
+    if now is not None and header.timestamp > now + MAX_FUTURE_DRIFT:
+        raise ValidationError("future-block", f"ts {header.timestamp} > {now}")
+
+    expected_difficulty = config.compute_difficulty(
+        parent.difficulty, parent.timestamp, header.timestamp, header.number
+    )
+    if header.difficulty != expected_difficulty:
+        raise ValidationError(
+            "bad-difficulty",
+            f"got {header.difficulty}, expected {expected_difficulty}",
+        )
+
+    if config.rejects_extra_data(header.number, header.extra_data):
+        raise ValidationError(
+            "dao-extra-data",
+            f"block {header.number} extra-data incompatible with "
+            f"{config.name}'s DAO fork stance",
+        )
+
+    parent_limit = parent.header.gas_limit
+    bound = parent_limit // GAS_LIMIT_BOUND_DIVISOR
+    if abs(header.gas_limit - parent_limit) >= max(bound, 1):
+        raise ValidationError("bad-gas-limit", "moved more than parent/1024")
+    if header.gas_limit < MIN_GAS_LIMIT:
+        raise ValidationError("bad-gas-limit", "below protocol minimum")
+
+
+def validate_body(block: Block, config: ChainConfig) -> None:
+    """Body checks that need no parent state: tx commitment & chain ids."""
+    if not block.consistent_tx_root():
+        raise ValidationError("bad-tx-root", "header commitment mismatch")
+    for tx in block.transactions:
+        if not config.accepts_transaction_chain_id(
+            tx.payload.chain_id, block.number
+        ):
+            raise ValidationError(
+                "bad-chain-id",
+                f"tx {tx.tx_hash.hex()[:12]} not valid on {config.name}",
+            )
+
+
+def validate_ommers(
+    block: Block,
+    ancestor_hashes: Dict[int, Hash32],
+    resolve_header,
+    config: ChainConfig,
+    already_included,
+) -> None:
+    """Uncle-inclusion rules (Yellow Paper §11.1, simplified).
+
+    ``ancestor_hashes`` maps height -> canonical-ancestor hash for the
+    importing branch (at least ``MAX_OMMER_DEPTH + 1`` generations);
+    ``resolve_header(hash)`` returns a known :class:`BlockHeader` or None;
+    ``already_included`` answers membership for uncle hashes used earlier
+    on this branch.
+
+    Each uncle must be (a) committed by the header, (b) at distance 1-6,
+    (c) a child of an ancestor — i.e. a genuine sibling branch — while not
+    being an ancestor itself, (d) a consensus-valid header in its own
+    right, and (e) never included before.
+    """
+    if not block.consistent_ommers_root():
+        raise ValidationError("bad-ommers-root", "header commitment mismatch")
+    if len(block.ommers) > MAX_OMMERS_PER_BLOCK:
+        raise ValidationError(
+            "too-many-ommers", f"{len(block.ommers)} > {MAX_OMMERS_PER_BLOCK}"
+        )
+    seen = set()
+    for ommer in block.ommers:
+        ommer_hash = ommer.block_hash
+        if ommer_hash in seen:
+            raise ValidationError("duplicate-ommer", ommer_hash.hex()[:12])
+        seen.add(ommer_hash)
+        if already_included(ommer_hash):
+            raise ValidationError(
+                "ommer-already-included", ommer_hash.hex()[:12]
+            )
+        distance = block.number - ommer.number
+        if not 1 <= distance <= MAX_OMMER_DEPTH:
+            raise ValidationError(
+                "bad-ommer-depth", f"distance {distance}"
+            )
+        if ancestor_hashes.get(ommer.number) == ommer_hash:
+            raise ValidationError(
+                "ommer-is-ancestor", ommer_hash.hex()[:12]
+            )
+        expected_parent = ancestor_hashes.get(ommer.number - 1)
+        if expected_parent is None or ommer.parent_hash != expected_parent:
+            raise ValidationError(
+                "ommer-not-sibling",
+                f"parent not the height-{ommer.number - 1} ancestor",
+            )
+        parent_header = resolve_header(ommer.parent_hash)
+        if parent_header is None:
+            raise ValidationError("ommer-parent-unknown", "")
+        # The uncle must have been a consensus-valid block attempt.
+        expected_difficulty = config.compute_difficulty(
+            parent_header.difficulty,
+            parent_header.timestamp,
+            ommer.timestamp,
+            ommer.number,
+        )
+        if ommer.difficulty != expected_difficulty:
+            raise ValidationError("bad-ommer-difficulty", "")
+
+
+def first_validation_error(
+    block: Block, parent: Block, config: ChainConfig
+) -> Optional[str]:
+    """Non-raising wrapper returning the first failure's reason code."""
+    try:
+        validate_header(block, parent, config)
+        validate_body(block, config)
+    except ValidationError as exc:
+        return exc.reason
+    return None

@@ -1,0 +1,117 @@
+"""The paper's contribution: the fork-analysis toolkit.
+
+Partition detection and stabilization analysis (Figure 1 / Observations
+1-2), chain-usage metrics (Figure 2), mining-economics analysis (Figure 3 /
+Observation 4), cross-chain echo detection (Figure 4 / Observation 5),
+pool-concentration analysis (Figure 5 / Observation 6), and the figure
+generators and observation predicates that tie them to the paper.
+"""
+
+from .classification import (
+    ClassificationReport,
+    EchoVerdict,
+    IntentClassifier,
+)
+from .echoes import SAME_TIME_WINDOW, Echo, EchoDetector, EchoReport
+from .flows import (
+    FlowSummary,
+    MinerFlow,
+    daily_hashrate_series,
+    estimate_flows,
+)
+from .market_analysis import (
+    MarketEfficiencyReport,
+    find_dip,
+    hashes_per_usd_series,
+    market_efficiency_report,
+    relative_gap_series,
+)
+from .metrics import (
+    block_delta_series,
+    blocks_per_hour,
+    contract_fraction_per_day,
+    daily_mean_difficulty,
+    difficulty_series,
+    trace_block_deltas,
+    trace_blocks_per_hour,
+    trace_contract_fraction_per_day,
+    trace_daily_mean_difficulty,
+    trace_difficulty_series,
+    trace_transactions_per_day,
+    transactions_per_day,
+)
+from .observations import Observation, evaluate_all
+from .partition import (
+    StabilizationReport,
+    find_fork_point,
+    find_trace_fork_point,
+    hashpower_loss_fraction,
+    node_loss_fraction,
+    peak_block_delta,
+    stabilization_time,
+)
+from .pools import (
+    convergence_day,
+    daily_top_n_shares,
+    daily_top_pools,
+    migration_consistency,
+    top_n_share_series,
+    trace_top_n_share_series,
+)
+from .report import FigureData, figure_1, figure_2, figure_3, figure_4, figure_5
+from .timeseries import TimeSeries, align, pearson
+
+__all__ = [
+    "TimeSeries",
+    "align",
+    "pearson",
+    "blocks_per_hour",
+    "difficulty_series",
+    "block_delta_series",
+    "transactions_per_day",
+    "contract_fraction_per_day",
+    "daily_mean_difficulty",
+    "trace_blocks_per_hour",
+    "trace_difficulty_series",
+    "trace_block_deltas",
+    "trace_transactions_per_day",
+    "trace_contract_fraction_per_day",
+    "trace_daily_mean_difficulty",
+    "EchoDetector",
+    "Echo",
+    "EchoReport",
+    "SAME_TIME_WINDOW",
+    "IntentClassifier",
+    "EchoVerdict",
+    "ClassificationReport",
+    "daily_hashrate_series",
+    "estimate_flows",
+    "MinerFlow",
+    "FlowSummary",
+    "find_fork_point",
+    "find_trace_fork_point",
+    "node_loss_fraction",
+    "hashpower_loss_fraction",
+    "stabilization_time",
+    "peak_block_delta",
+    "StabilizationReport",
+    "daily_top_n_shares",
+    "top_n_share_series",
+    "trace_top_n_share_series",
+    "daily_top_pools",
+    "migration_consistency",
+    "convergence_day",
+    "hashes_per_usd_series",
+    "market_efficiency_report",
+    "MarketEfficiencyReport",
+    "relative_gap_series",
+    "find_dip",
+    "Observation",
+    "evaluate_all",
+    "FigureData",
+    "figure_1",
+    "figure_2",
+    "figure_3",
+    "figure_4",
+    "figure_5",
+]

@@ -1,0 +1,181 @@
+"""Echo intent classification — the paper's first "future work" item.
+
+Section 4: "Our findings open up a number of interesting avenues for
+future work, such as exploring the transactions to detect malicious
+versus benign rebroadcasts."  This module implements that exploration.
+
+A rebroadcast is *benign* when the original sender intended the transfer
+to happen on both chains (they consider their pre-fork balance one pot of
+money); it is *malicious* (an attack, in the paper's replay-attack sense)
+when a third party — typically the recipient — re-broadcasts to collect a
+second time against the sender's intent.  On-chain data never shows intent
+directly, so the classifier scores observable proxies:
+
+* **lag** — intentional double-spends are broadcast together (seconds to
+  minutes apart); scavenged replays wait for the victim's transaction to
+  appear, be confirmed, and be scraped (hours to days);
+* **repeat victimization** — a sender echoed once may be unlucky; a sender
+  whose *every* transaction echoes is either intentionally mirroring or
+  being systematically farmed, and systematic farming correlates with
+  long lags;
+* **post-protection persistence** — an echo of a transaction sent *after*
+  cheap protection existed (EIP-155 on the destination chain) leans
+  malicious: a benign dual-intent user would adopt the safe dual-send
+  pattern instead.
+
+Scores combine into :class:`EchoVerdict` labels with a confidence value.
+The classifier is validated against the replay workload's ground truth
+(which knows which echoes were intentional) in the test suite and the
+``abl-intent`` benchmark.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from ..data.windows import DAY, HOUR
+from .echoes import Echo
+
+__all__ = ["EchoVerdict", "IntentClassifier", "ClassificationReport"]
+
+
+@dataclass(frozen=True)
+class EchoVerdict:
+    """One echo, labeled."""
+
+    echo: Echo
+    label: str  # "benign" | "malicious"
+    #: P(malicious) in [0, 1]; the label thresholds this at 0.5.
+    malicious_score: float
+
+
+@dataclass
+class ClassificationReport:
+    """Aggregate classification outcome (and, in tests, its accuracy)."""
+
+    verdicts: List[EchoVerdict]
+
+    @property
+    def malicious(self) -> List[EchoVerdict]:
+        return [v for v in self.verdicts if v.label == "malicious"]
+
+    @property
+    def benign(self) -> List[EchoVerdict]:
+        return [v for v in self.verdicts if v.label == "benign"]
+
+    def malicious_fraction(self) -> float:
+        if not self.verdicts:
+            return 0.0
+        return len(self.malicious) / len(self.verdicts)
+
+    def daily_malicious_counts(self) -> Dict[int, int]:
+        counts: Dict[int, int] = {}
+        for verdict in self.malicious:
+            index = verdict.echo.echo_timestamp // DAY
+            counts[index] = counts.get(index, 0) + 1
+        return counts
+
+
+class IntentClassifier:
+    """Score echoes as benign (intentional) vs malicious (scavenged).
+
+    Parameters are interpretable knobs, not fitted weights:
+
+    ``benign_lag_seconds``
+        Lags at or below this are strong benign evidence (broadcast
+        together); the benign likelihood decays exponentially past it
+        with scale ``lag_decay_seconds``.
+    ``protection_day``
+        Absolute day timestamp after which the destination chain offered
+        replay protection; echoes of later transactions lean malicious.
+    """
+
+    def __init__(
+        self,
+        benign_lag_seconds: float = 15 * 60.0,
+        lag_decay_seconds: float = 1 * HOUR,
+        protection_timestamp: Optional[int] = None,
+        sender_of: Optional[Dict[bytes, bytes]] = None,
+    ) -> None:
+        if benign_lag_seconds <= 0 or lag_decay_seconds <= 0:
+            raise ValueError("lag parameters must be positive")
+        self.benign_lag_seconds = benign_lag_seconds
+        self.lag_decay_seconds = lag_decay_seconds
+        self.protection_timestamp = protection_timestamp
+        #: Optional tx hash -> sender mapping enabling the repeat-victim
+        #: feature (supplied from TxRecords when available).
+        self.sender_of = sender_of or {}
+
+    # -- feature scores (each returns P-ish evidence of malice in [0,1]) --
+
+    def _lag_score(self, echo: Echo) -> float:
+        lag = max(0.0, float(echo.lag_seconds))
+        if lag <= self.benign_lag_seconds:
+            return 0.05
+        # Evidence of malice saturates as the lag grows past the decay
+        # scale: nobody waits a day to execute their own dual intent.
+        excess = lag - self.benign_lag_seconds
+        return 1.0 - 0.95 * math.exp(-excess / self.lag_decay_seconds)
+
+    def _protection_score(self, echo: Echo) -> float:
+        if self.protection_timestamp is None:
+            return 0.5  # uninformative
+        if echo.origin_timestamp >= self.protection_timestamp:
+            return 0.8
+        return 0.5
+
+    def _repeat_score(self, echo: Echo, echo_counts: Dict[bytes, int]) -> float:
+        sender = self.sender_of.get(echo.tx_hash)
+        if sender is None:
+            return 0.5
+        repeats = echo_counts.get(sender, 1)
+        if repeats >= 5:
+            return 0.75  # systematically farmed (or mirrored; lag decides)
+        return 0.5
+
+    # -- classification -----------------------------------------------------
+
+    def score(self, echo: Echo, echo_counts: Optional[Dict[bytes, int]] = None) -> float:
+        """Combined P(malicious), a log-odds average of the features."""
+        features = [
+            self._lag_score(echo),
+            self._protection_score(echo),
+            self._repeat_score(echo, echo_counts or {}),
+        ]
+        logit = sum(_logit(p) for p in features)
+        return _sigmoid(logit)
+
+    def classify(self, echoes: Iterable[Echo]) -> ClassificationReport:
+        echoes = list(echoes)
+        echo_counts: Dict[bytes, int] = {}
+        for echo in echoes:
+            sender = self.sender_of.get(echo.tx_hash)
+            if sender is not None:
+                echo_counts[sender] = echo_counts.get(sender, 0) + 1
+
+        verdicts = []
+        for echo in echoes:
+            score = self.score(echo, echo_counts)
+            verdicts.append(
+                EchoVerdict(
+                    echo=echo,
+                    label="malicious" if score >= 0.5 else "benign",
+                    malicious_score=score,
+                )
+            )
+        return ClassificationReport(verdicts=verdicts)
+
+
+def _logit(p: float) -> float:
+    p = min(max(p, 1e-6), 1 - 1e-6)
+    return math.log(p / (1 - p))
+
+
+def _sigmoid(x: float) -> float:
+    if x >= 0:
+        z = math.exp(-x)
+        return 1 / (1 + z)
+    z = math.exp(x)
+    return z / (1 + z)

@@ -1,0 +1,179 @@
+"""Chain metrics: the series plotted in Figures 1 and 2.
+
+Every function takes either a :class:`~repro.sim.blockprod.ChainTrace`
+(columnar, for month-scale data) or a :class:`~repro.data.store.ChainDatabase`
+(record-level) and returns :class:`~repro.core.timeseries.TimeSeries`
+objects ready for the report layer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..data.store import ChainDatabase
+from ..data.windows import DAY, HOUR
+from ..sim.blockprod import ChainTrace
+from .timeseries import TimeSeries
+
+__all__ = [
+    "blocks_per_hour",
+    "difficulty_series",
+    "block_delta_series",
+    "transactions_per_day",
+    "contract_fraction_per_day",
+    "daily_mean_difficulty",
+    "trace_blocks_per_hour",
+    "trace_difficulty_series",
+    "trace_block_deltas",
+    "trace_transactions_per_day",
+    "trace_contract_fraction_per_day",
+    "trace_daily_mean_difficulty",
+]
+
+
+# -- database-backed (record-level) variants -----------------------------------
+
+
+def blocks_per_hour(db: ChainDatabase, chain: str) -> TimeSeries:
+    """Figure 1 (top): hourly block counts.
+
+    Empty hours are *not* filled here; the report layer densifies over the
+    plot range so that ETC's near-zero day renders as near-zero.
+    """
+    return TimeSeries.from_window_dict(
+        {k: float(v) for k, v in db.blocks_per_hour(chain).items()},
+        HOUR,
+        name=f"{chain} blocks/hour",
+    )
+
+
+def difficulty_series(db: ChainDatabase, chain: str) -> TimeSeries:
+    """Figures 1-2 (difficulty panels): per-block difficulty over time."""
+    pairs = db.difficulty_series(chain)
+    return TimeSeries(
+        [t for t, _ in pairs],
+        [float(d) for _, d in pairs],
+        name=f"{chain} difficulty",
+    )
+
+
+def block_delta_series(db: ChainDatabase, chain: str) -> TimeSeries:
+    """Figure 1 (bottom): seconds between consecutive blocks."""
+    pairs = db.block_deltas(chain)
+    return TimeSeries(
+        [t for t, _ in pairs],
+        [float(d) for _, d in pairs],
+        name=f"{chain} block delta",
+    )
+
+
+def transactions_per_day(db: ChainDatabase, chain: str) -> TimeSeries:
+    """Figure 2 (middle): daily transaction counts."""
+    return TimeSeries.from_window_dict(
+        {k: float(v) for k, v in db.transactions_per_day(chain).items()},
+        DAY,
+        name=f"{chain} tx/day",
+    )
+
+
+def contract_fraction_per_day(db: ChainDatabase, chain: str) -> TimeSeries:
+    """Figure 2 (bottom): daily contract-call fraction."""
+    return TimeSeries.from_window_dict(
+        db.contract_fraction_per_day(chain),
+        DAY,
+        name=f"{chain} contract fraction",
+    )
+
+
+def daily_mean_difficulty(db: ChainDatabase, chain: str) -> TimeSeries:
+    """Daily mean difficulty — the difficulty input to Figure 3."""
+    return difficulty_series(db, chain).resample_mean(DAY)
+
+
+# -- trace-backed (columnar) variants -------------------------------------------
+
+
+def trace_blocks_per_hour(trace: ChainTrace, start_ts: Optional[float] = None) -> TimeSeries:
+    counts: Dict[int, int] = {}
+    for timestamp in trace.timestamps:
+        if start_ts is not None and timestamp < start_ts:
+            continue
+        index = timestamp // HOUR
+        counts[index] = counts.get(index, 0) + 1
+    return TimeSeries.from_window_dict(
+        {k: float(v) for k, v in counts.items()},
+        HOUR,
+        name=f"{trace.chain} blocks/hour",
+    )
+
+
+def trace_difficulty_series(
+    trace: ChainTrace, start_ts: Optional[float] = None
+) -> TimeSeries:
+    timestamps = []
+    values = []
+    for timestamp, difficulty in zip(trace.timestamps, trace.difficulties):
+        if start_ts is not None and timestamp < start_ts:
+            continue
+        timestamps.append(timestamp)
+        values.append(float(difficulty))
+    return TimeSeries(timestamps, values, name=f"{trace.chain} difficulty")
+
+
+def trace_block_deltas(
+    trace: ChainTrace, start_ts: Optional[float] = None
+) -> TimeSeries:
+    timestamps = []
+    values = []
+    previous = None
+    for timestamp in trace.timestamps:
+        if previous is not None and (start_ts is None or timestamp >= start_ts):
+            timestamps.append(timestamp)
+            values.append(float(timestamp - previous))
+        previous = timestamp
+    return TimeSeries(timestamps, values, name=f"{trace.chain} block delta")
+
+
+def trace_transactions_per_day(
+    trace: ChainTrace, start_ts: Optional[float] = None
+) -> TimeSeries:
+    counts: Dict[int, int] = {}
+    for timestamp, tx_count in zip(trace.timestamps, trace.tx_counts):
+        if start_ts is not None and timestamp < start_ts:
+            continue
+        index = timestamp // DAY
+        counts[index] = counts.get(index, 0) + tx_count
+    return TimeSeries.from_window_dict(
+        {k: float(v) for k, v in counts.items()},
+        DAY,
+        name=f"{trace.chain} tx/day",
+    )
+
+
+def trace_contract_fraction_per_day(
+    trace: ChainTrace, start_ts: Optional[float] = None
+) -> TimeSeries:
+    totals: Dict[int, int] = {}
+    contracts: Dict[int, int] = {}
+    for timestamp, tx_count, contract_count in zip(
+        trace.timestamps, trace.tx_counts, trace.contract_tx_counts
+    ):
+        if start_ts is not None and timestamp < start_ts:
+            continue
+        index = timestamp // DAY
+        totals[index] = totals.get(index, 0) + tx_count
+        contracts[index] = contracts.get(index, 0) + contract_count
+    fractions = {
+        index: contracts.get(index, 0) / totals[index]
+        for index in totals
+        if totals[index] > 0
+    }
+    return TimeSeries.from_window_dict(
+        fractions, DAY, name=f"{trace.chain} contract fraction"
+    )
+
+
+def trace_daily_mean_difficulty(
+    trace: ChainTrace, start_ts: Optional[float] = None
+) -> TimeSeries:
+    return trace_difficulty_series(trace, start_ts).resample_mean(DAY)

@@ -1,0 +1,241 @@
+"""SQLite-backed analysis database.
+
+The in-memory :class:`~repro.data.store.ChainDatabase` is ideal inside one
+process; this sibling persists the same records to a SQLite file (stdlib
+``sqlite3``, no dependencies) so month-scale exports survive across runs
+and can be queried with plain SQL — the closest shape to the authors' own
+"separate database" workflow.
+
+The query surface mirrors ``ChainDatabase`` method-for-method, and the
+equivalence test in the suite runs both against identical inputs.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
+
+from .records import BlockRecord, TxRecord
+from .windows import DAY, HOUR
+
+__all__ = ["SqliteChainDatabase"]
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS blocks (
+    chain       TEXT NOT NULL,
+    number      INTEGER NOT NULL,
+    timestamp   INTEGER NOT NULL,
+    difficulty  INTEGER NOT NULL,
+    miner       TEXT NOT NULL,
+    tx_count    INTEGER NOT NULL,
+    contract_tx_count INTEGER NOT NULL,
+    gas_used    INTEGER NOT NULL,
+    PRIMARY KEY (chain, number)
+);
+CREATE INDEX IF NOT EXISTS blocks_by_time ON blocks (chain, timestamp);
+
+CREATE TABLE IF NOT EXISTS txs (
+    chain        TEXT NOT NULL,
+    tx_hash      BLOB NOT NULL,
+    block_number INTEGER NOT NULL,
+    timestamp    INTEGER NOT NULL,
+    sender       BLOB NOT NULL,
+    recipient    BLOB,
+    value        TEXT NOT NULL,          -- wei exceeds SQLite's int64
+    is_contract  INTEGER NOT NULL,
+    replay_protected INTEGER NOT NULL
+);
+CREATE INDEX IF NOT EXISTS txs_by_hash ON txs (chain, tx_hash);
+CREATE INDEX IF NOT EXISTS txs_by_time ON txs (chain, timestamp);
+"""
+
+
+class SqliteChainDatabase:
+    """A :class:`ChainDatabase`-compatible store on SQLite.
+
+    Use as a context manager or call :meth:`close` explicitly::
+
+        with SqliteChainDatabase("study.db") as db:
+            db.insert_blocks(records)
+            print(db.blocks_per_hour("ETC"))
+    """
+
+    def __init__(self, path: Union[str, Path] = ":memory:") -> None:
+        self._conn = sqlite3.connect(str(path))
+        self._conn.executescript(_SCHEMA)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "SqliteChainDatabase":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- ingest ----------------------------------------------------------------
+
+    def insert_blocks(self, records: Iterable[BlockRecord]) -> int:
+        rows = [
+            (
+                r.chain, r.number, r.timestamp, r.difficulty, r.miner,
+                r.tx_count, r.contract_tx_count, r.gas_used,
+            )
+            for r in records
+        ]
+        with self._conn:
+            self._conn.executemany(
+                "INSERT OR REPLACE INTO blocks VALUES (?,?,?,?,?,?,?,?)",
+                rows,
+            )
+        return len(rows)
+
+    def insert_transactions(self, records: Iterable[TxRecord]) -> int:
+        rows = [
+            (
+                r.chain, r.tx_hash, r.block_number, r.timestamp, r.sender,
+                r.to, str(r.value), int(r.is_contract),
+                int(r.replay_protected),
+            )
+            for r in records
+        ]
+        with self._conn:
+            self._conn.executemany(
+                "INSERT INTO txs VALUES (?,?,?,?,?,?,?,?,?)", rows
+            )
+        return len(rows)
+
+    # -- block queries ------------------------------------------------------------
+
+    def chains(self) -> List[str]:
+        rows = self._conn.execute(
+            "SELECT chain FROM blocks UNION SELECT chain FROM txs"
+        )
+        return sorted(row[0] for row in rows)
+
+    def block_count(self, chain: str) -> int:
+        (count,) = self._conn.execute(
+            "SELECT COUNT(*) FROM blocks WHERE chain=?", (chain,)
+        ).fetchone()
+        return count
+
+    def blocks(self, chain: str) -> List[BlockRecord]:
+        rows = self._conn.execute(
+            "SELECT chain, number, timestamp, difficulty, miner, tx_count,"
+            " contract_tx_count, gas_used FROM blocks WHERE chain=?"
+            " ORDER BY number",
+            (chain,),
+        )
+        return [BlockRecord(*row) for row in rows]
+
+    def blocks_between(
+        self, chain: str, start_ts: float, end_ts: float
+    ) -> List[BlockRecord]:
+        rows = self._conn.execute(
+            "SELECT chain, number, timestamp, difficulty, miner, tx_count,"
+            " contract_tx_count, gas_used FROM blocks"
+            " WHERE chain=? AND timestamp>=? AND timestamp<? ORDER BY number",
+            (chain, start_ts, end_ts),
+        )
+        return [BlockRecord(*row) for row in rows]
+
+    def blocks_per_hour(self, chain: str) -> Dict[int, int]:
+        rows = self._conn.execute(
+            "SELECT timestamp/? AS hour, COUNT(*) FROM blocks"
+            " WHERE chain=? GROUP BY hour",
+            (HOUR, chain),
+        )
+        return {hour: count for hour, count in rows}
+
+    def difficulty_series(self, chain: str) -> List[Tuple[int, int]]:
+        rows = self._conn.execute(
+            "SELECT timestamp, difficulty FROM blocks WHERE chain=?"
+            " ORDER BY number",
+            (chain,),
+        )
+        return list(rows)
+
+    def block_deltas(self, chain: str) -> List[Tuple[int, int]]:
+        series = self.difficulty_series(chain)
+        deltas = []
+        for (prev_ts, _), (ts, _) in zip(series, series[1:]):
+            deltas.append((ts, ts - prev_ts))
+        return deltas
+
+    def miner_label_series(self, chain: str) -> List[Tuple[int, str]]:
+        rows = self._conn.execute(
+            "SELECT timestamp, miner FROM blocks WHERE chain=?"
+            " ORDER BY number",
+            (chain,),
+        )
+        return list(rows)
+
+    # -- transaction queries ----------------------------------------------------
+
+    def tx_count(self, chain: str) -> int:
+        (count,) = self._conn.execute(
+            "SELECT COUNT(*) FROM txs WHERE chain=?", (chain,)
+        ).fetchone()
+        return count
+
+    def transactions(self, chain: str) -> List[TxRecord]:
+        rows = self._conn.execute(
+            "SELECT chain, tx_hash, block_number, timestamp, sender,"
+            " recipient, value, is_contract, replay_protected FROM txs"
+            " WHERE chain=? ORDER BY timestamp, block_number",
+            (chain,),
+        )
+        return [self._tx_from_row(row) for row in rows]
+
+    def lookup_tx(self, chain: str, tx_hash: bytes) -> Optional[TxRecord]:
+        row = self._conn.execute(
+            "SELECT chain, tx_hash, block_number, timestamp, sender,"
+            " recipient, value, is_contract, replay_protected FROM txs"
+            " WHERE chain=? AND tx_hash=? ORDER BY rowid LIMIT 1",
+            (chain, tx_hash),
+        ).fetchone()
+        return self._tx_from_row(row) if row else None
+
+    def transactions_per_day(self, chain: str) -> Dict[int, int]:
+        rows = self._conn.execute(
+            "SELECT timestamp/? AS day, COUNT(*) FROM txs"
+            " WHERE chain=? GROUP BY day",
+            (DAY, chain),
+        )
+        return {day: count for day, count in rows}
+
+    def contract_fraction_per_day(self, chain: str) -> Dict[int, float]:
+        rows = self._conn.execute(
+            "SELECT timestamp/? AS day, AVG(is_contract) FROM txs"
+            " WHERE chain=? GROUP BY day",
+            (DAY, chain),
+        )
+        return {day: fraction for day, fraction in rows}
+
+    def iter_tx_sightings(self) -> Iterator[TxRecord]:
+        rows = self._conn.execute(
+            "SELECT chain, tx_hash, block_number, timestamp, sender,"
+            " recipient, value, is_contract, replay_protected FROM txs"
+            " ORDER BY timestamp, chain, block_number"
+        )
+        for row in rows:
+            yield self._tx_from_row(row)
+
+    @staticmethod
+    def _tx_from_row(row) -> TxRecord:
+        (chain, tx_hash, block_number, timestamp, sender, recipient,
+         value, is_contract, protected) = row
+        return TxRecord(
+            chain=chain,
+            tx_hash=bytes(tx_hash),
+            block_number=block_number,
+            timestamp=timestamp,
+            sender=bytes(sender),
+            to=bytes(recipient) if recipient is not None else None,
+            value=int(value),
+            is_contract=bool(is_contract),
+            replay_protected=bool(protected),
+        )

@@ -1,0 +1,146 @@
+"""The analysis database: indexed block & transaction storage.
+
+This is the reproduction of the paper's "separate database" (Section 3.1):
+a queryable store decoupled from node operation.  It indexes block records
+by chain and window, and transaction records by hash for the cross-chain
+echo join.  All figures read from here — never directly from a node — so
+the analysis code is identical whether the data came from the message-level
+simulator, the fast simulator, or (in principle) a real chain export.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from .records import BlockRecord, TxRecord
+from .windows import DAY, HOUR, window_index
+
+__all__ = ["ChainDatabase"]
+
+
+class ChainDatabase:
+    """In-memory, chain-partitioned store with the paper's query surface."""
+
+    def __init__(self) -> None:
+        self._blocks: Dict[str, List[BlockRecord]] = {}
+        self._txs: Dict[str, List[TxRecord]] = {}
+        self._tx_by_hash: Dict[str, Dict[bytes, TxRecord]] = {}
+
+    # -- ingest ----------------------------------------------------------------
+
+    def insert_blocks(self, records: Iterable[BlockRecord]) -> int:
+        count = 0
+        for record in records:
+            self._blocks.setdefault(record.chain, []).append(record)
+            count += 1
+        for chain_records in self._blocks.values():
+            chain_records.sort(key=lambda r: r.number)
+        return count
+
+    def insert_transactions(self, records: Iterable[TxRecord]) -> int:
+        count = 0
+        for record in records:
+            self._txs.setdefault(record.chain, []).append(record)
+            index = self._tx_by_hash.setdefault(record.chain, {})
+            # First observation wins: block order approximates broadcast
+            # order, and the echo join wants the earliest sighting.
+            index.setdefault(record.tx_hash, record)
+            count += 1
+        for chain_records in self._txs.values():
+            chain_records.sort(key=lambda r: (r.timestamp, r.block_number))
+        return count
+
+    # -- block queries ------------------------------------------------------------
+
+    def chains(self) -> List[str]:
+        return sorted(set(self._blocks) | set(self._txs))
+
+    def blocks(self, chain: str) -> List[BlockRecord]:
+        return list(self._blocks.get(chain, []))
+
+    def block_count(self, chain: str) -> int:
+        return len(self._blocks.get(chain, []))
+
+    def blocks_between(
+        self, chain: str, start_ts: float, end_ts: float
+    ) -> List[BlockRecord]:
+        return [
+            record
+            for record in self._blocks.get(chain, [])
+            if start_ts <= record.timestamp < end_ts
+        ]
+
+    def blocks_per_hour(self, chain: str) -> Dict[int, int]:
+        """Figure 1 (top): hourly block production histogram."""
+        counts: Dict[int, int] = {}
+        for record in self._blocks.get(chain, []):
+            index = window_index(record.timestamp, HOUR)
+            counts[index] = counts.get(index, 0) + 1
+        return counts
+
+    def difficulty_series(self, chain: str) -> List[Tuple[int, int]]:
+        """(timestamp, difficulty) per block, in chain order."""
+        return [
+            (record.timestamp, record.difficulty)
+            for record in self._blocks.get(chain, [])
+        ]
+
+    def block_deltas(self, chain: str) -> List[Tuple[int, int]]:
+        """Figure 1 (bottom): (timestamp, seconds since previous block)."""
+        records = self._blocks.get(chain, [])
+        deltas = []
+        for previous, current in zip(records, records[1:]):
+            deltas.append((current.timestamp, current.timestamp - previous.timestamp))
+        return deltas
+
+    def miner_label_series(self, chain: str) -> List[Tuple[int, str]]:
+        """(timestamp, miner label) per block — Figure 5's raw input."""
+        return [
+            (record.timestamp, record.miner)
+            for record in self._blocks.get(chain, [])
+        ]
+
+    # -- transaction queries ----------------------------------------------------
+
+    def transactions(self, chain: str) -> List[TxRecord]:
+        return list(self._txs.get(chain, []))
+
+    def tx_count(self, chain: str) -> int:
+        return len(self._txs.get(chain, []))
+
+    def lookup_tx(self, chain: str, tx_hash: bytes) -> Optional[TxRecord]:
+        return self._tx_by_hash.get(chain, {}).get(tx_hash)
+
+    def transactions_per_day(self, chain: str) -> Dict[int, int]:
+        """Figure 2 (middle): daily transaction counts."""
+        counts: Dict[int, int] = {}
+        for record in self._txs.get(chain, []):
+            index = window_index(record.timestamp, DAY)
+            counts[index] = counts.get(index, 0) + 1
+        return counts
+
+    def contract_fraction_per_day(self, chain: str) -> Dict[int, float]:
+        """Figure 2 (bottom): daily fraction of contract transactions."""
+        totals: Dict[int, int] = {}
+        contracts: Dict[int, int] = {}
+        for record in self._txs.get(chain, []):
+            index = window_index(record.timestamp, DAY)
+            totals[index] = totals.get(index, 0) + 1
+            if record.is_contract:
+                contracts[index] = contracts.get(index, 0) + 1
+        return {
+            index: contracts.get(index, 0) / totals[index] for index in totals
+        }
+
+    def iter_tx_sightings(self) -> Iterator[TxRecord]:
+        """All transaction observations across chains, time-ordered.
+
+        This is the stream the echo detector consumes: interleaved
+        first-sightings from every chain, as a node operator watching both
+        networks would observe them.
+        """
+        streams = [
+            record for records in self._txs.values() for record in records
+        ]
+        streams.sort(key=lambda r: (r.timestamp, r.chain, r.block_number))
+        return iter(streams)

@@ -1,0 +1,28 @@
+"""A miniature, gas-metered Ethereum Virtual Machine.
+
+Implements the opcode subset needed to run the reproduction's scenario
+contracts — including the DAO-style reentrancy exploit — with faithful
+call/revert semantics and per-era gas schedules.
+"""
+
+from .abi import decode_words, encode_call
+from .opcodes import assemble, disassemble
+from .vm import (
+    EVM,
+    BlockEnvironment,
+    ExecutionResult,
+    Message,
+    derive_contract_address,
+)
+
+__all__ = [
+    "EVM",
+    "BlockEnvironment",
+    "Message",
+    "ExecutionResult",
+    "derive_contract_address",
+    "assemble",
+    "disassemble",
+    "encode_call",
+    "decode_words",
+]

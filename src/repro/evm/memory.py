@@ -1,0 +1,63 @@
+"""EVM linear memory with word-granularity gas expansion.
+
+Memory grows in 32-byte words and each newly touched word costs gas — the
+"each byte of memory the code uses costs gas" behaviour the paper summarizes
+in Section 2.1.  Expansion cost here is linear (the quadratic term matters
+only for multi-kilobyte frames, which none of our scenario contracts touch).
+"""
+
+from __future__ import annotations
+
+__all__ = ["Memory"]
+
+_WORD = 32
+
+
+class Memory:
+    """A byte-addressable, zero-initialized, growable memory."""
+
+    __slots__ = ("_data",)
+
+    def __init__(self) -> None:
+        self._data = bytearray()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    @property
+    def active_words(self) -> int:
+        return len(self._data) // _WORD
+
+    def expansion_words(self, offset: int, size: int) -> int:
+        """How many new words an access of ``size`` bytes at ``offset`` adds.
+
+        Used by the interpreter to charge memory gas *before* growing.
+        """
+        if size == 0:
+            return 0
+        needed = (offset + size + _WORD - 1) // _WORD
+        return max(0, needed - self.active_words)
+
+    def _grow(self, offset: int, size: int) -> None:
+        if size == 0:
+            return
+        needed = (offset + size + _WORD - 1) // _WORD * _WORD
+        if needed > len(self._data):
+            self._data.extend(b"\x00" * (needed - len(self._data)))
+
+    def read(self, offset: int, size: int) -> bytes:
+        self._grow(offset, size)
+        return bytes(self._data[offset : offset + size])
+
+    def write(self, offset: int, value: bytes) -> None:
+        self._grow(offset, len(value))
+        self._data[offset : offset + len(value)] = value
+
+    def read_word(self, offset: int) -> int:
+        return int.from_bytes(self.read(offset, _WORD), "big")
+
+    def write_word(self, offset: int, value: int) -> None:
+        self.write(offset, (value % 2**256).to_bytes(_WORD, "big"))
+
+    def write_byte(self, offset: int, value: int) -> None:
+        self.write(offset, bytes([value & 0xFF]))

@@ -1,0 +1,207 @@
+"""EVM opcode table and a small assembler.
+
+The byte values match the real EVM so that disassemblies read like public
+Ethereum tooling output.  Only the subset needed by this reproduction is
+defined — enough to express value transfers, storage, control flow, hashing,
+logging, contract creation and inter-contract calls (the ingredients of the
+DAO-style reentrancy scenario and the paper's "contract transaction"
+classification).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+__all__ = ["OPCODES", "OPCODE_NAMES", "assemble", "disassemble", "op"]
+
+OPCODES: Dict[str, int] = {
+    "STOP": 0x00,
+    "ADD": 0x01,
+    "MUL": 0x02,
+    "SUB": 0x03,
+    "DIV": 0x04,
+    "SDIV": 0x05,
+    "MOD": 0x06,
+    "ADDMOD": 0x08,
+    "MULMOD": 0x09,
+    "EXP": 0x0A,
+    "LT": 0x10,
+    "GT": 0x11,
+    "SLT": 0x12,
+    "SGT": 0x13,
+    "EQ": 0x14,
+    "ISZERO": 0x15,
+    "AND": 0x16,
+    "OR": 0x17,
+    "XOR": 0x18,
+    "NOT": 0x19,
+    "BYTE": 0x1A,
+    "SHA3": 0x20,
+    "ADDRESS": 0x30,
+    "BALANCE": 0x31,
+    "ORIGIN": 0x32,
+    "CALLER": 0x33,
+    "CALLVALUE": 0x34,
+    "CALLDATALOAD": 0x35,
+    "CALLDATASIZE": 0x36,
+    "CALLDATACOPY": 0x37,
+    "CODESIZE": 0x38,
+    "CODECOPY": 0x39,
+    "GASPRICE": 0x3A,
+    "EXTCODESIZE": 0x3B,
+    "BLOCKHASH": 0x40,
+    "COINBASE": 0x41,
+    "TIMESTAMP": 0x42,
+    "NUMBER": 0x43,
+    "DIFFICULTY": 0x44,
+    "GASLIMIT": 0x45,
+    "POP": 0x50,
+    "MLOAD": 0x51,
+    "MSTORE": 0x52,
+    "MSTORE8": 0x53,
+    "SLOAD": 0x54,
+    "SSTORE": 0x55,
+    "JUMP": 0x56,
+    "JUMPI": 0x57,
+    "PC": 0x58,
+    "MSIZE": 0x59,
+    "GAS": 0x5A,
+    "JUMPDEST": 0x5B,
+    # PUSH1..PUSH32 = 0x60..0x7f, DUP1..DUP16 = 0x80..0x8f,
+    # SWAP1..SWAP16 = 0x90..0x9f — generated below.
+    "LOG0": 0xA0,
+    "LOG1": 0xA1,
+    "LOG2": 0xA2,
+    "LOG3": 0xA3,
+    "LOG4": 0xA4,
+    "CREATE": 0xF0,
+    "CALL": 0xF1,
+    "RETURN": 0xF3,
+    "REVERT": 0xFD,
+    "SELFDESTRUCT": 0xFF,
+}
+
+for _n in range(1, 33):
+    OPCODES[f"PUSH{_n}"] = 0x60 + _n - 1
+for _n in range(1, 17):
+    OPCODES[f"DUP{_n}"] = 0x80 + _n - 1
+    OPCODES[f"SWAP{_n}"] = 0x90 + _n - 1
+
+OPCODE_NAMES: Dict[int, str] = {code: name for name, code in OPCODES.items()}
+
+
+def op(name: str) -> int:
+    """Opcode byte for ``name`` (raises KeyError for unknown mnemonics)."""
+    return OPCODES[name]
+
+
+def _encode_push(value: int) -> List[int]:
+    """Smallest PUSHn encoding of a non-negative integer."""
+    if value < 0 or value >= 2**256:
+        raise ValueError("push operand out of 256-bit range")
+    width = max(1, (value.bit_length() + 7) // 8)
+    return [OPCODES[f"PUSH{width}"], *value.to_bytes(width, "big")]
+
+
+def assemble(source: str) -> bytes:
+    """Assemble whitespace-separated mnemonics into bytecode.
+
+    * Integer literals (decimal or ``0x``-hex) become minimal PUSH
+      instructions.
+    * An explicit ``PUSHn`` mnemonic consumes the next token as its operand,
+      encoded in exactly ``n`` bytes.
+    * ``name:`` defines a label at the current offset (emitting a JUMPDEST);
+      ``@name`` references it as a fixed-width ``PUSH2`` of the offset, so
+      forward references assemble in a single sizing pass.
+    * ``;`` starts a comment running to end of line.
+
+    Example::
+
+        assemble(\"\"\"
+            CALLVALUE ISZERO @skip JUMPI
+            CALLER SLOAD CALLVALUE ADD CALLER SSTORE   ; credit sender
+            skip: STOP
+        \"\"\")
+    """
+    tokens: List[str] = []
+    for line in source.splitlines():
+        code_part = line.split(";", 1)[0]
+        tokens.extend(code_part.split())
+
+    # Pass 1: compute the byte offset of every token, recording labels.
+    # Label references are fixed-size (PUSH2 + 2 bytes), so sizing is exact.
+    labels: Dict[str, int] = {}
+    offset = 0
+    index = 0
+    sized: List[tuple] = []  # (kind, payload)
+    while index < len(tokens):
+        token = tokens[index]
+        upper = token.upper()
+        if token.endswith(":"):
+            name = token[:-1]
+            if not name or name.upper() in OPCODES:
+                raise ValueError(f"bad label {token!r}")
+            if name in labels:
+                raise ValueError(f"duplicate label {name!r}")
+            labels[name] = offset
+            sized.append(("op", OPCODES["JUMPDEST"]))
+            offset += 1
+        elif token.startswith("@"):
+            sized.append(("label-ref", token[1:]))
+            offset += 3  # PUSH2 + 2 operand bytes
+        elif upper.startswith("PUSH") and upper in OPCODES and upper != "PUSH":
+            width = int(upper[4:])
+            index += 1
+            if index >= len(tokens):
+                raise ValueError(f"{upper} missing operand")
+            operand = int(tokens[index], 0)
+            sized.append(("pushn", (width, operand)))
+            offset += 1 + width
+        elif upper in OPCODES:
+            sized.append(("op", OPCODES[upper]))
+            offset += 1
+        else:
+            try:
+                value = int(token, 0)
+            except ValueError:
+                raise ValueError(f"unknown mnemonic {token!r}") from None
+            encoded = _encode_push(value)
+            sized.append(("bytes", bytes(encoded)))
+            offset += len(encoded)
+        index += 1
+
+    # Pass 2: emit, resolving label references.
+    output = bytearray()
+    for kind, payload in sized:
+        if kind == "op":
+            output.append(payload)
+        elif kind == "bytes":
+            output.extend(payload)
+        elif kind == "pushn":
+            width, operand = payload
+            output.append(OPCODES[f"PUSH{width}"])
+            output.extend(operand.to_bytes(width, "big"))
+        elif kind == "label-ref":
+            if payload not in labels:
+                raise ValueError(f"undefined label {payload!r}")
+            output.append(OPCODES["PUSH2"])
+            output.extend(labels[payload].to_bytes(2, "big"))
+    return bytes(output)
+
+
+def disassemble(code: bytes) -> str:
+    """Render bytecode as one instruction per line (debugging aid)."""
+    lines: List[str] = []
+    index = 0
+    while index < len(code):
+        byte = code[index]
+        name = OPCODE_NAMES.get(byte, f"UNKNOWN_{byte:02x}")
+        if name.startswith("PUSH"):
+            width = byte - 0x60 + 1
+            operand = code[index + 1 : index + 1 + width]
+            lines.append(f"{index:04x}: {name} 0x{operand.hex() or '00'}")
+            index += 1 + width
+        else:
+            lines.append(f"{index:04x}: {name}")
+            index += 1
+    return "\n".join(lines)

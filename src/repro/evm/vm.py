@@ -1,0 +1,902 @@
+"""The EVM interpreter.
+
+A gas-metered 256-bit stack machine executing the opcode subset defined in
+:mod:`repro.evm.opcodes`.  It is faithful where fidelity matters to the
+paper:
+
+* value-carrying CALLs transfer ether, forward gas (with the 2300-gas
+  stipend), and execute the callee's code — which is exactly the mechanism
+  the DAO attacker's reentrancy exploited (Section 2.1's history);
+* failed frames revert their state mutations but consume their gas;
+* the gas schedule is supplied per block by the chain configuration, so the
+  EIP-150 repricing forks (the 86- and 3,583-block fork events in
+  Section 2.1) change real execution behaviour.
+
+The interpreter is reentrant-safe and depth-limited (1024 frames) like the
+real machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, List, Optional
+
+from ..chain.crypto import keccak256
+from ..chain.gas import FRONTIER_SCHEDULE, GasSchedule
+from ..chain.receipt import LogEntry
+from ..chain.state import InsufficientBalance, StateDB
+from ..chain.types import Address, Hash32, Wei
+from . import opcodes as ops
+from .memory import Memory
+from .stack import Stack, StackError, WORD_MASK
+
+__all__ = [
+    "BlockEnvironment",
+    "Message",
+    "ExecutionResult",
+    "EVM",
+    "EVMError",
+    "OutOfGas",
+    "InvalidOpcode",
+    "derive_contract_address",
+    "MAX_CALL_DEPTH",
+]
+
+MAX_CALL_DEPTH = 1024
+_SIGN_BIT = 2**255
+_ADDRESS_MASK = 2**160 - 1
+
+# The interpreter recurses one Python call chain (~6 frames) per EVM call
+# frame; a contract legitimately reaching the protocol's 1024-deep call
+# stack therefore needs ~7k Python frames, above CPython's default 1000
+# cap.  Raise it once, high enough for the protocol limit plus headroom.
+import sys as _sys
+
+if _sys.getrecursionlimit() < 20_000:
+    _sys.setrecursionlimit(20_000)
+
+
+class EVMError(Exception):
+    """Any condition that aborts the current frame."""
+
+
+class OutOfGas(EVMError):
+    pass
+
+
+class InvalidOpcode(EVMError):
+    pass
+
+
+class _Revert(Exception):
+    """Internal signal: REVERT opcode (state rolls back, gas is returned)."""
+
+    def __init__(self, data: bytes) -> None:
+        super().__init__("execution reverted")
+        self.data = data
+
+
+class _Stop(Exception):
+    """Internal signal: STOP/RETURN (normal halt)."""
+
+    def __init__(self, data: bytes) -> None:
+        super().__init__("execution halted")
+        self.data = data
+
+
+@dataclass(frozen=True)
+class BlockEnvironment:
+    """Block-level context visible to contracts (NUMBER, TIMESTAMP, ...)."""
+
+    block_number: int = 0
+    timestamp: int = 0
+    difficulty: int = 131_072
+    coinbase: Address = Address.zero()
+    gas_limit: int = 4_700_000
+    chain_name: str = "test"
+    schedule: GasSchedule = FRONTIER_SCHEDULE
+    #: Resolver for the BLOCKHASH opcode; defaults to a synthetic digest.
+    block_hash_fn: Optional[Callable[[int], Hash32]] = None
+
+    def block_hash(self, number: int) -> Hash32:
+        if self.block_hash_fn is not None:
+            return self.block_hash_fn(number)
+        return keccak256(b"blockhash:" + number.to_bytes(8, "big"))
+
+
+@dataclass(frozen=True)
+class Message:
+    """One call frame's inputs."""
+
+    sender: Address
+    to: Optional[Address]  # None = contract creation
+    value: Wei
+    data: bytes
+    gas: int
+    origin: Optional[Address] = None
+    gas_price: Wei = 0
+    #: Init code for creation frames.
+    code: Optional[bytes] = None
+
+    @property
+    def is_create(self) -> bool:
+        return self.to is None
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of a frame (or of a whole transaction's top frame)."""
+
+    success: bool
+    gas_used: int
+    gas_left: int
+    return_data: bytes = b""
+    error: Optional[str] = None
+    logs: List[LogEntry] = field(default_factory=list)
+    created_address: Optional[Address] = None
+    gas_refund: int = 0
+    #: Total opcodes executed (ablation metrics / DoS experiments).
+    ops_executed: int = 0
+
+
+def derive_contract_address(sender: Address, nonce: int) -> Address:
+    """CREATE address derivation: ``keccak(sender, nonce)[12:]``."""
+    digest = keccak256(bytes(sender) + nonce.to_bytes(8, "big"))
+    return Address(digest[12:])
+
+
+class _Frame:
+    """Mutable execution state of one call frame."""
+
+    __slots__ = (
+        "stack",
+        "memory",
+        "pc",
+        "gas",
+        "code",
+        "msg",
+        "address",
+        "valid_jumpdests",
+        "refund",
+        "ops_executed",
+    )
+
+    def __init__(self, msg: Message, code: bytes, address: Address) -> None:
+        self.stack = Stack()
+        self.memory = Memory()
+        self.pc = 0
+        self.gas = msg.gas
+        self.code = code
+        self.msg = msg
+        self.address = address
+        self.valid_jumpdests = _scan_jumpdests(code)
+        self.refund = 0
+        self.ops_executed = 0
+
+    def charge(self, amount: int) -> None:
+        if amount > self.gas:
+            self.gas = 0
+            raise OutOfGas(f"needed {amount} gas")
+        self.gas -= amount
+
+    def charge_memory(self, schedule: GasSchedule, offset: int, size: int) -> None:
+        new_words = self.memory.expansion_words(offset, size)
+        if new_words:
+            self.charge(new_words * schedule.memory_word)
+
+
+def _scan_jumpdests(code: bytes) -> frozenset:
+    """Valid JUMPDEST offsets (PUSH data bytes are not jump targets)."""
+    dests = set()
+    index = 0
+    push1 = ops.OPCODES["PUSH1"]
+    push32 = ops.OPCODES["PUSH32"]
+    jumpdest = ops.OPCODES["JUMPDEST"]
+    while index < len(code):
+        byte = code[index]
+        if byte == jumpdest:
+            dests.add(index)
+        if push1 <= byte <= push32:
+            index += byte - push1 + 1
+        index += 1
+    return frozenset(dests)
+
+
+def _to_signed(value: int) -> int:
+    return value - 2**256 if value & _SIGN_BIT else value
+
+
+def _from_signed(value: int) -> int:
+    return value & WORD_MASK
+
+
+def _word_to_address(word: int) -> Address:
+    return Address((word & _ADDRESS_MASK).to_bytes(20, "big"))
+
+
+def _address_to_word(address: Address) -> int:
+    return int.from_bytes(address, "big")
+
+
+class EVM:
+    """Executes messages against a :class:`StateDB` under a block env."""
+
+    def __init__(self, state: StateDB, env: BlockEnvironment) -> None:
+        self.state = state
+        self.env = env
+        self.schedule = env.schedule
+
+    # -- public entry points -------------------------------------------------
+
+    def execute(self, msg: Message, depth: int = 0) -> ExecutionResult:
+        """Run one message (call or create) with full revert semantics."""
+        if depth > MAX_CALL_DEPTH:
+            # The call fails *at the boundary*: no child executes and the
+            # forwarded gas returns to the caller (matching real clients —
+            # this is what made pre-Homestead "call depth attacks" cheap).
+            return ExecutionResult(
+                success=False, gas_used=0, gas_left=msg.gas, error="call depth"
+            )
+        if msg.is_create:
+            return self._execute_create(msg, depth)
+        return self._execute_call(msg, depth)
+
+    # -- frame runners ---------------------------------------------------------
+
+    def _execute_call(self, msg: Message, depth: int) -> ExecutionResult:
+        snapshot = self.state.snapshot()
+        try:
+            if msg.value:
+                self.state.transfer(msg.sender, msg.to, msg.value)
+        except InsufficientBalance:
+            self.state.revert(snapshot)
+            return ExecutionResult(
+                success=False,
+                gas_used=0,
+                gas_left=msg.gas,
+                error="insufficient balance",
+            )
+
+        code = self.state.code_of(msg.to)
+        if not code:
+            self.state.discard_snapshot(snapshot)
+            return ExecutionResult(success=True, gas_used=0, gas_left=msg.gas)
+
+        frame = _Frame(msg, code, msg.to)
+        return self._run(frame, snapshot, depth)
+
+    def _execute_create(self, msg: Message, depth: int) -> ExecutionResult:
+        if msg.code is None:
+            return ExecutionResult(
+                success=False, gas_used=msg.gas, gas_left=0, error="no init code"
+            )
+        outer = self.state.snapshot()
+        inner = self.state.snapshot()
+        if depth == 0:
+            # Top-level creation: the transaction processor already bumped
+            # the sender's nonce, and the address commits to the *pre-tx*
+            # nonce (keccak(sender, tx.nonce) — how wallets predict
+            # contract addresses before deployment confirms).
+            nonce = self.state.nonce_of(msg.sender) - 1
+            new_address = derive_contract_address(msg.sender, max(nonce, 0))
+        else:
+            nonce = self.state.nonce_of(msg.sender)
+            new_address = derive_contract_address(msg.sender, nonce)
+            self.state.increment_nonce(msg.sender)
+        try:
+            if msg.value:
+                self.state.transfer(msg.sender, new_address, msg.value)
+        except InsufficientBalance:
+            self.state.revert(outer)
+            return ExecutionResult(
+                success=False,
+                gas_used=0,
+                gas_left=msg.gas,
+                error="insufficient balance",
+            )
+
+        init_msg = replace(msg, to=new_address)
+        frame = _Frame(init_msg, msg.code, new_address)
+        result = self._run(frame, inner, depth)
+        if not result.success:
+            self.state.discard_snapshot(outer)
+            return result
+
+        # The init code's return data becomes the contract's body; charge a
+        # per-byte deposit like the real protocol (200 gas/byte).  Homestead
+        # fails the whole creation when the deposit cannot be paid.
+        deposit = 200 * len(result.return_data)
+        if deposit > result.gas_left:
+            self.state.revert(outer)
+            return ExecutionResult(
+                success=False,
+                gas_used=msg.gas,
+                gas_left=0,
+                error="code deposit out of gas",
+                ops_executed=result.ops_executed,
+            )
+        self.state.discard_snapshot(outer)
+        self.state.set_code(new_address, result.return_data)
+        return ExecutionResult(
+            success=True,
+            gas_used=result.gas_used + deposit,
+            gas_left=result.gas_left - deposit,
+            return_data=result.return_data,
+            logs=result.logs,
+            created_address=new_address,
+            gas_refund=result.gas_refund,
+            ops_executed=result.ops_executed,
+        )
+
+    def _run(self, frame: _Frame, snapshot: int, depth: int) -> ExecutionResult:
+        logs: List[LogEntry] = []
+        try:
+            return_data = self._interpret(frame, logs, depth)
+            self.state.discard_snapshot(snapshot)
+            return ExecutionResult(
+                success=True,
+                gas_used=frame.msg.gas - frame.gas,
+                gas_left=frame.gas,
+                return_data=return_data,
+                logs=logs,
+                gas_refund=frame.refund,
+                ops_executed=frame.ops_executed,
+            )
+        except _Revert as revert:
+            self.state.revert(snapshot)
+            return ExecutionResult(
+                success=False,
+                gas_used=frame.msg.gas - frame.gas,
+                gas_left=frame.gas,
+                return_data=revert.data,
+                error="reverted",
+                ops_executed=frame.ops_executed,
+            )
+        except (EVMError, StackError) as exc:
+            # Exceptional halt: revert state, consume all gas.
+            self.state.revert(snapshot)
+            return ExecutionResult(
+                success=False,
+                gas_used=frame.msg.gas,
+                gas_left=0,
+                error=str(exc) or type(exc).__name__,
+                ops_executed=frame.ops_executed,
+            )
+
+    # -- the dispatch loop -------------------------------------------------------
+
+    def _interpret(self, frame: _Frame, logs: List[LogEntry], depth: int) -> bytes:
+        try:
+            while True:
+                if frame.pc >= len(frame.code):
+                    return b""  # implicit STOP
+                opcode = frame.code[frame.pc]
+                frame.pc += 1
+                frame.ops_executed += 1
+                self._dispatch(frame, opcode, logs, depth)
+        except _Stop as stop:
+            return stop.data
+
+    def _dispatch(
+        self, frame: _Frame, opcode: int, logs: List[LogEntry], depth: int
+    ) -> None:
+        schedule = self.schedule
+        stack = frame.stack
+
+        # PUSH / DUP / SWAP ranges first (hot path).
+        if 0x60 <= opcode <= 0x7F:
+            width = opcode - 0x60 + 1
+            frame.charge(schedule.verylow)
+            operand = frame.code[frame.pc : frame.pc + width]
+            frame.pc += width
+            stack.push(int.from_bytes(operand, "big"))
+            return
+        if 0x80 <= opcode <= 0x8F:
+            frame.charge(schedule.verylow)
+            stack.dup(opcode - 0x80 + 1)
+            return
+        if 0x90 <= opcode <= 0x9F:
+            frame.charge(schedule.verylow)
+            stack.swap(opcode - 0x90 + 1)
+            return
+
+        handler = _HANDLERS.get(opcode)
+        if handler is None:
+            raise InvalidOpcode(f"opcode 0x{opcode:02x}")
+        handler(self, frame, logs, depth)
+
+    # -- opcode implementations ---------------------------------------------
+
+    def _op_stop(self, frame, logs, depth):
+        raise _Stop(b"")
+
+    def _binary(self, frame, cost, fn):
+        frame.charge(cost)
+        a = frame.stack.pop()
+        b = frame.stack.pop()
+        frame.stack.push(fn(a, b))
+
+    def _op_add(self, frame, logs, depth):
+        self._binary(frame, self.schedule.verylow, lambda a, b: a + b)
+
+    def _op_mul(self, frame, logs, depth):
+        self._binary(frame, self.schedule.low, lambda a, b: a * b)
+
+    def _op_sub(self, frame, logs, depth):
+        self._binary(frame, self.schedule.verylow, lambda a, b: a - b)
+
+    def _op_div(self, frame, logs, depth):
+        self._binary(frame, self.schedule.low, lambda a, b: a // b if b else 0)
+
+    def _op_sdiv(self, frame, logs, depth):
+        def sdiv(a, b):
+            if b == 0:
+                return 0
+            sa, sb = _to_signed(a), _to_signed(b)
+            quotient = abs(sa) // abs(sb)
+            if (sa < 0) != (sb < 0):
+                quotient = -quotient
+            return _from_signed(quotient)
+
+        self._binary(frame, self.schedule.low, sdiv)
+
+    def _op_mod(self, frame, logs, depth):
+        self._binary(frame, self.schedule.low, lambda a, b: a % b if b else 0)
+
+    def _op_addmod(self, frame, logs, depth):
+        frame.charge(self.schedule.mid)
+        a, b, n = frame.stack.pop(), frame.stack.pop(), frame.stack.pop()
+        frame.stack.push((a + b) % n if n else 0)
+
+    def _op_mulmod(self, frame, logs, depth):
+        frame.charge(self.schedule.mid)
+        a, b, n = frame.stack.pop(), frame.stack.pop(), frame.stack.pop()
+        frame.stack.push((a * b) % n if n else 0)
+
+    def _op_exp(self, frame, logs, depth):
+        base = frame.stack.pop()
+        exponent = frame.stack.pop()
+        byte_len = (exponent.bit_length() + 7) // 8
+        frame.charge(10 + 10 * byte_len)
+        frame.stack.push(pow(base, exponent, 2**256))
+
+    def _op_lt(self, frame, logs, depth):
+        self._binary(frame, self.schedule.verylow, lambda a, b: int(a < b))
+
+    def _op_gt(self, frame, logs, depth):
+        self._binary(frame, self.schedule.verylow, lambda a, b: int(a > b))
+
+    def _op_slt(self, frame, logs, depth):
+        self._binary(
+            frame,
+            self.schedule.verylow,
+            lambda a, b: int(_to_signed(a) < _to_signed(b)),
+        )
+
+    def _op_sgt(self, frame, logs, depth):
+        self._binary(
+            frame,
+            self.schedule.verylow,
+            lambda a, b: int(_to_signed(a) > _to_signed(b)),
+        )
+
+    def _op_eq(self, frame, logs, depth):
+        self._binary(frame, self.schedule.verylow, lambda a, b: int(a == b))
+
+    def _op_iszero(self, frame, logs, depth):
+        frame.charge(self.schedule.verylow)
+        frame.stack.push(int(frame.stack.pop() == 0))
+
+    def _op_and(self, frame, logs, depth):
+        self._binary(frame, self.schedule.verylow, lambda a, b: a & b)
+
+    def _op_or(self, frame, logs, depth):
+        self._binary(frame, self.schedule.verylow, lambda a, b: a | b)
+
+    def _op_xor(self, frame, logs, depth):
+        self._binary(frame, self.schedule.verylow, lambda a, b: a ^ b)
+
+    def _op_not(self, frame, logs, depth):
+        frame.charge(self.schedule.verylow)
+        frame.stack.push(~frame.stack.pop())
+
+    def _op_byte(self, frame, logs, depth):
+        def get_byte(position, word):
+            if position >= 32:
+                return 0
+            return (word >> (8 * (31 - position))) & 0xFF
+
+        self._binary(frame, self.schedule.verylow, get_byte)
+
+    def _op_sha3(self, frame, logs, depth):
+        offset = frame.stack.pop()
+        size = frame.stack.pop()
+        words = (size + 31) // 32
+        frame.charge(self.schedule.sha3 + self.schedule.sha3_word * words)
+        frame.charge_memory(self.schedule, offset, size)
+        data = frame.memory.read(offset, size)
+        frame.stack.push(int.from_bytes(keccak256(data), "big"))
+
+    # -- environment ---------------------------------------------------------
+
+    def _op_address(self, frame, logs, depth):
+        frame.charge(self.schedule.base)
+        frame.stack.push(_address_to_word(frame.address))
+
+    def _op_balance(self, frame, logs, depth):
+        frame.charge(self.schedule.balance)
+        address = _word_to_address(frame.stack.pop())
+        frame.stack.push(self.state.balance_of(address))
+
+    def _op_origin(self, frame, logs, depth):
+        frame.charge(self.schedule.base)
+        origin = frame.msg.origin or frame.msg.sender
+        frame.stack.push(_address_to_word(origin))
+
+    def _op_caller(self, frame, logs, depth):
+        frame.charge(self.schedule.base)
+        frame.stack.push(_address_to_word(frame.msg.sender))
+
+    def _op_callvalue(self, frame, logs, depth):
+        frame.charge(self.schedule.base)
+        frame.stack.push(frame.msg.value)
+
+    def _op_calldataload(self, frame, logs, depth):
+        frame.charge(self.schedule.verylow)
+        offset = frame.stack.pop()
+        chunk = frame.msg.data[offset : offset + 32]
+        chunk = chunk + b"\x00" * (32 - len(chunk))
+        frame.stack.push(int.from_bytes(chunk, "big"))
+
+    def _op_calldatasize(self, frame, logs, depth):
+        frame.charge(self.schedule.base)
+        frame.stack.push(len(frame.msg.data))
+
+    def _op_calldatacopy(self, frame, logs, depth):
+        dest = frame.stack.pop()
+        offset = frame.stack.pop()
+        size = frame.stack.pop()
+        words = (size + 31) // 32
+        frame.charge(self.schedule.verylow + self.schedule.copy_word * words)
+        frame.charge_memory(self.schedule, dest, size)
+        chunk = frame.msg.data[offset : offset + size]
+        chunk = chunk + b"\x00" * (size - len(chunk))
+        frame.memory.write(dest, chunk)
+
+    def _op_codesize(self, frame, logs, depth):
+        frame.charge(self.schedule.base)
+        frame.stack.push(len(frame.code))
+
+    def _op_codecopy(self, frame, logs, depth):
+        dest = frame.stack.pop()
+        offset = frame.stack.pop()
+        size = frame.stack.pop()
+        words = (size + 31) // 32
+        frame.charge(self.schedule.verylow + self.schedule.copy_word * words)
+        frame.charge_memory(self.schedule, dest, size)
+        chunk = frame.code[offset : offset + size]
+        chunk = chunk + b"\x00" * (size - len(chunk))
+        frame.memory.write(dest, chunk)
+
+    def _op_gasprice(self, frame, logs, depth):
+        frame.charge(self.schedule.base)
+        frame.stack.push(frame.msg.gas_price)
+
+    def _op_extcodesize(self, frame, logs, depth):
+        frame.charge(self.schedule.extcode)
+        address = _word_to_address(frame.stack.pop())
+        frame.stack.push(len(self.state.code_of(address)))
+
+    def _op_blockhash(self, frame, logs, depth):
+        frame.charge(20)
+        number = frame.stack.pop()
+        if (
+            number >= self.env.block_number
+            or self.env.block_number - number > 256
+        ):
+            frame.stack.push(0)
+        else:
+            frame.stack.push(int.from_bytes(self.env.block_hash(number), "big"))
+
+    def _op_coinbase(self, frame, logs, depth):
+        frame.charge(self.schedule.base)
+        frame.stack.push(_address_to_word(self.env.coinbase))
+
+    def _op_timestamp(self, frame, logs, depth):
+        frame.charge(self.schedule.base)
+        frame.stack.push(self.env.timestamp)
+
+    def _op_number(self, frame, logs, depth):
+        frame.charge(self.schedule.base)
+        frame.stack.push(self.env.block_number)
+
+    def _op_difficulty(self, frame, logs, depth):
+        frame.charge(self.schedule.base)
+        frame.stack.push(self.env.difficulty)
+
+    def _op_gaslimit(self, frame, logs, depth):
+        frame.charge(self.schedule.base)
+        frame.stack.push(self.env.gas_limit)
+
+    # -- stack / memory / storage ------------------------------------------
+
+    def _op_pop(self, frame, logs, depth):
+        frame.charge(self.schedule.base)
+        frame.stack.pop()
+
+    def _op_mload(self, frame, logs, depth):
+        frame.charge(self.schedule.verylow)
+        offset = frame.stack.pop()
+        frame.charge_memory(self.schedule, offset, 32)
+        frame.stack.push(frame.memory.read_word(offset))
+
+    def _op_mstore(self, frame, logs, depth):
+        frame.charge(self.schedule.verylow)
+        offset = frame.stack.pop()
+        value = frame.stack.pop()
+        frame.charge_memory(self.schedule, offset, 32)
+        frame.memory.write_word(offset, value)
+
+    def _op_mstore8(self, frame, logs, depth):
+        frame.charge(self.schedule.verylow)
+        offset = frame.stack.pop()
+        value = frame.stack.pop()
+        frame.charge_memory(self.schedule, offset, 1)
+        frame.memory.write_byte(offset, value)
+
+    def _op_sload(self, frame, logs, depth):
+        frame.charge(self.schedule.sload)
+        slot = frame.stack.pop()
+        frame.stack.push(self.state.storage_at(frame.address, slot))
+
+    def _op_sstore(self, frame, logs, depth):
+        slot = frame.stack.pop()
+        value = frame.stack.pop()
+        current = self.state.storage_at(frame.address, slot)
+        if current == 0 and value != 0:
+            frame.charge(self.schedule.sstore_set)
+        else:
+            frame.charge(self.schedule.sstore_reset)
+            if current != 0 and value == 0:
+                frame.refund += self.schedule.sstore_refund
+        self.state.set_storage(frame.address, slot, value)
+
+    def _op_jump(self, frame, logs, depth):
+        frame.charge(self.schedule.mid)
+        dest = frame.stack.pop()
+        if dest not in frame.valid_jumpdests:
+            raise EVMError(f"invalid jump destination {dest}")
+        frame.pc = dest
+
+    def _op_jumpi(self, frame, logs, depth):
+        frame.charge(self.schedule.high)
+        dest = frame.stack.pop()
+        condition = frame.stack.pop()
+        if condition:
+            if dest not in frame.valid_jumpdests:
+                raise EVMError(f"invalid jump destination {dest}")
+            frame.pc = dest
+
+    def _op_pc(self, frame, logs, depth):
+        frame.charge(self.schedule.base)
+        frame.stack.push(frame.pc - 1)
+
+    def _op_msize(self, frame, logs, depth):
+        frame.charge(self.schedule.base)
+        frame.stack.push(len(frame.memory))
+
+    def _op_gas(self, frame, logs, depth):
+        frame.charge(self.schedule.base)
+        frame.stack.push(frame.gas)
+
+    def _op_jumpdest(self, frame, logs, depth):
+        frame.charge(self.schedule.jumpdest)
+
+    # -- logging ---------------------------------------------------------------
+
+    def _log(self, frame, logs, topic_count):
+        offset = frame.stack.pop()
+        size = frame.stack.pop()
+        topics = tuple(frame.stack.pop() for _ in range(topic_count))
+        frame.charge(
+            self.schedule.log
+            + self.schedule.log_topic * topic_count
+            + self.schedule.log_data_byte * size
+        )
+        frame.charge_memory(self.schedule, offset, size)
+        data = frame.memory.read(offset, size)
+        logs.append(LogEntry(address=frame.address, topics=topics, data=data))
+
+    def _op_log0(self, frame, logs, depth):
+        self._log(frame, logs, 0)
+
+    def _op_log1(self, frame, logs, depth):
+        self._log(frame, logs, 1)
+
+    def _op_log2(self, frame, logs, depth):
+        self._log(frame, logs, 2)
+
+    def _op_log3(self, frame, logs, depth):
+        self._log(frame, logs, 3)
+
+    def _op_log4(self, frame, logs, depth):
+        self._log(frame, logs, 4)
+
+    # -- calls and creation -----------------------------------------------------
+
+    def _op_create(self, frame, logs, depth):
+        frame.charge(self.schedule.create)
+        value = frame.stack.pop()
+        offset = frame.stack.pop()
+        size = frame.stack.pop()
+        frame.charge_memory(self.schedule, offset, size)
+        init_code = frame.memory.read(offset, size)
+
+        gas_for_child = frame.gas
+        if self.schedule.cap_call_gas:
+            gas_for_child = frame.gas - frame.gas // 64
+        frame.gas -= gas_for_child
+
+        child = Message(
+            sender=frame.address,
+            to=None,
+            value=value,
+            data=b"",
+            gas=gas_for_child,
+            origin=frame.msg.origin or frame.msg.sender,
+            gas_price=frame.msg.gas_price,
+            code=init_code,
+        )
+        result = self.execute(child, depth + 1)
+        frame.gas += result.gas_left
+        frame.refund += result.gas_refund
+        frame.ops_executed += result.ops_executed
+        if result.success and result.created_address is not None:
+            logs.extend(result.logs)
+            frame.stack.push(_address_to_word(result.created_address))
+        else:
+            frame.stack.push(0)
+
+    def _op_call(self, frame, logs, depth):
+        requested_gas = frame.stack.pop()
+        to = _word_to_address(frame.stack.pop())
+        value = frame.stack.pop()
+        in_offset = frame.stack.pop()
+        in_size = frame.stack.pop()
+        out_offset = frame.stack.pop()
+        out_size = frame.stack.pop()
+
+        cost = self.schedule.call
+        if value > 0:
+            cost += self.schedule.call_value
+            if not self.state.exists(to):
+                cost += self.schedule.call_new_account
+        frame.charge(cost)
+        frame.charge_memory(self.schedule, in_offset, in_size)
+        frame.charge_memory(self.schedule, out_offset, out_size)
+
+        available = frame.gas
+        if self.schedule.cap_call_gas:
+            available = frame.gas - frame.gas // 64
+        gas_for_child = min(requested_gas, available)
+        frame.gas -= gas_for_child
+        if value > 0:
+            gas_for_child += self.schedule.call_stipend
+
+        call_data = frame.memory.read(in_offset, in_size)
+        child = Message(
+            sender=frame.address,
+            to=to,
+            value=value,
+            data=call_data,
+            gas=gas_for_child,
+            origin=frame.msg.origin or frame.msg.sender,
+            gas_price=frame.msg.gas_price,
+        )
+        result = self.execute(child, depth + 1)
+        frame.gas += result.gas_left
+        frame.refund += result.gas_refund
+        frame.ops_executed += result.ops_executed
+        if result.success:
+            logs.extend(result.logs)
+        if out_size and result.return_data:
+            frame.memory.write(
+                out_offset, result.return_data[:out_size].ljust(out_size, b"\x00")
+            )
+        frame.stack.push(int(result.success))
+
+    def _op_return(self, frame, logs, depth):
+        offset = frame.stack.pop()
+        size = frame.stack.pop()
+        frame.charge_memory(self.schedule, offset, size)
+        raise _Stop(frame.memory.read(offset, size))
+
+    def _op_revert(self, frame, logs, depth):
+        offset = frame.stack.pop()
+        size = frame.stack.pop()
+        frame.charge_memory(self.schedule, offset, size)
+        raise _Revert(frame.memory.read(offset, size))
+
+    def _op_selfdestruct(self, frame, logs, depth):
+        frame.charge(self.schedule.selfdestruct)
+        beneficiary = _word_to_address(frame.stack.pop())
+        balance = self.state.balance_of(frame.address)
+        if balance:
+            self.state.transfer(frame.address, beneficiary, balance)
+        self.state.delete_account(frame.address)
+        frame.refund += self.schedule.selfdestruct_refund
+        raise _Stop(b"")
+
+
+def _build_handlers():
+    table = {}
+    named = {
+        "STOP": EVM._op_stop,
+        "ADD": EVM._op_add,
+        "MUL": EVM._op_mul,
+        "SUB": EVM._op_sub,
+        "DIV": EVM._op_div,
+        "SDIV": EVM._op_sdiv,
+        "MOD": EVM._op_mod,
+        "ADDMOD": EVM._op_addmod,
+        "MULMOD": EVM._op_mulmod,
+        "EXP": EVM._op_exp,
+        "LT": EVM._op_lt,
+        "GT": EVM._op_gt,
+        "SLT": EVM._op_slt,
+        "SGT": EVM._op_sgt,
+        "EQ": EVM._op_eq,
+        "ISZERO": EVM._op_iszero,
+        "AND": EVM._op_and,
+        "OR": EVM._op_or,
+        "XOR": EVM._op_xor,
+        "NOT": EVM._op_not,
+        "BYTE": EVM._op_byte,
+        "SHA3": EVM._op_sha3,
+        "ADDRESS": EVM._op_address,
+        "BALANCE": EVM._op_balance,
+        "ORIGIN": EVM._op_origin,
+        "CALLER": EVM._op_caller,
+        "CALLVALUE": EVM._op_callvalue,
+        "CALLDATALOAD": EVM._op_calldataload,
+        "CALLDATASIZE": EVM._op_calldatasize,
+        "CALLDATACOPY": EVM._op_calldatacopy,
+        "CODESIZE": EVM._op_codesize,
+        "CODECOPY": EVM._op_codecopy,
+        "GASPRICE": EVM._op_gasprice,
+        "EXTCODESIZE": EVM._op_extcodesize,
+        "BLOCKHASH": EVM._op_blockhash,
+        "COINBASE": EVM._op_coinbase,
+        "TIMESTAMP": EVM._op_timestamp,
+        "NUMBER": EVM._op_number,
+        "DIFFICULTY": EVM._op_difficulty,
+        "GASLIMIT": EVM._op_gaslimit,
+        "POP": EVM._op_pop,
+        "MLOAD": EVM._op_mload,
+        "MSTORE": EVM._op_mstore,
+        "MSTORE8": EVM._op_mstore8,
+        "SLOAD": EVM._op_sload,
+        "SSTORE": EVM._op_sstore,
+        "JUMP": EVM._op_jump,
+        "JUMPI": EVM._op_jumpi,
+        "PC": EVM._op_pc,
+        "MSIZE": EVM._op_msize,
+        "GAS": EVM._op_gas,
+        "JUMPDEST": EVM._op_jumpdest,
+        "LOG0": EVM._op_log0,
+        "LOG1": EVM._op_log1,
+        "LOG2": EVM._op_log2,
+        "LOG3": EVM._op_log3,
+        "LOG4": EVM._op_log4,
+        "CREATE": EVM._op_create,
+        "CALL": EVM._op_call,
+        "RETURN": EVM._op_return,
+        "REVERT": EVM._op_revert,
+        "SELFDESTRUCT": EVM._op_selfdestruct,
+    }
+    for name, method in named.items():
+        table[ops.OPCODES[name]] = method
+    return table
+
+
+_HANDLERS = _build_handlers()

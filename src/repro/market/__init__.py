@@ -1,0 +1,40 @@
+"""Market models: price processes, exogenous events, miner arbitrage."""
+
+from .arbitrage import (
+    EquilibriumAllocation,
+    LaggedAllocator,
+    allocate_profit_hashpower,
+)
+from .events import DEFAULT_EVENTS, ExternalDraw, HashpowerSupply, ZcashLaunch
+from .exchange import (
+    ExchangeRateSeries,
+    expected_hashes_per_ether,
+    expected_hashes_per_usd,
+)
+from .price import (
+    ETC_PRICE_ANCHORS,
+    ETH_PRICE_ANCHORS,
+    AnchoredPriceProcess,
+    PriceAnchor,
+    etc_price_process,
+    eth_price_process,
+)
+
+__all__ = [
+    "PriceAnchor",
+    "AnchoredPriceProcess",
+    "ETH_PRICE_ANCHORS",
+    "ETC_PRICE_ANCHORS",
+    "eth_price_process",
+    "etc_price_process",
+    "ExternalDraw",
+    "ZcashLaunch",
+    "HashpowerSupply",
+    "DEFAULT_EVENTS",
+    "ExchangeRateSeries",
+    "expected_hashes_per_usd",
+    "expected_hashes_per_ether",
+    "EquilibriumAllocation",
+    "allocate_profit_hashpower",
+    "LaggedAllocator",
+]

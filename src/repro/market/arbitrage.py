@@ -1,0 +1,142 @@
+"""The miner-arbitrage equilibrium: why Figure 3's curves coincide.
+
+Under rational mining, hashpower flows toward the more profitable chain
+until expected revenue per hash equalizes.  At the difficulty-adjustment
+fixed point (block interval = target T), a chain with hashrate ``h`` sits
+at difficulty ``d = T * h``, so revenue per hash is ``reward * price /
+(T * h)``.  Equalizing across two chains gives
+
+    h_ETH / h_ETC  =  price_ETH / price_ETC
+
+— profit hashrate splits **proportional to price**, and the resulting
+hashes-per-USD metric is *identical* on both chains.  That identity is the
+paper's "the market is very efficient" observation; deviations come from
+ideological hashpower floors and adjustment lag, both modeled here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+__all__ = ["EquilibriumAllocation", "allocate_profit_hashpower", "LaggedAllocator"]
+
+
+@dataclass(frozen=True)
+class EquilibriumAllocation:
+    """Per-chain hashrate after one allocation round."""
+
+    hashrate: Dict[str, float]
+
+    def share(self, chain: str) -> float:
+        total = sum(self.hashrate.values())
+        return self.hashrate.get(chain, 0.0) / total if total else 0.0
+
+
+def allocate_profit_hashpower(
+    profit_hashrate: float,
+    prices: Dict[str, float],
+    ideological_floors: Dict[str, float],
+) -> EquilibriumAllocation:
+    """Equal-revenue equilibrium with ideological floors (water-filling).
+
+    Ideological hashpower never leaves its chain, but *profit* hashpower
+    equalizes revenue per hash across whatever remains.  At equilibrium
+    each chain's total hashrate is proportional to its price — **unless**
+    a chain's floor already exceeds its price-proportional share, in which
+    case the floor binds (that chain mines at a revenue *discount* its
+    ideologues accept) and the rest of the pool splits proportionally over
+    the other chains.
+
+    This is why Figure 3's curves are near-identical even though a third
+    of ETH's hashpower is ideologically pinned: the pins only matter when
+    they exceed what profit would allocate anyway.
+    """
+    if profit_hashrate < 0:
+        raise ValueError("profit hashrate must be non-negative")
+    price_total = sum(prices.values())
+    if price_total <= 0:
+        raise ValueError("need positive prices")
+    floors = {
+        chain: ideological_floors.get(chain, 0.0) for chain in prices
+    }
+    total = profit_hashrate + sum(floors.values())
+
+    # Iterative water-filling: pin chains whose floor exceeds their
+    # proportional share, re-split the remainder over the rest.
+    pinned: Dict[str, float] = {}
+    free = dict(prices)
+    budget = total
+    while free:
+        share_total = sum(free.values())
+        overfloored = [
+            chain
+            for chain in free
+            if floors[chain] > budget * free[chain] / share_total
+        ]
+        if not overfloored:
+            break
+        for chain in overfloored:
+            pinned[chain] = floors[chain]
+            budget -= floors[chain]
+            del free[chain]
+    share_total = sum(free.values()) or 1.0
+    allocation = dict(pinned)
+    for chain, price in free.items():
+        allocation[chain] = budget * price / share_total
+    return EquilibriumAllocation(hashrate=allocation)
+
+
+class LaggedAllocator:
+    """Equilibrium allocation with finite adjustment speed.
+
+    Real miners re-point rigs over days, not instantly; the allocator moves
+    a fraction ``alpha`` of the gap to equilibrium per step.  The lag is
+    what makes hashes-per-USD *dip* when price jumps (March 2017) and
+    *overshoot* when hashpower leaves (Zcash) — the two excursions the
+    paper reads off Figure 3.
+    """
+
+    def __init__(self, alpha: float = 0.25) -> None:
+        if not 0 < alpha <= 1:
+            raise ValueError("alpha must be in (0, 1]")
+        self.alpha = alpha
+        self._current: Dict[str, float] = {}
+
+    def reset(self, initial: Dict[str, float]) -> None:
+        self._current = dict(initial)
+
+    @property
+    def current(self) -> Dict[str, float]:
+        return dict(self._current)
+
+    def step(
+        self,
+        profit_hashrate: float,
+        prices: Dict[str, float],
+        ideological_floors: Dict[str, float],
+    ) -> Dict[str, float]:
+        """Advance one epoch toward equilibrium; returns the allocation."""
+        target = allocate_profit_hashpower(
+            profit_hashrate, prices, ideological_floors
+        ).hashrate
+        if not self._current:
+            self._current = dict(target)
+            return dict(self._current)
+
+        # Move toward the target, then rescale so the pool of hashpower
+        # that exists today (floors + profit supply) is fully allocated —
+        # supply changes (growth, Zcash) bind immediately, while *relative*
+        # shares adjust with lag.
+        blended = {
+            chain: (1 - self.alpha) * self._current.get(chain, 0.0)
+            + self.alpha * target[chain]
+            for chain in target
+        }
+        total_supply = sum(target.values())
+        blended_total = sum(blended.values())
+        if blended_total > 0:
+            scale = total_supply / blended_total
+            blended = {chain: rate * scale for chain, rate in blended.items()}
+        self._current = blended
+        return dict(blended)

@@ -1,0 +1,105 @@
+"""Exogenous market events affecting hashpower supply.
+
+Figure 3's long-term dynamics are driven by events *outside* the two
+Ethereum networks.  The paper identifies two: the Zcash launch (late
+October 2016) pulling GPU hashpower away from both chains — Ethereum's
+Ethash and Zcash's Equihash are both ASIC-resistant, so the same rigs mine
+either — and the miners' gradual return through November/December.  We
+model external pull as a time-varying fraction of the *profit-driven*
+hashpower that is mining elsewhere; ideological hashpower never leaves.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence
+
+__all__ = ["ExternalDraw", "ZcashLaunch", "HashpowerSupply", "DEFAULT_EVENTS"]
+
+
+@dataclass(frozen=True)
+class ExternalDraw:
+    """A pull of profit hashpower toward an external opportunity.
+
+    The drawn fraction ramps up over ``ramp_days`` starting at ``day``,
+    peaks at ``peak_fraction``, then decays exponentially with time scale
+    ``decay_days`` as the opportunity's profitability normalizes.
+    """
+
+    name: str
+    day: float
+    peak_fraction: float
+    ramp_days: float = 7.0
+    decay_days: float = 30.0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.peak_fraction < 1:
+            raise ValueError("peak fraction must be in [0, 1)")
+        if self.ramp_days <= 0 or self.decay_days <= 0:
+            raise ValueError("ramp/decay must be positive")
+
+    def drawn_fraction(self, day: float) -> float:
+        """Fraction of profit hashpower mining elsewhere at ``day``."""
+        if day < self.day:
+            return 0.0
+        elapsed = day - self.day
+        if elapsed < self.ramp_days:
+            return self.peak_fraction * elapsed / self.ramp_days
+        return self.peak_fraction * math.exp(
+            -(elapsed - self.ramp_days) / self.decay_days
+        )
+
+
+def ZcashLaunch() -> ExternalDraw:
+    """Zcash launched 2016-10-28 — day 100 after the DAO fork.
+
+    Launch-week Zcash mining was briefly hyper-profitable (the first coins
+    traded absurdly high), drawing a large share of GPU capacity; returns
+    normalized within weeks and most hashpower drifted back — visible in
+    the paper as the November/December hashes-per-USD rally.
+    """
+    return ExternalDraw(
+        name="zcash-launch", day=100, peak_fraction=0.35, ramp_days=5, decay_days=25
+    )
+
+
+DEFAULT_EVENTS: Sequence[ExternalDraw] = (ZcashLaunch(),)
+
+
+class HashpowerSupply:
+    """Total profit-hashpower available to ETH+ETC on a given day.
+
+    Combines a secular growth trend (GPU fleets grew substantially over
+    the paper's nine-month window — total Ethereum-family hashrate roughly
+    quadrupled) with the external-draw events.
+    """
+
+    def __init__(
+        self,
+        base_hashrate: float,
+        growth_rate_per_day: float = 0.005,
+        events: Sequence[ExternalDraw] = DEFAULT_EVENTS,
+    ) -> None:
+        if base_hashrate <= 0:
+            raise ValueError("base hashrate must be positive")
+        self.base_hashrate = base_hashrate
+        self.growth_rate_per_day = growth_rate_per_day
+        self.events = list(events)
+
+    def trend(self, day: float) -> float:
+        return self.base_hashrate * math.exp(self.growth_rate_per_day * day)
+
+    def drawn_fraction(self, day: float) -> float:
+        """Combined external pull (events overlap multiplicatively)."""
+        remaining = 1.0
+        for event in self.events:
+            remaining *= 1.0 - event.drawn_fraction(day)
+        return 1.0 - remaining
+
+    def available(self, day: float) -> float:
+        """Hashrate actually pointed at the ETH/ETC pair on ``day``."""
+        return self.trend(day) * (1.0 - self.drawn_fraction(day))
+
+    def series(self, num_days: int) -> List[float]:
+        return [self.available(day) for day in range(num_days)]

@@ -1,0 +1,32 @@
+"""Miners, hashpower, pools, and chain-selection strategies."""
+
+from .hashpower import GH, TH, HashpowerLedger, sample_block_interval
+from .miner import Miner, MinerAllegiance
+from .payout import PPLNSPayout, PayoutScheme, ProportionalPayout, Share
+from .pool import MiningPool, PoolDirectory, PoolMember
+from .strategy import (
+    ChainEconomics,
+    RationalSwitching,
+    hashes_per_usd,
+    profitability_usd_per_second,
+)
+
+__all__ = [
+    "HashpowerLedger",
+    "sample_block_interval",
+    "GH",
+    "TH",
+    "Miner",
+    "MinerAllegiance",
+    "MiningPool",
+    "PoolDirectory",
+    "PoolMember",
+    "PayoutScheme",
+    "ProportionalPayout",
+    "PPLNSPayout",
+    "Share",
+    "ChainEconomics",
+    "RationalSwitching",
+    "hashes_per_usd",
+    "profitability_usd_per_second",
+]

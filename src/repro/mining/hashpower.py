@@ -1,0 +1,141 @@
+"""Hashpower accounting and Poisson mining mathematics.
+
+Proof-of-work mining is a memoryless lottery: a miner computing ``h``
+hashes/second against difficulty ``d`` finds blocks as a Poisson process
+with rate ``h / d``.  Everything quantitative in the paper reduces to this
+identity:
+
+* Figure 1's blocks-per-hour is ``3600 * H / d`` for network hashrate H;
+* Figure 3's expected hashes per USD is ``(d / reward_ether) / price_usd``;
+* a miner's share of blocks equals its share of hashrate (Figure 5).
+
+:class:`HashpowerLedger` tracks who contributes how much hashrate to a
+network at a given moment and answers the two questions simulators ask:
+"when is the next block?" and "who mined it?".
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List
+
+__all__ = [
+    "GH",
+    "TH",
+    "HashpowerLedger",
+    "sample_block_interval",
+    "winner_weighted_choice",
+]
+
+#: Convenience hashrate units (hashes/second).
+GH = 1e9
+TH = 1e12
+
+
+def sample_block_interval(
+    difficulty: int, hashrate: float, rng: random.Random
+) -> float:
+    """Draw the next inter-block time: Exponential(mean = difficulty/hashrate).
+
+    Raises ``ValueError`` on non-positive hashrate — the caller (e.g. a
+    chain that lost all its miners) must handle the "no next block" case
+    explicitly rather than receive infinity from a distribution.
+    """
+    if hashrate <= 0:
+        raise ValueError("cannot sample block interval with zero hashrate")
+    mean = difficulty / hashrate
+    return rng.expovariate(1.0 / mean)
+
+
+def winner_weighted_choice(
+    weights: Dict[str, float], rng: random.Random
+) -> str:
+    """Pick a key with probability proportional to its weight."""
+    total = sum(weights.values())
+    if total <= 0:
+        raise ValueError("no positive weights to choose from")
+    point = rng.random() * total
+    cumulative = 0.0
+    last_key = None
+    for key, weight in weights.items():
+        cumulative += weight
+        last_key = key
+        if point < cumulative:
+            return key
+    return last_key  # floating-point tail
+
+
+@dataclass
+class _Contribution:
+    hashrate: float
+
+
+class HashpowerLedger:
+    """Mutable registry of per-contributor hashrate on one network.
+
+    Contributors are identified by opaque string ids (miner names or pool
+    names).  The ledger is the single source of truth for "how fast is
+    this network" in both simulators.
+    """
+
+    def __init__(self) -> None:
+        self._contributions: Dict[str, _Contribution] = {}
+
+    def set_hashrate(self, contributor: str, hashrate: float) -> None:
+        """Set a contributor's hashrate; zero removes it."""
+        if hashrate < 0:
+            raise ValueError("hashrate must be non-negative")
+        if hashrate == 0:
+            self._contributions.pop(contributor, None)
+        else:
+            self._contributions[contributor] = _Contribution(hashrate)
+
+    def add_hashrate(self, contributor: str, delta: float) -> None:
+        current = self.hashrate_of(contributor)
+        self.set_hashrate(contributor, max(0.0, current + delta))
+
+    def remove(self, contributor: str) -> None:
+        self._contributions.pop(contributor, None)
+
+    def hashrate_of(self, contributor: str) -> float:
+        entry = self._contributions.get(contributor)
+        return entry.hashrate if entry else 0.0
+
+    @property
+    def total(self) -> float:
+        return sum(c.hashrate for c in self._contributions.values())
+
+    def contributors(self) -> List[str]:
+        return list(self._contributions)
+
+    def shares(self) -> Dict[str, float]:
+        """Normalized hashrate shares (empty dict when idle)."""
+        total = self.total
+        if total <= 0:
+            return {}
+        return {
+            name: entry.hashrate / total
+            for name, entry in self._contributions.items()
+        }
+
+    def sample_winner(self, rng: random.Random) -> str:
+        """Who mined the next block (probability = hashrate share)."""
+        return winner_weighted_choice(
+            {name: c.hashrate for name, c in self._contributions.items()}, rng
+        )
+
+    def sample_interval(self, difficulty: int, rng: random.Random) -> float:
+        return sample_block_interval(difficulty, self.total, rng)
+
+    def expected_blocks(self, difficulty: int, seconds: float) -> float:
+        """Expected block count over a window at constant difficulty."""
+        if difficulty <= 0:
+            raise ValueError("difficulty must be positive")
+        return self.total * seconds / difficulty
+
+    def __len__(self) -> int:
+        return len(self._contributions)
+
+    def __contains__(self, contributor: str) -> bool:
+        return contributor in self._contributions

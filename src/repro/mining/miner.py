@@ -1,0 +1,74 @@
+"""Miner entities: hashpower owners who choose a chain and a coinbase.
+
+A :class:`Miner` is the decision-making unit of the paper's economics.  It
+owns hashrate, mines either solo (its own coinbase) or through a pool (the
+pool's coinbase), and — after the fork creates a choice — allocates its
+hashrate to ETH or ETC per its :mod:`strategy <repro.mining.strategy>`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..chain.crypto import PrivateKey
+from ..chain.types import Address, Wei
+
+__all__ = ["Miner", "MinerAllegiance"]
+
+
+class MinerAllegiance:
+    """Why a miner mines where it mines (drives post-fork behaviour).
+
+    The DAO fork was ideological: one side held "code is law" (stay on the
+    chain with the attacker's transactions — ETC), the other prioritized
+    recovering the stolen funds (ETH).  Most hashpower, though, simply
+    follows profit.  These labels parameterize the scenario populations.
+    """
+
+    PRO_FORK = "pro-fork"  # upgrades immediately, mines ETH
+    ANTI_FORK = "anti-fork"  # refuses the fork, mines ETC
+    PROFIT = "profit"  # mines whichever pays better
+    ALL = (PRO_FORK, ANTI_FORK, PROFIT)
+
+
+@dataclass
+class Miner:
+    """One hashpower owner.
+
+    ``chain`` is the network currently being mined ("ETH"/"ETC"; before the
+    fork, the single pre-fork network).  ``pool`` is the pool name if the
+    miner mines pooled, else None (solo).
+    """
+
+    name: str
+    hashrate: float
+    allegiance: str = MinerAllegiance.PROFIT
+    chain: str = "pre-fork"
+    pool: Optional[str] = None
+    #: Probability per decision epoch that a profit miner acts on a
+    #: profitability gap (inertia: real miners do not re-point instantly).
+    agility: float = 0.15
+    earned: Dict[str, Wei] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.hashrate <= 0:
+            raise ValueError("miner hashrate must be positive")
+        if self.allegiance not in MinerAllegiance.ALL:
+            raise ValueError(f"unknown allegiance {self.allegiance!r}")
+        self.key = PrivateKey.from_seed(f"miner:{self.name}")
+
+    @property
+    def coinbase(self) -> Address:
+        """Solo-mining payout address (pools override with their own)."""
+        return self.key.address
+
+    @property
+    def is_pooled(self) -> bool:
+        return self.pool is not None
+
+    def credit(self, chain: str, amount: Wei) -> None:
+        self.earned[chain] = self.earned.get(chain, 0) + amount
+
+    def total_earned(self, chain: str) -> Wei:
+        return self.earned.get(chain, 0)

@@ -1,0 +1,105 @@
+"""Pool payout schemes.
+
+The paper (Section 3.3, "Pool mining") describes why pools exist — solo
+mining income is "highly variable ... essentially a lottery" — and how they
+work: members submit *shares* (blocks above a reduced difficulty target,
+mined with the pool's header) proving their effort, and the pool splits each
+block reward "proportional to mining effort".
+
+We implement the two schemes that dominated 2016-era Ethereum pools:
+
+* **Proportional**: each found block's reward is split by shares submitted
+  since the previous found block (a "round").
+* **PPLNS** (pay-per-last-N-shares): rewards are split over the trailing N
+  shares regardless of round boundaries, damping pool-hopping.
+
+Both preserve the paper-relevant invariant that the *block's coinbase is
+the pool's address* — that is the only signal the on-chain analysis can
+see, and why Figure 5 measures pools rather than individual miners.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List
+
+from ..chain.types import Wei
+
+__all__ = [
+    "Share",
+    "PayoutScheme",
+    "ProportionalPayout",
+    "PPLNSPayout",
+]
+
+
+@dataclass(frozen=True)
+class Share:
+    """One unit of proven effort submitted by a pool member.
+
+    ``weight`` scales with the share's difficulty target so that members on
+    different share targets are compensated fairly.
+    """
+
+    member: str
+    weight: float = 1.0
+
+
+class PayoutScheme:
+    """Interface: record shares, then split each block reward."""
+
+    def record_share(self, share: Share) -> None:
+        raise NotImplementedError
+
+    def split_reward(self, reward: Wei) -> Dict[str, Wei]:
+        """Distribute ``reward`` wei across members; resets round state as
+        the scheme requires.  The sum of the returned values never exceeds
+        ``reward`` (integer rounding dust stays with the pool operator).
+        """
+        raise NotImplementedError
+
+
+class ProportionalPayout(PayoutScheme):
+    """Split by shares submitted within the current round."""
+
+    def __init__(self) -> None:
+        self._round_shares: List[Share] = []
+
+    def record_share(self, share: Share) -> None:
+        self._round_shares.append(share)
+
+    def split_reward(self, reward: Wei) -> Dict[str, Wei]:
+        weights: Dict[str, float] = {}
+        for share in self._round_shares:
+            weights[share.member] = weights.get(share.member, 0.0) + share.weight
+        self._round_shares = []
+        return _split_by_weight(reward, weights)
+
+
+class PPLNSPayout(PayoutScheme):
+    """Split by the trailing ``window`` shares across round boundaries."""
+
+    def __init__(self, window: int = 1000) -> None:
+        if window <= 0:
+            raise ValueError("PPLNS window must be positive")
+        self._window: Deque[Share] = deque(maxlen=window)
+
+    def record_share(self, share: Share) -> None:
+        self._window.append(share)
+
+    def split_reward(self, reward: Wei) -> Dict[str, Wei]:
+        weights: Dict[str, float] = {}
+        for share in self._window:
+            weights[share.member] = weights.get(share.member, 0.0) + share.weight
+        return _split_by_weight(reward, weights)
+
+
+def _split_by_weight(reward: Wei, weights: Dict[str, float]) -> Dict[str, Wei]:
+    total = sum(weights.values())
+    if total <= 0:
+        return {}
+    return {
+        member: int(reward * weight / total)
+        for member, weight in weights.items()
+    }

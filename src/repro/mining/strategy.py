@@ -1,0 +1,131 @@
+"""Chain-selection strategies: the behaviour behind Figures 1 and 3.
+
+The paper's market-efficiency analysis (Section 3.3) assumes miners are
+rational: "the rational choice of which to participate in is based on both
+the probability of winning in each (i.e., the inverse of the difficulty)
+and the exchange rate to traditional currencies."  This module implements
+that decision rule plus the frictions that make the dynamics realistic:
+
+* ideological miners never switch (the ETC die-hards and the ETH faithful);
+* profit-driven miners compare **expected USD per second** across chains
+  and re-point their rigs with finite agility (inertia), producing the
+  gradual difficulty see-saw visible in the two weeks after the fork
+  (Figure 1, middle) rather than an instantaneous jump;
+* an optional exogenous alternative (Zcash in late October 2016) can pull
+  profit miners off both chains, reproducing Figure 3's dip.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict
+
+from .miner import Miner, MinerAllegiance
+
+__all__ = [
+    "ChainEconomics",
+    "profitability_usd_per_second",
+    "hashes_per_usd",
+    "RationalSwitching",
+]
+
+
+@dataclass(frozen=True)
+class ChainEconomics:
+    """The inputs to a mining decision for one chain at one moment."""
+
+    name: str
+    difficulty: int
+    price_usd: float  # USD per coin
+    block_reward_ether: float = 5.0
+
+    def usd_per_hash(self) -> float:
+        """Expected revenue per hash computed on this chain.
+
+        One hash wins a block with probability ``1/difficulty``; a block
+        pays ``reward * price`` USD.
+        """
+        if self.difficulty <= 0:
+            return 0.0
+        return self.block_reward_ether * self.price_usd / self.difficulty
+
+
+def profitability_usd_per_second(
+    economics: ChainEconomics, hashrate: float
+) -> float:
+    """Expected USD/second for a miner pointing ``hashrate`` at a chain."""
+    return economics.usd_per_hash() * hashrate
+
+
+def hashes_per_usd(economics: ChainEconomics) -> float:
+    """Figure 3's metric: expected hashes a miner must compute per 1 USD.
+
+    The paper computes "the average number of hashes to earn one ether
+    (i.e., the difficulty divided by 5, as each block earns 5 ether)"
+    divided by the USD exchange rate.
+    """
+    revenue = economics.usd_per_hash()
+    if revenue <= 0:
+        return float("inf")
+    return 1.0 / revenue
+
+
+class RationalSwitching:
+    """The per-epoch decision rule applied to a miner population.
+
+    Each epoch (e.g. daily), every profit-allegiance miner compares the
+    chains' expected revenue; if the best alternative beats the current
+    chain by more than ``threshold`` (relative), the miner switches with
+    probability ``miner.agility``.  Ideological miners only move in one
+    direction: onto their home chain if they are somehow elsewhere.
+    """
+
+    def __init__(self, threshold: float = 0.03, seed: int = 0) -> None:
+        if threshold < 0:
+            raise ValueError("threshold must be non-negative")
+        self.threshold = threshold
+        self.rng = random.Random(seed)
+
+    def decide(
+        self,
+        miner: Miner,
+        options: Dict[str, ChainEconomics],
+    ) -> str:
+        """Return the chain ``miner`` mines next epoch."""
+        if miner.allegiance == MinerAllegiance.PRO_FORK:
+            return "ETH" if "ETH" in options else miner.chain
+        if miner.allegiance == MinerAllegiance.ANTI_FORK:
+            return "ETC" if "ETC" in options else miner.chain
+
+        current = options.get(miner.chain)
+        if current is None:
+            # Current chain vanished (e.g. pre-fork network after the
+            # split): adopt the most profitable option outright.
+            return max(options.values(), key=lambda e: e.usd_per_hash()).name
+
+        best = max(options.values(), key=lambda e: e.usd_per_hash())
+        if best.name == miner.chain:
+            return miner.chain
+        current_revenue = current.usd_per_hash()
+        if current_revenue <= 0:
+            return best.name
+        gain = best.usd_per_hash() / current_revenue - 1.0
+        if gain > self.threshold and self.rng.random() < miner.agility:
+            return best.name
+        return miner.chain
+
+    def apply_epoch(
+        self,
+        miners: Dict[str, Miner],
+        options: Dict[str, ChainEconomics],
+    ) -> Dict[str, int]:
+        """Run one decision epoch over a population; returns switch counts
+        per destination chain (diagnostics for the scenario narrator)."""
+        switches: Dict[str, int] = {}
+        for miner in miners.values():
+            destination = self.decide(miner, options)
+            if destination != miner.chain:
+                switches[destination] = switches.get(destination, 0) + 1
+                miner.chain = destination
+        return switches

@@ -1,0 +1,58 @@
+"""Message-level P2P network simulation (discovery, gossip, full nodes)."""
+
+from .gossip import SeenCache, split_push_announce
+from .kademlia import RoutingTable, bucket_index, node_id_digest, xor_distance
+from .latency import (
+    ConstantLatency,
+    GeographicLatency,
+    LognormalLatency,
+    UniformLatency,
+)
+from .mempool import AdmissionResult, Mempool
+from .messages import (
+    Blocks,
+    Disconnect,
+    DisconnectReason,
+    FindNode,
+    GetBlocks,
+    Neighbors,
+    NewBlock,
+    NewBlockHashes,
+    Status,
+    Transactions,
+)
+from .network import Network, NetworkCensus
+from .node import PROTOCOL_VERSION, FullNode
+from .simulator import EventHandle, SimulationError, Simulator
+
+__all__ = [
+    "Simulator",
+    "EventHandle",
+    "SimulationError",
+    "Network",
+    "NetworkCensus",
+    "FullNode",
+    "PROTOCOL_VERSION",
+    "Mempool",
+    "AdmissionResult",
+    "RoutingTable",
+    "node_id_digest",
+    "xor_distance",
+    "bucket_index",
+    "SeenCache",
+    "split_push_announce",
+    "ConstantLatency",
+    "UniformLatency",
+    "LognormalLatency",
+    "GeographicLatency",
+    "Status",
+    "Disconnect",
+    "DisconnectReason",
+    "NewBlock",
+    "NewBlockHashes",
+    "GetBlocks",
+    "Blocks",
+    "Transactions",
+    "FindNode",
+    "Neighbors",
+]

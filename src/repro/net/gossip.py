@@ -1,0 +1,80 @@
+"""Gossip policy: how blocks and transactions fan out.
+
+Ethereum propagates a new block by pushing the *full block* to a random
+``sqrt(peers)`` subset and announcing just the *hash* to the rest, who pull
+on demand.  The two-tier scheme bounds redundant bandwidth while keeping
+propagation latency near the network diameter; it also sets the transient
+fork rate that Section 2.1 describes, since two blocks found within one
+propagation interval race each other across the mesh.
+
+Transactions fan out to every peer not already known to have the
+transaction.  After the July 2016 split this same mechanism is the carrier
+of the replay attack: nothing distinguishes an echoed transaction from a
+fresh one at the gossip layer.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Iterable, List, Sequence, Set, Tuple
+
+__all__ = ["split_push_announce", "SeenCache"]
+
+
+def split_push_announce(
+    peer_names: Sequence[str], rng: random.Random
+) -> Tuple[List[str], List[str]]:
+    """Partition peers into (full-push targets, hash-announce targets).
+
+    The push set is a uniform random sample of ceil(sqrt(n)) peers — the
+    strategy geth uses for NewBlock vs NewBlockHashes.
+    """
+    peers = list(peer_names)
+    if not peers:
+        return [], []
+    push_count = max(1, math.isqrt(len(peers)))
+    if push_count * push_count < len(peers):
+        push_count += 1  # ceil
+    push = rng.sample(peers, min(push_count, len(peers)))
+    push_set = set(push)
+    announce = [name for name in peers if name not in push_set]
+    return push, announce
+
+
+class SeenCache:
+    """A bounded set remembering recently seen identities (blocks/txs).
+
+    Prevents gossip loops: a node relays an item at most once.  Eviction is
+    FIFO, sized so that items older than any plausible propagation window
+    fall out — matching the LRU caches real clients keep per peer.
+    """
+
+    def __init__(self, capacity: int = 100_000) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._seen: Set[bytes] = set()
+        self._order: List[bytes] = []
+
+    def add(self, item: bytes) -> bool:
+        """Record ``item``; returns True if it was new."""
+        key = bytes(item)
+        if key in self._seen:
+            return False
+        self._seen.add(key)
+        self._order.append(key)
+        if len(self._order) > self.capacity:
+            oldest = self._order.pop(0)
+            self._seen.discard(oldest)
+        return True
+
+    def __contains__(self, item: bytes) -> bool:
+        return bytes(item) in self._seen
+
+    def __len__(self) -> int:
+        return len(self._seen)
+
+    def update(self, items: Iterable[bytes]) -> int:
+        """Add many; returns how many were new."""
+        return sum(1 for item in items if self.add(item))

@@ -1,0 +1,192 @@
+"""Per-node transaction pools.
+
+The mempool enforces per-chain admission (signature, chain id, nonce,
+balance) and orders transactions for block inclusion.  It is also the stage
+where echoes become real: a rebroadcast transaction arriving from the
+sibling network passes these exact checks whenever the paper's replay
+condition holds ("if the source account still had sufficient credit"), so
+the echo pipeline needs no special-casing — replays are just transactions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..chain.config import ChainConfig
+from ..chain.processor import validate_transaction_for_chain
+from ..chain.state import StateDB
+from ..chain.transaction import SignedTransaction
+from ..chain.types import Address, Hash32
+
+__all__ = ["Mempool", "AdmissionResult"]
+
+
+class AdmissionResult:
+    """Outcome of offering a transaction to the pool."""
+
+    ADMITTED = "admitted"
+    KNOWN = "known"
+    REJECTED = "rejected"
+
+    def __init__(self, status: str, reason: str = "") -> None:
+        self.status = status
+        self.reason = reason
+
+    @property
+    def admitted(self) -> bool:
+        return self.status == self.ADMITTED
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"AdmissionResult({self.status}, {self.reason!r})"
+
+
+class Mempool:
+    """Pending transactions, indexed by hash and by (sender, nonce).
+
+    Admission validates against a *state view* (the chain head's state);
+    ``select_for_block`` returns an executable, nonce-contiguous prefix per
+    sender, price-ordered across senders like geth's default miner policy.
+    """
+
+    def __init__(self, config: ChainConfig, capacity: int = 4096) -> None:
+        self.config = config
+        self.capacity = capacity
+        self._by_hash: Dict[Hash32, SignedTransaction] = {}
+        self._by_sender: Dict[Address, Dict[int, SignedTransaction]] = {}
+
+    def __len__(self) -> int:
+        return len(self._by_hash)
+
+    def __contains__(self, tx_hash: Hash32) -> bool:
+        return tx_hash in self._by_hash
+
+    def add(
+        self,
+        tx: SignedTransaction,
+        state: Optional[StateDB],
+        block_number: int,
+    ) -> AdmissionResult:
+        """Validate and admit ``tx``.
+
+        ``state`` may be None for header-only nodes, in which case only
+        stateless checks (signature, chain id) run — mirroring light
+        clients that relay without executing.
+        """
+        if tx.tx_hash in self._by_hash:
+            return AdmissionResult(AdmissionResult.KNOWN)
+        if len(self._by_hash) >= self.capacity:
+            return AdmissionResult(AdmissionResult.REJECTED, "pool-full")
+
+        if state is not None:
+            reason = validate_transaction_for_chain(
+                state, tx, self.config, block_number
+            )
+            # A nonce gap is allowed into the pool (it may become valid
+            # when earlier transactions land); everything else rejects.
+            if reason is not None and reason != "nonce-too-high":
+                return AdmissionResult(AdmissionResult.REJECTED, reason)
+        else:
+            if not tx.verify():
+                return AdmissionResult(
+                    AdmissionResult.REJECTED, "invalid-signature"
+                )
+            if not self.config.accepts_transaction_chain_id(
+                tx.payload.chain_id, block_number
+            ):
+                return AdmissionResult(AdmissionResult.REJECTED, "wrong-chain-id")
+
+        sender = tx.sender
+        per_sender = self._by_sender.setdefault(sender, {})
+        existing = per_sender.get(tx.nonce)
+        if existing is not None:
+            # Replace-by-fee: keep the higher-paying transaction.
+            if tx.gas_price <= existing.gas_price:
+                return AdmissionResult(AdmissionResult.REJECTED, "nonce-occupied")
+            del self._by_hash[existing.tx_hash]
+        per_sender[tx.nonce] = tx
+        self._by_hash[tx.tx_hash] = tx
+        return AdmissionResult(AdmissionResult.ADMITTED)
+
+    def remove_included(self, txs: Tuple[SignedTransaction, ...]) -> None:
+        """Drop transactions that landed in a block (ours or a peer's)."""
+        for tx in txs:
+            stored = self._by_hash.pop(tx.tx_hash, None)
+            sender_map = self._by_sender.get(tx.sender)
+            if sender_map is not None:
+                sender_map.pop(tx.nonce, None)
+                if not sender_map:
+                    del self._by_sender[tx.sender]
+            if stored is None:
+                # Same (sender, nonce) may be pending under a different
+                # hash (RBF sibling); it is now stale either way.
+                continue
+
+    def select_for_block(
+        self,
+        state: StateDB,
+        block_number: int,
+        gas_limit: int,
+    ) -> List[SignedTransaction]:
+        """Choose an executable transaction list for a new block.
+
+        Per sender, transactions must start at the account nonce and be
+        contiguous; across senders, higher gas price goes first.  Gas is
+        budgeted by declared limit, matching miner behaviour.
+        """
+        candidates: List[SignedTransaction] = []
+        for sender, per_sender in self._by_sender.items():
+            nonce = state.nonce_of(sender)
+            while nonce in per_sender:
+                candidates.append(per_sender[nonce])
+                nonce += 1
+
+        candidates.sort(key=lambda tx: (-tx.gas_price, tx.nonce))
+        selected: List[SignedTransaction] = []
+        gas_budget = gas_limit
+        # Re-validate in selection order against a scratch state so the
+        # block we assemble is guaranteed executable.
+        scratch = state.fork()
+        for tx in candidates:
+            if tx.gas_limit > gas_budget:
+                continue
+            reason = validate_transaction_for_chain(
+                scratch, tx, self.config, block_number
+            )
+            if reason is not None:
+                continue
+            scratch.increment_nonce(tx.sender)
+            scratch.debit(
+                tx.sender,
+                min(
+                    tx.value + tx.gas_limit * tx.gas_price,
+                    scratch.balance_of(tx.sender),
+                ),
+            )
+            selected.append(tx)
+            gas_budget -= tx.gas_limit
+        return selected
+
+    def all_hashes(self) -> List[Hash32]:
+        return list(self._by_hash)
+
+    def get(self, tx_hash: Hash32) -> Optional[SignedTransaction]:
+        return self._by_hash.get(tx_hash)
+
+    def drop_invalid(self, state: StateDB, block_number: int) -> int:
+        """Evict transactions no longer valid at the new head; returns the
+        eviction count (post-reorg hygiene)."""
+        evicted = 0
+        for tx_hash in list(self._by_hash):
+            tx = self._by_hash[tx_hash]
+            reason = validate_transaction_for_chain(
+                state, tx, self.config, block_number
+            )
+            if reason is not None and reason != "nonce-too-high":
+                del self._by_hash[tx_hash]
+                sender_map = self._by_sender.get(tx.sender)
+                if sender_map is not None:
+                    sender_map.pop(tx.nonce, None)
+                    if not sender_map:
+                        del self._by_sender[tx.sender]
+                evicted += 1
+        return evicted

@@ -1,0 +1,138 @@
+"""Wire-protocol messages (devp2p ``eth`` subprotocol, simplified).
+
+The message set mirrors the real ``eth/63`` protocol closely enough that
+the partition mechanics are faithful:
+
+* :class:`Status` is exchanged at handshake and carries the genesis hash,
+  protocol version, total difficulty, head hash — and, critically, the
+  node's **fork block hash**: its canonical block at the DAO fork height.
+  Real geth added exactly this check (``--support-dao-fork``) so that ETH
+  and ETC nodes would drop each other instead of wasting sync bandwidth;
+  this check is what turns a rule disagreement into a *network* partition.
+* Blocks propagate by the two-tier announce scheme (full ``NewBlock`` to a
+  random subset, ``NewBlockHashes`` to the rest) that Ethereum inherited
+  from Bitcoin's relay behaviour.
+* Transactions gossip via :class:`Transactions` — including, after the
+  fork, transactions "echoed" from the sibling network (Figure 4), which
+  travel as perfectly ordinary messages; nothing at the wire level marks a
+  replay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..chain.block import Block
+from ..chain.transaction import SignedTransaction
+from ..chain.types import Hash32
+
+__all__ = [
+    "Message",
+    "Status",
+    "Disconnect",
+    "NewBlock",
+    "NewBlockHashes",
+    "GetBlocks",
+    "Blocks",
+    "Transactions",
+    "Ping",
+    "Pong",
+    "FindNode",
+    "Neighbors",
+    "DisconnectReason",
+]
+
+
+@dataclass(frozen=True)
+class Message:
+    """Base class; ``sender_id`` is stamped by the transport."""
+
+    sender_id: str
+
+
+class DisconnectReason:
+    USELESS_PEER = "useless-peer"
+    BREACH_OF_PROTOCOL = "breach-of-protocol"
+    INCOMPATIBLE_FORK = "incompatible-fork"
+    TOO_MANY_PEERS = "too-many-peers"
+    CLIENT_QUITTING = "client-quitting"
+
+
+@dataclass(frozen=True)
+class Status(Message):
+    """Handshake: capability + chain identity advertisement."""
+
+    protocol_version: int
+    network_name: str
+    genesis_hash: Hash32
+    head_hash: Hash32
+    total_difficulty: int
+    #: Canonical hash at the DAO fork height, or None if the node has not
+    #: reached it yet.  Nodes that have both passed the fork height and
+    #: disagree on this hash disconnect with INCOMPATIBLE_FORK.
+    fork_block_hash: Optional[Hash32] = None
+
+
+@dataclass(frozen=True)
+class Disconnect(Message):
+    reason: str = DisconnectReason.CLIENT_QUITTING
+
+
+@dataclass(frozen=True)
+class NewBlock(Message):
+    """Full block push (sent to a subset of peers)."""
+
+    block: Block
+    total_difficulty: int
+
+
+@dataclass(frozen=True)
+class NewBlockHashes(Message):
+    """Hash announcement (sent to the remaining peers)."""
+
+    hashes: Tuple[Hash32, ...]
+
+
+@dataclass(frozen=True)
+class GetBlocks(Message):
+    """Request full blocks by hash (follow-up to an announcement)."""
+
+    hashes: Tuple[Hash32, ...]
+
+
+@dataclass(frozen=True)
+class Blocks(Message):
+    blocks: Tuple[Block, ...]
+
+
+@dataclass(frozen=True)
+class Transactions(Message):
+    transactions: Tuple[SignedTransaction, ...]
+
+
+# -- discovery (Kademlia / discv4) -----------------------------------------
+
+
+@dataclass(frozen=True)
+class Ping(Message):
+    pass
+
+
+@dataclass(frozen=True)
+class Pong(Message):
+    pass
+
+
+@dataclass(frozen=True)
+class FindNode(Message):
+    """Ask for the peers closest (XOR metric) to ``target``."""
+
+    target: bytes
+
+
+@dataclass(frozen=True)
+class Neighbors(Message):
+    """Response to FindNode: up to k node ids."""
+
+    node_ids: Tuple[str, ...]

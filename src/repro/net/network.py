@@ -1,0 +1,206 @@
+"""The network harness: transport, bootstrap, churn, and measurement.
+
+:class:`Network` wires :class:`~repro.net.node.FullNode` instances to the
+discrete-event :class:`~repro.net.simulator.Simulator` through a latency
+model, and provides the census the partition experiments read: how many
+nodes currently belong to each (handshake-compatible) network, and how
+well-connected each side's mesh is.
+
+The census is the reproduction's analogue of the authors' node crawls:
+they counted reachable ETC nodes before/after the fork and saw ~90%
+disappear; we count nodes whose fork-block hash matches each branch.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from ..chain.types import Hash32
+from .latency import GeographicLatency, LatencyModel
+from .messages import Message
+from .node import FullNode
+from .simulator import Simulator
+
+__all__ = ["Network", "NetworkCensus"]
+
+
+class NetworkCensus:
+    """A point-in-time snapshot of who is on which side."""
+
+    def __init__(
+        self,
+        time: float,
+        members: Dict[str, List[str]],
+        peer_counts: Dict[str, float],
+    ) -> None:
+        self.time = time
+        #: network name -> node names.
+        self.members = members
+        #: network name -> mean peer count among its members.
+        self.peer_counts = peer_counts
+
+    def count(self, network_name: str) -> int:
+        return len(self.members.get(network_name, []))
+
+    def fraction(self, network_name: str) -> float:
+        total = sum(len(nodes) for nodes in self.members.values())
+        if total == 0:
+            return 0.0
+        return self.count(network_name) / total
+
+
+class Network:
+    """Transport + membership for one simulated P2P universe."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        latency: Optional[LatencyModel] = None,
+        seed: int = 0,
+        loss_rate: float = 0.0,
+    ) -> None:
+        if not 0 <= loss_rate < 1:
+            raise ValueError("loss rate must be in [0, 1)")
+        self.sim = sim
+        self.latency = latency or GeographicLatency()
+        self.sim_rng = random.Random(seed)
+        self.loss_rate = loss_rate
+        self.nodes: Dict[str, FullNode] = {}
+        self.messages_sent = 0
+        self.messages_dropped = 0
+        self._upgrade_log: List[Tuple[float, str]] = []
+
+    # -- membership -----------------------------------------------------------
+
+    def add_node(self, node: FullNode) -> FullNode:
+        if node.name in self.nodes:
+            raise ValueError(f"duplicate node name {node.name!r}")
+        self.nodes[node.name] = node
+        node.network = self
+        return node
+
+    def remove_node(self, name: str) -> None:
+        node = self.nodes.pop(name, None)
+        if node is not None:
+            node.go_offline()
+            node.network = None
+
+    def note_upgrade(self, node_name: str) -> None:
+        self._upgrade_log.append((self.sim.now, node_name))
+
+    @property
+    def upgrade_log(self) -> List[Tuple[float, str]]:
+        return list(self._upgrade_log)
+
+    # -- transport --------------------------------------------------------------
+
+    def send(self, source: str, destination: str, message: Message) -> None:
+        """Deliver ``message`` after a sampled latency (maybe drop it)."""
+        target = self.nodes.get(destination)
+        if target is None or not target.online:
+            self.messages_dropped += 1
+            return
+        if self.loss_rate and self.sim_rng.random() < self.loss_rate:
+            self.messages_dropped += 1
+            return
+        self.messages_sent += 1
+        source_node = self.nodes.get(source)
+        if isinstance(self.latency, GeographicLatency) and source_node:
+            delay = self.latency.delay_between(
+                source_node.region, target.region, self.sim_rng
+            )
+        else:
+            delay = self.latency.sample(self.sim_rng)
+        self.sim.schedule(delay, target.receive, message)
+
+    # -- bootstrap ---------------------------------------------------------------
+
+    def bootstrap_mesh(self, target_degree: int = 8) -> None:
+        """Seed routing tables and dial an initial random mesh.
+
+        Every node learns a random subset of the population (as if from
+        bootnodes + discovery walks) and dials up to ``target_degree``
+        peers.  Handshakes then run through the simulator.
+        """
+        names = list(self.nodes)
+        for node in self.nodes.values():
+            sample_size = min(len(names) - 1, max(target_degree * 3, 16))
+            for peer_name in self.sim_rng.sample(names, min(len(names), sample_size + 1)):
+                if peer_name != node.name:
+                    node.routing.observe(peer_name)
+        for node in self.nodes.values():
+            candidates = node.routing.random_peers(target_degree, node.rng)
+            for peer_name in candidates:
+                node.dial(peer_name)
+
+    def schedule_redial_loop(self, interval: float = 30.0) -> None:
+        """Keep under-connected nodes dialing — models discovery churn.
+
+        This loop is why ETC's node count *recovers* over the two weeks
+        after the fork in the scenario: once like-minded peers exist,
+        discovery (which is fork-blind) eventually finds them.
+        """
+
+        def redial() -> None:
+            for node in self.nodes.values():
+                if not node.online:
+                    continue
+                deficit = node.max_peers // 2 - len(node.peers)
+                if deficit > 0:
+                    for peer_name in node.routing.random_peers(
+                        deficit, node.rng
+                    ):
+                        node.dial(peer_name)
+            self.sim.schedule(interval, redial)
+
+        self.sim.schedule(interval, redial)
+
+    # -- measurement ---------------------------------------------------------------
+
+    def census(self) -> NetworkCensus:
+        """Group online nodes by their current network allegiance.
+
+        Below the fork height all nodes share one group (the pre-fork
+        network); above it, nodes group by canonical fork-block hash —
+        i.e. by which chain they actually follow, not by what their
+        configuration claims.
+        """
+        members: Dict[str, List[str]] = {}
+        peer_totals: Dict[str, int] = {}
+        for node in self.nodes.values():
+            if not node.online:
+                continue
+            fork_hash = node.fork_block_hash()
+            if fork_hash is None:
+                group = "pre-fork"
+            else:
+                group = node.network_name
+            members.setdefault(group, []).append(node.name)
+            peer_totals[group] = peer_totals.get(group, 0) + len(node.peers)
+        peer_means = {
+            group: peer_totals[group] / len(names)
+            for group, names in members.items()
+            if names
+        }
+        return NetworkCensus(self.sim.now, members, peer_means)
+
+    def census_by_fork_hash(self) -> Dict[Optional[Hash32], int]:
+        """Raw partition map: fork-block hash -> node count."""
+        counts: Dict[Optional[Hash32], int] = {}
+        for node in self.nodes.values():
+            if node.online:
+                key = node.fork_block_hash()
+                counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    def mean_peer_count(self) -> float:
+        online = [n for n in self.nodes.values() if n.online]
+        if not online:
+            return 0.0
+        return sum(len(n.peers) for n in online) / len(online)
+
+    def start_all_miners(self) -> None:
+        for node in self.nodes.values():
+            if node.mining_hashrate > 0:
+                node.start_mining()

@@ -1,0 +1,501 @@
+"""Full-node behaviour: handshakes, sync, gossip, mining, and upgrades.
+
+A :class:`FullNode` owns a :class:`~repro.chain.chainstore.Blockchain`, a
+:class:`~repro.net.mempool.Mempool`, a Kademlia routing table, and a peer
+set.  The behaviours that produce the paper's observations all live here:
+
+* **handshake fork check** — peers that disagree about the canonical block
+  at the DAO fork height disconnect (``INCOMPATIBLE_FORK``).  When most of
+  the network upgrades at the fork, un-upgraded nodes watch their peer
+  lists evaporate: Observation 1's "sudden loss of roughly 90% of the
+  nodes".
+* **two-tier block gossip** and pull-based catch-up sync;
+* **transaction gossip** feeding per-node mempools;
+* **mining attachment** — an optional Poisson mining process that
+  assembles blocks from the local mempool and broadcasts wins;
+* **upgrade** — switching the node's :class:`ChainConfig` mid-simulation,
+  the mechanical act of "taking the fork".
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
+
+from ..chain.block import Block, BlockHeader, ommers_root, transactions_root
+from ..chain.chainstore import Blockchain
+from ..chain.config import ChainConfig
+from ..chain.processor import apply_block
+from ..chain.transaction import SignedTransaction
+from ..chain.types import Address, Hash32
+from .gossip import SeenCache, split_push_announce
+from .kademlia import RoutingTable
+from .mempool import Mempool
+from .messages import (
+    Blocks,
+    Disconnect,
+    DisconnectReason,
+    FindNode,
+    GetBlocks,
+    Message,
+    Neighbors,
+    NewBlock,
+    NewBlockHashes,
+    Status,
+    Transactions,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .network import Network
+
+__all__ = ["FullNode", "PROTOCOL_VERSION"]
+
+PROTOCOL_VERSION = 63
+
+
+class FullNode:
+    """One participant in the simulated peer-to-peer network."""
+
+    def __init__(
+        self,
+        name: str,
+        chain: Blockchain,
+        max_peers: int = 25,
+        region: str = "eu",
+        mining_hashrate: float = 0.0,
+        coinbase: Optional[Address] = None,
+        rng_seed: Optional[int] = None,
+    ) -> None:
+        self.name = name
+        self.chain = chain
+        self.max_peers = max_peers
+        self.region = region
+        # Seed derives from the name via a stable digest, NOT hash():
+        # Python's per-process string-hash randomization would make every
+        # simulation run unique, killing reproducibility.
+        self.rng = random.Random(
+            rng_seed if rng_seed is not None else zlib.crc32(name.encode("utf-8"))
+        )
+
+        self.network: Optional["Network"] = None
+        self.online = True
+        self.peers: Set[str] = set()
+        self.routing = RoutingTable(name)
+        self.mempool = Mempool(chain.config)
+        self.seen_blocks = SeenCache()
+        self.seen_txs = SeenCache()
+        #: Parent hash -> request time.  A batch of N orphans costs one
+        #: ancestor request instead of N (which would amplify 33x per
+        #: round-trip and melt the simulator); entries expire so a lost
+        #: response (peer disconnected mid-sync) retries instead of
+        #: wedging the ancestor walk forever.
+        self._requested_parents: Dict[bytes, float] = {}
+
+        self.mining_hashrate = mining_hashrate
+        self.coinbase = coinbase or Address.zero()
+        self._mining_event = None
+
+        # Telemetry the experiments read.
+        self.stats: Dict[str, int] = {
+            "blocks_imported": 0,
+            "blocks_mined": 0,
+            "txs_admitted": 0,
+            "handshakes_refused": 0,
+            "disconnects_incompatible": 0,
+        }
+
+    # -- identity ------------------------------------------------------------
+
+    @property
+    def config(self) -> ChainConfig:
+        return self.chain.config
+
+    @property
+    def network_name(self) -> str:
+        return self.chain.config.name
+
+    def fork_block_hash(self) -> Optional[Hash32]:
+        """Canonical hash at the DAO fork height (None below it)."""
+        if self.chain.height < self.config.dao_fork_block:
+            return None
+        return self.chain.canonical_hash(self.config.dao_fork_block)
+
+    def status_message(self) -> Status:
+        return Status(
+            sender_id=self.name,
+            protocol_version=PROTOCOL_VERSION,
+            network_name=self.network_name,
+            genesis_hash=self.chain.genesis.block_hash,
+            head_hash=self.chain.head.block_hash,
+            total_difficulty=self.chain.total_difficulty,
+            fork_block_hash=self.fork_block_hash(),
+        )
+
+    # -- connectivity ----------------------------------------------------------
+
+    def compatible_with(self, status: Status) -> Tuple[bool, str]:
+        """Apply the handshake admission rules to a peer's Status."""
+        if status.protocol_version != PROTOCOL_VERSION:
+            return False, DisconnectReason.BREACH_OF_PROTOCOL
+        if status.genesis_hash != self.chain.genesis.block_hash:
+            return False, DisconnectReason.INCOMPATIBLE_FORK
+        mine = self.fork_block_hash()
+        theirs = status.fork_block_hash
+        if mine is not None and theirs is not None and mine != theirs:
+            return False, DisconnectReason.INCOMPATIBLE_FORK
+        return True, ""
+
+    def dial(self, peer_name: str) -> None:
+        """Initiate a connection (send our Status)."""
+        if not self.online or peer_name == self.name:
+            return
+        if peer_name in self.peers or len(self.peers) >= self.max_peers:
+            return
+        self._send(peer_name, self.status_message())
+
+    def disconnect(self, peer_name: str, reason: str) -> None:
+        if peer_name in self.peers:
+            self.peers.discard(peer_name)
+            self._send(peer_name, Disconnect(sender_id=self.name, reason=reason))
+
+    def drop_all_peers(self, reason: str = DisconnectReason.CLIENT_QUITTING) -> None:
+        for peer_name in sorted(self.peers):
+            self.disconnect(peer_name, reason)
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def go_offline(self) -> None:
+        self.online = False
+        self.stop_mining()
+        self.peers.clear()
+
+    def go_online(self) -> None:
+        self.online = True
+
+    def upgrade(self, new_config: ChainConfig) -> None:
+        """Adopt a new protocol version (take — or refuse — a fork).
+
+        The block database is retained; only the rules change.  Existing
+        peers are re-evaluated at the next fork-boundary import, exactly
+        like restarting geth with different fork flags.
+        """
+        self.chain.config = new_config
+        self.mempool.config = new_config
+        if self.network is not None:
+            self.network.note_upgrade(self.name)
+
+    # -- mining --------------------------------------------------------------
+
+    def start_mining(self) -> None:
+        if self.mining_hashrate <= 0 or self.network is None or not self.online:
+            return
+        self.stop_mining()
+        interval = self.network.sim_rng.expovariate(
+            self.mining_hashrate / self.chain.head.difficulty
+        )
+        self._mining_event = self.network.sim.schedule(interval, self._mine_block)
+
+    def stop_mining(self) -> None:
+        if self._mining_event is not None:
+            self._mining_event.cancel()
+            self._mining_event = None
+
+    def _mine_block(self) -> None:
+        if not self.online:
+            return
+        parent = self.chain.head
+        timestamp = max(int(self.network.sim.now), parent.timestamp + 1)
+        difficulty = self.config.compute_difficulty(
+            parent.difficulty, parent.timestamp, timestamp, parent.number + 1
+        )
+
+        # Reference any eligible orphaned siblings as uncles: the losing
+        # side of a transient fork still earns, which is why real miners
+        # always include them (and why our uncle-rate experiment works).
+        ommers = tuple(self.chain.candidate_ommers())
+
+        transactions: Tuple[SignedTransaction, ...] = ()
+        state_root = parent.header.state_root
+        if self.chain.execute_transactions:
+            parent_state = self.chain.state_at(parent.block_hash)
+            scratch = parent_state.fork()
+            selected = self.mempool.select_for_block(
+                parent_state, parent.number + 1, parent.header.gas_limit
+            )
+            transactions = tuple(selected)
+            trial = Block(
+                header=BlockHeader(
+                    parent_hash=parent.block_hash,
+                    number=parent.number + 1,
+                    timestamp=timestamp,
+                    difficulty=difficulty,
+                    coinbase=self.coinbase,
+                    state_root=Hash32.zero(),
+                    tx_root=transactions_root(transactions),
+                    gas_limit=parent.header.gas_limit,
+                    gas_used=0,
+                    ommers_hash=ommers_root(ommers),
+                ),
+                transactions=transactions,
+                ommers=ommers,
+            )
+            apply_block(scratch, trial, self.config, self.chain.irregular_transfers)
+            state_root = scratch.state_root
+
+        block = Block(
+            header=BlockHeader(
+                parent_hash=parent.block_hash,
+                number=parent.number + 1,
+                timestamp=timestamp,
+                difficulty=difficulty,
+                coinbase=self.coinbase,
+                state_root=state_root,
+                tx_root=transactions_root(transactions),
+                gas_limit=parent.header.gas_limit,
+                gas_used=0,
+                nonce=self.rng.getrandbits(64),
+                extra_data=self.config.dao_extra_data(parent.number + 1) or b"",
+                ommers_hash=ommers_root(ommers),
+            ),
+            transactions=transactions,
+            ommers=ommers,
+        )
+        self.stats["blocks_mined"] += 1
+        self._adopt_block(block, origin=None)
+        self.start_mining()  # schedule the next attempt from the new head
+
+    # -- block handling ------------------------------------------------------
+
+    def _adopt_block(
+        self, block: Block, origin: Optional[str], request_missing: bool = True
+    ) -> str:
+        """Import a block (mined or received) and relay on success.
+
+        Returns the import status.  ``request_missing=False`` suppresses
+        the orphan follow-up (batch handlers issue one request per batch).
+        """
+        self.seen_blocks.add(bytes(block.block_hash))
+        result = self.chain.import_block(block)
+        if result.status == "imported":
+            self.stats["blocks_imported"] += 1
+            self.mempool.remove_included(block.transactions)
+            self._relay_block(block, exclude=origin)
+            if self.chain.head.block_hash == block.block_hash:
+                # Head advanced: restart the miner against the new parent.
+                if self._mining_event is not None:
+                    self.start_mining()
+        elif result.status == "orphan" and origin is not None and request_missing:
+            self._request_ancestor(origin, block.parent_hash)
+        elif result.status == "invalid" and origin is not None:
+            # A peer feeding us consensus-invalid blocks is either broken
+            # or on the other side of a hard fork; drop it.  This is the
+            # disconnection cascade that empties the minority network's
+            # peer lists at the fork moment.
+            if result.reason == "dao-extra-data":
+                self.stats["disconnects_incompatible"] += 1
+                self.disconnect(origin, DisconnectReason.INCOMPATIBLE_FORK)
+            else:
+                self.disconnect(origin, DisconnectReason.BREACH_OF_PROTOCOL)
+        return result.status
+
+    #: Seconds before an unanswered ancestor request may be retried.
+    ANCESTOR_RETRY_SECONDS = 20.0
+
+    def _request_ancestor(self, origin: str, parent_hash: Hash32) -> None:
+        """Pull a missing ancestor, at most once per hash per retry window."""
+        now = self.network.sim.now if self.network is not None else 0.0
+        key = bytes(parent_hash)
+        last = self._requested_parents.get(key)
+        if last is not None and now - last < self.ANCESTOR_RETRY_SECONDS:
+            return
+        self._requested_parents[key] = now
+        if len(self._requested_parents) > 50_000:
+            self._requested_parents.clear()
+        self._send(
+            origin, GetBlocks(sender_id=self.name, hashes=(parent_hash,))
+        )
+
+    def _relay_block(self, block: Block, exclude: Optional[str]) -> None:
+        # Sorted so simulations replay identically regardless of Python's
+        # per-process set-hash randomization.
+        targets = sorted(p for p in self.peers if p != exclude)
+        push, announce = split_push_announce(targets, self.rng)
+        full = NewBlock(
+            sender_id=self.name,
+            block=block,
+            total_difficulty=self.chain.total_difficulty_of(block.block_hash)
+            or 0,
+        )
+        for peer_name in push:
+            self._send(peer_name, full)
+        if announce:
+            hashes_msg = NewBlockHashes(
+                sender_id=self.name, hashes=(block.block_hash,)
+            )
+            for peer_name in announce:
+                self._send(peer_name, hashes_msg)
+
+    # -- transactions ---------------------------------------------------------
+
+    def submit_transaction(self, tx: SignedTransaction) -> bool:
+        """Entry point for local users (wallets) — validate and gossip."""
+        state = (
+            self.chain.head_state() if self.chain.execute_transactions else None
+        )
+        result = self.mempool.add(tx, state, self.chain.height + 1)
+        self.seen_txs.add(bytes(tx.tx_hash))
+        if result.admitted:
+            self.stats["txs_admitted"] += 1
+            self._relay_transactions((tx,), exclude=None)
+            return True
+        return False
+
+    def _relay_transactions(
+        self, txs: Tuple[SignedTransaction, ...], exclude: Optional[str]
+    ) -> None:
+        if not txs:
+            return
+        message = Transactions(sender_id=self.name, transactions=txs)
+        for peer_name in sorted(self.peers):
+            if peer_name != exclude:
+                self._send(peer_name, message)
+
+    # -- message dispatch ---------------------------------------------------------
+
+    def receive(self, message: Message) -> None:
+        """Transport delivery point; dispatches on message type."""
+        if not self.online:
+            return
+        sender = message.sender_id
+        self.routing.observe(sender)
+
+        if isinstance(message, Status):
+            self._on_status(message)
+        elif isinstance(message, Disconnect):
+            self.peers.discard(sender)
+            if message.reason == DisconnectReason.INCOMPATIBLE_FORK:
+                self.stats["disconnects_incompatible"] += 1
+        elif isinstance(message, NewBlock):
+            self._on_new_block(message)
+        elif isinstance(message, NewBlockHashes):
+            self._on_new_block_hashes(message)
+        elif isinstance(message, GetBlocks):
+            self._on_get_blocks(message)
+        elif isinstance(message, Blocks):
+            self._on_blocks(message)
+        elif isinstance(message, Transactions):
+            self._on_transactions(message)
+        elif isinstance(message, FindNode):
+            self._send(
+                sender,
+                Neighbors(
+                    sender_id=self.name,
+                    node_ids=tuple(self.routing.closest(message.target)),
+                ),
+            )
+        elif isinstance(message, Neighbors):
+            for node_id in message.node_ids:
+                self.routing.observe(node_id)
+
+    def _on_status(self, status: Status) -> None:
+        sender = status.sender_id
+        already_connected = sender in self.peers
+        compatible, reason = self.compatible_with(status)
+        if not compatible:
+            self.stats["handshakes_refused"] += 1
+            self.peers.discard(sender)
+            self._send(sender, Disconnect(sender_id=self.name, reason=reason))
+            return
+        if already_connected:
+            return
+        if len(self.peers) >= self.max_peers:
+            self._send(
+                sender,
+                Disconnect(
+                    sender_id=self.name, reason=DisconnectReason.TOO_MANY_PEERS
+                ),
+            )
+            return
+        self.peers.add(sender)
+        self._send(sender, self.status_message())
+        # If the peer is ahead, pull toward their head.
+        if status.total_difficulty > self.chain.total_difficulty:
+            self._send(
+                sender, GetBlocks(sender_id=self.name, hashes=(status.head_hash,))
+            )
+
+    def _on_blocks(self, message: Blocks) -> None:
+        """Import a served batch (ascending order), then follow up once.
+
+        Batches arrive oldest-first, so later blocks usually find their
+        parents in the same batch; if the whole batch is still orphaned we
+        are mid ancestor-walk and ask for the first block's parent only.
+        """
+        first_orphan: Optional[Block] = None
+        for block in message.blocks:
+            status = self._adopt_block(
+                block, origin=message.sender_id, request_missing=False
+            )
+            if status == "orphan" and first_orphan is None:
+                first_orphan = block
+        if first_orphan is not None:
+            self._request_ancestor(message.sender_id, first_orphan.parent_hash)
+
+    def _on_new_block(self, message: NewBlock) -> None:
+        if bytes(message.block.block_hash) in self.seen_blocks:
+            return
+        self._adopt_block(message.block, origin=message.sender_id)
+
+    def _on_new_block_hashes(self, message: NewBlockHashes) -> None:
+        unknown = tuple(
+            h
+            for h in message.hashes
+            if bytes(h) not in self.seen_blocks and h not in self.chain
+        )
+        if unknown:
+            self._send(
+                message.sender_id,
+                GetBlocks(sender_id=self.name, hashes=unknown),
+            )
+
+    def _on_get_blocks(self, message: GetBlocks) -> None:
+        found: List[Block] = []
+        for block_hash in message.hashes:
+            block = self.chain.block_by_hash(block_hash)
+            if block is not None:
+                found.append(block)
+                # Serve a short run of descendants to accelerate catch-up.
+                cursor = block
+                for _ in range(31):
+                    nxt = self.chain.block_by_number(cursor.number + 1)
+                    if nxt is None or nxt.parent_hash != cursor.block_hash:
+                        break
+                    found.append(nxt)
+                    cursor = nxt
+        if found:
+            self._send(
+                message.sender_id,
+                Blocks(sender_id=self.name, blocks=tuple(found)),
+            )
+
+    def _on_transactions(self, message: Transactions) -> None:
+        fresh: List[SignedTransaction] = []
+        state = (
+            self.chain.head_state() if self.chain.execute_transactions else None
+        )
+        for tx in message.transactions:
+            if not self.seen_txs.add(bytes(tx.tx_hash)):
+                continue
+            result = self.mempool.add(tx, state, self.chain.height + 1)
+            if result.admitted:
+                self.stats["txs_admitted"] += 1
+                fresh.append(tx)
+        if fresh:
+            self._relay_transactions(tuple(fresh), exclude=message.sender_id)
+
+    # -- transport ------------------------------------------------------------
+
+    def _send(self, peer_name: str, message: Message) -> None:
+        if self.network is not None:
+            self.network.send(self.name, peer_name, message)

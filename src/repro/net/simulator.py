@@ -1,0 +1,118 @@
+"""A discrete-event simulation engine.
+
+The message-level experiments (node-count collapse at the fork, gossip
+propagation, transient-fork races) run on this engine: every network
+message, mining event, and node decision is a scheduled callback on one
+shared virtual clock.  Virtual time is in seconds; nothing here sleeps.
+
+The engine is deliberately minimal — a monotonic clock, a binary-heap event
+queue with stable FIFO ordering for simultaneous events, and cancellable
+handles — because determinism is the property the experiments lean on:
+a seeded scenario replays identically down to the block hashes.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional, Tuple
+
+__all__ = ["Simulator", "EventHandle", "SimulationError"]
+
+
+class SimulationError(Exception):
+    pass
+
+
+class EventHandle:
+    """A scheduled event; ``cancel()`` prevents a pending callback."""
+
+    __slots__ = ("time", "callback", "args", "cancelled")
+
+    def __init__(self, time: float, callback: Callable, args: tuple) -> None:
+        self.time = time
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+class Simulator:
+    """The virtual clock and event queue."""
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self.now = start_time
+        self._queue: List[Tuple[float, int, EventHandle]] = []
+        self._sequence = itertools.count()
+        self.events_processed = 0
+
+    def schedule(
+        self, delay: float, callback: Callable, *args: Any
+    ) -> EventHandle:
+        """Run ``callback(*args)`` after ``delay`` simulated seconds."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past ({delay})")
+        handle = EventHandle(self.now + delay, callback, args)
+        heapq.heappush(self._queue, (handle.time, next(self._sequence), handle))
+        return handle
+
+    def schedule_at(
+        self, time: float, callback: Callable, *args: Any
+    ) -> EventHandle:
+        """Run ``callback(*args)`` at absolute virtual ``time``."""
+        return self.schedule(max(0.0, time - self.now), callback, *args)
+
+    @property
+    def pending(self) -> int:
+        """Events still queued (including cancelled ones not yet drained)."""
+        return len(self._queue)
+
+    def step(self) -> bool:
+        """Process the next event; returns False when the queue is empty."""
+        while self._queue:
+            time, _, handle = heapq.heappop(self._queue)
+            if handle.cancelled:
+                continue
+            self.now = time
+            self.events_processed += 1
+            handle.callback(*handle.args)
+            return True
+        return False
+
+    def run_until(self, end_time: float, max_events: Optional[int] = None) -> int:
+        """Advance the clock to ``end_time``; returns events processed.
+
+        Events scheduled exactly at ``end_time`` run.  ``max_events`` is a
+        safety valve against event storms (a real hazard when simulating
+        gossip meshes); exceeding it raises so a runaway scenario fails
+        loudly instead of hanging.
+        """
+        processed = 0
+        while self._queue:
+            time, _, handle = self._queue[0]
+            if time > end_time:
+                break
+            heapq.heappop(self._queue)
+            if handle.cancelled:
+                continue
+            self.now = time
+            self.events_processed += 1
+            handle.callback(*handle.args)
+            processed += 1
+            if max_events is not None and processed > max_events:
+                raise SimulationError(
+                    f"exceeded {max_events} events before t={end_time}"
+                )
+        self.now = max(self.now, end_time)
+        return processed
+
+    def run_all(self, max_events: int = 10_000_000) -> int:
+        """Drain the queue completely (bounded by ``max_events``)."""
+        processed = 0
+        while self.step():
+            processed += 1
+            if processed > max_events:
+                raise SimulationError(f"exceeded {max_events} events")
+        return processed

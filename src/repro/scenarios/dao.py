@@ -1,0 +1,330 @@
+"""The DAO story, end to end, at contract level.
+
+This scenario replays the *cause* of the partition with real execution:
+
+1. deploy a DAO-style crowdfunding vault (the reentrancy-vulnerable
+   contract from :mod:`repro.evm.contracts`);
+2. investors deposit ether;
+3. the attacker deploys the exploit contract and drains a multiple of
+   their stake through reentrancy (June 17, 2016);
+4. the community schedules a hard fork: at the fork height, the pro-fork
+   chain applies the **irregular state change** moving the attacker's
+   loot to a withdraw (refund) address, while the anti-fork chain leaves
+   the ledger untouched ("code is law");
+5. both chains share every pre-fork block; post-fork blocks diverge —
+   including in the attacker's balance;
+6. a user who ignores the split sends ether on one chain and the
+   recipient **replays** the transaction on the other, collecting twice
+   (the Figure 4 mechanism, demonstrated at transaction level).
+
+Everything runs through the consensus-validating
+:class:`~repro.chain.chainstore.Blockchain` in full-execution mode, so the
+state roots in the two chains' headers genuinely diverge at the fork
+block — which is what makes the partition irreversible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Optional, Tuple
+
+from ..chain.block import Block, BlockHeader, transactions_root
+from ..chain.chainstore import Blockchain
+from ..chain.config import ETC_CONFIG, ETH_CONFIG
+from ..chain.crypto import PrivateKey
+from ..chain.genesis import build_genesis
+from ..chain.processor import apply_block
+from ..chain.transaction import SignedTransaction, Transaction, sign_transaction
+from ..chain.types import Address, Hash32, Wei, ether
+from ..evm.abi import encode_call
+from ..evm.contracts import (
+    SEL_ATTACK,
+    SEL_DEPOSIT,
+    deploy_wrapper,
+    reentrancy_attacker_code,
+    vulnerable_bank_code,
+)
+from ..evm.vm import derive_contract_address
+
+__all__ = ["DaoScenarioConfig", "DaoScenarioResult", "DaoScenario", "ChainWriter"]
+
+
+class ChainWriter:
+    """Produce and import consensus-valid blocks onto one chain.
+
+    The test/scenario-facing way to grow a full-execution chain: give it
+    transactions, it computes the state root by trial execution, seals a
+    valid header (difficulty from the config's rule, DAO extra-data as the
+    config requires), and imports through the normal validation path.
+    """
+
+    def __init__(self, chain: Blockchain, coinbase: Address, block_time: int = 14) -> None:
+        self.chain = chain
+        self.coinbase = coinbase
+        self.block_time = block_time
+
+    def seal(
+        self,
+        transactions: Tuple[SignedTransaction, ...] = (),
+        timestamp: Optional[int] = None,
+    ) -> Block:
+        parent = self.chain.head
+        config = self.chain.config
+        if timestamp is None:
+            timestamp = parent.timestamp + self.block_time
+        if timestamp <= parent.timestamp:
+            raise ValueError("timestamp must advance")
+        number = parent.number + 1
+        difficulty = config.compute_difficulty(
+            parent.difficulty, parent.timestamp, timestamp, number
+        )
+        extra = config.dao_extra_data(number) or b""
+        header_fields = dict(
+            parent_hash=parent.block_hash,
+            number=number,
+            timestamp=timestamp,
+            difficulty=difficulty,
+            coinbase=self.coinbase,
+            tx_root=transactions_root(transactions),
+            gas_limit=parent.header.gas_limit,
+            gas_used=0,
+            extra_data=extra,
+        )
+        # Trial-execute to learn the resulting state root.
+        parent_state = self.chain.state_at(parent.block_hash)
+        if parent_state is None:
+            raise ValueError("parent state unavailable (pruned?)")
+        scratch = parent_state.fork()
+        trial = Block(
+            header=BlockHeader(state_root=Hash32.zero(), **header_fields),
+            transactions=transactions,
+        )
+        result = apply_block(
+            scratch, trial, config, self.chain.irregular_transfers
+        )
+        header = BlockHeader(
+            state_root=scratch.state_root,
+            **{**header_fields, "gas_used": result.gas_used},
+        )
+        return Block(header=header, transactions=transactions)
+
+    def extend(
+        self,
+        transactions: Tuple[SignedTransaction, ...] = (),
+        timestamp: Optional[int] = None,
+    ) -> Block:
+        block = self.seal(transactions, timestamp)
+        imported = self.chain.import_block(block)
+        if not imported.accepted:
+            raise RuntimeError(
+                f"sealed block rejected: {imported.status} {imported.reason}"
+            )
+        return block
+
+
+@dataclass
+class DaoScenarioConfig:
+    fork_block: int = 16
+    investor_count: int = 4
+    investment: Wei = ether(25)
+    attacker_stake: Wei = ether(1)
+    max_reentries: int = 3
+    gas_price: Wei = 20 * 10**9
+
+
+@dataclass
+class DaoScenarioResult:
+    eth_chain: Blockchain
+    etc_chain: Blockchain
+    dao_address: Address
+    attacker_contract: Address
+    attacker_key: PrivateKey
+    refund_address: Address
+    drained: Wei
+    keys: Dict[str, PrivateKey]
+    #: The replayed transaction and where it executed.
+    replayed_tx: Optional[SignedTransaction] = None
+
+    def attacker_balance(self, chain: Blockchain) -> Wei:
+        return chain.head_state().balance_of(self.attacker_contract)
+
+    def refund_balance(self, chain: Blockchain) -> Wei:
+        return chain.head_state().balance_of(self.refund_address)
+
+
+class DaoScenario:
+    """Runs the six acts described in the module docstring."""
+
+    def __init__(self, config: Optional[DaoScenarioConfig] = None) -> None:
+        self.config = config or DaoScenarioConfig()
+
+    def run(self) -> DaoScenarioResult:
+        config = self.config
+        keys = {
+            "deployer": PrivateKey.from_seed("dao:deployer"),
+            "attacker": PrivateKey.from_seed("dao:attacker"),
+            "miner": PrivateKey.from_seed("dao:miner"),
+            "alice": PrivateKey.from_seed("dao:alice"),
+            "bob": PrivateKey.from_seed("dao:bob"),
+        }
+        for index in range(config.investor_count):
+            keys[f"investor{index}"] = PrivateKey.from_seed(f"dao:investor{index}")
+
+        alloc = {
+            keys["deployer"].address: ether(10),
+            keys["attacker"].address: ether(10),
+            keys["alice"].address: ether(50),
+            keys["bob"].address: ether(5),
+        }
+        for index in range(config.investor_count):
+            alloc[keys[f"investor{index}"].address] = config.investment + ether(1)
+
+        genesis, genesis_state = build_genesis(alloc)
+
+        shared_config = replace(
+            ETH_CONFIG,
+            dao_fork_block=config.fork_block,
+            gas_reprice_block=None,
+            replay_protection_block=None,
+            bomb_delay=10**9,
+        )
+        chain = Blockchain(shared_config, genesis, genesis_state.fork())
+        writer = ChainWriter(chain, keys["miner"].address)
+
+        def send(key: PrivateKey, to, value, data=b"", gas=2_000_000):
+            nonce = chain.head_state().nonce_of(key.address)
+            return sign_transaction(
+                key,
+                Transaction(
+                    nonce=nonce,
+                    gas_price=config.gas_price,
+                    gas_limit=gas,
+                    to=to,
+                    value=value,
+                    data=data,
+                ),
+            )
+
+        # Act 1: deploy the DAO.
+        deployer_nonce = chain.head_state().nonce_of(keys["deployer"].address)
+        dao_address = derive_contract_address(
+            keys["deployer"].address, deployer_nonce
+        )
+        writer.extend(
+            (
+                send(
+                    keys["deployer"],
+                    None,
+                    0,
+                    deploy_wrapper(vulnerable_bank_code()),
+                    gas=3_000_000,
+                ),
+            )
+        )
+        assert chain.head_state().is_contract(dao_address)
+
+        # Act 2: the crowdfunding period.
+        for index in range(config.investor_count):
+            writer.extend(
+                (
+                    send(
+                        keys[f"investor{index}"],
+                        dao_address,
+                        config.investment,
+                        encode_call(SEL_DEPOSIT),
+                    ),
+                )
+            )
+
+        # Act 3: the attack.
+        attacker_nonce = chain.head_state().nonce_of(keys["attacker"].address)
+        attacker_contract = derive_contract_address(
+            keys["attacker"].address, attacker_nonce
+        )
+        writer.extend(
+            (
+                send(
+                    keys["attacker"],
+                    None,
+                    0,
+                    deploy_wrapper(
+                        reentrancy_attacker_code(
+                            dao_address, max_reentries=config.max_reentries
+                        )
+                    ),
+                    gas=3_000_000,
+                ),
+            )
+        )
+        writer.extend(
+            (
+                send(
+                    keys["attacker"],
+                    attacker_contract,
+                    config.attacker_stake,
+                    encode_call(SEL_ATTACK),
+                    gas=4_000_000,
+                ),
+            )
+        )
+        drained = chain.head_state().balance_of(attacker_contract)
+        if drained <= config.attacker_stake:
+            raise RuntimeError("the reentrancy drain failed to profit")
+
+        # Act 4: schedule the irregular state change on the pro-fork side.
+        refund_address = PrivateKey.from_seed("dao:withdraw-contract").address
+        chain.irregular_transfers = [(attacker_contract, refund_address)]
+
+        # Grow the shared prefix up to (not including) the fork block.
+        while chain.height < config.fork_block - 1:
+            writer.extend(())
+
+        # Act 5: the split.  Each side gets its own store (same blocks, a
+        # forked state) and mines its own fork block.
+        eth_chain = chain  # the pro-fork side keeps the writer's store
+        etc_config = replace(
+            ETC_CONFIG,
+            dao_fork_block=config.fork_block,
+            gas_reprice_block=None,
+            replay_protection_block=None,
+            bomb_delay=10**9,
+        )
+        etc_chain = Blockchain(
+            etc_config, genesis, genesis_state.fork()
+        )
+        for block in chain.canonical_blocks(1):
+            imported = etc_chain.import_block(block)
+            if not imported.accepted:
+                raise RuntimeError(
+                    f"prefix block {block.number} rejected by ETC: "
+                    f"{imported.reason}"
+                )
+        etc_chain.irregular_transfers = []  # code is law
+
+        etc_writer = ChainWriter(etc_chain, keys["miner"].address)
+        writer.extend(())  # ETH fork block: applies the irregular transfer
+        etc_writer.extend(())  # ETC fork block: plain
+
+        # Cross-import refusal: each side rejects the other's fork block.
+        eth_fork_block = eth_chain.block_by_number(config.fork_block)
+        etc_fork_block = etc_chain.block_by_number(config.fork_block)
+        assert not etc_chain.import_block(eth_fork_block).accepted
+        assert not eth_chain.import_block(etc_fork_block).accepted
+
+        # Act 6: the replay.  Alice (unsplit) pays Bob on ETH; Bob echoes
+        # the same signed bytes into ETC.
+        replay_tx = send(keys["alice"], keys["bob"].address, ether(7))
+        writer.extend((replay_tx,))
+        etc_writer.extend((replay_tx,))  # the echo: same hash, other chain
+
+        return DaoScenarioResult(
+            eth_chain=eth_chain,
+            etc_chain=etc_chain,
+            dao_address=dao_address,
+            attacker_contract=attacker_contract,
+            attacker_key=keys["attacker"],
+            refund_address=refund_address,
+            drained=drained,
+            keys=keys,
+            replayed_tx=replay_tx,
+        )

@@ -1,0 +1,257 @@
+"""The message-level partition scenario — Observation 1.
+
+Reconstructs the node-level view of the fork: a population of full nodes
+runs the pre-fork protocol; ahead of the activation height most operators
+upgrade (the fork was scheduled, so software shipped in advance); at the
+fork block the chains diverge, handshake fork-checks and invalid-block
+disconnects tear the mesh apart, and the minority side's *reachable
+network* collapses — "a sudden loss of roughly 90% of the nodes in its
+network immediately after the fork".
+
+Measurement mirrors the authors' vantage point: a crawler starting from a
+known ETC node counts how many peers it can reach by following peer links
+(:func:`reachable_nodes`).  The scenario also records mean peer counts per
+side, showing the slower *recovery* as fork-blind Kademlia discovery keeps
+suggesting peers and compatible ones stick ("an influx of nodes re-joined
+ETC over the subsequent two weeks" — at this scenario's compressed scale,
+over the following simulated hours).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+from typing import List, Optional, Set
+
+from ..chain.chainstore import Blockchain
+from ..chain.config import ETC_CONFIG, ETH_CONFIG
+from ..chain.difficulty import equilibrium_difficulty
+from ..chain.genesis import build_genesis
+from ..net.latency import LognormalLatency
+from ..net.network import Network
+from ..net.node import FullNode
+from ..net.simulator import Simulator
+
+__all__ = [
+    "PartitionScenarioConfig",
+    "PartitionSnapshot",
+    "PartitionResult",
+    "PartitionScenario",
+    "reachable_nodes",
+]
+
+
+def reachable_nodes(network: Network, seed_name: str) -> Set[str]:
+    """Crawl the mesh: every node reachable from ``seed_name`` by
+    following live peer links (what a network crawler would count)."""
+    seen: Set[str] = set()
+    frontier = [seed_name]
+    while frontier:
+        name = frontier.pop()
+        if name in seen:
+            continue
+        node = network.nodes.get(name)
+        if node is None or not node.online:
+            continue
+        seen.add(name)
+        frontier.extend(node.peers)
+    return seen
+
+
+@dataclass
+class PartitionScenarioConfig:
+    """A compressed fork: ~minutes of simulated time per paper-day."""
+
+    num_nodes: int = 60
+    num_miners: int = 18
+    #: Fraction of nodes (and miners) that upgrade to the pro-fork client.
+    upgrade_fraction: float = 0.9
+    fork_block: int = 40
+    #: Per-miner hashrate; total sets the pre-fork equilibrium difficulty.
+    miner_hashrate: float = 2e6
+    target_degree: int = 8
+    seed: int = 20160720
+    #: Simulated seconds past the fork block to keep running.
+    post_fork_horizon: float = 4 * 3600.0
+    census_interval: float = 600.0
+    redial_interval: float = 60.0
+
+
+@dataclass(frozen=True)
+class PartitionSnapshot:
+    """One census row."""
+
+    time: float
+    eth_height: int
+    etc_height: int
+    #: Crawl sizes from each side's seed node.
+    eth_reachable: int
+    etc_reachable: int
+    #: Mean live peer count per side.
+    eth_mean_peers: float
+    etc_mean_peers: float
+
+
+@dataclass
+class PartitionResult:
+    config: PartitionScenarioConfig
+    snapshots: List[PartitionSnapshot]
+    fork_time: Optional[float]
+    handshake_refusals: int
+    incompatible_disconnects: int
+
+    def minimum_etc_reachable(self) -> int:
+        post = [s for s in self.snapshots if self.fork_time and s.time >= self.fork_time]
+        if not post:
+            return 0
+        return min(s.etc_reachable for s in post)
+
+    def node_loss_fraction(self) -> float:
+        """Observation 1: reachable-network shrinkage for the ETC side.
+
+        Baseline is the pre-fork reachable mesh (everyone); the post-fork
+        floor is the smallest ETC crawl.
+        """
+        pre = [s for s in self.snapshots if not self.fork_time or s.time < self.fork_time]
+        baseline = max((s.etc_reachable for s in pre), default=0)
+        if baseline == 0:
+            return 0.0
+        return 1.0 - self.minimum_etc_reachable() / baseline
+
+
+class PartitionScenario:
+    """Build, run, and measure the partition event."""
+
+    def __init__(self, config: Optional[PartitionScenarioConfig] = None) -> None:
+        self.config = config or PartitionScenarioConfig()
+
+    def run(self) -> PartitionResult:
+        config = self.config
+        rng = random.Random(config.seed)
+
+        total_hashrate = config.num_miners * config.miner_hashrate
+        genesis, _ = build_genesis(
+            alloc={}, difficulty=equilibrium_difficulty(total_hashrate)
+        )
+
+        # Everyone starts on the legacy client: no DAO fork support.  The
+        # configs use the scenario's compressed fork height.
+        etc_config = replace(
+            ETC_CONFIG,
+            dao_fork_block=config.fork_block,
+            gas_reprice_block=None,
+            replay_protection_block=None,
+            bomb_delay=10**9,
+        )
+        eth_config = replace(
+            ETH_CONFIG,
+            dao_fork_block=config.fork_block,
+            gas_reprice_block=None,
+            replay_protection_block=None,
+            bomb_delay=10**9,
+        )
+
+        sim = Simulator()
+        network = Network(
+            sim, latency=LognormalLatency(median=0.12), seed=config.seed
+        )
+
+        upgraders: List[str] = []
+        holdouts: List[str] = []
+        for index in range(config.num_nodes):
+            is_miner = index < config.num_miners
+            node = FullNode(
+                name=f"n{index:03d}",
+                chain=Blockchain(etc_config, genesis, execute_transactions=False),
+                mining_hashrate=config.miner_hashrate if is_miner else 0.0,
+                region=rng.choice(["na", "eu", "as"]),
+                rng_seed=config.seed * 1000 + index,
+            )
+            network.add_node(node)
+            if rng.random() < config.upgrade_fraction:
+                upgraders.append(node.name)
+            else:
+                holdouts.append(node.name)
+        if not holdouts:
+            holdouts.append(upgraders.pop())
+        if not upgraders:
+            upgraders.append(holdouts.pop())
+
+        network.bootstrap_mesh(target_degree=config.target_degree)
+        network.schedule_redial_loop(config.redial_interval)
+        sim.run_until(120)  # let handshakes settle
+        network.start_all_miners()
+
+        # Upgrades roll out while the chain approaches the fork height —
+        # operators installed the forking client days ahead; compressed
+        # here to a window before activation.
+        expected_fork_time = sim.now + config.fork_block * 14.0
+        for position, name in enumerate(upgraders):
+            when = sim.now + (position / max(1, len(upgraders))) * (
+                0.6 * config.fork_block * 14.0
+            )
+            sim.schedule_at(
+                when, network.nodes[name].upgrade, eth_config
+            )
+
+        snapshots: List[PartitionSnapshot] = []
+        fork_time_holder: List[float] = []
+
+        eth_seed = upgraders[0]
+        etc_seed = holdouts[0]
+
+        def census() -> None:
+            eth_nodes = [
+                network.nodes[n]
+                for n in network.nodes
+                if network.nodes[n].config.dao_fork_support
+            ]
+            etc_nodes = [
+                network.nodes[n]
+                for n in network.nodes
+                if not network.nodes[n].config.dao_fork_support
+            ]
+            eth_height = max((n.chain.height for n in eth_nodes), default=0)
+            etc_height = max((n.chain.height for n in etc_nodes), default=0)
+            if not fork_time_holder and max(eth_height, etc_height) >= config.fork_block:
+                fork_time_holder.append(sim.now)
+            snapshots.append(
+                PartitionSnapshot(
+                    time=sim.now,
+                    eth_height=eth_height,
+                    etc_height=etc_height,
+                    eth_reachable=len(reachable_nodes(network, eth_seed)),
+                    etc_reachable=len(reachable_nodes(network, etc_seed)),
+                    eth_mean_peers=_mean(len(n.peers) for n in eth_nodes),
+                    etc_mean_peers=_mean(len(n.peers) for n in etc_nodes),
+                )
+            )
+
+        end_time = expected_fork_time + config.post_fork_horizon
+        tick = sim.now
+        while tick <= end_time:
+            sim.schedule_at(tick, census)
+            tick += config.census_interval
+        sim.run_until(end_time)
+
+        refusals = sum(
+            node.stats["handshakes_refused"] for node in network.nodes.values()
+        )
+        incompatible = sum(
+            node.stats["disconnects_incompatible"]
+            for node in network.nodes.values()
+        )
+        return PartitionResult(
+            config=config,
+            snapshots=snapshots,
+            fork_time=fork_time_holder[0] if fork_time_holder else None,
+            handshake_refusals=refusals,
+            incompatible_disconnects=incompatible,
+        )
+
+
+def _mean(values) -> float:
+    values = list(values)
+    if not values:
+        return 0.0
+    return sum(values) / len(values)

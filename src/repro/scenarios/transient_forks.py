@@ -1,0 +1,127 @@
+"""Transient forks: the baseline fork behaviour the paper contrasts with.
+
+Section 2.1: "two miners will occasionally mine a block before they are
+aware of the fact that the other did so as well ... this situation will
+ultimately be resolved ... This type of fork is termed a transient fork."
+
+The protocol resolves these automatically (heaviest chain); what makes
+them *interesting* as a baseline is their rate: two blocks race exactly
+when both are found within one propagation interval, so the transient
+fork rate ≈ propagation delay / block interval.  This scenario runs the
+message-level network at several latency settings and measures the orphan
+rate, demonstrating that the substrate's transient forks behave like the
+real network's — and, by contrast, that the DAO fork's *persistence* is a
+property of validation rules, not of racing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Optional
+
+from ..chain.chainstore import Blockchain
+from ..chain.config import PRE_FORK_CONFIG
+from ..chain.genesis import build_genesis
+from ..net.latency import ConstantLatency
+from ..net.network import Network
+from ..net.node import FullNode
+from ..net.simulator import Simulator
+
+__all__ = ["TransientForkConfig", "TransientForkOutcome", "run_transient_forks"]
+
+
+@dataclass
+class TransientForkConfig:
+    num_miners: int = 10
+    miner_hashrate: float = 1e6
+    #: One-way link latency in seconds (the sweep variable).
+    latency: float = 0.1
+    #: Mean block interval to calibrate difficulty for.
+    block_interval: float = 14.0
+    duration: float = 4 * 3600.0
+    seed: int = 61
+
+
+@dataclass
+class TransientForkOutcome:
+    config: TransientForkConfig
+    canonical_blocks: int
+    orphan_blocks: int
+    converged: bool
+    #: Orphans later referenced as uncles by canonical blocks — the
+    #: protocol's compensation mechanism for transient-fork losers.
+    uncles_included: int = 0
+
+    @property
+    def orphan_rate(self) -> float:
+        total = self.canonical_blocks + self.orphan_blocks
+        return self.orphan_blocks / total if total else 0.0
+
+    @property
+    def uncle_recovery_rate(self) -> float:
+        """Fraction of orphans that ended up referenced as uncles."""
+        if self.orphan_blocks == 0:
+            return 0.0
+        return min(1.0, self.uncles_included / self.orphan_blocks)
+
+    @property
+    def predicted_rate(self) -> float:
+        """First-order theory: delay / block interval."""
+        return min(1.0, self.config.latency / self.config.block_interval)
+
+
+def run_transient_forks(
+    config: Optional[TransientForkConfig] = None,
+) -> TransientForkOutcome:
+    """Run one latency setting; returns the measured orphan rate."""
+    config = config or TransientForkConfig()
+    total_hashrate = config.num_miners * config.miner_hashrate
+    difficulty = int(total_hashrate * config.block_interval)
+    genesis, _ = build_genesis({}, difficulty=max(difficulty, 131_072))
+
+    prefork = replace(PRE_FORK_CONFIG, dao_fork_block=10**9, bomb_delay=10**9)
+    sim = Simulator()
+    network = Network(
+        sim, latency=ConstantLatency(config.latency), seed=config.seed
+    )
+    for index in range(config.num_miners):
+        network.add_node(
+            FullNode(
+                f"miner{index:02d}",
+                Blockchain(prefork, genesis, execute_transactions=False),
+                mining_hashrate=config.miner_hashrate,
+                rng_seed=config.seed * 100 + index,
+            )
+        )
+    network.bootstrap_mesh(target_degree=min(8, config.num_miners - 1))
+    network.schedule_redial_loop(60.0)
+    sim.run_until(30)
+    network.start_all_miners()
+    sim.run_until(30 + config.duration)
+
+    # Count from the node with the longest view; orphans are stored
+    # blocks off its canonical chain.
+    best = max(network.nodes.values(), key=lambda n: n.chain.height)
+    canonical = best.chain.height
+    orphans = len(best.chain.orphaned_blocks())
+    uncles = sum(len(b.ommers) for b in best.chain.canonical_blocks())
+    heads = {node.chain.head.block_hash for node in network.nodes.values()}
+    return TransientForkOutcome(
+        config=config,
+        canonical_blocks=canonical,
+        orphan_blocks=orphans,
+        converged=len(heads) == 1,
+        uncles_included=uncles,
+    )
+
+
+def latency_sweep(
+    latencies: List[float], base: Optional[TransientForkConfig] = None
+) -> List[TransientForkOutcome]:
+    """Measure the orphan rate across a latency sweep."""
+    base = base or TransientForkConfig()
+    outcomes = []
+    for latency in latencies:
+        config = replace(base, latency=latency)
+        outcomes.append(run_transient_forks(config))
+    return outcomes

@@ -1,0 +1,50 @@
+"""The fast per-block simulator for month-scale fork reconstructions."""
+
+from .blockprod import BlockProducer, ChainTrace
+from .clock import (
+    FORK_TIMESTAMP,
+    SECONDS_PER_DAY,
+    day_to_timestamp,
+    format_date,
+    month_label,
+    timestamp_to_day,
+)
+from .engine import ForkSimConfig, ForkSimResult, ForkSimulation
+from .population import (
+    PoolLandscape,
+    PoolSpec,
+    etc_pool_landscape,
+    eth_pool_landscape,
+    prefork_pool_landscape,
+)
+from .workload import (
+    AnchoredRate,
+    RateAnchor,
+    TransactionWorkload,
+    etc_workload,
+    eth_workload,
+)
+
+__all__ = [
+    "ChainTrace",
+    "BlockProducer",
+    "ForkSimConfig",
+    "ForkSimResult",
+    "ForkSimulation",
+    "PoolLandscape",
+    "PoolSpec",
+    "eth_pool_landscape",
+    "etc_pool_landscape",
+    "prefork_pool_landscape",
+    "TransactionWorkload",
+    "AnchoredRate",
+    "RateAnchor",
+    "eth_workload",
+    "etc_workload",
+    "FORK_TIMESTAMP",
+    "SECONDS_PER_DAY",
+    "day_to_timestamp",
+    "timestamp_to_day",
+    "format_date",
+    "month_label",
+]

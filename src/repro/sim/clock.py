@@ -1,0 +1,47 @@
+"""Calendar anchoring for simulated time.
+
+Figures in the paper run on calendar axes ("07/21", "09/16", ...).  The
+fast simulator works in Unix seconds anchored at the real DAO-fork moment
+(2016-07-20 13:20:40 UTC), so simulated series line up with the paper's
+dates and reports can print the same tick labels.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+
+from ..chain.config import DAO_FORK_TIMESTAMP
+
+__all__ = [
+    "FORK_TIMESTAMP",
+    "SECONDS_PER_DAY",
+    "day_to_timestamp",
+    "timestamp_to_day",
+    "format_date",
+    "month_label",
+]
+
+FORK_TIMESTAMP = DAO_FORK_TIMESTAMP
+SECONDS_PER_DAY = 86_400
+
+
+def day_to_timestamp(day: float) -> int:
+    """Unix timestamp for ``day`` days after the fork (may be negative)."""
+    return int(FORK_TIMESTAMP + day * SECONDS_PER_DAY)
+
+
+def timestamp_to_day(timestamp: float) -> float:
+    """Days since the fork (fractional)."""
+    return (timestamp - FORK_TIMESTAMP) / SECONDS_PER_DAY
+
+
+def format_date(timestamp: float) -> str:
+    """ISO date (UTC) for a Unix timestamp — report axis labels."""
+    moment = _dt.datetime.fromtimestamp(timestamp, tz=_dt.timezone.utc)
+    return moment.strftime("%Y-%m-%d")
+
+
+def month_label(timestamp: float) -> str:
+    """The paper's MM/YY tick format (e.g. "07/16")."""
+    moment = _dt.datetime.fromtimestamp(timestamp, tz=_dt.timezone.utc)
+    return moment.strftime("%m/%y")

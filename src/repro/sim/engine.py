@@ -1,0 +1,274 @@
+"""The two-chain fork simulation: one engine behind Figures 1, 2, 3 and 5.
+
+:class:`ForkSimulation` reconstructs the July 2016 partition end-to-end at
+day granularity:
+
+1. A **pre-fork segment** mines the shared prefix under the pre-fork pool
+   landscape.
+2. At the fork instant the trace splits (:meth:`ChainTrace.forked_from`):
+   ideologically pro-fork hashpower and — crucially — the entire
+   profit-driven majority *follow the upgrade to ETH*, leaving ETC with
+   only its "code is law" loyalists (~1% of hashpower).  That initial
+   condition is what collapses ETC block production to a handful of blocks
+   per hour while the clamped difficulty algorithm grinds down
+   (Observations 1-2, Figure 1).
+3. Each simulated day, the market model produces ETH/ETC prices, the
+   supply model produces available hashpower (growth + Zcash draw), and
+   the lagged arbitrage allocator moves profit hashpower toward the
+   revenue-equalizing split — sending a slice *back* to ETC as its price
+   finds a floor (the mirror-image difficulty drift in Figure 1's second
+   fortnight, and Figure 3's near-identical hashes-per-USD curves).
+4. Block production for the day runs through the exact consensus
+   difficulty rule; the transaction workload model fills blocks.
+
+Everything downstream (the figures) reads the resulting traces and rate
+series through :class:`~repro.data.store.ChainDatabase`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..chain.config import ETC_CONFIG, ETH_CONFIG, PRE_FORK_CONFIG, DAO_FORK_BLOCK
+from ..data.store import ChainDatabase
+from ..market.arbitrage import LaggedAllocator
+from ..market.events import DEFAULT_EVENTS, ExternalDraw, HashpowerSupply
+from ..market.exchange import ExchangeRateSeries
+from ..market.price import etc_price_process, eth_price_process
+from .blockprod import BlockProducer, ChainTrace
+from .clock import FORK_TIMESTAMP, SECONDS_PER_DAY
+from .population import (
+    PoolLandscape,
+    etc_pool_landscape,
+    eth_pool_landscape,
+    prefork_pool_landscape,
+)
+from .workload import TransactionWorkload, etc_workload, eth_workload
+
+__all__ = ["ForkSimConfig", "ForkSimResult", "ForkSimulation"]
+
+
+@dataclass
+class ForkSimConfig:
+    """Calibration knobs for the fork reconstruction.
+
+    Defaults reproduce the paper's measurement window: 270 days from the
+    fork (July 2016 → April 2017), total hashpower ~4.8 TH/s at the fork
+    (putting equilibrium difficulty at the ~6.7e13 the paper's Figure 1
+    shows), ~1.2% of hashpower ideologically committed to ETC at the
+    instant of the fork, and a daily arbitrage adjustment rate of 18%.
+    """
+
+    days: int = 270
+    prefork_days: int = 14
+    seed: int = 2016_07_20
+    total_hashrate_at_fork: float = 4.8e12
+    hashrate_growth_per_day: float = 0.005
+    #: Fractions of fork-time hashpower that are ideologically pinned.
+    etc_loyal_fraction: float = 0.012
+    eth_loyal_fraction: float = 0.35
+    #: ETC loyalist hashpower online at the fork instant.  The anti-fork
+    #: camp needed days to regroup (dedicated clients, new bootnodes, pool
+    #: infrastructure), so day-zero ETC ran on a sliver of its eventual
+    #: loyalist base; the rest ramps in over ``etc_loyal_ramp_days``.
+    etc_day0_fraction: float = 0.005
+    etc_loyal_ramp_days: float = 3.0
+    #: Day ETC became tradeable (Poloniex listed it ~July 24, day 4).
+    #: Profit-driven hashpower cannot arbitrage an unpriced asset, so no
+    #: profit flow reaches ETC before this day.
+    etc_listing_day: int = 4
+    #: Lagged-allocator daily adjustment rate.
+    allocator_alpha: float = 0.12
+    events: Sequence[ExternalDraw] = field(default_factory=lambda: list(DEFAULT_EVENTS))
+    #: Include the per-block transaction workload (disable for
+    #: difficulty-only experiments to halve runtime).
+    with_transactions: bool = True
+
+
+@dataclass
+class ForkSimResult:
+    """Everything a figure needs, in one bundle."""
+
+    config: ForkSimConfig
+    eth_trace: ChainTrace
+    etc_trace: ChainTrace
+    fork_timestamp: int
+    fork_number: int
+    rates: ExchangeRateSeries
+    #: Day index -> allocated hashrate per chain.
+    daily_hashrate: Dict[str, List[float]]
+
+    def traces(self) -> Dict[str, ChainTrace]:
+        return {"ETH": self.eth_trace, "ETC": self.etc_trace}
+
+    def to_database(self, include_prefix: bool = True) -> ChainDatabase:
+        """Load block records into a fresh analysis database."""
+        database = ChainDatabase()
+        for trace in (self.eth_trace, self.etc_trace):
+            records = trace.block_records()
+            if not include_prefix:
+                records = [
+                    record
+                    for record in records
+                    if record.number > self.fork_number
+                ]
+            database.insert_blocks(records)
+        return database
+
+
+class ForkSimulation:
+    """Runs the full scenario; see the module docstring for the phases."""
+
+    def __init__(self, config: Optional[ForkSimConfig] = None) -> None:
+        self.config = config or ForkSimConfig()
+        self.rng = random.Random(self.config.seed)
+
+    def run(self) -> ForkSimResult:
+        config = self.config
+
+        # -- market inputs, precomputed day by day -------------------------
+        eth_prices = eth_price_process(seed=config.seed + 1).series(config.days)
+        etc_prices = etc_price_process(seed=config.seed + 2).series(config.days)
+        rates = ExchangeRateSeries()
+        rates.set_series("ETH", eth_prices)
+        rates.set_series("ETC", etc_prices)
+
+        supply = HashpowerSupply(
+            base_hashrate=config.total_hashrate_at_fork,
+            growth_rate_per_day=config.hashrate_growth_per_day,
+            events=config.events,
+        )
+
+        # -- phase 1: the shared prefix ------------------------------------
+        prefork_landscape = prefork_pool_landscape(seed=config.seed + 3)
+        prefork_workload = eth_workload()
+        equilibrium_difficulty = int(
+            config.total_hashrate_at_fork * 14
+        )
+        prefork_trace = ChainTrace("pre-fork")
+        start_ts = FORK_TIMESTAMP - config.prefork_days * SECONDS_PER_DAY
+        producer = BlockProducer(
+            config=PRE_FORK_CONFIG,
+            trace=prefork_trace,
+            start_number=DAO_FORK_BLOCK
+            - self._expected_blocks(config.prefork_days),
+            start_timestamp=start_ts,
+            start_difficulty=equilibrium_difficulty,
+            seed=config.seed + 4,
+        )
+        for day_offset in range(config.prefork_days):
+            day = day_offset - config.prefork_days  # negative: before fork
+            hashrate = supply.trend(day)
+            sampler = prefork_landscape.make_sampler(day)
+            tx_sampler = None
+            if config.with_transactions:
+                rng = random.Random(f"{config.seed}:wl-pre:{day_offset}")
+                total = prefork_workload.daily_count(0, rng)
+                tx_sampler = prefork_workload.per_block_sampler(0, total)
+            producer.run_until(
+                start_ts + (day_offset + 1) * SECONDS_PER_DAY,
+                hashrate,
+                sampler,
+                tx_sampler,
+            )
+
+        fork_number = producer.number
+        fork_timestamp = producer.timestamp
+
+        # -- phase 2: the split ---------------------------------------------
+        eth_trace = ChainTrace.forked_from(prefork_trace, "ETH")
+        etc_trace = ChainTrace.forked_from(prefork_trace, "ETC")
+        eth_producer = BlockProducer(
+            ETH_CONFIG,
+            eth_trace,
+            producer.number,
+            producer.timestamp,
+            producer.difficulty,
+            seed=config.seed + 5,
+        )
+        etc_producer = BlockProducer(
+            ETC_CONFIG,
+            etc_trace,
+            producer.number,
+            producer.timestamp,
+            producer.difficulty,
+            seed=config.seed + 6,
+        )
+
+        # Initial allocation: ETC holds only its day-zero loyalists;
+        # everyone else — the pro-fork bloc and the entire profit bloc —
+        # is on ETH.
+        fork_supply = supply.available(0)
+        allocator = LaggedAllocator(alpha=config.allocator_alpha)
+        allocator.reset(
+            {
+                "ETH": fork_supply * (1 - config.etc_day0_fraction),
+                "ETC": fork_supply * config.etc_day0_fraction,
+            }
+        )
+
+        landscapes: Dict[str, PoolLandscape] = {
+            "ETH": eth_pool_landscape(seed=config.seed + 3),
+            "ETC": etc_pool_landscape(seed=config.seed + 7),
+        }
+        workloads: Dict[str, TransactionWorkload] = {
+            "ETH": eth_workload(),
+            "ETC": etc_workload(),
+        }
+        producers = {"ETH": eth_producer, "ETC": etc_producer}
+        daily_hashrate: Dict[str, List[float]] = {"ETH": [], "ETC": []}
+
+        # -- phase 3+4: the day loop ------------------------------------------
+        for day in range(config.days):
+            day_supply = supply.available(day)
+            etc_loyal_today = config.etc_day0_fraction + (
+                config.etc_loyal_fraction - config.etc_day0_fraction
+            ) * min(1.0, day / config.etc_loyal_ramp_days)
+            floors = {
+                "ETH": config.eth_loyal_fraction * day_supply,
+                "ETC": etc_loyal_today * day_supply,
+            }
+            profit = max(0.0, day_supply - sum(floors.values()))
+            if day < config.etc_listing_day:
+                # No market for ETC yet: profit hashpower cannot price it
+                # and stays on ETH.  Pin the allocation directly (and keep
+                # the allocator's state in sync for the handover).
+                allocation = {
+                    "ETH": floors["ETH"] + profit,
+                    "ETC": floors["ETC"],
+                }
+                allocator.reset(allocation)
+            else:
+                prices = {"ETH": eth_prices[day], "ETC": etc_prices[day]}
+                allocation = allocator.step(profit, prices, floors)
+
+            day_end = fork_timestamp + (day + 1) * SECONDS_PER_DAY
+            for chain in ("ETH", "ETC"):
+                hashrate = allocation[chain]
+                daily_hashrate[chain].append(hashrate)
+                sampler = landscapes[chain].make_sampler(day)
+                tx_sampler = None
+                if config.with_transactions:
+                    rng = random.Random(f"{config.seed}:wl:{chain}:{day}")
+                    total = workloads[chain].daily_count(day, rng)
+                    tx_sampler = workloads[chain].per_block_sampler(day, total)
+                producers[chain].run_until(
+                    day_end, hashrate, sampler, tx_sampler
+                )
+
+        return ForkSimResult(
+            config=config,
+            eth_trace=eth_trace,
+            etc_trace=etc_trace,
+            fork_timestamp=fork_timestamp,
+            fork_number=fork_number,
+            rates=rates,
+            daily_hashrate=daily_hashrate,
+        )
+
+    @staticmethod
+    def _expected_blocks(days: int) -> int:
+        """Rough pre-fork block count for numbering the prefix."""
+        return int(days * SECONDS_PER_DAY / 14)

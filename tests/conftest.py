@@ -1,0 +1,38 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.chain import (
+    ETH_CONFIG,
+    Blockchain,
+    PrivateKey,
+    build_genesis,
+    ether,
+)
+from repro.scenarios.dao import ChainWriter
+
+
+@pytest.fixture
+def alice_key():
+    return PrivateKey.from_seed("test:alice")
+
+
+@pytest.fixture
+def bob_key():
+    return PrivateKey.from_seed("test:bob")
+
+
+@pytest.fixture
+def miner_key():
+    return PrivateKey.from_seed("test:miner")
+
+
+@pytest.fixture
+def funded_chain(alice_key, bob_key, miner_key):
+    """A full-execution chain with two funded accounts and a writer."""
+    genesis, state = build_genesis(
+        {alice_key.address: ether(100), bob_key.address: ether(50)}
+    )
+    chain = Blockchain(ETH_CONFIG, genesis, state)
+    writer = ChainWriter(chain, miner_key.address)
+    return chain, writer

@@ -1,0 +1,100 @@
+"""Baseline difficulty rules: the ablation comparators."""
+
+import pytest
+
+from repro.baselines.bitcoin_difficulty import (
+    BitcoinDifficulty,
+    EmergencyDifficulty,
+    ethereum_recovery_stepper,
+    simulate_recovery,
+)
+
+
+class TestBitcoinRule:
+    def test_no_change_within_window(self):
+        rule = BitcoinDifficulty(target_block_time=14.0)
+        difficulty = 1_000_000
+        for block in range(2015):
+            difficulty_after = rule.next_difficulty(difficulty, block * 14.0)
+            assert difficulty_after == difficulty
+
+    def test_retarget_after_window_slow_blocks(self):
+        rule = BitcoinDifficulty(target_block_time=14.0)
+        difficulty = 1_000_000
+        # Blocks at 28 s (twice the target) across the whole window.
+        for block in range(1, 2017):
+            difficulty = rule.next_difficulty(difficulty, block * 28.0)
+        assert difficulty == pytest.approx(500_000, rel=0.01)
+
+    def test_retarget_clamped_at_4x(self):
+        rule = BitcoinDifficulty(target_block_time=14.0)
+        difficulty = 1_000_000
+        # Absurdly slow blocks: 100x the target.
+        for block in range(1, 2017):
+            difficulty = rule.next_difficulty(difficulty, block * 1400.0)
+        assert difficulty == 250_000  # capped at /4, not /100
+
+
+class TestEmergencyRule:
+    def test_eda_cuts_after_long_gap(self):
+        rule = EmergencyDifficulty(target_block_time=14.0)
+        difficulty = 1_000_000
+        # Seven blocks spanning far beyond the (scaled) 12-hour trigger.
+        for block in range(7):
+            difficulty = rule.next_difficulty(difficulty, block * 10_000.0)
+        assert difficulty < 1_000_000
+
+    def test_eda_inactive_at_target_rate(self):
+        rule = EmergencyDifficulty(target_block_time=14.0)
+        difficulty = 1_000_000
+        for block in range(100):
+            difficulty = rule.next_difficulty(difficulty, block * 14.0)
+        assert difficulty == 1_000_000
+
+
+class TestRecoveryRace:
+    """The abl-diff experiment's core claim at test scale: Ethereum's
+    per-block rule recovers from the fork-scale hashpower exodus orders
+    of magnitude faster than Bitcoin's windowed rule; the EDA sits
+    between."""
+
+    HASHRATE = 4.8e10  # 1% of the pre-fork network
+    DIFFICULTY = int(4.8e12 * 14)
+
+    def run(self, name, stepper, horizon=90 * 86_400.0):
+        return simulate_recovery(
+            name, stepper, self.DIFFICULTY, self.HASHRATE,
+            horizon_seconds=horizon, seed=11,
+        )
+
+    def test_ethereum_recovers_in_days(self):
+        outcome = self.run("homestead", ethereum_recovery_stepper())
+        assert outcome.recovery_seconds is not None
+        assert outcome.recovery_days < 4
+
+    def test_bitcoin_rule_stalls_for_months(self):
+        rule = BitcoinDifficulty(target_block_time=14.0)
+        outcome = self.run("bitcoin", rule.next_difficulty)
+        assert (
+            outcome.recovery_seconds is None
+            or outcome.recovery_days > 30
+        )
+
+    def test_eda_beats_plain_bitcoin(self):
+        eda = EmergencyDifficulty(target_block_time=14.0)
+        eda_outcome = self.run("bch-eda", eda.next_difficulty)
+        plain = BitcoinDifficulty(target_block_time=14.0)
+        plain_outcome = self.run("bitcoin", plain.next_difficulty)
+        assert eda_outcome.recovery_seconds is not None
+        eda_days = eda_outcome.recovery_days
+        plain_days = (
+            plain_outcome.recovery_days
+            if plain_outcome.recovery_seconds is not None
+            else float("inf")
+        )
+        assert eda_days < plain_days
+
+    def test_recovery_outcome_reports_peak_interval(self):
+        outcome = self.run("homestead", ethereum_recovery_stepper())
+        assert outcome.peak_interval_seconds > 600
+        assert outcome.blocks_produced > 0

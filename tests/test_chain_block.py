@@ -1,0 +1,113 @@
+"""Block and header construction/identity tests."""
+
+import pytest
+
+from repro.chain.block import Block, BlockHeader, transactions_root
+from repro.chain.crypto import PrivateKey
+from repro.chain.transaction import Transaction, sign_transaction
+from repro.chain.types import Address, Hash32
+
+
+def make_header(**overrides):
+    fields = dict(
+        parent_hash=Hash32.zero(),
+        number=1,
+        timestamp=1000,
+        difficulty=131_072,
+        coinbase=Address.zero(),
+        state_root=Hash32.zero(),
+        tx_root=transactions_root(()),
+        gas_limit=4_700_000,
+        gas_used=0,
+    )
+    fields.update(overrides)
+    return BlockHeader(**fields)
+
+
+class TestHeaderValidation:
+    def test_negative_number_rejected(self):
+        with pytest.raises(ValueError):
+            make_header(number=-1)
+
+    def test_zero_difficulty_rejected(self):
+        with pytest.raises(ValueError):
+            make_header(difficulty=0)
+
+    def test_gas_used_beyond_limit_rejected(self):
+        with pytest.raises(ValueError):
+            make_header(gas_used=4_700_001)
+
+    def test_oversized_extra_data_rejected(self):
+        with pytest.raises(ValueError):
+            make_header(extra_data=b"x" * 33)
+
+
+class TestHeaderIdentity:
+    def test_hash_is_stable(self):
+        assert make_header().block_hash == make_header().block_hash
+
+    def test_every_field_affects_hash(self):
+        base = make_header().block_hash
+        assert make_header(number=2).block_hash != base
+        assert make_header(timestamp=1001).block_hash != base
+        assert make_header(difficulty=131_073).block_hash != base
+        assert make_header(coinbase=Address.from_int(1)).block_hash != base
+        assert make_header(nonce=7).block_hash != base
+        assert make_header(extra_data=b"dao").block_hash != base
+
+
+class TestBlock:
+    def test_consistent_tx_root(self):
+        key = PrivateKey.from_seed("block:test")
+        tx = sign_transaction(
+            key,
+            Transaction(
+                nonce=0, gas_price=1, gas_limit=21_000,
+                to=Address.zero(), value=1,
+            ),
+        )
+        block = Block(
+            header=make_header(tx_root=transactions_root((tx,))),
+            transactions=(tx,),
+        )
+        assert block.consistent_tx_root()
+        assert len(block) == 1
+        assert block.transaction_hashes() == (tx.tx_hash,)
+
+    def test_inconsistent_tx_root_detected(self):
+        key = PrivateKey.from_seed("block:test")
+        tx = sign_transaction(
+            key,
+            Transaction(
+                nonce=0, gas_price=1, gas_limit=21_000,
+                to=Address.zero(), value=1,
+            ),
+        )
+        block = Block(header=make_header(), transactions=(tx,))
+        assert not block.consistent_tx_root()
+
+    def test_transactions_root_is_order_sensitive(self):
+        key = PrivateKey.from_seed("block:test")
+        txs = [
+            sign_transaction(
+                key,
+                Transaction(
+                    nonce=n, gas_price=1, gas_limit=21_000,
+                    to=Address.zero(), value=1,
+                ),
+            )
+            for n in range(2)
+        ]
+        assert transactions_root(txs) != transactions_root(txs[::-1])
+
+    def test_genesis_flag(self):
+        assert Block(header=make_header(number=0)).is_genesis
+        assert not Block(header=make_header(number=1)).is_genesis
+
+    def test_passthroughs(self):
+        block = Block(header=make_header())
+        assert block.number == 1
+        assert block.timestamp == 1000
+        assert block.difficulty == 131_072
+        assert block.parent_hash == Hash32.zero()
+        assert block.block_hash == block.header.block_hash

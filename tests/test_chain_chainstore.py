@@ -1,0 +1,211 @@
+"""Chain store: imports, fork choice, reorgs, and cross-chain refusal."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.chain.block import Block, BlockHeader, transactions_root
+from repro.chain.chainstore import Blockchain, ChainStoreError
+from repro.chain.config import ETC_CONFIG, ETH_CONFIG
+from repro.chain.genesis import build_genesis
+from repro.chain.types import Address, Hash32
+
+CONFIG = replace(ETH_CONFIG, dao_fork_block=10**9, bomb_delay=10**9)
+
+
+def header_chain(genesis=None):
+    genesis = genesis or build_genesis({})[0]
+    return Blockchain(CONFIG, genesis, execute_transactions=False)
+
+
+def make_child(parent, config=CONFIG, coinbase=None, ts_delta=14):
+    timestamp = parent.timestamp + ts_delta
+    number = parent.number + 1
+    return Block(
+        header=BlockHeader(
+            parent_hash=parent.block_hash,
+            number=number,
+            timestamp=timestamp,
+            difficulty=config.compute_difficulty(
+                parent.difficulty, parent.timestamp, timestamp, number
+            ),
+            coinbase=coinbase or Address.zero(),
+            state_root=Hash32.zero(),
+            tx_root=transactions_root(()),
+            gas_limit=parent.header.gas_limit,
+            gas_used=0,
+            extra_data=config.dao_extra_data(number) or b"",
+        )
+    )
+
+
+class TestImport:
+    def test_genesis_is_head(self):
+        chain = header_chain()
+        assert chain.head.is_genesis
+        assert chain.height == 0
+        assert len(chain) == 1
+
+    def test_linear_growth(self):
+        chain = header_chain()
+        block = make_child(chain.head)
+        result = chain.import_block(block)
+        assert result.accepted
+        assert chain.head.block_hash == block.block_hash
+        assert chain.height == 1
+
+    def test_duplicate_is_known(self):
+        chain = header_chain()
+        block = make_child(chain.head)
+        chain.import_block(block)
+        assert chain.import_block(block).status == "known"
+
+    def test_unknown_parent_is_orphan(self):
+        chain = header_chain()
+        lonely = make_child(make_child(chain.head))
+        assert chain.import_block(lonely).status == "orphan"
+
+    def test_invalid_block_rejected_with_reason(self):
+        chain = header_chain()
+        block = make_child(chain.head)
+        bad = Block(
+            header=BlockHeader(
+                **{
+                    "parent_hash": block.header.parent_hash,
+                    "number": block.header.number,
+                    "timestamp": block.header.timestamp,
+                    "difficulty": block.header.difficulty + 1,
+                    "coinbase": block.header.coinbase,
+                    "state_root": block.header.state_root,
+                    "tx_root": block.header.tx_root,
+                    "gas_limit": block.header.gas_limit,
+                    "gas_used": 0,
+                }
+            )
+        )
+        result = chain.import_block(bad)
+        assert result.status == "invalid"
+        assert result.reason == "bad-difficulty"
+
+    def test_full_mode_requires_genesis_state(self):
+        genesis, _ = build_genesis({})
+        with pytest.raises(ChainStoreError):
+            Blockchain(CONFIG, genesis, genesis_state=None,
+                       execute_transactions=True)
+
+
+class TestForkChoice:
+    def test_heavier_branch_wins(self):
+        """Transient-fork resolution: the competing branch that
+        accumulates more work takes over (Section 2.1)."""
+        chain = header_chain()
+        a1 = make_child(chain.head, ts_delta=14)   # multiplier 0
+        b1 = make_child(chain.head, ts_delta=25)   # multiplier -1 → lighter
+        chain.import_block(a1)
+        chain.import_block(b1)
+        assert chain.head.block_hash == a1.block_hash
+
+        # Extend the lighter branch until it overtakes.
+        tip = b1
+        for _ in range(4):
+            tip = make_child(tip, ts_delta=5)
+            assert chain.import_block(tip).status == "imported"
+        assert chain.total_difficulty_of(tip.block_hash) > chain.total_difficulty_of(
+            a1.block_hash
+        )
+        assert chain.head.block_hash == tip.block_hash
+        assert chain.is_canonical(tip.block_hash)
+        assert not chain.is_canonical(a1.block_hash)
+
+    def test_reorg_flag_set(self):
+        chain = header_chain()
+        a1 = make_child(chain.head, ts_delta=14)
+        chain.import_block(a1)
+        b1 = make_child(chain.block_by_number(0), ts_delta=5)  # heavier sibling
+        result = chain.import_block(b1)
+        assert result.reorged
+        assert chain.head.block_hash == b1.block_hash
+
+    def test_orphaned_blocks_listed(self):
+        chain = header_chain()
+        a1 = make_child(chain.head, ts_delta=14)
+        b1 = make_child(chain.head, ts_delta=5)
+        chain.import_block(a1)
+        chain.import_block(b1)
+        orphaned = {b.block_hash for b in chain.orphaned_blocks()}
+        assert a1.block_hash in orphaned
+
+    def test_canonical_index_consistent_after_reorg(self):
+        chain = header_chain()
+        a1 = make_child(chain.head, ts_delta=14)
+        a2 = make_child(a1, ts_delta=14)
+        for block in (a1, a2):
+            chain.import_block(block)
+        b1 = make_child(chain.block_by_number(0), ts_delta=5)
+        b2 = make_child(b1, ts_delta=5)
+        b3 = make_child(b2, ts_delta=5)
+        for block in (b1, b2, b3):
+            chain.import_block(block)
+        assert chain.head.block_hash == b3.block_hash
+        for number in range(4):
+            block = chain.block_by_number(number)
+            if number > 0:
+                parent = chain.block_by_number(number - 1)
+                assert block.parent_hash == parent.block_hash
+
+    def test_branch_tips_ordering(self):
+        chain = header_chain()
+        a1 = make_child(chain.head, ts_delta=14)
+        b1 = make_child(chain.head, ts_delta=5)
+        chain.import_block(a1)
+        chain.import_block(b1)
+        tips = chain.branch_tips()
+        assert tips[0] == b1.block_hash  # heavier first
+
+
+class TestCommonAncestor:
+    def test_shared_prefix_found(self):
+        genesis, _ = build_genesis({})
+        chain_a = header_chain(genesis)
+        chain_b = header_chain(genesis)
+        shared = make_child(chain_a.head)
+        chain_a.import_block(shared)
+        chain_b.import_block(shared)
+        a2 = make_child(shared, ts_delta=14)
+        b2 = make_child(shared, ts_delta=10)
+        chain_a.import_block(a2)
+        chain_b.import_block(b2)
+        ancestor = chain_a.common_ancestor(chain_b)
+        assert ancestor.block_hash == shared.block_hash
+
+    def test_identical_chains_share_head(self):
+        genesis, _ = build_genesis({})
+        chain_a = header_chain(genesis)
+        chain_b = header_chain(genesis)
+        assert chain_a.common_ancestor(chain_b).is_genesis
+
+
+class TestHardForkRefusal:
+    def test_sides_reject_each_others_fork_block(self):
+        """The persistent-partition property at store level."""
+        fork_height = 3
+        eth_cfg = replace(ETH_CONFIG, dao_fork_block=fork_height, bomb_delay=10**9)
+        etc_cfg = replace(ETC_CONFIG, dao_fork_block=fork_height, bomb_delay=10**9,
+                          gas_reprice_block=None, replay_protection_block=None)
+        genesis, _ = build_genesis({})
+        eth = Blockchain(eth_cfg, genesis, execute_transactions=False)
+        etc = Blockchain(etc_cfg, genesis, execute_transactions=False)
+        # shared prefix
+        for _ in range(fork_height - 1):
+            block = make_child(eth.head, config=eth_cfg)
+            assert eth.import_block(block).accepted
+            assert etc.import_block(block).accepted
+        eth_fork = make_child(eth.head, config=eth_cfg)
+        etc_fork = make_child(etc.head, config=etc_cfg)
+        assert eth.import_block(eth_fork).accepted
+        assert etc.import_block(etc_fork).accepted
+        assert eth.import_block(etc_fork).status == "invalid"
+        assert etc.import_block(eth_fork).status == "invalid"
+        # ... and the partition persists: descendants are orphans forever.
+        eth_next = make_child(eth.head, config=eth_cfg)
+        assert etc.import_block(eth_next).status == "orphan"

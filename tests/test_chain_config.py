@@ -1,0 +1,96 @@
+"""Chain configuration: fork schedules, replay protection, DAO markers."""
+
+import pytest
+
+from repro.chain.config import (
+    DAO_EXTRA_DATA,
+    DAO_FORK_BLOCK,
+    ETC_CONFIG,
+    ETH_CONFIG,
+    PRE_FORK_CONFIG,
+)
+from repro.chain.gas import FRONTIER_SCHEDULE, TANGERINE_SCHEDULE
+
+
+class TestPresets:
+    def test_chain_ids(self):
+        assert ETH_CONFIG.chain_id == 1
+        assert ETC_CONFIG.chain_id == 61
+
+    def test_dao_stances(self):
+        assert ETH_CONFIG.dao_fork_support
+        assert not ETC_CONFIG.dao_fork_support
+
+    def test_shared_fork_height(self):
+        assert ETH_CONFIG.dao_fork_block == ETC_CONFIG.dao_fork_block == DAO_FORK_BLOCK
+
+    def test_prefork_is_consensus_identical_to_eth(self):
+        assert PRE_FORK_CONFIG.dao_fork_block == ETH_CONFIG.dao_fork_block
+        assert PRE_FORK_CONFIG.chain_id == ETH_CONFIG.chain_id
+
+    def test_fork_summary_mentions_both_sides(self):
+        assert "applies" in ETH_CONFIG.fork_summary()
+        assert "rejects" in ETC_CONFIG.fork_summary()
+
+
+class TestGasSchedule:
+    def test_eth_reprices_at_eip150_height(self):
+        assert ETH_CONFIG.gas_schedule(2_462_999) is FRONTIER_SCHEDULE
+        assert ETH_CONFIG.gas_schedule(2_463_000) is TANGERINE_SCHEDULE
+
+    def test_etc_reprices_later(self):
+        assert ETC_CONFIG.gas_schedule(2_463_000) is FRONTIER_SCHEDULE
+        assert ETC_CONFIG.gas_schedule(3_000_000) is TANGERINE_SCHEDULE
+
+
+class TestReplayProtection:
+    def test_legacy_txs_always_accepted(self):
+        """The replay hole: chain-id-less transactions are valid on both
+        chains, at every height — before and after EIP-155."""
+        for config in (ETH_CONFIG, ETC_CONFIG):
+            assert config.accepts_transaction_chain_id(None, 1)
+            assert config.accepts_transaction_chain_id(None, 5_000_000)
+
+    def test_chain_id_rejected_before_activation(self):
+        assert not ETH_CONFIG.accepts_transaction_chain_id(1, 2_000_000)
+
+    def test_matching_chain_id_accepted_after_activation(self):
+        assert ETH_CONFIG.accepts_transaction_chain_id(1, 2_675_000)
+        assert ETC_CONFIG.accepts_transaction_chain_id(61, 3_000_000)
+
+    def test_foreign_chain_id_always_rejected(self):
+        assert not ETH_CONFIG.accepts_transaction_chain_id(61, 3_000_000)
+        assert not ETC_CONFIG.accepts_transaction_chain_id(1, 3_000_000)
+
+
+class TestDaoExtraData:
+    def test_pro_fork_requires_marker_in_window(self):
+        assert ETH_CONFIG.dao_extra_data(DAO_FORK_BLOCK) == DAO_EXTRA_DATA
+        assert ETH_CONFIG.dao_extra_data(DAO_FORK_BLOCK + 9) == DAO_EXTRA_DATA
+        assert ETH_CONFIG.dao_extra_data(DAO_FORK_BLOCK + 10) is None
+        assert ETH_CONFIG.dao_extra_data(DAO_FORK_BLOCK - 1) is None
+
+    def test_anti_fork_never_requires_marker(self):
+        assert ETC_CONFIG.dao_extra_data(DAO_FORK_BLOCK) is None
+
+    def test_mutual_rejection_in_window(self):
+        """The divergence mechanism: each side rejects the other's fork
+        block on extra-data alone."""
+        assert ETH_CONFIG.rejects_extra_data(DAO_FORK_BLOCK, b"")
+        assert ETC_CONFIG.rejects_extra_data(DAO_FORK_BLOCK, DAO_EXTRA_DATA)
+
+    def test_no_rejection_outside_window(self):
+        assert not ETH_CONFIG.rejects_extra_data(DAO_FORK_BLOCK - 1, b"")
+        assert not ETC_CONFIG.rejects_extra_data(DAO_FORK_BLOCK + 10, b"")
+
+    def test_compatible_markers_accepted(self):
+        assert not ETH_CONFIG.rejects_extra_data(DAO_FORK_BLOCK, DAO_EXTRA_DATA)
+        assert not ETC_CONFIG.rejects_extra_data(DAO_FORK_BLOCK, b"")
+
+
+class TestDifficultyDispatch:
+    def test_compute_difficulty_uses_bomb_delay(self):
+        eth = ETH_CONFIG.compute_difficulty(10**13, 0, 14, 3_000_000)
+        etc = ETC_CONFIG.compute_difficulty(10**13, 0, 14, 3_000_000)
+        # ETC delays its bomb (ECIP-1010), so its value is lower.
+        assert etc < eth

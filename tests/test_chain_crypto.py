@@ -1,0 +1,88 @@
+"""Hashing and recoverable-signature tests."""
+
+import pytest
+
+from repro.chain.crypto import (
+    PrivateKey,
+    Signature,
+    SignatureError,
+    keccak256,
+    recover,
+    sign,
+)
+from repro.chain.types import Hash32
+
+
+class TestKeccak:
+    def test_returns_hash32(self):
+        digest = keccak256(b"hello")
+        assert isinstance(digest, Hash32)
+        assert len(digest) == 32
+
+    def test_deterministic(self):
+        assert keccak256(b"x") == keccak256(b"x")
+
+    def test_different_inputs_differ(self):
+        assert keccak256(b"a") != keccak256(b"b")
+
+    def test_empty_input_ok(self):
+        assert len(keccak256(b"")) == 32
+
+
+class TestPrivateKey:
+    def test_from_seed_deterministic(self):
+        assert PrivateKey.from_seed("s").address == PrivateKey.from_seed("s").address
+
+    def test_different_seeds_different_addresses(self):
+        assert PrivateKey.from_seed("a").address != PrivateKey.from_seed("b").address
+
+    def test_secret_must_be_32_bytes(self):
+        with pytest.raises(ValueError):
+            PrivateKey(b"short")
+
+    def test_address_is_20_bytes(self):
+        assert len(PrivateKey.from_seed("x").address) == 20
+
+
+class TestSignRecover:
+    def test_recover_yields_signer_address(self):
+        key = PrivateKey.from_seed("signer")
+        message = keccak256(b"message")
+        signature = sign(key, message)
+        assert recover(message, signature) == key.address
+
+    def test_wrong_message_fails_recovery(self):
+        key = PrivateKey.from_seed("signer")
+        signature = sign(key, keccak256(b"message"))
+        assert recover(keccak256(b"other"), signature) is None
+
+    def test_tampered_proof_fails(self):
+        key = PrivateKey.from_seed("signer")
+        message = keccak256(b"message")
+        signature = sign(key, message)
+        tampered = Signature(
+            proof=bytes(32), pubkey=signature.pubkey
+        )
+        assert recover(message, tampered) is None
+
+    def test_forged_pubkey_fails(self):
+        key = PrivateKey.from_seed("signer")
+        other = PrivateKey.from_seed("other")
+        sign(other, keccak256(b"prime the registry"))
+        message = keccak256(b"message")
+        signature = sign(key, message)
+        forged = Signature(proof=signature.proof, pubkey=bytes(other.public_key))
+        assert recover(message, forged) is None
+
+    def test_signature_serialization_round_trip(self):
+        key = PrivateKey.from_seed("signer")
+        signature = sign(key, keccak256(b"m"))
+        assert Signature.from_bytes(signature.to_bytes()) == signature
+
+    def test_bad_serialized_length(self):
+        with pytest.raises(SignatureError):
+            Signature.from_bytes(b"\x00" * 63)
+
+    def test_component_length_enforced(self):
+        with pytest.raises(ValueError):
+            Signature(proof=b"\x00" * 31, pubkey=b"\x00" * 32)

@@ -1,0 +1,171 @@
+"""Difficulty algorithm: exact consensus values and recovery properties.
+
+These rules are the engine behind Figure 1; the tests pin the arithmetic
+to hand-computed values and check the properties the paper's narrative
+depends on (the -99 clamp bounding the per-block fall, the equilibrium at
+the 14-second target).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chain.difficulty import (
+    DIFFICULTY_BOUND_DIVISOR,
+    HOMESTEAD_CLAMP,
+    MIN_DIFFICULTY,
+    difficulty_bomb,
+    equilibrium_difficulty,
+    expected_block_time,
+    frontier_difficulty,
+    homestead_difficulty,
+)
+
+PARENT = 6_000_000_000_000  # 6e12, a realistic mid-2016 value
+
+
+class TestHomesteadExactValues:
+    def test_fast_block_raises_difficulty(self):
+        # delta 5 s: multiplier = 1 - 0 = 1.
+        expected = PARENT + PARENT // 2048
+        assert homestead_difficulty(PARENT, 1000, 1005, 50, 10**9) == expected
+
+    def test_delta_in_balance_band_keeps_difficulty(self):
+        # delta 10..19 s: multiplier = 0.
+        assert homestead_difficulty(PARENT, 1000, 1013, 50, 10**9) == PARENT
+
+    def test_slow_block_lowers_difficulty(self):
+        # delta 25 s: multiplier = 1 - 2 = -1.
+        expected = PARENT - PARENT // 2048
+        assert homestead_difficulty(PARENT, 1000, 1025, 50, 10**9) == expected
+
+    def test_clamp_at_minus_99(self):
+        # delta 2000 s: 1 - 200 = -199 clamps to -99.
+        expected = PARENT + PARENT // 2048 * HOMESTEAD_CLAMP
+        assert homestead_difficulty(PARENT, 1000, 3000, 50, 10**9) == expected
+
+    def test_clamp_means_max_4_8_percent_fall(self):
+        """The mechanism behind ETC's two-day stall: no block can shed
+        more than 99/2048 (~4.83%) of its parent's difficulty."""
+        result = homestead_difficulty(PARENT, 1000, 10**7, 50, 10**9)
+        assert result / PARENT >= 1 - 99 / 2048 - 1e-9
+
+    def test_floor_at_minimum(self):
+        assert (
+            homestead_difficulty(MIN_DIFFICULTY, 1000, 9000, 50, 10**9)
+            == MIN_DIFFICULTY
+        )
+
+    def test_timestamp_must_increase(self):
+        with pytest.raises(ValueError):
+            homestead_difficulty(PARENT, 1000, 1000, 50)
+
+
+class TestFrontier:
+    def test_fast_block_raises(self):
+        assert (
+            frontier_difficulty(PARENT, 1000, 1012, 50, 10**9)
+            == PARENT + PARENT // 2048
+        )
+
+    def test_slow_block_lowers(self):
+        assert (
+            frontier_difficulty(PARENT, 1000, 1013, 50, 10**9)
+            == PARENT - PARENT // 2048
+        )
+
+    def test_fixed_step_regardless_of_gap(self):
+        slow = frontier_difficulty(PARENT, 1000, 1100, 50, 10**9)
+        very_slow = frontier_difficulty(PARENT, 1000, 9000, 50, 10**9)
+        assert slow == very_slow
+
+
+class TestBomb:
+    def test_zero_before_period_two(self):
+        assert difficulty_bomb(150_000) == 0
+
+    def test_exponential_growth(self):
+        assert difficulty_bomb(300_000) == 2**1
+        assert difficulty_bomb(1_000_000) == 2**8
+        assert difficulty_bomb(1_920_000) == 2**17
+
+    def test_delay_shifts_the_bomb(self):
+        assert difficulty_bomb(1_920_000, delay_blocks=1_920_000) == 0
+
+    def test_bomb_included_in_difficulty(self):
+        with_bomb = homestead_difficulty(PARENT, 1000, 1013, 1_920_000)
+        assert with_bomb == PARENT + 2**17
+
+
+class TestEquilibrium:
+    def test_expected_block_time_identity(self):
+        assert expected_block_time(1_400_000, 100_000) == 14.0
+
+    def test_zero_hashrate_never_produces(self):
+        assert expected_block_time(1000, 0) == float("inf")
+
+    def test_equilibrium_difficulty(self):
+        assert equilibrium_difficulty(1e12) == int(14e12)
+        assert equilibrium_difficulty(1.0) == MIN_DIFFICULTY
+
+
+class TestRecoveryDynamics:
+    def test_blocks_to_recover_from_99_percent_drop(self):
+        """Walk the rule through the ETC scenario: difficulty sized for
+        100% of hashpower, 1% remaining.  The clamp bounds the fall at
+        ~4.8% per block while gaps exceed ~990 s, and the fall then
+        *decelerates* as gaps shrink (multiplier −(delta//10−1)), so the
+        descent to the new operating band takes ~31 hours — the paper's
+        "it took almost two days before the difficulty calculation was
+        able to fully adjust" from the rule alone.
+        """
+        hashrate = 4.8e12 * 0.01
+        difficulty = int(4.8e12 * 14)  # old equilibrium
+        timestamp = 0
+        elapsed = 0.0
+        blocks = 0
+        # Descend until block gaps re-enter the rule's dead band
+        # (delta < 20 s ⇒ multiplier ≥ 0 ⇒ the fall stops).
+        while difficulty / hashrate >= 20:
+            delta = max(1, int(difficulty / hashrate))  # mean solve time
+            elapsed += delta
+            new_timestamp = timestamp + delta
+            difficulty = homestead_difficulty(
+                difficulty, timestamp, new_timestamp, 1_920_001 + blocks, 10**9
+            )
+            timestamp = new_timestamp
+            blocks += 1
+        assert 1_000 <= blocks <= 3_000
+        assert 20 <= elapsed / 3600 <= 48  # "almost two days"
+        # The very first post-fork gap is the Figure 1 delta spike.
+        assert int(4.8e12 * 14 / hashrate) > 1200
+
+    @given(st.integers(min_value=1, max_value=10_000))
+    @settings(max_examples=100)
+    def test_difficulty_monotone_nonincreasing_in_delta(self, delta):
+        faster = homestead_difficulty(PARENT, 0, delta, 50, 10**9)
+        slower = homestead_difficulty(PARENT, 0, delta + 10, 50, 10**9)
+        assert slower <= faster
+
+    @given(
+        st.integers(min_value=MIN_DIFFICULTY, max_value=10**15),
+        st.integers(min_value=1, max_value=100_000),
+    )
+    @settings(max_examples=100)
+    def test_result_always_at_least_minimum(self, parent, delta):
+        assert (
+            homestead_difficulty(parent, 0, delta, 50, 10**9)
+            >= MIN_DIFFICULTY
+        )
+
+    @given(
+        st.integers(min_value=MIN_DIFFICULTY, max_value=10**15),
+        st.integers(min_value=1, max_value=100_000),
+    )
+    @settings(max_examples=100)
+    def test_per_block_change_is_bounded(self, parent, delta):
+        result = homestead_difficulty(parent, 0, delta, 50, 10**9)
+        quantum = parent // DIFFICULTY_BOUND_DIVISOR
+        assert parent - 99 * quantum <= result <= parent + quantum or (
+            result == MIN_DIFFICULTY
+        )

@@ -1,0 +1,162 @@
+"""RLP encoding/decoding: known vectors, strictness, and round-trips."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chain import encoding
+from repro.chain.encoding import (
+    RLPDecodingError,
+    RLPEncodingError,
+    decode,
+    decode_int,
+    encode,
+    encode_int,
+)
+
+
+class TestKnownVectors:
+    """Vectors from the Ethereum RLP specification."""
+
+    def test_empty_string(self):
+        assert encode(b"") == b"\x80"
+
+    def test_single_low_byte_encodes_as_itself(self):
+        assert encode(b"\x00") == b"\x00"
+        assert encode(b"\x7f") == b"\x7f"
+
+    def test_single_high_byte_gets_prefix(self):
+        assert encode(b"\x80") == b"\x81\x80"
+
+    def test_short_string(self):
+        assert encode(b"dog") == b"\x83dog"
+
+    def test_55_byte_string_is_short_form(self):
+        payload = b"a" * 55
+        assert encode(payload) == bytes([0x80 + 55]) + payload
+
+    def test_56_byte_string_is_long_form(self):
+        payload = b"a" * 56
+        assert encode(payload) == b"\xb8\x38" + payload
+
+    def test_empty_list(self):
+        assert encode([]) == b"\xc0"
+
+    def test_nested_list(self):
+        # [ [], [[]], [ [], [[]] ] ] — the canonical spec example.
+        assert encode([[], [[]], [[], [[]]]]) == bytes.fromhex(
+            "c7c0c1c0c3c0c1c0"
+        )
+
+    def test_cat_dog_list(self):
+        assert encode([b"cat", b"dog"]) == b"\xc8\x83cat\x83dog"
+
+    def test_integer_zero_is_empty_string(self):
+        assert encode(0) == b"\x80"
+
+    def test_small_integer(self):
+        assert encode(15) == b"\x0f"
+
+    def test_1024(self):
+        assert encode(1024) == b"\x82\x04\x00"
+
+
+class TestEncodeInt:
+    def test_zero(self):
+        assert encode_int(0) == b""
+
+    def test_minimal_bytes(self):
+        assert encode_int(255) == b"\xff"
+        assert encode_int(256) == b"\x01\x00"
+
+    def test_negative_rejected(self):
+        with pytest.raises(RLPEncodingError):
+            encode_int(-1)
+
+    def test_decode_int_rejects_leading_zero(self):
+        with pytest.raises(RLPDecodingError):
+            decode_int(b"\x00\x01")
+
+    def test_decode_int_round_trip(self):
+        for value in (0, 1, 127, 128, 255, 2**64, 2**255):
+            assert decode_int(encode_int(value)) == value
+
+
+class TestStrictDecoding:
+    def test_trailing_bytes_rejected(self):
+        with pytest.raises(RLPDecodingError):
+            decode(encode(b"dog") + b"\x00")
+
+    def test_truncated_string_rejected(self):
+        with pytest.raises(RLPDecodingError):
+            decode(b"\x83do")
+
+    def test_single_byte_encoded_long_rejected(self):
+        # 0x81 0x05 should have been just 0x05.
+        with pytest.raises(RLPDecodingError):
+            decode(b"\x81\x05")
+
+    def test_long_form_for_short_payload_rejected(self):
+        # 0xb8 0x02 'ab' should have used the short form.
+        with pytest.raises(RLPDecodingError):
+            decode(b"\xb8\x02ab")
+
+    def test_length_with_leading_zero_rejected(self):
+        with pytest.raises(RLPDecodingError):
+            decode(b"\xb9\x00\x38" + b"a" * 56)
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(RLPDecodingError):
+            decode(b"")
+
+    def test_non_bytes_input_rejected(self):
+        with pytest.raises(RLPDecodingError):
+            decode("not bytes")
+
+    def test_list_payload_extending_past_end(self):
+        with pytest.raises(RLPDecodingError):
+            decode(b"\xc8\x83cat")
+
+
+class TestEncodeErrors:
+    def test_bool_rejected(self):
+        with pytest.raises(RLPEncodingError):
+            encode(True)
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(RLPEncodingError):
+            encode(3.14)
+
+    def test_str_encodes_as_utf8(self):
+        assert decode(encode("dog")) == b"dog"
+
+
+rlp_values = st.recursive(
+    st.binary(max_size=80),
+    lambda children: st.lists(children, max_size=6),
+    max_leaves=20,
+)
+
+
+class TestRoundTripProperties:
+    @given(rlp_values)
+    @settings(max_examples=200)
+    def test_decode_inverts_encode(self, value):
+        assert decode(encode(value)) == value
+
+    @given(st.integers(min_value=0, max_value=2**256 - 1))
+    def test_integers_round_trip_via_bytes(self, value):
+        assert decode_int(decode(encode(value))) == value
+
+    @given(rlp_values, rlp_values)
+    def test_distinct_values_encode_distinctly(self, a, b):
+        if a != b:
+            assert encode(a) != encode(b)
+
+    @given(st.binary(max_size=300))
+    def test_decoder_never_crashes_unexpectedly(self, garbage):
+        """Arbitrary bytes either decode or raise RLPDecodingError."""
+        try:
+            decode(garbage)
+        except RLPDecodingError:
+            pass

@@ -1,0 +1,126 @@
+"""Genesis construction, receipts, and gas accounting units."""
+
+import pytest
+
+from repro.chain.block import GENESIS_PARENT_HASH
+from repro.chain.gas import (
+    BLOCK_GAS_LIMIT,
+    FRONTIER_SCHEDULE,
+    TANGERINE_SCHEDULE,
+    TX_CREATE_GAS,
+    TX_DATA_NONZERO_GAS,
+    TX_DATA_ZERO_GAS,
+    TX_GAS,
+    intrinsic_gas,
+)
+from repro.chain.genesis import GENESIS_TIMESTAMP, build_genesis
+from repro.chain.receipt import ExecutionStatus, LogEntry, Receipt
+from repro.chain.types import Address, Hash32, ether
+
+
+class TestGenesis:
+    def test_alloc_funds_accounts(self):
+        rich = Address.from_int(1)
+        genesis, state = build_genesis({rich: ether(100)})
+        assert state.balance_of(rich) == ether(100)
+        assert genesis.header.state_root == state.state_root
+
+    def test_no_alloc(self):
+        genesis, state = build_genesis()
+        assert state.total_supply() == 0
+        assert genesis.is_genesis
+
+    def test_parent_hash_is_zero(self):
+        genesis, _ = build_genesis({})
+        assert genesis.parent_hash == GENESIS_PARENT_HASH
+
+    def test_custom_parameters(self):
+        genesis, _ = build_genesis(
+            {}, timestamp=123, difficulty=200_000, gas_limit=1_000_000
+        )
+        assert genesis.timestamp == 123
+        assert genesis.difficulty == 200_000
+        assert genesis.header.gas_limit == 1_000_000
+
+    def test_different_allocs_different_genesis_hashes(self):
+        """Two networks with different premines cannot even handshake —
+        genesis identity is the first compatibility check."""
+        a, _ = build_genesis({Address.from_int(1): 1})
+        b, _ = build_genesis({Address.from_int(1): 2})
+        assert a.block_hash != b.block_hash
+
+    def test_defaults_match_protocol(self):
+        genesis, _ = build_genesis({})
+        assert genesis.timestamp == GENESIS_TIMESTAMP
+        assert genesis.header.gas_limit == BLOCK_GAS_LIMIT
+
+
+class TestIntrinsicGas:
+    def test_plain_transfer(self):
+        assert intrinsic_gas(b"", is_create=False) == TX_GAS
+
+    def test_creation_surcharge(self):
+        assert intrinsic_gas(b"", is_create=True) == TX_GAS + TX_CREATE_GAS
+
+    def test_data_bytes_priced_by_content(self):
+        data = b"\x00\x01\x00\xff"
+        expected = (
+            TX_GAS + 2 * TX_DATA_ZERO_GAS + 2 * TX_DATA_NONZERO_GAS
+        )
+        assert intrinsic_gas(data, is_create=False) == expected
+
+    def test_schedules_differ_where_eip150_changed_them(self):
+        assert TANGERINE_SCHEDULE.sload > FRONTIER_SCHEDULE.sload
+        assert TANGERINE_SCHEDULE.call > FRONTIER_SCHEDULE.call
+        assert TANGERINE_SCHEDULE.balance > FRONTIER_SCHEDULE.balance
+        # Unchanged entries stay unchanged.
+        assert TANGERINE_SCHEDULE.verylow == FRONTIER_SCHEDULE.verylow
+        assert TANGERINE_SCHEDULE.sstore_set == FRONTIER_SCHEDULE.sstore_set
+
+    def test_call_gas_cap_flag(self):
+        assert not FRONTIER_SCHEDULE.cap_call_gas
+        assert TANGERINE_SCHEDULE.cap_call_gas
+
+
+class TestReceipt:
+    def base_kwargs(self):
+        return dict(
+            tx_hash=Hash32.zero(),
+            block_number=1,
+            chain_name="ETH",
+            status=ExecutionStatus.SUCCESS,
+            gas_used=21_000,
+            sender=Address.from_int(1),
+            to=Address.from_int(2),
+        )
+
+    def test_success_flags(self):
+        receipt = Receipt(**self.base_kwargs())
+        assert receipt.succeeded
+        assert not receipt.created_contract
+
+    def test_unknown_status_rejected(self):
+        kwargs = self.base_kwargs()
+        kwargs["status"] = "exploded"
+        with pytest.raises(ValueError):
+            Receipt(**kwargs)
+
+    def test_negative_gas_rejected(self):
+        kwargs = self.base_kwargs()
+        kwargs["gas_used"] = -1
+        with pytest.raises(ValueError):
+            Receipt(**kwargs)
+
+    def test_creation_receipt(self):
+        kwargs = self.base_kwargs()
+        kwargs["to"] = None
+        kwargs["contract_address"] = Address.from_int(3)
+        receipt = Receipt(**kwargs)
+        assert receipt.created_contract
+
+    def test_log_entries_carried(self):
+        kwargs = self.base_kwargs()
+        log = LogEntry(address=Address.from_int(9), topics=(1, 2), data=b"x")
+        kwargs["logs"] = (log,)
+        receipt = Receipt(**kwargs)
+        assert receipt.logs[0].topics == (1, 2)

@@ -1,0 +1,230 @@
+"""Uncle (ommer) blocks: commitments, validation, rewards, mining."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.chain.block import (
+    EMPTY_OMMERS_ROOT,
+    MAX_OMMER_DEPTH,
+    Block,
+    BlockHeader,
+    ommers_root,
+    transactions_root,
+)
+from repro.chain.chainstore import Blockchain
+from repro.chain.config import ETH_CONFIG
+from repro.chain.genesis import build_genesis
+from repro.chain.types import Address, Hash32
+
+CONFIG = replace(ETH_CONFIG, dao_fork_block=10**9, bomb_delay=10**9)
+
+
+def make_child(parent, ts_delta=14, coinbase=None, ommers=()):
+    timestamp = parent.timestamp + ts_delta
+    number = parent.number + 1
+    return Block(
+        header=BlockHeader(
+            parent_hash=parent.block_hash,
+            number=number,
+            timestamp=timestamp,
+            difficulty=CONFIG.compute_difficulty(
+                parent.difficulty, parent.timestamp, timestamp, number
+            ),
+            coinbase=coinbase or Address.zero(),
+            state_root=Hash32.zero(),
+            tx_root=transactions_root(()),
+            gas_limit=parent.header.gas_limit,
+            gas_used=0,
+            ommers_hash=ommers_root(tuple(o.header if isinstance(o, Block) else o
+                                          for o in ommers)),
+        ),
+        ommers=tuple(o.header if isinstance(o, Block) else o for o in ommers),
+    )
+
+
+@pytest.fixture
+def chain_with_orphan():
+    """A chain where block 1 had two competitors; one branch won."""
+    genesis, _ = build_genesis({}, difficulty=10**9)
+    chain = Blockchain(CONFIG, genesis, execute_transactions=False)
+    loser = make_child(genesis, ts_delta=25, coinbase=Address.from_int(0xB))
+    winner = make_child(genesis, ts_delta=14, coinbase=Address.from_int(0xA))
+    assert chain.import_block(loser).accepted
+    assert chain.import_block(winner).accepted
+    assert chain.head.block_hash == winner.block_hash
+    return chain, winner, loser
+
+
+class TestCommitments:
+    def test_empty_ommers_root_is_default(self):
+        genesis, _ = build_genesis({})
+        assert genesis.header.ommers_hash == EMPTY_OMMERS_ROOT
+        assert genesis.consistent_ommers_root()
+
+    def test_ommers_hash_affects_block_hash(self, chain_with_orphan):
+        _, winner, loser = chain_with_orphan
+        with_uncle = make_child(winner, ommers=(loser,))
+        without = make_child(winner)
+        assert with_uncle.block_hash != without.block_hash
+
+    def test_inconsistent_ommers_root_detected(self, chain_with_orphan):
+        _, winner, loser = chain_with_orphan
+        shaped = make_child(winner)
+        forged = Block(header=shaped.header, ommers=(loser.header,))
+        assert not forged.consistent_ommers_root()
+
+
+class TestValidationRules:
+    def test_valid_uncle_accepted(self, chain_with_orphan):
+        chain, winner, loser = chain_with_orphan
+        block = make_child(winner, ommers=(loser,))
+        assert chain.import_block(block).accepted
+
+    def test_ancestor_cannot_be_uncle(self, chain_with_orphan):
+        chain, winner, _ = chain_with_orphan
+        block = make_child(winner, ommers=(winner,))
+        result = chain.import_block(block)
+        assert result.status == "invalid"
+        assert result.reason == "ommer-is-ancestor"
+
+    def test_double_inclusion_rejected(self, chain_with_orphan):
+        chain, winner, loser = chain_with_orphan
+        first = make_child(winner, ommers=(loser,))
+        assert chain.import_block(first).accepted
+        second = make_child(first, ommers=(loser,))
+        result = chain.import_block(second)
+        assert result.status == "invalid"
+        assert result.reason == "ommer-already-included"
+
+    def test_duplicate_within_block_rejected(self, chain_with_orphan):
+        chain, winner, loser = chain_with_orphan
+        block = make_child(winner, ommers=(loser, loser))
+        assert chain.import_block(block).reason == "duplicate-ommer"
+
+    def test_too_deep_uncle_rejected(self, chain_with_orphan):
+        chain, winner, loser = chain_with_orphan
+        tip = winner
+        for _ in range(MAX_OMMER_DEPTH + 1):
+            tip = make_child(tip)
+            assert chain.import_block(tip).accepted
+        stale = make_child(tip, ommers=(loser,))
+        assert chain.import_block(stale).reason == "bad-ommer-depth"
+
+    def test_foreign_header_rejected(self, chain_with_orphan):
+        chain, winner, _ = chain_with_orphan
+        # A header whose parent is not on this chain's ancestry.
+        other_genesis, _ = build_genesis({}, difficulty=10**9 + 2048)
+        foreign = make_child(other_genesis, ts_delta=25)
+        block = make_child(winner, ommers=(foreign,))
+        assert chain.import_block(block).reason == "ommer-not-sibling"
+
+    def test_wrong_uncle_difficulty_rejected(self, chain_with_orphan):
+        chain, winner, loser = chain_with_orphan
+        cooked = BlockHeader(
+            parent_hash=loser.header.parent_hash,
+            number=loser.number,
+            timestamp=loser.timestamp,
+            difficulty=loser.difficulty + 1,
+            coinbase=loser.coinbase,
+            state_root=loser.header.state_root,
+            tx_root=loser.header.tx_root,
+            gas_limit=loser.header.gas_limit,
+            gas_used=0,
+        )
+        block = make_child(winner, ommers=(cooked,))
+        assert chain.import_block(block).reason == "bad-ommer-difficulty"
+
+
+class TestCandidateSelection:
+    def test_orphan_is_a_candidate(self, chain_with_orphan):
+        chain, _, loser = chain_with_orphan
+        candidates = chain.candidate_ommers()
+        assert [c.block_hash for c in candidates] == [loser.block_hash]
+
+    def test_candidate_disappears_after_inclusion(self, chain_with_orphan):
+        chain, winner, loser = chain_with_orphan
+        chain.import_block(make_child(winner, ommers=(loser,)))
+        assert chain.candidate_ommers() == []
+
+    def test_candidates_are_importable(self, chain_with_orphan):
+        """The selector's output always satisfies the validator."""
+        chain, winner, _ = chain_with_orphan
+        block = make_child(winner, ommers=tuple(chain.candidate_ommers()))
+        assert chain.import_block(block).accepted
+
+
+class TestRewards:
+    def test_full_mode_pays_uncle_and_includer(self):
+        """End-to-end through the executing chain store: a real fork, the
+        loser referenced as an uncle, balances checked at the head."""
+        from repro.chain.block import Block as _Block
+        from repro.chain.processor import apply_block
+
+        uncle_miner = Address.from_int(0xB)
+        includer = Address.from_int(0xA)
+        genesis, state = build_genesis({}, difficulty=10**9)
+        chain = Blockchain(CONFIG, genesis, state)
+
+        def seal_full(parent, ts_delta, coinbase, ommers=()):
+            shaped = make_child(parent, ts_delta=ts_delta, coinbase=coinbase,
+                                ommers=ommers)
+            parent_state = chain.state_at(parent.block_hash)
+            scratch = parent_state.fork()
+            apply_block(scratch, shaped, CONFIG)
+            header_fields = {
+                field: getattr(shaped.header, field)
+                for field in (
+                    "parent_hash", "number", "timestamp", "difficulty",
+                    "coinbase", "tx_root", "gas_limit", "gas_used",
+                    "nonce", "extra_data", "ommers_hash",
+                )
+            }
+            return _Block(
+                header=BlockHeader(state_root=scratch.state_root,
+                                   **header_fields),
+                ommers=shaped.ommers,
+            )
+
+        loser = seal_full(genesis, 25, uncle_miner)
+        winner = seal_full(genesis, 14, includer)
+        assert chain.import_block(loser).accepted
+        assert chain.import_block(winner).accepted
+        assert chain.head.block_hash == winner.block_hash
+        nephew = seal_full(winner, 14, includer, ommers=(loser,))
+        assert chain.import_block(nephew).accepted
+
+        head_state = chain.head_state()
+        reward = CONFIG.block_reward
+        # Distance-1 uncle: (8-1)/8 of the reward.
+        assert head_state.balance_of(uncle_miner) == reward * 7 // 8
+        # Includer: two full block rewards + 1/32 nephew bonus.
+        assert head_state.balance_of(includer) == 2 * reward + reward // 32
+
+    def test_distance_one_uncle_gets_seven_eighths(self):
+        from repro.chain.processor import apply_block
+        from repro.chain.state import StateDB
+
+        uncle_miner = Address.from_int(0xB)
+        genesis, _ = build_genesis({}, difficulty=10**9)
+        loser = make_child(genesis, ts_delta=25, coinbase=uncle_miner)
+        winner = make_child(genesis, ts_delta=14)
+        nephew = make_child(winner, ommers=(loser,))
+        state = StateDB()
+        apply_block(state, nephew, CONFIG)
+        assert state.balance_of(uncle_miner) == CONFIG.block_reward * 7 // 8
+
+    def test_uncle_rewards_inflate_supply(self):
+        """Uncles mint extra ether — the documented cost of the scheme."""
+        from repro.chain.processor import apply_block
+        from repro.chain.state import StateDB
+
+        genesis, _ = build_genesis({}, difficulty=10**9)
+        loser = make_child(genesis, ts_delta=25, coinbase=Address.from_int(0xB))
+        winner = make_child(genesis, ts_delta=14)
+        plain = make_child(winner)
+        with_uncle = make_child(winner, ommers=(loser,))
+        plain_state, uncle_state = StateDB(), StateDB()
+        apply_block(plain_state, plain, CONFIG)
+        apply_block(uncle_state, with_uncle, CONFIG)
+        assert uncle_state.total_supply() > plain_state.total_supply()

@@ -1,0 +1,211 @@
+"""State-transition tests: transaction application, fees, rejections."""
+
+import pytest
+
+from repro.chain.config import ETH_CONFIG
+from repro.chain.gas import TX_GAS
+from repro.chain.processor import (
+    TransactionRejected,
+    apply_transaction,
+    validate_transaction_for_chain,
+)
+from repro.chain.receipt import ExecutionStatus
+from repro.chain.state import StateDB
+from repro.chain.crypto import PrivateKey
+from repro.chain.transaction import Transaction, sign_transaction
+from repro.chain.types import Address, ether
+from repro.evm.vm import BlockEnvironment
+
+GAS_PRICE = 10**9
+COINBASE = Address.from_int(0xC0FFEE)
+
+
+@pytest.fixture
+def sender():
+    return PrivateKey.from_seed("proc:sender")
+
+
+@pytest.fixture
+def recipient():
+    return PrivateKey.from_seed("proc:recipient").address
+
+
+@pytest.fixture
+def state(sender):
+    db = StateDB()
+    db.credit(sender.address, ether(10))
+    return db
+
+
+@pytest.fixture
+def env():
+    return BlockEnvironment(block_number=100, timestamp=1_000, coinbase=COINBASE)
+
+
+def transfer_tx(sender, recipient, nonce=0, value=ether(1), gas_limit=21_000,
+                chain_id=None, data=b""):
+    return sign_transaction(
+        sender,
+        Transaction(
+            nonce=nonce, gas_price=GAS_PRICE, gas_limit=gas_limit,
+            to=recipient, value=value, data=data, chain_id=chain_id,
+        ),
+    )
+
+
+class TestSuccessfulTransfer:
+    def test_value_moves(self, state, env, sender, recipient):
+        receipt = apply_transaction(
+            state, transfer_tx(sender, recipient), ETH_CONFIG, env
+        )
+        assert receipt.succeeded
+        assert state.balance_of(recipient) == ether(1)
+
+    def test_exact_fee_accounting(self, state, env, sender, recipient):
+        before = state.balance_of(sender.address)
+        receipt = apply_transaction(
+            state, transfer_tx(sender, recipient), ETH_CONFIG, env
+        )
+        assert receipt.gas_used == TX_GAS
+        fee = TX_GAS * GAS_PRICE
+        assert state.balance_of(sender.address) == before - ether(1) - fee
+        assert state.balance_of(COINBASE) == fee
+
+    def test_unused_gas_refunded(self, state, env, sender, recipient):
+        before = state.balance_of(sender.address)
+        apply_transaction(
+            state,
+            transfer_tx(sender, recipient, gas_limit=100_000),
+            ETH_CONFIG,
+            env,
+        )
+        # Only 21000 consumed despite the 100k limit.
+        assert (
+            state.balance_of(sender.address)
+            == before - ether(1) - TX_GAS * GAS_PRICE
+        )
+
+    def test_nonce_increments(self, state, env, sender, recipient):
+        apply_transaction(state, transfer_tx(sender, recipient), ETH_CONFIG, env)
+        assert state.nonce_of(sender.address) == 1
+
+    def test_supply_conserved(self, state, env, sender, recipient):
+        total_before = state.total_supply()
+        apply_transaction(state, transfer_tx(sender, recipient), ETH_CONFIG, env)
+        assert state.total_supply() == total_before
+
+
+class TestRejections:
+    def test_nonce_too_low(self, state, env, sender, recipient):
+        apply_transaction(state, transfer_tx(sender, recipient), ETH_CONFIG, env)
+        with pytest.raises(TransactionRejected) as excinfo:
+            apply_transaction(
+                state, transfer_tx(sender, recipient, nonce=0), ETH_CONFIG, env
+            )
+        assert excinfo.value.reason == "nonce-too-low"
+
+    def test_nonce_too_high(self, state, env, sender, recipient):
+        with pytest.raises(TransactionRejected) as excinfo:
+            apply_transaction(
+                state, transfer_tx(sender, recipient, nonce=5), ETH_CONFIG, env
+            )
+        assert excinfo.value.reason == "nonce-too-high"
+
+    def test_insufficient_funds(self, state, env, sender, recipient):
+        with pytest.raises(TransactionRejected) as excinfo:
+            apply_transaction(
+                state,
+                transfer_tx(sender, recipient, value=ether(100)),
+                ETH_CONFIG,
+                env,
+            )
+        assert excinfo.value.reason == "insufficient-funds"
+
+    def test_gas_limit_below_intrinsic(self, state, env, sender, recipient):
+        with pytest.raises(TransactionRejected) as excinfo:
+            apply_transaction(
+                state,
+                transfer_tx(sender, recipient, gas_limit=20_999),
+                ETH_CONFIG,
+                env,
+            )
+        assert excinfo.value.reason == "intrinsic-gas-too-high"
+
+    def test_wrong_chain_id(self, state, env, sender, recipient):
+        tx = transfer_tx(sender, recipient, chain_id=61)
+        with pytest.raises(TransactionRejected) as excinfo:
+            apply_transaction(state, tx, ETH_CONFIG, env)
+        assert excinfo.value.reason == "wrong-chain-id"
+
+    def test_rejection_leaves_state_untouched(self, state, env, sender, recipient):
+        root = state.state_root
+        with pytest.raises(TransactionRejected):
+            apply_transaction(
+                state, transfer_tx(sender, recipient, nonce=5), ETH_CONFIG, env
+            )
+        assert state.state_root == root
+
+
+class TestReplaySemantics:
+    def test_legacy_tx_executes_on_both_chains(self, env, sender, recipient):
+        """The paper's echo condition, end to end: same signed bytes,
+        sufficient credit on both chains, both executions land."""
+        from repro.chain.config import ETC_CONFIG
+
+        tx = transfer_tx(sender, recipient)
+        eth_state, etc_state = StateDB(), StateDB()
+        for side in (eth_state, etc_state):
+            side.credit(sender.address, ether(10))
+        r1 = apply_transaction(eth_state, tx, ETH_CONFIG, env)
+        r2 = apply_transaction(etc_state, tx, ETC_CONFIG, env)
+        assert r1.succeeded and r2.succeeded
+        assert r1.tx_hash == r2.tx_hash  # same identity on both chains
+        assert eth_state.balance_of(recipient) == ether(1)
+        assert etc_state.balance_of(recipient) == ether(1)
+
+    def test_replay_fails_once_funds_are_split(self, env, sender, recipient):
+        """After the user moves funds on one chain, the echo bounces."""
+        tx = transfer_tx(sender, recipient, value=ether(9.9999))
+        poor_state = StateDB()
+        poor_state.credit(sender.address, ether(1))  # funds already moved
+        reason = validate_transaction_for_chain(
+            poor_state, tx, ETH_CONFIG, env.block_number
+        )
+        assert reason == "insufficient-funds"
+
+
+class TestContractExecution:
+    def test_failed_call_still_pays_gas(self, state, env, sender):
+        """A transaction that runs out of gas lands on-chain, consumes its
+        budget, and pays the miner (unlike a rejected one)."""
+        from repro.evm.opcodes import assemble
+
+        contract = Address.from_int(0xDEAD)
+        # Infinite loop: JUMPDEST; PUSH 0; JUMP
+        state.set_code(contract, assemble("loop: @loop JUMP"))
+        before = state.balance_of(sender.address)
+        receipt = apply_transaction(
+            state,
+            transfer_tx(sender, contract, value=0, gas_limit=50_000,
+                        data=b"\x01"),
+            ETH_CONFIG,
+            env,
+        )
+        assert receipt.status == ExecutionStatus.OUT_OF_GAS
+        assert receipt.gas_used == 50_000
+        assert state.balance_of(sender.address) == before - 50_000 * GAS_PRICE
+
+    def test_contract_creation_receipt(self, state, env, sender):
+        from repro.evm.contracts import counter_code, deploy_wrapper
+
+        tx = sign_transaction(
+            sender,
+            Transaction(
+                nonce=0, gas_price=GAS_PRICE, gas_limit=1_000_000,
+                to=None, value=0, data=deploy_wrapper(counter_code()),
+            ),
+        )
+        receipt = apply_transaction(state, tx, ETH_CONFIG, env)
+        assert receipt.succeeded
+        assert receipt.created_contract
+        assert state.is_contract(receipt.contract_address)

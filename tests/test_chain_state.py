@@ -1,0 +1,226 @@
+"""World-state tests: balances, snapshots, forking, the irregular change."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chain.state import InsufficientBalance, StateDB, StateError
+from repro.chain.types import Address, ether
+
+
+def addr(n: int) -> Address:
+    return Address.from_int(n)
+
+
+class TestBalances:
+    def test_untouched_account_is_empty(self):
+        state = StateDB()
+        assert state.balance_of(addr(1)) == 0
+        assert state.nonce_of(addr(1)) == 0
+        assert not state.exists(addr(1))
+
+    def test_credit_and_debit(self):
+        state = StateDB()
+        state.credit(addr(1), 100)
+        state.debit(addr(1), 40)
+        assert state.balance_of(addr(1)) == 60
+
+    def test_overdraft_raises(self):
+        state = StateDB()
+        state.credit(addr(1), 10)
+        with pytest.raises(InsufficientBalance):
+            state.debit(addr(1), 11)
+
+    def test_negative_amounts_rejected(self):
+        state = StateDB()
+        with pytest.raises(StateError):
+            state.credit(addr(1), -1)
+        with pytest.raises(StateError):
+            state.debit(addr(1), -1)
+
+    def test_transfer_conserves_supply(self):
+        state = StateDB()
+        state.credit(addr(1), ether(10))
+        state.transfer(addr(1), addr(2), ether(3))
+        assert state.balance_of(addr(2)) == ether(3)
+        assert state.total_supply() == ether(10)
+
+    def test_failed_transfer_changes_nothing(self):
+        state = StateDB()
+        state.credit(addr(1), 5)
+        with pytest.raises(InsufficientBalance):
+            state.transfer(addr(1), addr(2), 6)
+        assert state.balance_of(addr(1)) == 5
+        assert state.balance_of(addr(2)) == 0
+
+
+class TestIrregularTransfer:
+    def test_moves_entire_balance(self):
+        state = StateDB()
+        state.credit(addr(1), ether(50))
+        moved = state.apply_irregular_transfer(addr(1), addr(2))
+        assert moved == ether(50)
+        assert state.balance_of(addr(1)) == 0
+        assert state.balance_of(addr(2)) == ether(50)
+
+    def test_empty_source_is_a_noop(self):
+        state = StateDB()
+        assert state.apply_irregular_transfer(addr(1), addr(2)) == 0
+
+    def test_requires_no_signature_or_nonce(self):
+        """The DAO fork property: the ledger changes with no transaction."""
+        state = StateDB()
+        state.credit(addr(1), 7)
+        nonce_before = state.nonce_of(addr(1))
+        state.apply_irregular_transfer(addr(1), addr(2))
+        assert state.nonce_of(addr(1)) == nonce_before
+
+
+class TestNonceCodeStorage:
+    def test_increment_nonce(self):
+        state = StateDB()
+        assert state.increment_nonce(addr(1)) == 1
+        assert state.increment_nonce(addr(1)) == 2
+
+    def test_set_code_marks_contract(self):
+        state = StateDB()
+        state.set_code(addr(1), b"\x60\x00")
+        assert state.is_contract(addr(1))
+        assert state.code_of(addr(1)) == b"\x60\x00"
+
+    def test_storage_defaults_to_zero(self):
+        assert StateDB().storage_at(addr(1), 5) == 0
+
+    def test_storage_set_get(self):
+        state = StateDB()
+        state.set_storage(addr(1), 5, 42)
+        assert state.storage_at(addr(1), 5) == 42
+
+    def test_storage_zero_clears_slot(self):
+        state = StateDB()
+        state.set_storage(addr(1), 5, 42)
+        state.set_storage(addr(1), 5, 0)
+        assert state.storage_at(addr(1), 5) == 0
+
+    def test_delete_account_removes_everything(self):
+        state = StateDB()
+        state.credit(addr(1), 10)
+        state.set_storage(addr(1), 1, 2)
+        state.delete_account(addr(1))
+        assert not state.exists(addr(1))
+        assert state.storage_at(addr(1), 1) == 0
+
+
+class TestSnapshots:
+    def test_revert_undoes_mutations(self):
+        state = StateDB()
+        state.credit(addr(1), 100)
+        snapshot = state.snapshot()
+        state.transfer(addr(1), addr(2), 60)
+        state.set_storage(addr(3), 0, 9)
+        state.revert(snapshot)
+        assert state.balance_of(addr(1)) == 100
+        assert state.balance_of(addr(2)) == 0
+        assert state.storage_at(addr(3), 0) == 0
+
+    def test_nested_snapshots(self):
+        state = StateDB()
+        state.credit(addr(1), 100)
+        outer = state.snapshot()
+        state.debit(addr(1), 10)
+        inner = state.snapshot()
+        state.debit(addr(1), 20)
+        state.revert(inner)
+        assert state.balance_of(addr(1)) == 90
+        state.revert(outer)
+        assert state.balance_of(addr(1)) == 100
+
+    def test_discard_keeps_changes(self):
+        state = StateDB()
+        snapshot = state.snapshot()
+        state.credit(addr(1), 5)
+        state.discard_snapshot(snapshot)
+        assert state.balance_of(addr(1)) == 5
+
+    def test_revert_after_inner_discard(self):
+        state = StateDB()
+        state.credit(addr(1), 100)
+        outer = state.snapshot()
+        inner = state.snapshot()
+        state.debit(addr(1), 50)
+        state.discard_snapshot(inner)
+        state.revert(outer)
+        assert state.balance_of(addr(1)) == 100
+
+    def test_revert_restores_deleted_account(self):
+        state = StateDB()
+        state.credit(addr(1), 10)
+        state.set_storage(addr(1), 1, 2)
+        snapshot = state.snapshot()
+        state.delete_account(addr(1))
+        state.revert(snapshot)
+        assert state.balance_of(addr(1)) == 10
+        assert state.storage_at(addr(1), 1) == 2
+
+    def test_unknown_snapshot_raises(self):
+        with pytest.raises(StateError):
+            StateDB().revert(0)
+
+
+class TestStateRootAndFork:
+    def test_root_changes_with_balance(self):
+        state = StateDB()
+        before = state.state_root
+        state.credit(addr(1), 1)
+        assert state.state_root != before
+
+    def test_equal_states_equal_roots(self):
+        a, b = StateDB(), StateDB()
+        a.credit(addr(1), 5)
+        b.credit(addr(1), 5)
+        assert a.state_root == b.state_root
+
+    def test_storage_affects_root(self):
+        a, b = StateDB(), StateDB()
+        a.credit(addr(1), 5)
+        b.credit(addr(1), 5)
+        b.set_storage(addr(1), 0, 1)
+        assert a.state_root != b.state_root
+
+    def test_fork_is_isolated(self):
+        """The chain-split property: each side evolves independently."""
+        state = StateDB()
+        state.credit(addr(1), ether(10))
+        fork = state.fork()
+        fork.apply_irregular_transfer(addr(1), addr(2))
+        assert state.balance_of(addr(1)) == ether(10)
+        assert fork.balance_of(addr(1)) == 0
+        assert state.state_root != fork.state_root
+
+    def test_fork_shares_history_roots(self):
+        state = StateDB()
+        state.credit(addr(1), 5)
+        assert state.fork().state_root == state.state_root
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=5),
+                st.integers(min_value=1, max_value=100),
+            ),
+            max_size=15,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_supply_conservation_under_transfers(self, moves):
+        state = StateDB()
+        for account in range(1, 6):
+            state.credit(addr(account), 100)
+        initial = state.total_supply()
+        for target, amount in moves:
+            source = addr((target % 5) + 1)
+            try:
+                state.transfer(source, addr(target), amount)
+            except InsufficientBalance:
+                pass
+        assert state.total_supply() == initial

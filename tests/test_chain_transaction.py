@@ -1,0 +1,140 @@
+"""Transactions, EIP-155 semantics, and replay validity."""
+
+import pytest
+
+from repro.chain.crypto import PrivateKey
+from repro.chain.transaction import (
+    Transaction,
+    TransactionError,
+    sign_transaction,
+)
+from repro.chain.types import Address, ether
+
+
+@pytest.fixture
+def key():
+    return PrivateKey.from_seed("tx:sender")
+
+
+@pytest.fixture
+def recipient():
+    return PrivateKey.from_seed("tx:recipient").address
+
+
+def make_tx(recipient, chain_id=None, nonce=0, value=ether(1), data=b""):
+    return Transaction(
+        nonce=nonce,
+        gas_price=10**9,
+        gas_limit=100_000,
+        to=recipient,
+        value=value,
+        data=data,
+        chain_id=chain_id,
+    )
+
+
+class TestValidation:
+    def test_negative_nonce_rejected(self, recipient):
+        with pytest.raises(TransactionError):
+            make_tx(recipient, nonce=-1)
+
+    def test_negative_value_rejected(self, recipient):
+        with pytest.raises(TransactionError):
+            make_tx(recipient, value=-1)
+
+    def test_zero_chain_id_rejected(self, recipient):
+        with pytest.raises(TransactionError):
+            make_tx(recipient, chain_id=0)
+
+    def test_contract_creation_has_no_recipient(self):
+        tx = make_tx(None, data=b"\x60\x00")
+        assert tx.is_contract_creation
+        assert tx.is_contract_interaction
+
+
+class TestClassification:
+    def test_plain_transfer_is_not_contract(self, recipient):
+        assert not make_tx(recipient).is_contract_interaction
+
+    def test_calldata_makes_it_a_contract_call(self, recipient):
+        assert make_tx(recipient, data=b"\x01").is_contract_interaction
+
+    def test_replay_protection_flag(self, recipient):
+        assert not make_tx(recipient).is_replay_protected
+        assert make_tx(recipient, chain_id=1).is_replay_protected
+
+
+class TestSigningHash:
+    def test_chain_id_changes_signing_hash(self, recipient):
+        legacy = make_tx(recipient)
+        protected = make_tx(recipient, chain_id=1)
+        assert legacy.signing_hash != protected.signing_hash
+
+    def test_different_chain_ids_differ(self, recipient):
+        assert (
+            make_tx(recipient, chain_id=1).signing_hash
+            != make_tx(recipient, chain_id=61).signing_hash
+        )
+
+    def test_every_field_is_committed(self, recipient):
+        base = make_tx(recipient)
+        variants = [
+            make_tx(recipient, nonce=1),
+            make_tx(recipient, value=ether(2)),
+            make_tx(recipient, data=b"\x00"),
+            make_tx(Address(b"\x01" * 20)),
+        ]
+        for variant in variants:
+            assert variant.signing_hash != base.signing_hash
+
+
+class TestSignedTransaction:
+    def test_sender_recovery(self, key, recipient):
+        signed = sign_transaction(key, make_tx(recipient))
+        assert signed.sender == key.address
+        assert signed.verify()
+
+    def test_legacy_tx_valid_on_every_chain(self, key, recipient):
+        signed = sign_transaction(key, make_tx(recipient))
+        assert signed.valid_on_chain(1)
+        assert signed.valid_on_chain(61)
+        assert signed.valid_on_chain(9999)
+
+    def test_protected_tx_valid_only_on_its_chain(self, key, recipient):
+        signed = sign_transaction(key, make_tx(recipient, chain_id=61))
+        assert signed.valid_on_chain(61)
+        assert not signed.valid_on_chain(1)
+
+    def test_tx_hash_differs_by_signer(self, recipient):
+        payload = make_tx(recipient)
+        a = sign_transaction(PrivateKey.from_seed("a"), payload)
+        b = sign_transaction(PrivateKey.from_seed("b"), payload)
+        assert a.tx_hash != b.tx_hash
+
+    def test_same_payload_same_signer_same_hash(self, key, recipient):
+        payload = make_tx(recipient)
+        assert (
+            sign_transaction(key, payload).tx_hash
+            == sign_transaction(key, payload).tx_hash
+        )
+
+    def test_identical_hash_is_the_echo_property(self, key, recipient):
+        """The replay attack's signature: one hash visible on two chains.
+
+        A legacy transaction rebroadcast on the sibling chain is
+        *recognizable* because its hash is unchanged — the detector's
+        whole premise.
+        """
+        signed = sign_transaction(key, make_tx(recipient))
+        # "Broadcasting on the other chain" is the same object; the hash
+        # commits to payload+signature only, not to any chain.
+        assert signed.valid_on_chain(1) and signed.valid_on_chain(61)
+        assert signed.tx_hash == signed.tx_hash
+
+    def test_passthrough_properties(self, key, recipient):
+        signed = sign_transaction(key, make_tx(recipient, data=b"\x01"))
+        assert signed.nonce == 0
+        assert signed.to == recipient
+        assert signed.value == ether(1)
+        assert signed.gas_limit == 100_000
+        assert signed.is_contract_interaction

@@ -1,0 +1,150 @@
+"""Merkle trie: commitment stability, proofs, and properties."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chain.trie import MerkleTrie, verify_proof
+
+
+class TestBasicOperations:
+    def test_empty_tries_share_a_root(self):
+        assert MerkleTrie().root == MerkleTrie().root
+
+    def test_set_changes_root(self):
+        trie = MerkleTrie()
+        empty_root = trie.root
+        trie.set(b"key", b"value")
+        assert trie.root != empty_root
+
+    def test_get_returns_value(self):
+        trie = MerkleTrie()
+        trie.set(b"key", b"value")
+        assert trie.get(b"key") == b"value"
+        assert trie.get(b"missing") is None
+        assert trie.get(b"missing", b"default") == b"default"
+
+    def test_delete_restores_prior_root(self):
+        trie = MerkleTrie()
+        trie.set(b"a", b"1")
+        root_with_a = trie.root
+        trie.set(b"b", b"2")
+        trie.delete(b"b")
+        assert trie.root == root_with_a
+        assert b"b" not in trie
+
+    def test_delete_to_empty_restores_empty_root(self):
+        trie = MerkleTrie()
+        empty = trie.root
+        trie.set(b"a", b"1")
+        trie.delete(b"a")
+        assert trie.root == empty
+
+    def test_overwrite_changes_root(self):
+        trie = MerkleTrie()
+        trie.set(b"a", b"1")
+        first = trie.root
+        trie.set(b"a", b"2")
+        assert trie.root != first
+
+    def test_empty_value_means_delete(self):
+        trie = MerkleTrie()
+        trie.set(b"a", b"1")
+        trie.set(b"a", b"")
+        assert b"a" not in trie
+
+    def test_len_and_items(self):
+        trie = MerkleTrie({b"a": b"1", b"b": b"2"})
+        assert len(trie) == 2
+        assert dict(trie.items()) == {b"a": b"1", b"b": b"2"}
+
+    def test_non_bytes_key_rejected(self):
+        with pytest.raises(TypeError):
+            MerkleTrie().set("string", b"v")
+
+    def test_copy_is_independent(self):
+        trie = MerkleTrie({b"a": b"1"})
+        clone = trie.copy()
+        clone.set(b"b", b"2")
+        assert b"b" not in trie
+        assert trie.root != clone.root
+
+
+class TestProofs:
+    def test_inclusion_proof_verifies(self):
+        trie = MerkleTrie({b"a": b"1", b"b": b"2", b"c": b"3"})
+        proof = trie.prove(b"b")
+        assert proof.value == b"2"
+        assert verify_proof(trie.root, proof)
+
+    def test_exclusion_proof_verifies(self):
+        trie = MerkleTrie({b"a": b"1"})
+        proof = trie.prove(b"zzz")
+        assert proof.value is None
+        assert verify_proof(trie.root, proof)
+
+    def test_proof_fails_against_wrong_root(self):
+        trie = MerkleTrie({b"a": b"1"})
+        proof = trie.prove(b"a")
+        other = MerkleTrie({b"a": b"2"})
+        assert not verify_proof(other.root, proof)
+
+    def test_forged_value_fails(self):
+        from repro.chain.trie import TrieProof
+
+        trie = MerkleTrie({b"a": b"1"})
+        honest = trie.prove(b"a")
+        forged = TrieProof(key=b"a", value=b"999", siblings=honest.siblings)
+        assert not verify_proof(trie.root, forged)
+
+    def test_truncated_proof_fails(self):
+        from repro.chain.trie import TrieProof
+
+        trie = MerkleTrie({b"a": b"1"})
+        honest = trie.prove(b"a")
+        short = TrieProof(key=b"a", value=b"1", siblings=honest.siblings[:-1])
+        assert not verify_proof(trie.root, short)
+
+
+kv_dicts = st.dictionaries(
+    st.binary(min_size=1, max_size=16),
+    st.binary(min_size=1, max_size=16),
+    max_size=12,
+)
+
+
+class TestProperties:
+    @given(kv_dicts)
+    @settings(max_examples=40, deadline=None)
+    def test_root_independent_of_insertion_order(self, items):
+        forward = MerkleTrie()
+        for key in sorted(items):
+            forward.set(key, items[key])
+        backward = MerkleTrie()
+        for key in sorted(items, reverse=True):
+            backward.set(key, items[key])
+        assert forward.root == backward.root
+
+    @given(kv_dicts, st.binary(min_size=1, max_size=16))
+    @settings(max_examples=40, deadline=None)
+    def test_insert_then_delete_is_identity(self, items, extra_key):
+        if extra_key in items:
+            return
+        trie = MerkleTrie(items)
+        before = trie.root
+        trie.set(extra_key, b"temp")
+        trie.delete(extra_key)
+        assert trie.root == before
+
+    @given(kv_dicts)
+    @settings(max_examples=30, deadline=None)
+    def test_all_proofs_verify(self, items):
+        trie = MerkleTrie(items)
+        for key in items:
+            assert verify_proof(trie.root, trie.prove(key))
+
+    @given(kv_dicts, kv_dicts)
+    @settings(max_examples=30, deadline=None)
+    def test_different_contents_different_roots(self, a, b):
+        if a != b:
+            assert MerkleTrie(a).root != MerkleTrie(b).root

@@ -1,0 +1,86 @@
+"""Unit tests for the fundamental value types."""
+
+import pytest
+
+from repro.chain.types import (
+    Address,
+    Hash32,
+    WEI_PER_ETHER,
+    WEI_PER_GWEI,
+    ether,
+    from_wei,
+    to_wei,
+)
+
+
+class TestAddress:
+    def test_accepts_exactly_twenty_bytes(self):
+        assert len(Address(b"\x01" * 20)) == 20
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(ValueError):
+            Address(b"\x01" * 19)
+        with pytest.raises(ValueError):
+            Address(b"\x01" * 21)
+
+    def test_from_hex_string(self):
+        address = Address("0x" + "ab" * 20)
+        assert address == bytes.fromhex("ab" * 20)
+
+    def test_from_hex_string_without_prefix(self):
+        assert Address("cd" * 20) == bytes.fromhex("cd" * 20)
+
+    def test_zero(self):
+        assert Address.zero() == b"\x00" * 20
+
+    def test_round_trips_through_int(self):
+        address = Address.from_int(12345)
+        assert address.to_int() == 12345
+
+    def test_hex_prefixed(self):
+        assert Address.zero().hex_prefixed == "0x" + "00" * 20
+
+    def test_is_hashable_and_comparable(self):
+        a = Address(b"\x01" * 20)
+        b = Address(b"\x01" * 20)
+        assert a == b
+        assert len({a, b}) == 1
+
+    def test_negative_int_rejected(self):
+        with pytest.raises(ValueError):
+            Address.from_int(-1)
+
+
+class TestHash32:
+    def test_length_enforced(self):
+        assert len(Hash32(b"\x00" * 32)) == 32
+        with pytest.raises(ValueError):
+            Hash32(b"\x00" * 31)
+
+    def test_zero(self):
+        assert Hash32.zero().to_int() == 0
+
+
+class TestUnits:
+    def test_ether_to_wei(self):
+        assert to_wei(1, "ether") == WEI_PER_ETHER
+        assert ether(2) == 2 * WEI_PER_ETHER
+
+    def test_gwei(self):
+        assert to_wei(5, "gwei") == 5 * WEI_PER_GWEI
+
+    def test_float_amounts_round(self):
+        assert to_wei(1.5, "ether") == 15 * 10**17
+
+    def test_from_wei(self):
+        assert from_wei(WEI_PER_ETHER) == 1.0
+        assert from_wei(WEI_PER_GWEI, "gwei") == 1.0
+
+    def test_unknown_unit_raises(self):
+        with pytest.raises(ValueError):
+            to_wei(1, "parsec")
+        with pytest.raises(ValueError):
+            from_wei(1, "parsec")
+
+    def test_wei_identity(self):
+        assert to_wei(7, "wei") == 7

@@ -1,0 +1,46 @@
+"""The ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import _build_parser, cmd_fork_lengths, main
+
+
+class TestParser:
+    def test_observations_defaults(self):
+        args = _build_parser().parse_args(["observations"])
+        assert args.command == "observations"
+        assert args.days == 270  # the paper's full window
+
+    def test_figure_requires_valid_number(self):
+        parser = _build_parser()
+        args = parser.parse_args(["figure", "3", "--days", "20"])
+        assert args.number == 3
+        with pytest.raises(SystemExit):
+            parser.parse_args(["figure", "9"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            _build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_fork_lengths_prints_table(self, capsys):
+        assert main(["fork-lengths"]) == 0
+        out = capsys.readouterr().out
+        assert "ETH/EIP-150" in out
+        assert "3583" in out
+
+    def test_figure_command_small_run(self, capsys):
+        assert main(["figure", "1", "--days", "6", "--sample-days", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 1" in out
+        assert "2016-07" in out
+
+    def test_figure_csv_output(self, tmp_path, capsys):
+        csv_path = tmp_path / "fig.csv"
+        assert main(
+            ["figure", "2", "--days", "6", "--csv", str(csv_path)]
+        ) == 0
+        assert csv_path.exists()
+        header = csv_path.read_text().splitlines()[0]
+        assert "ETH difficulty" in header

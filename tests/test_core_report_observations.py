@@ -1,0 +1,117 @@
+"""Report rendering and observation predicates — unit level."""
+
+import pytest
+
+from repro.core.observations import Observation
+from repro.core.report import FigureData, _nearest
+from repro.core.timeseries import TimeSeries
+from repro.data.windows import DAY
+from repro.sim.clock import FORK_TIMESTAMP
+
+
+def day_ts(day):
+    return FORK_TIMESTAMP + day * DAY
+
+
+class TestFigureData:
+    def make(self):
+        series = {
+            "a": TimeSeries([day_ts(0), day_ts(1), day_ts(2)], [1.0, 2.0, 3.0]),
+            "b": TimeSeries([day_ts(1), day_ts(2), day_ts(3)], [10.0, 20.0, 30.0]),
+        }
+        return FigureData(
+            figure_id="Figure X", title="test figure", series=series,
+            notes="a note",
+        )
+
+    def test_render_contains_header_and_rows(self):
+        text = self.make().render(sample_days=1)
+        assert "Figure X" in text
+        assert "a note" in text
+        assert "2016-07-20" in text
+
+    def test_render_dash_for_missing_values(self):
+        text = self.make().render(sample_days=1)
+        first_row = [line for line in text.splitlines()
+                     if line.startswith("2016-07-20")][0]
+        assert "-" in first_row  # series b has no day-0 point
+
+    def test_render_sampling_limits_rows(self):
+        series = {
+            "x": TimeSeries([day_ts(d) for d in range(100)],
+                            [float(d) for d in range(100)])
+        }
+        figure = FigureData("F", "t", series)
+        text = figure.render(sample_days=30)
+        data_rows = [line for line in text.splitlines()
+                     if line.startswith("201")]
+        assert len(data_rows) == 4  # days 0, 30, 60, 90
+
+    def test_empty_figure_renders_no_data(self):
+        figure = FigureData("F", "t", {"x": TimeSeries([], [])})
+        assert "(no data)" in figure.render()
+
+    def test_csv_dense_union_axis(self, tmp_path):
+        figure = self.make()
+        path = tmp_path / "f.csv"
+        rows = figure.write_csv(path)
+        assert rows == 4  # union of 4 distinct timestamps
+        lines = path.read_text().splitlines()
+        assert lines[0] == "timestamp,a,b"
+        assert "nan" in lines[1]  # b missing at day 0
+
+    def test_nearest_falls_back_within_a_week(self):
+        lookup = {day_ts(0): 5.0}
+        assert _nearest(lookup, day_ts(0)) == 5.0
+        assert _nearest(lookup, day_ts(3)) == 5.0
+        assert _nearest(lookup, day_ts(10)) is None
+        assert _nearest({}, day_ts(0)) is None
+
+
+class TestObservationRendering:
+    def test_reproduced_verdict(self):
+        observation = Observation(
+            number=1, claim="something", holds=True,
+            details={"x": 1.2345},
+        )
+        text = observation.render()
+        assert "Observation 1" in text
+        assert "REPRODUCED" in text
+        assert "x=1.23" in text
+
+    def test_not_reproduced_verdict(self):
+        observation = Observation(number=2, claim="c", holds=False)
+        assert "NOT REPRODUCED" in observation.render()
+
+
+class TestObservationPredicatesOnSyntheticData:
+    def test_observation_2_rejects_instant_recovery(self):
+        """A fork that never stalls must NOT satisfy Observation 2 —
+        guarding against a predicate that trivially passes."""
+        from repro.core.observations import observation_2
+        from repro.sim.blockprod import ChainTrace
+        from repro.sim.engine import ForkSimConfig, ForkSimResult
+        from repro.market.exchange import ExchangeRateSeries
+
+        # Build a fake result where ETC never stalls (14 s throughout).
+        etc = ChainTrace("ETC")
+        eth = ChainTrace("ETH")
+        ts = FORK_TIMESTAMP - 100 * 14
+        for index in range(100 + 16 * DAY // 14):
+            ts += 14
+            etc.append(index, ts, 10**12, "m")
+            eth.append(index, ts, 10**13, "m")
+        rates = ExchangeRateSeries()
+        rates.set_series("ETH", [10.0] * 20)
+        rates.set_series("ETC", [1.0] * 20)
+        result = ForkSimResult(
+            config=ForkSimConfig(days=16),
+            eth_trace=eth,
+            etc_trace=etc,
+            fork_timestamp=FORK_TIMESTAMP,
+            fork_number=100,
+            rates=rates,
+            daily_hashrate={"ETH": [], "ETC": []},
+        )
+        observation = observation_2(result)
+        assert not observation.holds

@@ -1,0 +1,123 @@
+"""TimeSeries operations and the Pearson statistic."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.timeseries import TimeSeries, align, pearson
+
+
+class TestConstruction:
+    def test_sorts_by_timestamp(self):
+        series = TimeSeries([3, 1, 2], [30.0, 10.0, 20.0])
+        assert series.timestamps == [1, 2, 3]
+        assert series.values == [10.0, 20.0, 30.0]
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            TimeSeries([1, 2], [1.0])
+
+    def test_from_pairs(self):
+        series = TimeSeries.from_pairs([(1, 2.0), (0, 1.0)])
+        assert list(series) == [(0, 1.0), (1, 2.0)]
+
+    def test_from_window_dict(self):
+        series = TimeSeries.from_window_dict({0: 5.0, 2: 7.0}, width=3600)
+        assert series.timestamps == [0, 7200]
+
+
+class TestOperations:
+    def test_map(self):
+        series = TimeSeries([0, 1], [1.0, 2.0]).map(lambda v: v * 10)
+        assert series.values == [10.0, 20.0]
+
+    def test_ratio_to_aligns_first(self):
+        a = TimeSeries([0, 1, 2], [10.0, 20.0, 30.0])
+        b = TimeSeries([1, 2, 3], [2.0, 3.0, 4.0])
+        ratio = a.ratio_to(b)
+        assert ratio.timestamps == [1, 2]
+        assert ratio.values == [10.0, 10.0]
+
+    def test_resample_mean(self):
+        series = TimeSeries([0, 10, 3700], [1.0, 3.0, 8.0])
+        hourly = series.resample_mean(3600)
+        assert hourly.timestamps == [0, 3600]
+        assert hourly.values == [2.0, 8.0]
+
+    def test_clip_time_half_open(self):
+        series = TimeSeries([0, 5, 10], [1.0, 2.0, 3.0])
+        clipped = series.clip_time(0, 10)
+        assert clipped.timestamps == [0, 5]
+
+    def test_summaries(self):
+        series = TimeSeries([0, 1, 2], [5.0, 9.0, 1.0])
+        assert series.mean() == 5.0
+        assert series.max() == 9.0
+        assert series.min() == 1.0
+        assert series.argmax() == 1
+
+    def test_empty_series_mean_raises(self):
+        with pytest.raises(ValueError):
+            TimeSeries([], []).mean()
+
+
+class TestAlign:
+    def test_common_timestamps_only(self):
+        a = TimeSeries([0, 1, 2], [1.0, 2.0, 3.0])
+        b = TimeSeries([1, 2, 3], [4.0, 5.0, 6.0])
+        aligned_a, aligned_b = align(a, b)
+        assert aligned_a.timestamps == [1, 2]
+        assert aligned_b.values == [4.0, 5.0]
+
+
+class TestPearson:
+    def test_perfect_positive(self):
+        a = TimeSeries([0, 1, 2], [1.0, 2.0, 3.0])
+        b = TimeSeries([0, 1, 2], [10.0, 20.0, 30.0])
+        assert pearson(a, b) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        a = TimeSeries([0, 1, 2], [1.0, 2.0, 3.0])
+        b = TimeSeries([0, 1, 2], [3.0, 2.0, 1.0])
+        assert pearson(a, b) == pytest.approx(-1.0)
+
+    def test_constant_series_rejected(self):
+        a = TimeSeries([0, 1], [1.0, 1.0])
+        b = TimeSeries([0, 1], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            pearson(a, b)
+
+    def test_insufficient_overlap_rejected(self):
+        a = TimeSeries([0], [1.0])
+        b = TimeSeries([0], [2.0])
+        with pytest.raises(ValueError):
+            pearson(a, b)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=1000),
+                st.floats(min_value=-1e6, max_value=1e6),
+            ),
+            min_size=3,
+            max_size=40,
+            unique_by=lambda pair: pair[0],
+        )
+    )
+    @settings(max_examples=60)
+    def test_pearson_bounded_and_symmetric(self, pairs):
+        timestamps = [t for t, _ in pairs]
+        values = [v for _, v in pairs]
+        if max(values) - min(values) < 1e-6:
+            return  # (near-)constant series: correlation numerically degenerate
+        a = TimeSeries(timestamps, values)
+        b = TimeSeries(timestamps, [v * 2 + 1 for v in values])
+        try:
+            r_ab = pearson(a, b)
+            r_ba = pearson(b, a)
+        except ValueError:
+            return  # constant series
+        assert -1.0 - 1e-9 <= r_ab <= 1.0 + 1e-9
+        assert r_ab == pytest.approx(r_ba)
+        # b is a positive affine map of a: correlation must be 1.
+        assert r_ab == pytest.approx(1.0)

@@ -1,0 +1,240 @@
+"""Data layer: records, windowing, the database, CSV IO."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.records import BlockRecord, TxRecord
+from repro.data.store import ChainDatabase
+from repro.data.windows import (
+    DAY,
+    HOUR,
+    bucket_by_window,
+    count_per_window,
+    fill_missing_windows,
+    mean_per_window,
+    sum_per_window,
+    window_index,
+    window_start,
+)
+
+
+def block(chain="ETH", number=1, timestamp=1000, difficulty=100,
+          miner="poolA", tx_count=2, contract_tx_count=1):
+    return BlockRecord(chain=chain, number=number, timestamp=timestamp,
+                       difficulty=difficulty, miner=miner, tx_count=tx_count,
+                       contract_tx_count=contract_tx_count)
+
+
+def tx(chain="ETH", tx_hash=b"\x01" * 8, block_number=1, timestamp=1000,
+       is_contract=False, protected=False):
+    return TxRecord(chain=chain, tx_hash=tx_hash, block_number=block_number,
+                    timestamp=timestamp, sender=b"\xaa" * 20, to=b"\xbb" * 20,
+                    value=1, is_contract=is_contract,
+                    replay_protected=protected)
+
+
+class TestWindows:
+    def test_window_index_floor(self):
+        assert window_index(0, HOUR) == 0
+        assert window_index(3599, HOUR) == 0
+        assert window_index(3600, HOUR) == 1
+
+    def test_window_start_inverse(self):
+        assert window_start(window_index(5000, HOUR), HOUR) == 3600
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            window_index(0, 0)
+
+    def test_count_per_window(self):
+        counts = count_per_window([0, 10, 3700, 3800, 7300], HOUR)
+        assert counts == {0: 2, 1: 2, 2: 1}
+
+    def test_sum_and_mean(self):
+        items = [(0, 10.0), (10, 20.0), (3700, 5.0)]
+        sums = sum_per_window(items, lambda i: i[0], lambda i: i[1], HOUR)
+        means = mean_per_window(items, lambda i: i[0], lambda i: i[1], HOUR)
+        assert sums == {0: 30.0, 1: 5.0}
+        assert means == {0: 15.0, 1: 5.0}
+
+    def test_bucket_by_window(self):
+        buckets = bucket_by_window([1, 2, 3601], lambda t: t, HOUR)
+        assert sorted(buckets[0]) == [1, 2]
+        assert buckets[1] == [3601]
+
+    def test_fill_missing_windows(self):
+        dense = fill_missing_windows({0: 5.0, 2: 7.0}, 0, 3)
+        assert dense == [(0, 5.0), (1, 0.0), (2, 7.0), (3, 0.0)]
+
+    def test_fill_missing_rejects_reversed_range(self):
+        with pytest.raises(ValueError):
+            fill_missing_windows({}, 5, 0)
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e9), max_size=50))
+    @settings(max_examples=50)
+    def test_counts_partition_the_events(self, timestamps):
+        counts = count_per_window(timestamps, HOUR)
+        assert sum(counts.values()) == len(timestamps)
+
+
+class TestChainDatabase:
+    def test_insert_and_query_blocks(self):
+        db = ChainDatabase()
+        db.insert_blocks([block(number=2, timestamp=2000),
+                          block(number=1, timestamp=1000)])
+        records = db.blocks("ETH")
+        assert [r.number for r in records] == [1, 2]
+        assert db.block_count("ETH") == 2
+        assert db.chains() == ["ETH"]
+
+    def test_blocks_per_hour(self):
+        db = ChainDatabase()
+        db.insert_blocks([block(timestamp=t) for t in (0, 100, 3700)])
+        assert db.blocks_per_hour("ETH") == {0: 2, 1: 1}
+
+    def test_block_deltas(self):
+        db = ChainDatabase()
+        db.insert_blocks([
+            block(number=1, timestamp=100),
+            block(number=2, timestamp=130),
+            block(number=3, timestamp=144),
+        ])
+        assert db.block_deltas("ETH") == [(130, 30), (144, 14)]
+
+    def test_difficulty_series(self):
+        db = ChainDatabase()
+        db.insert_blocks([block(number=1, difficulty=5, timestamp=10)])
+        assert db.difficulty_series("ETH") == [(10, 5)]
+
+    def test_transactions_per_day(self):
+        db = ChainDatabase()
+        db.insert_transactions([
+            tx(tx_hash=b"\x01" * 8, timestamp=100),
+            tx(tx_hash=b"\x02" * 8, timestamp=200),
+            tx(tx_hash=b"\x03" * 8, timestamp=DAY + 5),
+        ])
+        assert db.transactions_per_day("ETH") == {0: 2, 1: 1}
+
+    def test_contract_fraction(self):
+        db = ChainDatabase()
+        db.insert_transactions([
+            tx(tx_hash=b"\x01" * 8, is_contract=True),
+            tx(tx_hash=b"\x02" * 8),
+            tx(tx_hash=b"\x03" * 8),
+            tx(tx_hash=b"\x04" * 8, is_contract=True),
+        ])
+        assert db.contract_fraction_per_day("ETH") == {0: 0.5}
+
+    def test_lookup_tx_first_sighting_wins(self):
+        db = ChainDatabase()
+        db.insert_transactions([
+            tx(timestamp=500, block_number=5),
+            tx(timestamp=100, block_number=1),
+        ])
+        # Insertion order defines first observation.
+        assert db.lookup_tx("ETH", b"\x01" * 8).timestamp == 500
+
+    def test_iter_tx_sightings_time_ordered_across_chains(self):
+        db = ChainDatabase()
+        db.insert_transactions([
+            tx(chain="ETH", tx_hash=b"\x01" * 8, timestamp=300),
+            tx(chain="ETC", tx_hash=b"\x02" * 8, timestamp=100),
+            tx(chain="ETH", tx_hash=b"\x03" * 8, timestamp=200),
+        ])
+        order = [r.timestamp for r in db.iter_tx_sightings()]
+        assert order == [100, 200, 300]
+
+    def test_miner_label_series(self):
+        db = ChainDatabase()
+        db.insert_blocks([block(miner="p1"), block(number=2, miner="p2",
+                                                    timestamp=2000)])
+        assert db.miner_label_series("ETH") == [(1000, "p1"), (2000, "p2")]
+
+    def test_blocks_between(self):
+        db = ChainDatabase()
+        db.insert_blocks([block(number=n, timestamp=n * 100)
+                          for n in range(1, 6)])
+        subset = db.blocks_between("ETH", 200, 400)
+        assert [r.number for r in subset] == [2, 3]
+
+
+class TestCsvIO:
+    def test_block_round_trip(self, tmp_path):
+        from repro.data.csvio import read_blocks_csv, write_blocks_csv
+
+        records = [block(number=n, timestamp=n * 14) for n in range(1, 4)]
+        path = tmp_path / "blocks.csv"
+        assert write_blocks_csv(path, records) == 3
+        assert read_blocks_csv(path) == records
+
+    def test_tx_round_trip(self, tmp_path):
+        from repro.data.csvio import read_txs_csv, write_txs_csv
+
+        records = [
+            tx(tx_hash=bytes([n]) * 8, is_contract=bool(n % 2),
+               protected=bool(n % 3)) for n in range(4)
+        ]
+        path = tmp_path / "txs.csv"
+        write_txs_csv(path, records)
+        assert read_txs_csv(path) == records
+
+    def test_tx_round_trip_with_creation(self, tmp_path):
+        from repro.data.csvio import read_txs_csv, write_txs_csv
+
+        record = TxRecord(
+            chain="ETH", tx_hash=b"\x09" * 8, block_number=1, timestamp=5,
+            sender=b"\xaa" * 20, to=None, value=0, is_contract=True,
+            replay_protected=False,
+        )
+        path = tmp_path / "txs.csv"
+        write_txs_csv(path, [record])
+        assert read_txs_csv(path)[0].to is None
+
+    def test_series_round_trip(self, tmp_path):
+        from repro.data.csvio import read_series_csv, write_series_csv
+
+        path = tmp_path / "series.csv"
+        write_series_csv(
+            path, {"a": [1.0, 2.0], "b": [3.0, 4.0]}, index=[10, 20]
+        )
+        header, rows = read_series_csv(path)
+        assert header == ["t", "a", "b"]
+        assert rows == [[10.0, 1.0, 3.0], [20.0, 2.0, 4.0]]
+
+    def test_series_length_mismatch_rejected(self, tmp_path):
+        from repro.data.csvio import write_series_csv
+
+        with pytest.raises(ValueError):
+            write_series_csv(tmp_path / "x.csv", {"a": [1.0], "b": []})
+
+
+class TestExportChain:
+    def test_export_full_chain(self, funded_chain, alice_key, bob_key):
+        from repro.chain.transaction import Transaction, sign_transaction
+        from repro.chain.types import ether
+        from repro.data.records import export_chain, export_transactions
+
+        chain, writer = funded_chain
+        transfer = sign_transaction(
+            alice_key,
+            Transaction(nonce=0, gas_price=10**9, gas_limit=21_000,
+                        to=bob_key.address, value=ether(1)),
+        )
+        call = sign_transaction(
+            alice_key,
+            Transaction(nonce=1, gas_price=10**9, gas_limit=50_000,
+                        to=bob_key.address, value=0, data=b"\x01"),
+        )
+        writer.extend((transfer,))
+        writer.extend((call,))
+        records = export_chain(chain, lambda c: "miner", start=1)
+        assert len(records) == 2
+        assert records[0].tx_count == 1
+        assert records[0].contract_tx_count == 0
+        assert records[1].contract_tx_count == 1
+
+        txs = list(export_transactions(chain, start=1))
+        assert len(txs) == 2
+        assert txs[0].tx_hash == bytes(transfer.tx_hash)
+        assert txs[1].is_contract

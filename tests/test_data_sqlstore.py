@@ -1,0 +1,171 @@
+"""SQLite store: persistence plus method-for-method equivalence with the
+in-memory database."""
+
+import random
+
+import pytest
+
+from repro.data.records import BlockRecord, TxRecord
+from repro.data.sqlstore import SqliteChainDatabase
+from repro.data.store import ChainDatabase
+from repro.data.windows import DAY, HOUR
+
+
+def make_blocks(chain, count, seed=1):
+    rng = random.Random(seed)
+    records = []
+    ts = 1_000_000
+    for number in range(1, count + 1):
+        ts += rng.randrange(5, 30)
+        records.append(
+            BlockRecord(
+                chain=chain, number=number, timestamp=ts,
+                difficulty=10**12 + rng.randrange(10**10),
+                miner=rng.choice(["p1", "p2", "p3", "solo-001"]),
+                tx_count=rng.randrange(10), contract_tx_count=rng.randrange(4),
+                gas_used=rng.randrange(10**6),
+            )
+        )
+    return records
+
+
+def make_txs(chain, count, seed=2):
+    rng = random.Random(seed)
+    records = []
+    for index in range(count):
+        records.append(
+            TxRecord(
+                chain=chain,
+                tx_hash=rng.randbytes(8),
+                block_number=index,
+                timestamp=1_000_000 + rng.randrange(3 * DAY),
+                sender=rng.randbytes(20),
+                to=rng.randbytes(20) if rng.random() > 0.1 else None,
+                value=rng.randrange(10**21),  # beyond int64 on purpose
+                is_contract=rng.random() < 0.3,
+                replay_protected=rng.random() < 0.2,
+            )
+        )
+    return records
+
+
+@pytest.fixture
+def populated():
+    blocks = make_blocks("ETH", 120) + make_blocks("ETC", 60, seed=3)
+    txs = make_txs("ETH", 150) + make_txs("ETC", 70, seed=4)
+    memory = ChainDatabase()
+    memory.insert_blocks(blocks)
+    memory.insert_transactions(txs)
+    sqlite_db = SqliteChainDatabase(":memory:")
+    sqlite_db.insert_blocks(blocks)
+    sqlite_db.insert_transactions(txs)
+    return memory, sqlite_db
+
+
+class TestEquivalence:
+    def test_chains(self, populated):
+        memory, sql = populated
+        assert sql.chains() == memory.chains()
+
+    def test_block_counts_and_rows(self, populated):
+        memory, sql = populated
+        for chain in ("ETH", "ETC"):
+            assert sql.block_count(chain) == memory.block_count(chain)
+            assert sql.blocks(chain) == memory.blocks(chain)
+
+    def test_blocks_per_hour(self, populated):
+        memory, sql = populated
+        assert sql.blocks_per_hour("ETH") == memory.blocks_per_hour("ETH")
+
+    def test_difficulty_and_deltas(self, populated):
+        memory, sql = populated
+        assert sql.difficulty_series("ETC") == memory.difficulty_series("ETC")
+        assert sql.block_deltas("ETC") == memory.block_deltas("ETC")
+
+    def test_miner_series(self, populated):
+        memory, sql = populated
+        assert sql.miner_label_series("ETH") == memory.miner_label_series("ETH")
+
+    def test_tx_counts_and_daily(self, populated):
+        memory, sql = populated
+        for chain in ("ETH", "ETC"):
+            assert sql.tx_count(chain) == memory.tx_count(chain)
+            assert sql.transactions_per_day(chain) == memory.transactions_per_day(chain)
+
+    def test_contract_fraction(self, populated):
+        memory, sql = populated
+        mine = memory.contract_fraction_per_day("ETH")
+        theirs = sql.contract_fraction_per_day("ETH")
+        assert set(mine) == set(theirs)
+        for day in mine:
+            assert theirs[day] == pytest.approx(mine[day])
+
+    def test_sightings_stream_order(self, populated):
+        memory, sql = populated
+        mine = [(r.timestamp, r.chain) for r in memory.iter_tx_sightings()]
+        theirs = [(r.timestamp, r.chain) for r in sql.iter_tx_sightings()]
+        assert theirs == mine
+
+    def test_blocks_between(self, populated):
+        memory, sql = populated
+        assert sql.blocks_between("ETH", 1_000_100, 1_001_000) == (
+            memory.blocks_between("ETH", 1_000_100, 1_001_000)
+        )
+
+
+class TestPersistence:
+    def test_data_survives_reopen(self, tmp_path):
+        path = tmp_path / "study.db"
+        blocks = make_blocks("ETH", 10)
+        with SqliteChainDatabase(path) as db:
+            db.insert_blocks(blocks)
+        with SqliteChainDatabase(path) as db:
+            assert db.block_count("ETH") == 10
+            assert db.blocks("ETH") == blocks
+
+    def test_wei_values_beyond_int64_round_trip(self, tmp_path):
+        huge = 10**30
+        record = TxRecord(
+            chain="ETH", tx_hash=b"\x01" * 8, block_number=1, timestamp=1,
+            sender=b"\xaa" * 20, to=None, value=huge,
+            is_contract=False, replay_protected=False,
+        )
+        with SqliteChainDatabase(tmp_path / "w.db") as db:
+            db.insert_transactions([record])
+            assert db.lookup_tx("ETH", b"\x01" * 8).value == huge
+
+    def test_block_upsert_by_primary_key(self, tmp_path):
+        with SqliteChainDatabase(tmp_path / "u.db") as db:
+            first = make_blocks("ETH", 1)
+            db.insert_blocks(first)
+            replacement = [
+                BlockRecord(
+                    chain="ETH", number=1, timestamp=first[0].timestamp,
+                    difficulty=999, miner="new", tx_count=0,
+                    contract_tx_count=0, gas_used=0,
+                )
+            ]
+            db.insert_blocks(replacement)
+            assert db.block_count("ETH") == 1
+            assert db.blocks("ETH")[0].miner == "new"
+
+    def test_echo_detection_from_sqlite(self, tmp_path):
+        """The detector runs off the SQL store's stream unchanged."""
+        from repro.core.echoes import EchoDetector
+
+        echoed = TxRecord(
+            chain="ETH", tx_hash=b"\x07" * 8, block_number=1,
+            timestamp=1_000, sender=b"\xaa" * 20, to=b"\xbb" * 20,
+            value=1, is_contract=False, replay_protected=False,
+        )
+        echo = TxRecord(
+            chain="ETC", tx_hash=b"\x07" * 8, block_number=1,
+            timestamp=5_000, sender=b"\xaa" * 20, to=b"\xbb" * 20,
+            value=1, is_contract=False, replay_protected=False,
+        )
+        with SqliteChainDatabase(tmp_path / "e.db") as db:
+            db.insert_transactions([echoed, echo])
+            detector = EchoDetector()
+            detector.observe_records(db.iter_tx_sightings())
+        assert len(detector.echoes) == 1
+        assert detector.echoes[0].echo_chain == "ETC"

@@ -1,0 +1,210 @@
+"""Scenario contract library: the DAO vault, the exploit, the workhorses."""
+
+import pytest
+
+from repro.chain.gas import FRONTIER_SCHEDULE, TANGERINE_SCHEDULE
+from repro.chain.state import StateDB
+from repro.chain.types import Address, ether
+from repro.evm.abi import decode_words, encode_call, word
+from repro.evm.contracts import (
+    SEL_ATTACK,
+    SEL_DEPOSIT,
+    SEL_TRANSFER,
+    SEL_WITHDRAW,
+    counter_code,
+    deploy_wrapper,
+    gas_guzzler_code,
+    ledger_code,
+    reentrancy_attacker_code,
+    vulnerable_bank_code,
+)
+from repro.evm.vm import EVM, BlockEnvironment, Message
+
+USER = Address.from_int(0x11)
+ATTACKER = Address.from_int(0x22)
+BANK = Address.from_int(0xBA)
+
+
+@pytest.fixture
+def state():
+    db = StateDB()
+    db.credit(USER, ether(100))
+    db.credit(ATTACKER, ether(10))
+    db.set_code(BANK, vulnerable_bank_code())
+    return db
+
+
+def call(state, sender, to, value=0, data=b"", gas=5_000_000, env=None):
+    evm = EVM(state, env or BlockEnvironment())
+    return evm.execute(
+        Message(sender=sender, to=to, value=value, data=data, gas=gas)
+    )
+
+
+class TestAbi:
+    def test_word_encodes_int_and_address(self):
+        assert word(1) == (1).to_bytes(32, "big")
+        assert word(USER)[-20:] == bytes(USER)
+
+    def test_encode_call_layout(self):
+        data = encode_call(2, 7, USER)
+        assert len(data) == 96
+        assert decode_words(data)[:2] == (2, 7)
+
+    def test_decode_pads_tail(self):
+        assert decode_words(b"\x01") == (
+            int.from_bytes(b"\x01" + b"\x00" * 31, "big"),
+        )
+
+    def test_negative_word_rejected(self):
+        with pytest.raises(ValueError):
+            word(-1)
+
+
+class TestVulnerableBank:
+    def test_deposit_credits_caller_slot(self, state):
+        result = call(state, USER, BANK, value=ether(5),
+                      data=encode_call(SEL_DEPOSIT))
+        assert result.success
+        assert state.balance_of(BANK) == ether(5)
+        assert state.storage_at(BANK, int.from_bytes(USER, "big")) == ether(5)
+
+    def test_deposits_accumulate(self, state):
+        for _ in range(2):
+            call(state, USER, BANK, value=ether(3), data=encode_call(SEL_DEPOSIT))
+        assert state.storage_at(BANK, int.from_bytes(USER, "big")) == ether(6)
+
+    def test_withdraw_pays_out_and_zeroes(self, state):
+        call(state, USER, BANK, value=ether(5), data=encode_call(SEL_DEPOSIT))
+        before = state.balance_of(USER)
+        result = call(state, USER, BANK, data=encode_call(SEL_WITHDRAW))
+        assert result.success
+        assert state.balance_of(USER) == before + ether(5)
+        assert state.storage_at(BANK, int.from_bytes(USER, "big")) == 0
+
+    def test_withdraw_without_balance_is_harmless(self, state):
+        before = state.balance_of(USER)
+        result = call(state, USER, BANK, data=encode_call(SEL_WITHDRAW))
+        assert result.success
+        assert state.balance_of(USER) == before
+
+    def test_plain_transfer_accepted_by_fallback(self, state):
+        result = call(state, USER, BANK, value=ether(1))
+        assert result.success
+        assert state.balance_of(BANK) == ether(1)
+
+
+class TestReentrancyExploit:
+    def deploy_attacker(self, state, max_reentries=3):
+        evm = EVM(state, BlockEnvironment())
+        result = evm.execute(
+            Message(
+                sender=ATTACKER, to=None, value=0, data=b"", gas=5_000_000,
+                code=deploy_wrapper(
+                    reentrancy_attacker_code(BANK, max_reentries)
+                ),
+            )
+        )
+        assert result.success
+        return result.created_address
+
+    def test_attack_drains_multiple_of_stake(self, state):
+        call(state, USER, BANK, value=ether(50), data=encode_call(SEL_DEPOSIT))
+        evil = self.deploy_attacker(state, max_reentries=3)
+        result = call(state, ATTACKER, evil, value=ether(1),
+                      data=encode_call(SEL_ATTACK))
+        assert result.success
+        # 1 deposit withdrawn 1 + 3 reentrant times = 4 ether.
+        assert state.balance_of(evil) == ether(4)
+        assert state.balance_of(BANK) == ether(50 - 3)
+
+    def test_drain_scales_with_reentry_bound(self, state):
+        call(state, USER, BANK, value=ether(50), data=encode_call(SEL_DEPOSIT))
+        evil = self.deploy_attacker(state, max_reentries=5)
+        call(state, ATTACKER, evil, value=ether(1), data=encode_call(SEL_ATTACK))
+        assert state.balance_of(evil) == ether(6)
+
+    def test_fixed_bank_is_not_drainable(self, state):
+        """A bank that zeroes the balance *before* sending is immune —
+        the counterfactual that makes the vulnerability a bug, not fate."""
+        from repro.evm.opcodes import assemble
+
+        fixed_bank = Address.from_int(0xF1)
+        state.set_code(
+            fixed_bank,
+            assemble(
+                """
+                CALLDATASIZE ISZERO @done JUMPI
+                PUSH1 0 CALLDATALOAD
+                DUP1 1 EQ @deposit JUMPI
+                DUP1 2 EQ @withdraw JUMPI
+                STOP
+                deposit:
+                    POP CALLER SLOAD CALLVALUE ADD CALLER SSTORE STOP
+                withdraw:
+                    POP
+                    CALLER SLOAD            ; amount
+                    0 CALLER SSTORE         ; zero BEFORE the send
+                    0 0 0 0
+                    DUP5 CALLER GAS CALL POP
+                    POP STOP
+                done: STOP
+                """
+            ),
+        )
+        call(state, USER, fixed_bank, value=ether(50),
+             data=encode_call(SEL_DEPOSIT))
+        evil_code = reentrancy_attacker_code(fixed_bank, 3)
+        evm = EVM(state, BlockEnvironment())
+        deployed = evm.execute(
+            Message(sender=ATTACKER, to=None, value=0, data=b"",
+                    gas=5_000_000, code=deploy_wrapper(evil_code))
+        )
+        result = call(state, ATTACKER, deployed.created_address,
+                      value=ether(1), data=encode_call(SEL_ATTACK))
+        assert result.success
+        # Attacker recovers at most its own deposit.
+        assert state.balance_of(deployed.created_address) <= ether(1)
+
+
+class TestWorkhorses:
+    def test_counter_increments_per_call(self, state):
+        counter = Address.from_int(0xC0)
+        state.set_code(counter, counter_code())
+        for _ in range(3):
+            assert call(state, USER, counter, data=b"\x01").success
+        assert state.storage_at(counter, 0) == 3
+
+    def test_ledger_transfer(self, state):
+        ledger = Address.from_int(0x1E)
+        state.set_code(ledger, ledger_code())
+        recipient = Address.from_int(0x99)
+        result = call(
+            state, USER, ledger,
+            data=encode_call(SEL_TRANSFER, recipient, 500),
+        )
+        assert result.success, result.error
+        assert state.storage_at(ledger, int.from_bytes(recipient, "big")) == 500
+
+    def test_gas_guzzler_is_cheap_under_frontier_dear_under_eip150(self, state):
+        guzzler = Address.from_int(0xD0)
+        state.set_code(guzzler, gas_guzzler_code(iterations=100))
+        cheap = call(state, USER, guzzler, data=b"\x01",
+                     env=BlockEnvironment(schedule=FRONTIER_SCHEDULE))
+        dear = call(state, USER, guzzler, data=b"\x01",
+                    env=BlockEnvironment(schedule=TANGERINE_SCHEDULE))
+        assert cheap.success and dear.success
+        # Each iteration does one EXTCODESIZE (20→700) + one BALANCE
+        # (20→400); with loop overhead the total cost still multiplies ~4x.
+        assert dear.gas_used > cheap.gas_used * 3.5
+
+    def test_gas_guzzler_exhausts_small_budget_after_repricing(self, state):
+        guzzler = Address.from_int(0xD0)
+        state.set_code(guzzler, gas_guzzler_code(iterations=200))
+        budget = 40_000
+        cheap = call(state, USER, guzzler, data=b"\x01", gas=budget,
+                     env=BlockEnvironment(schedule=FRONTIER_SCHEDULE))
+        dear = call(state, USER, guzzler, data=b"\x01", gas=budget,
+                    env=BlockEnvironment(schedule=TANGERINE_SCHEDULE))
+        assert cheap.success       # affordable pre-fork (the DoS vector)
+        assert not dear.success    # repriced out of existence

@@ -1,0 +1,182 @@
+"""LOG opcodes end-to-end, BLOCKHASH, and other interpreter corners."""
+
+import pytest
+
+from repro.chain.config import ETH_CONFIG
+from repro.chain.crypto import PrivateKey
+from repro.chain.processor import apply_transaction
+from repro.chain.state import StateDB
+from repro.chain.transaction import Transaction, sign_transaction
+from repro.chain.types import Address, Hash32, ether
+from repro.evm.opcodes import assemble
+from repro.evm.vm import EVM, BlockEnvironment, Message
+
+CALLER = Address.from_int(0xAA)
+CONTRACT = Address.from_int(0xBB)
+
+
+def execute(source, gas=1_000_000, env=None, state=None):
+    state = state or StateDB()
+    state.credit(CALLER, ether(1))
+    state.set_code(CONTRACT, assemble(source))
+    evm = EVM(state, env or BlockEnvironment())
+    return evm.execute(
+        Message(sender=CALLER, to=CONTRACT, value=0, data=b"", gas=gas)
+    ), state
+
+
+class TestLogs:
+    def test_log0_captures_data(self):
+        result, _ = execute(
+            "0xdeadbeef PUSH1 0 MSTORE PUSH1 4 PUSH1 28 LOG0 STOP"
+        )
+        assert result.success
+        assert len(result.logs) == 1
+        log = result.logs[0]
+        assert log.address == CONTRACT
+        assert log.topics == ()
+        assert log.data == bytes.fromhex("deadbeef")
+
+    def test_log2_captures_topics_in_order(self):
+        # LOG2 pops offset, size, topic1, topic2.
+        result, _ = execute("7 9 PUSH1 0 PUSH1 0 LOG2 STOP")
+        assert result.success
+        assert result.logs[0].topics == (9, 7)
+
+    def test_reverted_frame_drops_its_logs(self):
+        result, _ = execute(
+            "PUSH1 0 PUSH1 0 LOG0 PUSH1 0 PUSH1 0 REVERT"
+        )
+        assert not result.success
+        assert result.logs == []
+
+    def test_failed_inner_call_drops_only_inner_logs(self):
+        state = StateDB()
+        inner = Address.from_int(0xCC)
+        state.set_code(
+            inner,
+            assemble("PUSH1 0 PUSH1 0 LOG0 PUSH1 0 PUSH1 0 REVERT"),
+        )
+        source = (
+            "PUSH1 0 PUSH1 0 LOG0 "  # outer log survives
+            f"0 0 0 0 0 {int.from_bytes(inner, 'big')} GAS CALL POP STOP"
+        )
+        result, _ = execute(source, state=state)
+        assert result.success
+        assert len(result.logs) == 1
+        assert result.logs[0].address == CONTRACT
+
+    def test_logs_reach_the_receipt(self):
+        sender = PrivateKey.from_seed("logs:sender")
+        state = StateDB()
+        state.credit(sender.address, ether(1))
+        state.set_code(CONTRACT, assemble("5 PUSH1 0 PUSH1 0 LOG1 STOP"))
+        tx = sign_transaction(
+            sender,
+            Transaction(nonce=0, gas_price=10**9, gas_limit=100_000,
+                        to=CONTRACT, value=0, data=b"\x01"),
+        )
+        receipt = apply_transaction(
+            state, tx, ETH_CONFIG, BlockEnvironment(block_number=1)
+        )
+        assert receipt.succeeded
+        assert receipt.logs[0].topics == (5,)
+
+    def test_log_gas_charged_per_topic_and_byte(self):
+        no_data, _ = execute("PUSH1 0 PUSH1 0 LOG0 STOP")
+        with_data, _ = execute("PUSH1 32 PUSH1 0 LOG0 STOP")
+        with_topic, _ = execute("1 PUSH1 0 PUSH1 0 LOG1 STOP")
+        assert with_data.gas_used > no_data.gas_used
+        assert with_topic.gas_used > no_data.gas_used
+
+
+class TestBlockhash:
+    def test_recent_block_resolves(self):
+        env = BlockEnvironment(block_number=100)
+        result, _ = execute(
+            "PUSH1 99 BLOCKHASH PUSH1 0 MSTORE PUSH1 32 PUSH1 0 RETURN",
+            env=env,
+        )
+        value = int.from_bytes(result.return_data, "big")
+        assert value == int.from_bytes(env.block_hash(99), "big")
+
+    def test_future_and_ancient_blocks_are_zero(self):
+        env = BlockEnvironment(block_number=1000)
+        for number in (1000, 1001, 500):
+            result, _ = execute(
+                f"{number} BLOCKHASH PUSH1 0 MSTORE "
+                "PUSH1 32 PUSH1 0 RETURN",
+                env=env,
+            )
+            assert int.from_bytes(result.return_data, "big") == 0
+
+    def test_custom_block_hash_fn(self):
+        marker = Hash32(b"\x42" * 32)
+        env = BlockEnvironment(
+            block_number=10, block_hash_fn=lambda n: marker
+        )
+        result, _ = execute(
+            "PUSH1 9 BLOCKHASH PUSH1 0 MSTORE PUSH1 32 PUSH1 0 RETURN",
+            env=env,
+        )
+        assert result.return_data == bytes(marker)
+
+
+class TestMiscSemantics:
+    def test_exp_gas_scales_with_exponent_size(self):
+        small, _ = execute("1 2 EXP POP STOP")
+        large, _ = execute("PUSH32 {0} 2 EXP POP STOP".format(2**255))
+        assert large.gas_used > small.gas_used
+
+    def test_msize_tracks_memory(self):
+        result, _ = execute(
+            "1 PUSH1 64 MSTORE MSIZE PUSH1 0 MSTORE "
+            "PUSH1 32 PUSH1 0 RETURN"
+        )
+        assert int.from_bytes(result.return_data, "big") == 96
+
+    def test_ops_executed_counter(self):
+        result, _ = execute("1 2 ADD POP STOP")
+        assert result.ops_executed == 5
+
+    def test_invalid_opcode_halts_exceptionally(self):
+        state = StateDB()
+        state.credit(CALLER, ether(1))
+        state.set_code(CONTRACT, b"\xfe")  # undefined opcode
+        evm = EVM(state, BlockEnvironment())
+        result = evm.execute(
+            Message(sender=CALLER, to=CONTRACT, value=0, data=b"",
+                    gas=10_000)
+        )
+        assert not result.success
+        assert result.gas_left == 0
+
+    def test_value_call_stipend_lets_plain_receiver_log(self):
+        """A zero-gas value CALL still forwards the 2300 stipend —
+        enough for a logging fallback, the pattern wallets relied on."""
+        state = StateDB()
+        receiver = Address.from_int(0xDD)
+        state.set_code(receiver, assemble("PUSH1 0 PUSH1 0 LOG0 STOP"))
+        source = (
+            f"0 0 0 0 100 {int.from_bytes(receiver, 'big')} PUSH1 0 CALL "
+            "PUSH1 0 MSTORE PUSH1 32 PUSH1 0 RETURN"
+        )
+        result, state = execute(source, state=state)
+        # We sent value from the contract: fund it first.
+        # (The contract had no balance, so the inner call fails cleanly.)
+        assert result.success
+
+    def test_value_call_with_funded_contract_uses_stipend(self):
+        state = StateDB()
+        receiver = Address.from_int(0xDD)
+        state.set_code(receiver, assemble("PUSH1 0 PUSH1 0 LOG0 STOP"))
+        state.credit(CONTRACT, 1_000)
+        source = (
+            f"0 0 0 0 100 {int.from_bytes(receiver, 'big')} PUSH1 0 CALL "
+            "PUSH1 0 MSTORE PUSH1 32 PUSH1 0 RETURN"
+        )
+        result, state = execute(source, state=state)
+        assert result.success
+        assert int.from_bytes(result.return_data, "big") == 1  # call ok
+        assert state.balance_of(receiver) == 100
+        assert len(result.logs) == 1  # the stipend paid for the LOG0

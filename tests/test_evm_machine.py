@@ -1,0 +1,153 @@
+"""EVM machine components: stack, memory, assembler."""
+
+import pytest
+
+from repro.evm.memory import Memory
+from repro.evm.opcodes import OPCODES, assemble, disassemble
+from repro.evm.stack import MAX_STACK_DEPTH, Stack, StackError
+
+
+class TestStack:
+    def test_push_pop(self):
+        stack = Stack()
+        stack.push(42)
+        assert stack.pop() == 42
+
+    def test_words_wrap_at_256_bits(self):
+        stack = Stack()
+        stack.push(2**256 + 5)
+        assert stack.pop() == 5
+
+    def test_underflow(self):
+        with pytest.raises(StackError):
+            Stack().pop()
+
+    def test_overflow_at_1024(self):
+        stack = Stack()
+        for _ in range(MAX_STACK_DEPTH):
+            stack.push(0)
+        with pytest.raises(StackError):
+            stack.push(0)
+
+    def test_dup(self):
+        stack = Stack()
+        stack.push(1)
+        stack.push(2)
+        stack.dup(2)  # copy the 1
+        assert stack.pop() == 1
+        assert len(stack) == 2
+
+    def test_dup_underflow(self):
+        stack = Stack()
+        stack.push(1)
+        with pytest.raises(StackError):
+            stack.dup(2)
+
+    def test_swap(self):
+        stack = Stack()
+        stack.push(1)
+        stack.push(2)
+        stack.swap(1)
+        assert stack.pop() == 1
+        assert stack.pop() == 2
+
+    def test_swap_underflow(self):
+        stack = Stack()
+        stack.push(1)
+        with pytest.raises(StackError):
+            stack.swap(1)
+
+    def test_peek(self):
+        stack = Stack()
+        stack.push(7)
+        stack.push(8)
+        assert stack.peek() == 8
+        assert stack.peek(1) == 7
+        assert len(stack) == 2
+
+
+class TestMemory:
+    def test_reads_are_zero_initialized(self):
+        assert Memory().read(10, 4) == b"\x00" * 4
+
+    def test_write_read_round_trip(self):
+        memory = Memory()
+        memory.write(3, b"abc")
+        assert memory.read(3, 3) == b"abc"
+
+    def test_grows_in_words(self):
+        memory = Memory()
+        memory.write(0, b"x")
+        assert len(memory) == 32
+        memory.write(33, b"y")
+        assert len(memory) == 64
+
+    def test_expansion_words_counts_new_words_only(self):
+        memory = Memory()
+        assert memory.expansion_words(0, 32) == 1
+        memory.write(0, b"\x00" * 32)
+        assert memory.expansion_words(0, 32) == 0
+        assert memory.expansion_words(32, 1) == 1
+        assert memory.expansion_words(0, 0) == 0
+
+    def test_word_round_trip(self):
+        memory = Memory()
+        memory.write_word(0, 0xDEADBEEF)
+        assert memory.read_word(0) == 0xDEADBEEF
+
+    def test_write_byte(self):
+        memory = Memory()
+        memory.write_byte(5, 0x1FF)  # truncates to a byte
+        assert memory.read(5, 1) == b"\xff"
+
+
+class TestAssembler:
+    def test_simple_sequence(self):
+        code = assemble("PUSH1 1 PUSH1 2 ADD STOP")
+        assert code == bytes([0x60, 1, 0x60, 2, 0x01, 0x00])
+
+    def test_integer_literals_use_minimal_push(self):
+        assert assemble("5") == bytes([0x60, 5])
+        assert assemble("256") == bytes([0x61, 1, 0])
+
+    def test_hex_literals(self):
+        assert assemble("0xff") == bytes([0x60, 0xFF])
+
+    def test_comments_stripped(self):
+        assert assemble("ADD ; a comment\nMUL") == bytes([0x01, 0x02])
+
+    def test_labels_emit_jumpdest_and_resolve(self):
+        code = assemble("@end JUMP end: STOP")
+        # PUSH2 0x0004 JUMP JUMPDEST STOP
+        assert code == bytes([0x61, 0x00, 0x04, 0x56, 0x5B, 0x00])
+
+    def test_forward_and_backward_references(self):
+        code = assemble("start: @start JUMP")
+        assert code == bytes([0x5B, 0x61, 0x00, 0x00, 0x56])
+
+    def test_undefined_label_raises(self):
+        with pytest.raises(ValueError):
+            assemble("@nowhere JUMP")
+
+    def test_duplicate_label_raises(self):
+        with pytest.raises(ValueError):
+            assemble("a: STOP a: STOP")
+
+    def test_unknown_mnemonic_raises(self):
+        with pytest.raises(ValueError):
+            assemble("FROBNICATE")
+
+    def test_pushn_explicit_width(self):
+        assert assemble("PUSH4 0x01") == bytes([0x63, 0, 0, 0, 1])
+
+    def test_pushn_missing_operand(self):
+        with pytest.raises(ValueError):
+            assemble("PUSH1")
+
+    def test_disassemble_round_trip_mnemonics(self):
+        code = assemble("PUSH1 5 DUP1 MUL STOP")
+        text = disassemble(code)
+        assert "PUSH1" in text and "MUL" in text and "STOP" in text
+
+    def test_all_named_opcodes_have_distinct_bytes(self):
+        assert len(set(OPCODES.values())) == len(OPCODES)

@@ -1,0 +1,331 @@
+"""EVM interpreter semantics: opcodes, gas, calls, reverts."""
+
+import pytest
+
+from repro.chain.gas import FRONTIER_SCHEDULE, TANGERINE_SCHEDULE
+from repro.chain.state import StateDB
+from repro.chain.types import Address, ether
+from repro.evm.opcodes import assemble
+from repro.evm.vm import (
+    EVM,
+    BlockEnvironment,
+    Message,
+    derive_contract_address,
+)
+
+CALLER = Address.from_int(0xAAAA)
+CONTRACT = Address.from_int(0xBBBB)
+
+
+def run_code(source, state=None, gas=1_000_000, value=0, data=b"",
+             env=None, caller=CALLER):
+    """Install code at CONTRACT and call it; returns (result, state)."""
+    state = state or StateDB()
+    state.credit(caller, ether(10))
+    state.set_code(CONTRACT, assemble(source))
+    evm = EVM(state, env or BlockEnvironment())
+    result = evm.execute(
+        Message(sender=caller, to=CONTRACT, value=value, data=data, gas=gas)
+    )
+    return result, state
+
+
+def returned_word(result):
+    assert result.success, result.error
+    return int.from_bytes(result.return_data, "big")
+
+
+RETURN_TOP = "PUSH1 0 MSTORE PUSH1 32 PUSH1 0 RETURN"
+
+
+class TestArithmetic:
+    @pytest.mark.parametrize(
+        "expression, expected",
+        [
+            ("1 2 ADD", 3),
+            ("3 4 MUL", 12),
+            ("5 9 SUB", 4),          # pushes 5 then 9: computes 9-5
+            ("4 20 DIV", 5),
+            ("0 5 DIV", 0),          # division by zero yields zero
+            ("3 10 MOD", 1),
+            ("0 7 MOD", 0),
+            ("5 3 2 ADDMOD", 0),     # (2+3) % 5
+            ("7 3 4 MULMOD", 5),     # (4*3) % 7
+            ("2 3 EXP", 9),          # 3**2
+            ("3 2 LT", 1),           # 2 < 3
+            ("2 3 GT", 1),           # 3 > 2
+            ("5 5 EQ", 1),
+            ("0 ISZERO", 1),
+            ("7 ISZERO", 0),
+            ("0b1100 0b1010 AND", 0b1000),
+            ("0b1100 0b1010 OR", 0b1110),
+            ("0b1100 0b1010 XOR", 0b0110),
+        ],
+    )
+    def test_binary_ops(self, expression, expected):
+        # Expression leaves one word; return it.
+        result, _ = run_code(f"{expression} {RETURN_TOP}")
+        assert returned_word(result) == expected
+
+    def test_not(self):
+        result, _ = run_code(f"0 NOT {RETURN_TOP}")
+        assert returned_word(result) == 2**256 - 1
+
+    def test_signed_division(self):
+        # -6 / 2 == -3 in two's complement
+        minus_six = 2**256 - 6
+        result, _ = run_code(f"2 {minus_six} SDIV {RETURN_TOP}")
+        assert returned_word(result) == 2**256 - 3
+
+    def test_signed_comparison(self):
+        minus_one = 2**256 - 1
+        result, _ = run_code(f"1 {minus_one} SLT {RETURN_TOP}")
+        assert returned_word(result) == 1  # -1 < 1
+
+    def test_byte_op(self):
+        result, _ = run_code(f"0xff00 30 BYTE {RETURN_TOP}")
+        assert returned_word(result) == 0xFF
+
+    def test_sha3_matches_keccak(self):
+        from repro.chain.crypto import keccak256
+
+        result, _ = run_code(
+            f"0xabcd PUSH1 0 MSTORE PUSH1 32 PUSH1 0 SHA3 {RETURN_TOP}"
+        )
+        expected = int.from_bytes(
+            keccak256((0xABCD).to_bytes(32, "big")), "big"
+        )
+        assert returned_word(result) == expected
+
+
+class TestEnvironment:
+    def test_caller_and_callvalue(self):
+        result, _ = run_code(f"CALLER {RETURN_TOP}", value=ether(1))
+        assert returned_word(result) == int.from_bytes(CALLER, "big")
+        result, _ = run_code(f"CALLVALUE {RETURN_TOP}", value=12345)
+        assert returned_word(result) == 12345
+
+    def test_calldataload_and_size(self):
+        data = (99).to_bytes(32, "big")
+        result, _ = run_code(f"PUSH1 0 CALLDATALOAD {RETURN_TOP}", data=data)
+        assert returned_word(result) == 99
+        result, _ = run_code(f"CALLDATASIZE {RETURN_TOP}", data=data)
+        assert returned_word(result) == 32
+
+    def test_calldata_reads_past_end_are_zero_padded(self):
+        result, _ = run_code(f"PUSH1 31 CALLDATALOAD {RETURN_TOP}", data=b"\xff")
+        assert returned_word(result) == 0
+
+    def test_block_environment_opcodes(self):
+        env = BlockEnvironment(
+            block_number=777, timestamp=1234, difficulty=5555,
+            coinbase=Address.from_int(42), gas_limit=999_999,
+        )
+        for source, expected in [
+            ("NUMBER", 777),
+            ("TIMESTAMP", 1234),
+            ("DIFFICULTY", 5555),
+            ("COINBASE", 42),
+            ("GASLIMIT", 999_999),
+        ]:
+            result, _ = run_code(f"{source} {RETURN_TOP}", env=env)
+            assert returned_word(result) == expected
+
+    def test_balance(self):
+        state = StateDB()
+        state.credit(Address.from_int(7), 1234)
+        result, _ = run_code(f"7 BALANCE {RETURN_TOP}", state=state)
+        assert returned_word(result) == 1234
+
+    def test_address_opcode(self):
+        result, _ = run_code(f"ADDRESS {RETURN_TOP}")
+        assert returned_word(result) == int.from_bytes(CONTRACT, "big")
+
+
+class TestStorageAndFlow:
+    def test_sstore_sload(self):
+        result, state = run_code(
+            f"42 PUSH1 5 SSTORE PUSH1 5 SLOAD {RETURN_TOP}"
+        )
+        assert returned_word(result) == 42
+        assert state.storage_at(CONTRACT, 5) == 42
+
+    def test_storage_reverted_on_failure(self):
+        # Store then force an invalid jump: all mutations roll back.
+        result, state = run_code("42 PUSH1 5 SSTORE PUSH1 3 JUMP")
+        assert not result.success
+        assert state.storage_at(CONTRACT, 5) == 0
+
+    def test_revert_opcode_returns_gas_and_rolls_back(self):
+        result, state = run_code(
+            "42 PUSH1 5 SSTORE PUSH1 0 PUSH1 0 REVERT", gas=100_000
+        )
+        assert not result.success
+        assert result.error == "reverted"
+        assert result.gas_left > 0  # unlike OOG, gas is returned
+        assert state.storage_at(CONTRACT, 5) == 0
+
+    def test_out_of_gas_consumes_everything(self):
+        result, _ = run_code("loop: @loop JUMP", gas=5_000)
+        assert not result.success
+        assert result.gas_left == 0
+
+    def test_jumpi_taken_and_not_taken(self):
+        result, _ = run_code(
+            f"1 @skip JUMPI 99 {RETURN_TOP} skip: 7 {RETURN_TOP}"
+        )
+        assert returned_word(result) == 7
+        result, _ = run_code(
+            f"0 @skip JUMPI 99 {RETURN_TOP} skip: 7 {RETURN_TOP}"
+        )
+        assert returned_word(result) == 99
+
+    def test_jump_into_push_data_rejected(self):
+        # Offset 1 is PUSH operand data, not a JUMPDEST.
+        result, _ = run_code("PUSH1 0x5b PUSH1 1 JUMP")
+        assert not result.success
+
+    def test_implicit_stop_at_end_of_code(self):
+        result, _ = run_code("1 POP")
+        assert result.success
+        assert result.return_data == b""
+
+    def test_gas_opcode_decreases(self):
+        result, _ = run_code(f"GAS {RETURN_TOP}", gas=100_000)
+        assert 0 < returned_word(result) < 100_000
+
+
+class TestGasAccounting:
+    def test_plain_stop_costs_nothing_extra(self):
+        result, _ = run_code("STOP", gas=100)
+        assert result.success
+        assert result.gas_used == 0
+
+    def test_arithmetic_gas_exact(self):
+        # PUSH1(3) + PUSH1(3) + ADD(3) = 9
+        result, _ = run_code("1 2 ADD", gas=100)
+        assert result.gas_used == 9
+
+    def test_sstore_set_vs_reset_pricing(self):
+        set_cost = FRONTIER_SCHEDULE.sstore_set
+        result, _ = run_code("1 PUSH1 0 SSTORE")
+        assert result.gas_used == 3 + 3 + set_cost
+
+    def test_sstore_clear_earns_refund(self):
+        result, _ = run_code("1 PUSH1 0 SSTORE 0 PUSH1 0 SSTORE")
+        assert result.gas_refund == FRONTIER_SCHEDULE.sstore_refund
+
+    def test_memory_expansion_charged(self):
+        # MSTORE at offset 0 → 1 word; at 4096 → 129 words.
+        small, _ = run_code("1 PUSH1 0 MSTORE")
+        large, _ = run_code("1 PUSH2 4096 MSTORE")
+        assert large.gas_used > small.gas_used
+
+    def test_eip150_makes_state_reads_expensive(self):
+        """The repricing the November 2016 fork shipped (Section 2.1)."""
+        cheap_env = BlockEnvironment(schedule=FRONTIER_SCHEDULE)
+        dear_env = BlockEnvironment(schedule=TANGERINE_SCHEDULE)
+        source = "CALLER EXTCODESIZE POP"
+        cheap, _ = run_code(source, env=cheap_env)
+        dear, _ = run_code(source, env=dear_env)
+        assert cheap.gas_used < dear.gas_used
+        assert dear.gas_used - cheap.gas_used == (
+            TANGERINE_SCHEDULE.extcode - FRONTIER_SCHEDULE.extcode
+        )
+
+
+class TestCalls:
+    def test_plain_value_call_transfers(self):
+        state = StateDB()
+        recipient = Address.from_int(0xCCCC)
+        # CALL(gas, to, value, 0,0,0,0)
+        source = f"0 0 0 0 1000 {int.from_bytes(recipient, 'big')} GAS CALL {RETURN_TOP}"
+        result, state = run_code(source, state=state, value=2000)
+        assert returned_word(result) == 1  # success flag
+        assert state.balance_of(recipient) == 1000
+
+    def test_call_to_missing_balance_fails_cleanly(self):
+        recipient = Address.from_int(0xCCCC)
+        source = (
+            f"0 0 0 0 {ether(100)} {int.from_bytes(recipient, 'big')} GAS CALL "
+            + RETURN_TOP
+        )
+        result, state = run_code(source)
+        assert returned_word(result) == 0  # inner failure, outer continues
+        assert state.balance_of(recipient) == 0
+
+    def test_callee_executes_and_writes_its_own_storage(self):
+        state = StateDB()
+        callee = Address.from_int(0xDDDD)
+        state.set_code(callee, assemble("7 PUSH1 0 SSTORE STOP"))
+        source = f"0 0 0 0 0 {int.from_bytes(callee, 'big')} GAS CALL POP STOP"
+        result, state = run_code(source, state=state)
+        assert result.success
+        assert state.storage_at(callee, 0) == 7
+        assert state.storage_at(CONTRACT, 0) == 0
+
+    def test_failed_callee_reverts_only_its_frame(self):
+        state = StateDB()
+        callee = Address.from_int(0xDDDD)
+        state.set_code(callee, assemble("7 PUSH1 0 SSTORE PUSH1 0 PUSH1 0 REVERT"))
+        source = (
+            f"1 PUSH1 9 SSTORE "
+            f"0 0 0 0 0 {int.from_bytes(callee, 'big')} GAS CALL POP STOP"
+        )
+        result, state = run_code(source, state=state)
+        assert result.success
+        assert state.storage_at(callee, 0) == 0  # callee reverted
+        assert state.storage_at(CONTRACT, 9) == 1  # caller preserved
+
+    def test_create_deploys_returned_code(self):
+        from repro.evm.contracts import counter_code, deploy_wrapper
+
+        state = StateDB()
+        state.credit(CALLER, ether(1))
+        evm = EVM(state, BlockEnvironment())
+        result = evm.execute(
+            Message(
+                sender=CALLER, to=None, value=0, data=b"",
+                gas=1_000_000, code=deploy_wrapper(counter_code()),
+            )
+        )
+        assert result.success
+        assert state.code_of(result.created_address) == counter_code()
+
+    def test_create_address_matches_derivation(self):
+        from repro.evm.contracts import counter_code, deploy_wrapper
+
+        state = StateDB()
+        state.credit(CALLER, ether(1))
+        state.increment_nonce(CALLER)  # as the tx processor would
+        evm = EVM(state, BlockEnvironment())
+        result = evm.execute(
+            Message(sender=CALLER, to=None, value=0, data=b"",
+                    gas=1_000_000, code=deploy_wrapper(counter_code()))
+        )
+        assert result.created_address == derive_contract_address(CALLER, 0)
+
+    def test_selfdestruct_sends_balance_and_removes_code(self):
+        state = StateDB()
+        heir = Address.from_int(0xEEEE)
+        source = f"{int.from_bytes(heir, 'big')} SELFDESTRUCT"
+        result, state = run_code(source, state=state, value=5000)
+        assert result.success
+        assert state.balance_of(heir) == 5000
+        assert not state.is_contract(CONTRACT)
+
+    def test_call_depth_limit(self):
+        """A contract that calls itself recurses until the 1024 frame cap,
+        then the inner call fails while the outer chain unwinds cleanly."""
+        state = StateDB()
+        self_word = int.from_bytes(CONTRACT, "big")
+        # Count depth in slot 0, recurse unconditionally.
+        source = (
+            "PUSH1 0 SLOAD 1 ADD PUSH1 0 SSTORE "
+            f"0 0 0 0 0 {self_word} GAS CALL POP STOP"
+        )
+        result, state = run_code(source, state=state, gas=10_000_000)
+        assert result.success
+        # Frontier gas rules (no 63/64) let recursion hit a floor set by
+        # gas, not necessarily 1024 — but it must be bounded and > 1.
+        assert 1 < state.storage_at(CONTRACT, 0) <= 1025

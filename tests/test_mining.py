@@ -1,0 +1,266 @@
+"""Mining layer: hashpower ledger, payouts, pools, strategies."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mining.hashpower import (
+    HashpowerLedger,
+    sample_block_interval,
+    winner_weighted_choice,
+)
+from repro.mining.miner import Miner, MinerAllegiance
+from repro.mining.payout import PPLNSPayout, ProportionalPayout, Share
+from repro.mining.pool import MiningPool, PoolDirectory
+from repro.mining.strategy import (
+    ChainEconomics,
+    RationalSwitching,
+    hashes_per_usd,
+    profitability_usd_per_second,
+)
+
+
+class TestHashpowerLedger:
+    def test_set_and_total(self):
+        ledger = HashpowerLedger()
+        ledger.set_hashrate("a", 100.0)
+        ledger.set_hashrate("b", 300.0)
+        assert ledger.total == 400.0
+        assert ledger.shares() == {"a": 0.25, "b": 0.75}
+
+    def test_zero_removes(self):
+        ledger = HashpowerLedger()
+        ledger.set_hashrate("a", 100.0)
+        ledger.set_hashrate("a", 0.0)
+        assert "a" not in ledger
+        assert len(ledger) == 0
+
+    def test_add_hashrate_clamps_at_zero(self):
+        ledger = HashpowerLedger()
+        ledger.set_hashrate("a", 10.0)
+        ledger.add_hashrate("a", -50.0)
+        assert ledger.hashrate_of("a") == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            HashpowerLedger().set_hashrate("a", -1.0)
+
+    def test_expected_blocks(self):
+        ledger = HashpowerLedger()
+        ledger.set_hashrate("a", 1000.0)
+        assert ledger.expected_blocks(difficulty=14_000, seconds=14_000) == 1000.0
+
+    def test_winner_distribution_tracks_shares(self):
+        """Statistical: winner frequency ≈ hashrate share (Figure 5's
+        underlying assumption)."""
+        ledger = HashpowerLedger()
+        ledger.set_hashrate("big", 900.0)
+        ledger.set_hashrate("small", 100.0)
+        rng = random.Random(42)
+        wins = sum(1 for _ in range(4000) if ledger.sample_winner(rng) == "big")
+        assert 0.86 < wins / 4000 < 0.94
+
+    def test_interval_is_exponential_with_right_mean(self):
+        rng = random.Random(42)
+        samples = [sample_block_interval(14_000, 1000.0, rng) for _ in range(4000)]
+        mean = sum(samples) / len(samples)
+        assert 13 < mean < 15
+
+    def test_zero_hashrate_raises(self):
+        with pytest.raises(ValueError):
+            sample_block_interval(1000, 0.0, random.Random(1))
+
+    def test_weighted_choice_requires_positive_mass(self):
+        with pytest.raises(ValueError):
+            winner_weighted_choice({}, random.Random(1))
+
+
+class TestPayouts:
+    def test_proportional_splits_by_round_shares(self):
+        payout = ProportionalPayout()
+        payout.record_share(Share("a", 3.0))
+        payout.record_share(Share("b", 1.0))
+        result = payout.split_reward(4000)
+        assert result == {"a": 3000, "b": 1000}
+
+    def test_proportional_round_resets(self):
+        payout = ProportionalPayout()
+        payout.record_share(Share("a", 1.0))
+        payout.split_reward(100)
+        assert payout.split_reward(100) == {}
+
+    def test_pplns_window_spans_rounds(self):
+        payout = PPLNSPayout(window=100)
+        payout.record_share(Share("a", 1.0))
+        payout.split_reward(100)
+        # "a" still in the window; next reward still pays them.
+        assert payout.split_reward(100) == {"a": 100}
+
+    def test_pplns_window_evicts_old_shares(self):
+        payout = PPLNSPayout(window=2)
+        payout.record_share(Share("a", 1.0))
+        payout.record_share(Share("b", 1.0))
+        payout.record_share(Share("b", 1.0))  # evicts a's share
+        assert payout.split_reward(100) == {"b": 100}
+
+    def test_payout_never_exceeds_reward(self):
+        payout = ProportionalPayout()
+        for member in "abcdefg":
+            payout.record_share(Share(member, 1 / 3))
+        result = payout.split_reward(1000)
+        assert sum(result.values()) <= 1000
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            PPLNSPayout(window=0)
+
+
+class TestMiningPool:
+    def test_pool_aggregates_member_hashrate(self):
+        pool = MiningPool("testpool")
+        pool.join("m1", 100.0)
+        pool.join("m2", 300.0)
+        assert pool.hashrate == 400.0
+
+    def test_block_reward_distribution_with_fee(self):
+        pool = MiningPool("testpool", fee_fraction=0.10)
+        pool.join("m1", 100.0)
+        pool.join("m2", 300.0)
+        pool.record_effort(seconds=1000)
+        payouts = pool.on_block_won(10_000)
+        assert pool.operator_earned >= 1000  # the fee
+        assert payouts["m2"] == 3 * payouts["m1"]
+        assert pool.blocks_won == 1
+
+    def test_member_earnings_accumulate(self):
+        pool = MiningPool("p", fee_fraction=0.0)
+        pool.join("m1", 1.0)
+        pool.record_effort(100)
+        pool.on_block_won(500)
+        assert pool.members["m1"].earned == 500
+
+    def test_leave_and_rehash(self):
+        pool = MiningPool("p")
+        pool.join("m1", 5.0)
+        pool.set_member_hashrate("m1", 7.0)
+        assert pool.hashrate == 7.0
+        pool.leave("m1")
+        assert pool.hashrate == 0.0
+
+    def test_coinbase_is_stable_per_name(self):
+        assert MiningPool("alpha").coinbase == MiningPool("alpha").coinbase
+        assert MiningPool("alpha").coinbase != MiningPool("beta").coinbase
+
+    def test_invalid_fee(self):
+        with pytest.raises(ValueError):
+            MiningPool("p", fee_fraction=1.0)
+
+
+class TestPoolDirectory:
+    def test_resolves_pool_coinbase(self):
+        pool = MiningPool("dwarfpool")
+        directory = PoolDirectory()
+        directory.register_pool(pool)
+        assert directory.name_for(pool.coinbase) == "dwarfpool"
+        assert directory.label_for(pool.coinbase) == "dwarfpool"
+
+    def test_unknown_coinbase_gets_truncated_label(self):
+        from repro.chain.types import Address
+
+        directory = PoolDirectory()
+        unknown = Address.from_int(0xABCDEF)
+        assert directory.name_for(unknown) is None
+        assert directory.label_for(unknown) == unknown.hex()[:10]
+
+
+class TestEconomics:
+    def test_hashes_per_usd_formula(self):
+        economics = ChainEconomics("ETH", difficulty=70_000_000_000_000,
+                                   price_usd=14.0)
+        # hashes/ether = d/5; hashes/USD = d/5/price
+        assert hashes_per_usd(economics) == pytest.approx(
+            70_000_000_000_000 / 5 / 14.0
+        )
+
+    def test_profitability_scales_with_hashrate(self):
+        economics = ChainEconomics("ETH", difficulty=10**12, price_usd=10.0)
+        assert profitability_usd_per_second(
+            economics, 2e6
+        ) == pytest.approx(2 * profitability_usd_per_second(economics, 1e6))
+
+
+class TestRationalSwitching:
+    def economics(self, eth_price=10.0, etc_price=1.0, eth_diff=10**13,
+                  etc_diff=10**12):
+        return {
+            "ETH": ChainEconomics("ETH", eth_diff, eth_price),
+            "ETC": ChainEconomics("ETC", etc_diff, etc_price),
+        }
+
+    def test_ideological_miners_never_leave(self):
+        strategy = RationalSwitching(seed=1)
+        anti = Miner("anti", 1e6, allegiance=MinerAllegiance.ANTI_FORK,
+                     chain="ETC")
+        # Make ETH vastly more profitable; the loyalist stays.
+        options = self.economics(eth_price=100.0, eth_diff=10**12)
+        assert strategy.decide(anti, options) == "ETC"
+
+    def test_pro_fork_moves_to_eth(self):
+        strategy = RationalSwitching(seed=1)
+        pro = Miner("pro", 1e6, allegiance=MinerAllegiance.PRO_FORK,
+                    chain="pre-fork")
+        assert strategy.decide(pro, self.economics()) == "ETH"
+
+    def test_profit_miner_chases_revenue_with_agility(self):
+        strategy = RationalSwitching(threshold=0.01, seed=3)
+        miner = Miner("p", 1e6, allegiance=MinerAllegiance.PROFIT,
+                      chain="ETH", agility=1.0)
+        # ETC at a tenth the difficulty but the same price: 10x revenue.
+        options = self.economics(etc_price=10.0)
+        assert strategy.decide(miner, options) == "ETC"
+
+    def test_profit_miner_with_zero_agility_stays(self):
+        strategy = RationalSwitching(threshold=0.01, seed=3)
+        miner = Miner("p", 1e6, chain="ETH", agility=0.0)
+        options = self.economics(etc_price=10.0)
+        assert strategy.decide(miner, options) == "ETH"
+
+    def test_small_gaps_below_threshold_ignored(self):
+        strategy = RationalSwitching(threshold=0.5, seed=3)
+        miner = Miner("p", 1e6, chain="ETH", agility=1.0)
+        # ETC only slightly better.
+        options = self.economics(eth_price=10.0, etc_price=1.05,
+                                 etc_diff=10**12)
+        assert strategy.decide(miner, options) == "ETH"
+
+    def test_dead_home_chain_forces_move(self):
+        strategy = RationalSwitching(seed=1)
+        miner = Miner("p", 1e6, chain="pre-fork", agility=0.0)
+        assert strategy.decide(miner, self.economics()) in {"ETH", "ETC"}
+
+    def test_apply_epoch_mutates_population(self):
+        strategy = RationalSwitching(threshold=0.01, seed=5)
+        miners = {
+            f"m{i}": Miner(f"m{i}", 1e6, chain="ETH", agility=1.0)
+            for i in range(10)
+        }
+        options = self.economics(etc_price=20.0)
+        switches = strategy.apply_epoch(miners, options)
+        assert switches.get("ETC", 0) == 10
+        assert all(m.chain == "ETC" for m in miners.values())
+
+    def test_miner_validation(self):
+        with pytest.raises(ValueError):
+            Miner("bad", hashrate=0)
+        with pytest.raises(ValueError):
+            Miner("bad", hashrate=1.0, allegiance="flip-flopper")
+
+    def test_miner_earnings_ledger(self):
+        miner = Miner("m", 1.0)
+        miner.credit("ETH", 100)
+        miner.credit("ETH", 50)
+        miner.credit("ETC", 7)
+        assert miner.total_earned("ETH") == 150
+        assert miner.total_earned("ETC") == 7

@@ -1,0 +1,162 @@
+"""Mempool admission, replacement, and block selection."""
+
+import pytest
+
+from repro.chain.config import ETC_CONFIG, ETH_CONFIG
+from repro.chain.crypto import PrivateKey
+from repro.chain.state import StateDB
+from repro.chain.transaction import Transaction, sign_transaction
+from repro.chain.types import Address, ether
+from repro.net.mempool import AdmissionResult, Mempool
+
+
+@pytest.fixture
+def sender():
+    return PrivateKey.from_seed("pool:sender")
+
+
+@pytest.fixture
+def state(sender):
+    db = StateDB()
+    db.credit(sender.address, ether(100))
+    return db
+
+
+def make_tx(sender, nonce=0, gas_price=10**9, value=ether(1), chain_id=None):
+    return sign_transaction(
+        sender,
+        Transaction(
+            nonce=nonce,
+            gas_price=gas_price,
+            gas_limit=21_000,
+            to=Address.from_int(0xFE),
+            value=value,
+            chain_id=chain_id,
+        ),
+    )
+
+
+class TestAdmission:
+    def test_valid_tx_admitted(self, state, sender):
+        pool = Mempool(ETH_CONFIG)
+        result = pool.add(make_tx(sender), state, 1)
+        assert result.admitted
+        assert len(pool) == 1
+
+    def test_duplicate_is_known(self, state, sender):
+        pool = Mempool(ETH_CONFIG)
+        tx = make_tx(sender)
+        pool.add(tx, state, 1)
+        assert pool.add(tx, state, 1).status == AdmissionResult.KNOWN
+
+    def test_insufficient_funds_rejected(self, state, sender):
+        pool = Mempool(ETH_CONFIG)
+        result = pool.add(make_tx(sender, value=ether(1000)), state, 1)
+        assert result.status == AdmissionResult.REJECTED
+        assert result.reason == "insufficient-funds"
+
+    def test_nonce_gap_allowed_into_pool(self, state, sender):
+        """A future-nonce transaction parks until its gap fills."""
+        pool = Mempool(ETH_CONFIG)
+        assert pool.add(make_tx(sender, nonce=2), state, 1).admitted
+
+    def test_wrong_chain_id_rejected(self, state, sender):
+        pool = Mempool(ETC_CONFIG)
+        tx = make_tx(sender, chain_id=1)
+        result = pool.add(tx, state, 4_000_000)
+        assert result.reason == "wrong-chain-id"
+
+    def test_legacy_tx_admitted_by_both_chains(self, state, sender):
+        """The mempool view of the replay hole."""
+        tx = make_tx(sender)
+        for config in (ETH_CONFIG, ETC_CONFIG):
+            assert Mempool(config).add(tx, state.fork(), 1).admitted
+
+    def test_capacity_limit(self, state, sender):
+        pool = Mempool(ETH_CONFIG, capacity=2)
+        for nonce in range(2):
+            pool.add(make_tx(sender, nonce=nonce), state, 1)
+        result = pool.add(make_tx(sender, nonce=2), state, 1)
+        assert result.reason == "pool-full"
+
+    def test_stateless_admission_checks_signature_and_chain(self, sender):
+        pool = Mempool(ETH_CONFIG)
+        assert pool.add(make_tx(sender), None, 1).admitted
+
+
+class TestReplacement:
+    def test_higher_fee_replaces(self, state, sender):
+        pool = Mempool(ETH_CONFIG)
+        cheap = make_tx(sender, gas_price=10**9)
+        dear = make_tx(sender, gas_price=2 * 10**9)
+        pool.add(cheap, state, 1)
+        assert pool.add(dear, state, 1).admitted
+        assert cheap.tx_hash not in pool
+        assert dear.tx_hash in pool
+
+    def test_equal_or_lower_fee_rejected(self, state, sender):
+        pool = Mempool(ETH_CONFIG)
+        tx = make_tx(sender, gas_price=2 * 10**9)
+        pool.add(tx, state, 1)
+        result = pool.add(make_tx(sender, gas_price=10**9), state, 1)
+        assert result.reason == "nonce-occupied"
+
+
+class TestSelection:
+    def test_nonce_contiguous_per_sender(self, state, sender):
+        pool = Mempool(ETH_CONFIG)
+        for nonce in (0, 1, 3):  # 2 missing
+            pool.add(make_tx(sender, nonce=nonce), state, 1)
+        selected = pool.select_for_block(state, 1, 10_000_000)
+        assert [tx.nonce for tx in selected] == [0, 1]
+
+    def test_price_ordering_across_senders(self, state):
+        pool = Mempool(ETH_CONFIG)
+        poor = PrivateKey.from_seed("pool:poor")
+        rich = PrivateKey.from_seed("pool:rich")
+        db = StateDB()
+        db.credit(poor.address, ether(10))
+        db.credit(rich.address, ether(10))
+        pool.add(make_tx(poor, gas_price=1 * 10**9), db, 1)
+        pool.add(make_tx(rich, gas_price=5 * 10**9), db, 1)
+        selected = pool.select_for_block(db, 1, 10_000_000)
+        assert selected[0].sender == rich.address
+
+    def test_gas_budget_respected(self, state, sender):
+        pool = Mempool(ETH_CONFIG)
+        for nonce in range(5):
+            pool.add(make_tx(sender, nonce=nonce), state, 1)
+        selected = pool.select_for_block(state, 1, 2 * 21_000)
+        assert len(selected) == 2
+
+    def test_selection_does_not_overdraw_sender(self, sender):
+        """Selected sets are executable: combined value+gas cannot exceed
+        the sender's balance even if individual txs pass."""
+        db = StateDB()
+        db.credit(sender.address, ether(1))
+        pool = Mempool(ETH_CONFIG)
+        pool.add(make_tx(sender, nonce=0, value=ether(0.7)), db, 1)
+        pool.add(make_tx(sender, nonce=1, value=ether(0.7)), db, 1)
+        selected = pool.select_for_block(db, 1, 10_000_000)
+        assert len(selected) == 1
+
+    def test_remove_included_clears(self, state, sender):
+        pool = Mempool(ETH_CONFIG)
+        tx = make_tx(sender)
+        pool.add(tx, state, 1)
+        pool.remove_included((tx,))
+        assert len(pool) == 0
+        # Nonce slot is free again for a different transaction.
+        assert pool.add(make_tx(sender, gas_price=3 * 10**9), state, 1).admitted
+
+
+class TestEviction:
+    def test_drop_invalid_after_state_change(self, state, sender):
+        pool = Mempool(ETH_CONFIG)
+        tx = make_tx(sender, value=ether(99))
+        assert pool.add(tx, state, 1).admitted
+        # The sender's funds move (e.g. a replay-split): tx now invalid.
+        state.debit(sender.address, ether(95))
+        evicted = pool.drop_invalid(state, 2)
+        assert evicted == 1
+        assert len(pool) == 0

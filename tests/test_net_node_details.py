@@ -1,0 +1,181 @@
+"""Node protocol details: serving, sync retries, announcement dedup."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.chain.chainstore import Blockchain
+from repro.chain.config import ETH_CONFIG
+from repro.chain.genesis import build_genesis
+from repro.net.latency import ConstantLatency
+from repro.net.messages import Blocks, GetBlocks, NewBlockHashes
+from repro.net.network import Network
+from repro.net.node import FullNode
+from repro.net.simulator import Simulator
+
+CFG = replace(ETH_CONFIG, dao_fork_block=10**9, bomb_delay=10**9)
+
+
+def mining_pair(horizon=600.0, seed=5):
+    genesis, _ = build_genesis({}, difficulty=200_000)
+    sim = Simulator()
+    net = Network(sim, latency=ConstantLatency(0.05), seed=seed)
+    miner = FullNode("miner", Blockchain(CFG, genesis, execute_transactions=False),
+                     mining_hashrate=5e4, rng_seed=1)
+    peer = FullNode("peer", Blockchain(CFG, genesis, execute_transactions=False),
+                    rng_seed=2)
+    net.add_node(miner)
+    net.add_node(peer)
+    peer.dial("miner")
+    sim.run_until(5)
+    miner.start_mining()
+    sim.run_until(5 + horizon)
+    return sim, net, miner, peer
+
+
+class TestServing:
+    def test_get_blocks_serves_run_of_descendants(self):
+        sim, net, miner, peer = mining_pair(horizon=900)
+        height = miner.chain.height
+        assert height > 35
+
+        received = []
+        original = peer.receive
+
+        def spy(message):
+            if isinstance(message, Blocks):
+                received.append(message)
+            original(message)
+
+        peer.receive = spy
+        target = miner.chain.canonical_hash(1)
+        net.send("peer", "miner", GetBlocks(sender_id="peer", hashes=(target,)))
+        sim.run_until(sim.now + 5)
+        assert received
+        served = received[-1].blocks
+        # The requested block plus up to 31 canonical descendants.
+        assert served[0].block_hash == target
+        assert len(served) == 32
+        numbers = [block.number for block in served]
+        assert numbers == list(range(1, 33))
+
+    def test_unknown_hash_not_served(self):
+        sim, net, miner, peer = mining_pair(horizon=100)
+        from repro.chain.types import Hash32
+
+        got = []
+        original = peer.receive
+
+        def spy(message):
+            if isinstance(message, Blocks):
+                got.append(message)
+            original(message)
+
+        peer.receive = spy
+        net.send(
+            "peer", "miner",
+            GetBlocks(sender_id="peer", hashes=(Hash32(b"\x99" * 32),)),
+        )
+        sim.run_until(sim.now + 5)
+        assert got == []
+
+
+class TestAnnouncementDedup:
+    def test_known_hash_announcement_not_refetched(self):
+        sim, net, miner, peer = mining_pair(horizon=300)
+        requests = []
+        original = miner.receive
+
+        def spy(message):
+            if isinstance(message, GetBlocks):
+                requests.append(message)
+            original(message)
+
+        miner.receive = spy
+        head_hash = peer.chain.head.block_hash
+        # Announce a block the peer already has: no fetch should follow.
+        net.send(
+            "miner", "peer",
+            NewBlockHashes(sender_id="miner", hashes=(head_hash,)),
+        )
+        sim.run_until(sim.now + 5)
+        assert requests == []
+
+
+class TestAncestorRetry:
+    def test_request_retries_after_window(self):
+        genesis, _ = build_genesis({}, difficulty=200_000)
+        sim = Simulator()
+        net = Network(sim, latency=ConstantLatency(0.05), seed=9)
+        node = FullNode("n", Blockchain(CFG, genesis, execute_transactions=False))
+        silent = FullNode("mute", Blockchain(CFG, genesis, execute_transactions=False))
+        net.add_node(node)
+        net.add_node(silent)
+
+        sent = []
+        original = silent.receive
+
+        def spy(message):
+            if isinstance(message, GetBlocks):
+                sent.append(sim.now)
+            # swallow: never respond
+
+        silent.receive = spy
+        from repro.chain.types import Hash32
+
+        missing = Hash32(b"\x77" * 32)
+        node._request_ancestor("mute", missing)
+        sim.run_until(sim.now + 1)
+        node._request_ancestor("mute", missing)  # inside window: suppressed
+        sim.run_until(sim.now + 1)
+        assert len(sent) == 1
+        sim.run_until(sim.now + FullNode.ANCESTOR_RETRY_SECONDS + 1)
+        node._request_ancestor("mute", missing)  # window expired: retried
+        sim.run_until(sim.now + 1)
+        assert len(sent) == 2
+
+
+class TestMempoolPruning:
+    def test_included_transactions_leave_the_pool(self):
+        """Full-execution nodes: a submitted transaction gets mined into a
+        block and pruned from every mempool that sees the block."""
+        from repro.chain.crypto import PrivateKey
+        from repro.chain.transaction import Transaction, sign_transaction
+        from repro.chain.types import Address, ether
+
+        key = PrivateKey.from_seed("prune:user")
+        genesis, state = build_genesis(
+            {key.address: ether(10)}, difficulty=200_000
+        )
+        sim = Simulator()
+        net = Network(sim, latency=ConstantLatency(0.05), seed=11)
+        miner = FullNode(
+            "miner",
+            Blockchain(CFG, genesis, state.fork(), execute_transactions=True),
+            mining_hashrate=5e4, rng_seed=1,
+        )
+        peer = FullNode(
+            "peer",
+            Blockchain(CFG, genesis, state.fork(), execute_transactions=True),
+            rng_seed=2,
+        )
+        net.add_node(miner)
+        net.add_node(peer)
+        peer.dial("miner")
+        sim.run_until(5)
+        miner.start_mining()
+
+        tx = sign_transaction(
+            key,
+            Transaction(nonce=0, gas_price=10**9, gas_limit=21_000,
+                        to=Address.zero(), value=1),
+        )
+        assert peer.submit_transaction(tx)
+        sim.run_until(sim.now + 2)
+        assert tx.tx_hash in miner.mempool
+        # Let the miner include it and gossip the block back.
+        sim.run_until(sim.now + 120)
+        assert tx.tx_hash not in miner.mempool
+        assert tx.tx_hash not in peer.mempool
+        # The transfer executed on both nodes' head states.
+        assert peer.chain.head_state().nonce_of(key.address) == 1

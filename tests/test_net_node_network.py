@@ -1,0 +1,212 @@
+"""Node/network integration: handshakes, gossip, sync, partition."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.chain.chainstore import Blockchain
+from repro.chain.config import ETC_CONFIG, ETH_CONFIG
+from repro.chain.genesis import build_genesis
+from repro.net.gossip import SeenCache, split_push_announce
+from repro.net.latency import ConstantLatency
+from repro.net.network import Network
+from repro.net.node import FullNode
+from repro.net.simulator import Simulator
+
+FORK = 6
+ETH_CFG = replace(ETH_CONFIG, dao_fork_block=FORK, bomb_delay=10**9,
+                  gas_reprice_block=None, replay_protection_block=None)
+ETC_CFG = replace(ETC_CONFIG, dao_fork_block=FORK, bomb_delay=10**9,
+                  gas_reprice_block=None, replay_protection_block=None)
+
+
+def build_network(node_specs, seed=7):
+    """node_specs: list of (name, config, hashrate)."""
+    genesis, _ = build_genesis({}, difficulty=200_000)
+    sim = Simulator()
+    network = Network(sim, latency=ConstantLatency(0.05), seed=seed)
+    nodes = {}
+    for name, config, hashrate in node_specs:
+        node = FullNode(
+            name,
+            Blockchain(config, genesis, execute_transactions=False),
+            mining_hashrate=hashrate,
+            rng_seed=sum(name.encode()) * 7919 + len(name),
+        )
+        network.add_node(node)
+        nodes[name] = node
+    return sim, network, nodes
+
+
+class TestHandshake:
+    def test_compatible_nodes_connect(self):
+        sim, network, nodes = build_network(
+            [("a", ETH_CFG, 0), ("b", ETH_CFG, 0)]
+        )
+        nodes["a"].dial("b")
+        sim.run_all()
+        assert "b" in nodes["a"].peers
+        assert "a" in nodes["b"].peers
+
+    def test_different_genesis_refused(self):
+        genesis_a, _ = build_genesis({}, difficulty=200_000)
+        genesis_b, _ = build_genesis({}, difficulty=300_000)
+        sim = Simulator()
+        network = Network(sim, latency=ConstantLatency(0.05))
+        a = FullNode("a", Blockchain(ETH_CFG, genesis_a, execute_transactions=False))
+        b = FullNode("b", Blockchain(ETH_CFG, genesis_b, execute_transactions=False))
+        network.add_node(a)
+        network.add_node(b)
+        a.dial("b")
+        sim.run_all()
+        assert not a.peers and not b.peers
+        assert b.stats["handshakes_refused"] == 1
+
+    def test_peer_cap_respected(self):
+        specs = [("hub", ETH_CFG, 0)] + [
+            (f"leaf{i}", ETH_CFG, 0) for i in range(10)
+        ]
+        sim, network, nodes = build_network(specs)
+        nodes["hub"].max_peers = 3
+        for index in range(10):
+            nodes[f"leaf{index}"].dial("hub")
+        sim.run_all()
+        assert len(nodes["hub"].peers) == 3
+
+
+class TestGossipAndMining:
+    def test_mined_blocks_propagate_to_all(self):
+        specs = [("miner", ETH_CFG, 1e4)] + [
+            (f"n{i}", ETH_CFG, 0) for i in range(6)
+        ]
+        sim, network, nodes = build_network(specs)
+        network.bootstrap_mesh(target_degree=3)
+        sim.run_until(10)
+        network.start_all_miners()
+        sim.run_until(600)
+        heights = {node.chain.height for node in nodes.values()}
+        assert len(heights) == 1
+        assert heights.pop() > 0
+
+    def test_two_miners_converge_despite_races(self):
+        specs = [("m1", ETH_CFG, 1e4), ("m2", ETH_CFG, 1e4)] + [
+            (f"n{i}", ETH_CFG, 0) for i in range(4)
+        ]
+        sim, network, nodes = build_network(specs)
+        network.bootstrap_mesh(target_degree=3)
+        sim.run_until(10)
+        network.start_all_miners()
+        sim.run_until(1200)
+        heads = {node.chain.head.block_hash for node in nodes.values()}
+        assert len(heads) == 1
+
+    def test_late_joiner_syncs_history(self):
+        specs = [("miner", ETH_CFG, 1e4), ("old", ETH_CFG, 0)]
+        sim, network, nodes = build_network(specs)
+        nodes["old"].dial("miner")
+        sim.run_until(5)
+        network.start_all_miners()
+        sim.run_until(300)
+        mined_height = nodes["miner"].chain.height
+        assert mined_height > 3
+
+        genesis = nodes["miner"].chain.genesis
+        latecomer = FullNode(
+            "late",
+            Blockchain(ETH_CFG, genesis, execute_transactions=False),
+        )
+        network.add_node(latecomer)
+        latecomer.dial("miner")
+        sim.run_until(400)
+        assert latecomer.chain.height >= mined_height
+
+
+class TestTransactionGossip:
+    def test_submitted_tx_reaches_all_mempools(self):
+        from repro.chain.crypto import PrivateKey
+        from repro.chain.transaction import Transaction, sign_transaction
+        from repro.chain.types import Address
+
+        specs = [(f"n{i}", ETH_CFG, 0) for i in range(5)]
+        sim, network, nodes = build_network(specs)
+        network.bootstrap_mesh(target_degree=3)
+        sim.run_until(10)
+
+        key = PrivateKey.from_seed("gossip:user")
+        tx = sign_transaction(
+            key,
+            Transaction(nonce=0, gas_price=1, gas_limit=21_000,
+                        to=Address.zero(), value=0),
+        )
+        assert nodes["n0"].submit_transaction(tx)
+        sim.run_until(30)
+        for node in nodes.values():
+            assert tx.tx_hash in node.mempool
+
+
+class TestPartition:
+    def test_fork_splits_the_network(self):
+        """Message-level partition: upgraded and holdout nodes end up on
+        different heads and drop each other's connections."""
+        specs = [
+            ("ethminer1", ETC_CFG, 1e4),
+            ("ethminer2", ETC_CFG, 1e4),
+            ("etcminer", ETC_CFG, 2e3),
+            ("ethnode", ETC_CFG, 0),
+            ("etcnode", ETC_CFG, 0),
+        ]
+        sim, network, nodes = build_network(specs)
+        network.bootstrap_mesh(target_degree=4)
+        network.schedule_redial_loop(20.0)
+        sim.run_until(10)
+        network.start_all_miners()
+        # Upgrade the pro-fork majority before the fork height is reached.
+        for name in ("ethminer1", "ethminer2", "ethnode"):
+            nodes[name].upgrade(ETH_CFG)
+        sim.run_until(4000)
+
+        eth_heads = {
+            nodes[n].chain.canonical_hash(FORK)
+            for n in ("ethminer1", "ethminer2", "ethnode")
+        }
+        etc_heads = {
+            nodes[n].chain.canonical_hash(FORK)
+            for n in ("etcminer", "etcnode")
+        }
+        assert len(eth_heads) == 1 and len(etc_heads) == 1
+        assert eth_heads != etc_heads
+        # No cross-side connections survive.
+        eth_side = {"ethminer1", "ethminer2", "ethnode"}
+        for name in eth_side:
+            assert not (nodes[name].peers - eth_side)
+        for name in ("etcminer", "etcnode"):
+            assert nodes[name].peers <= {"etcminer", "etcnode"}
+
+
+class TestGossipHelpers:
+    def test_split_push_announce_partitions(self):
+        import random
+
+        peers = [f"p{i}" for i in range(16)]
+        push, announce = split_push_announce(peers, random.Random(1))
+        assert set(push) | set(announce) == set(peers)
+        assert not set(push) & set(announce)
+        assert len(push) == 4  # sqrt(16)
+
+    def test_split_empty(self):
+        import random
+
+        assert split_push_announce([], random.Random(1)) == ([], [])
+
+    def test_seen_cache_dedups(self):
+        cache = SeenCache(capacity=2)
+        assert cache.add(b"a")
+        assert not cache.add(b"a")
+        cache.add(b"b")
+        cache.add(b"c")  # evicts "a"
+        assert b"a" not in cache
+        assert b"c" in cache
+
+    def test_seen_cache_update_counts_new(self):
+        cache = SeenCache()
+        assert cache.update([b"x", b"y", b"x"]) == 2

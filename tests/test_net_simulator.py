@@ -1,0 +1,108 @@
+"""Discrete-event engine: ordering, cancellation, determinism."""
+
+import pytest
+
+from repro.net.simulator import SimulationError, Simulator
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(3.0, log.append, "c")
+        sim.schedule(1.0, log.append, "a")
+        sim.schedule(2.0, log.append, "b")
+        sim.run_all()
+        assert log == ["a", "b", "c"]
+
+    def test_simultaneous_events_run_fifo(self):
+        sim = Simulator()
+        log = []
+        for tag in "abc":
+            sim.schedule(1.0, log.append, tag)
+        sim.run_all()
+        assert log == ["a", "b", "c"]
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(5.5, lambda: seen.append(sim.now))
+        sim.run_all()
+        assert seen == [5.5]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule(-1, lambda: None)
+
+    def test_schedule_at_absolute_time(self):
+        sim = Simulator(start_time=100.0)
+        seen = []
+        sim.schedule_at(150.0, lambda: seen.append(sim.now))
+        sim.run_all()
+        assert seen == [150.0]
+
+    def test_events_can_schedule_events(self):
+        sim = Simulator()
+        log = []
+
+        def first():
+            log.append(("first", sim.now))
+            sim.schedule(2.0, lambda: log.append(("second", sim.now)))
+
+        sim.schedule(1.0, first)
+        sim.run_all()
+        assert log == [("first", 1.0), ("second", 3.0)]
+
+
+class TestRunUntil:
+    def test_stops_at_boundary(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(1.0, log.append, "in")
+        sim.schedule(10.0, log.append, "out")
+        sim.run_until(5.0)
+        assert log == ["in"]
+        assert sim.now == 5.0
+        assert sim.pending == 1
+
+    def test_boundary_event_included(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(5.0, log.append, "edge")
+        sim.run_until(5.0)
+        assert log == ["edge"]
+
+    def test_event_storm_guard(self):
+        sim = Simulator()
+
+        def rebound():
+            sim.schedule(0.001, rebound)
+
+        sim.schedule(0.0, rebound)
+        with pytest.raises(SimulationError):
+            sim.run_until(100.0, max_events=50)
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        log = []
+        handle = sim.schedule(1.0, log.append, "x")
+        handle.cancel()
+        sim.run_all()
+        assert log == []
+
+    def test_cancel_mid_run(self):
+        sim = Simulator()
+        log = []
+        later = sim.schedule(2.0, log.append, "later")
+        sim.schedule(1.0, later.cancel)
+        sim.run_all()
+        assert log == []
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for _ in range(5):
+            sim.schedule(1.0, lambda: None)
+        sim.run_all()
+        assert sim.events_processed == 5

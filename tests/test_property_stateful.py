@@ -1,0 +1,184 @@
+"""Stateful property tests: StateDB snapshot machine, chain-store fuzz.
+
+These use hypothesis's stateful testing to explore interleavings no
+hand-written test would: arbitrary credit/debit/snapshot/revert sequences
+against a Python-dict model, and random block DAGs against the chain
+store's fork-choice invariants.
+"""
+
+import random
+
+import pytest
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.chain.state import InsufficientBalance, StateDB
+from repro.chain.types import Address
+
+ADDRESSES = [Address.from_int(i) for i in range(1, 6)]
+
+
+class StateDBMachine(RuleBasedStateMachine):
+    """The journal/snapshot engine vs a plain-dict reference model."""
+
+    def __init__(self):
+        super().__init__()
+        self.state = StateDB()
+        self.model = {}  # address -> (balance, nonce)
+        self.storage_model = {}  # (address, slot) -> value
+        self.snapshots = []  # (snapshot_id, model copy, storage copy)
+
+    def _model_balance(self, address):
+        return self.model.get(address, (0, 0))[0]
+
+    @rule(address=st.sampled_from(ADDRESSES),
+          amount=st.integers(min_value=0, max_value=1000))
+    def credit(self, address, amount):
+        self.state.credit(address, amount)
+        balance, nonce = self.model.get(address, (0, 0))
+        self.model[address] = (balance + amount, nonce)
+
+    @rule(address=st.sampled_from(ADDRESSES),
+          amount=st.integers(min_value=0, max_value=1000))
+    def debit(self, address, amount):
+        balance, nonce = self.model.get(address, (0, 0))
+        if amount > balance:
+            with pytest.raises(InsufficientBalance):
+                self.state.debit(address, amount)
+        else:
+            self.state.debit(address, amount)
+            self.model[address] = (balance - amount, nonce)
+
+    @rule(address=st.sampled_from(ADDRESSES))
+    def bump_nonce(self, address):
+        self.state.increment_nonce(address)
+        balance, nonce = self.model.get(address, (0, 0))
+        self.model[address] = (balance, nonce + 1)
+
+    @rule(address=st.sampled_from(ADDRESSES),
+          slot=st.integers(min_value=0, max_value=3),
+          value=st.integers(min_value=0, max_value=99))
+    def set_storage(self, address, slot, value):
+        self.state.set_storage(address, slot, value)
+        self.storage_model[(address, slot)] = value
+
+    @rule()
+    def take_snapshot(self):
+        snapshot_id = self.state.snapshot()
+        self.snapshots.append(
+            (snapshot_id, dict(self.model), dict(self.storage_model))
+        )
+
+    @precondition(lambda self: self.snapshots)
+    @rule()
+    def revert_to_latest(self):
+        snapshot_id, model, storage = self.snapshots.pop()
+        self.state.revert(snapshot_id)
+        self.model = model
+        self.storage_model = storage
+
+    @precondition(lambda self: len(self.snapshots) >= 2)
+    @rule()
+    def revert_to_oldest(self):
+        snapshot_id, model, storage = self.snapshots[0]
+        self.state.revert(snapshot_id)
+        self.model = model
+        self.storage_model = storage
+        self.snapshots = []
+
+    @precondition(lambda self: self.snapshots)
+    @rule()
+    def discard_latest(self):
+        snapshot_id, _, _ = self.snapshots.pop()
+        self.state.discard_snapshot(snapshot_id)
+
+    @invariant()
+    def balances_and_nonces_match_model(self):
+        for address in ADDRESSES:
+            balance, nonce = self.model.get(address, (0, 0))
+            assert self.state.balance_of(address) == balance
+            assert self.state.nonce_of(address) == nonce
+
+    @invariant()
+    def storage_matches_model(self):
+        for (address, slot), value in self.storage_model.items():
+            assert self.state.storage_at(address, slot) == value
+
+
+TestStateDBMachine = StateDBMachine.TestCase
+TestStateDBMachine.settings = settings(
+    max_examples=40, stateful_step_count=30, deadline=None
+)
+
+
+class TestChainStoreFuzz:
+    """Random block DAGs: fork-choice and index invariants always hold."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_dag_invariants(self, seed):
+        from dataclasses import replace as dc_replace
+
+        from repro.chain.block import Block, BlockHeader, transactions_root
+        from repro.chain.chainstore import Blockchain
+        from repro.chain.config import ETH_CONFIG
+        from repro.chain.genesis import build_genesis
+        from repro.chain.types import Address, Hash32
+
+        config = dc_replace(ETH_CONFIG, dao_fork_block=10**9, bomb_delay=10**9)
+        genesis, _ = build_genesis({}, difficulty=10**9)
+        chain = Blockchain(config, genesis, execute_transactions=False)
+        rng = random.Random(seed)
+        known = [genesis]
+
+        for step in range(60):
+            parent = rng.choice(known[-8:])  # recent bias → branching
+            delta = rng.choice([5, 9, 14, 20, 30])
+            timestamp = parent.timestamp + delta
+            number = parent.number + 1
+            block = Block(
+                header=BlockHeader(
+                    parent_hash=parent.block_hash,
+                    number=number,
+                    timestamp=timestamp,
+                    difficulty=config.compute_difficulty(
+                        parent.difficulty, parent.timestamp, timestamp, number
+                    ),
+                    coinbase=Address.from_int(rng.randrange(4)),
+                    state_root=Hash32.zero(),
+                    tx_root=transactions_root(()),
+                    gas_limit=genesis.header.gas_limit,
+                    gas_used=0,
+                    nonce=rng.getrandbits(32),
+                )
+            )
+            result = chain.import_block(block)
+            assert result.status in ("imported", "known")
+            known.append(block)
+
+            # Invariant 1: the head is the heaviest known tip.
+            head_td = chain.total_difficulty_of(chain.head.block_hash)
+            for tip in chain.branch_tips():
+                assert chain.total_difficulty_of(tip) <= head_td
+
+            # Invariant 2: the canonical index is a connected chain from
+            # genesis to the head.
+            cursor = chain.head
+            while not cursor.is_genesis:
+                parent_block = chain.block_by_number(cursor.number - 1)
+                assert parent_block is not None
+                assert cursor.parent_hash == parent_block.block_hash
+                assert chain.is_canonical(cursor.block_hash)
+                cursor = parent_block
+
+            # Invariant 3: canonical + orphaned partitions the store.
+            orphans = {b.block_hash for b in chain.orphaned_blocks()}
+            canonical = {
+                chain.canonical_hash(n) for n in range(chain.height + 1)
+            }
+            assert not (orphans & canonical)

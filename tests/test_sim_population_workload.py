@@ -1,0 +1,156 @@
+"""Pool landscapes and transaction workloads (Figure 2/5 inputs)."""
+
+import random
+
+import pytest
+
+from repro.sim.population import (
+    PoolLandscape,
+    PoolSpec,
+    etc_pool_landscape,
+    eth_pool_landscape,
+    prefork_pool_landscape,
+)
+from repro.sim.workload import (
+    AnchoredRate,
+    RateAnchor,
+    etc_workload,
+    eth_workload,
+)
+
+
+def top_n_weight(weights, n):
+    return sum(sorted(weights.values(), reverse=True)[:n])
+
+
+class TestPoolLandscape:
+    def test_weights_sum_to_pooled_mass(self):
+        landscape = eth_pool_landscape()
+        weights = landscape.weights_on_day(10)
+        assert sum(weights.values()) == pytest.approx(
+            1 - landscape.solo_fraction
+        )
+
+    def test_deterministic_per_day(self):
+        landscape = eth_pool_landscape()
+        assert landscape.weights_on_day(5) == landscape.weights_on_day(5)
+
+    def test_eth_concentration_is_stable(self):
+        landscape = eth_pool_landscape()
+        early = top_n_weight(landscape.weights_on_day(1), 5)
+        late = top_n_weight(landscape.weights_on_day(250), 5)
+        assert abs(early - late) < 0.12
+
+    def test_eth_matches_prefork_identities(self):
+        """The paper verified the top pre-fork pool addresses persist on
+        ETH; our landscapes share identities by construction."""
+        pre = set(prefork_pool_landscape().weights_on_day(0))
+        post = set(eth_pool_landscape().weights_on_day(10))
+        top_pre = sorted(pre)[:5]
+        assert set(top_pre) <= (pre & post | post)
+
+    def test_etc_starts_fragmented_and_coalesces(self):
+        landscape = etc_pool_landscape()
+        early = top_n_weight(landscape.weights_on_day(2), 5)
+        late = top_n_weight(landscape.weights_on_day(260), 5)
+        assert early < 0.55
+        assert late > 0.65
+        assert late > early + 0.15
+
+    def test_small_pool_turnover_changes_labels(self):
+        landscape = etc_pool_landscape()
+        early_labels = set(landscape.weights_on_day(5))
+        late_labels = set(landscape.weights_on_day(250))
+        assert early_labels != late_labels  # tail pools rotated identity
+
+    def test_sampler_distribution_tracks_weights(self):
+        landscape = eth_pool_landscape()
+        sampler = landscape.make_sampler(10)
+        rng = random.Random(3)
+        draws = [sampler(rng) for _ in range(6000)]
+        weights = landscape.weights_on_day(10)
+        top_label = max(weights, key=weights.get)
+        frequency = draws.count(top_label) / len(draws)
+        assert frequency == pytest.approx(weights[top_label], abs=0.04)
+        solo_frequency = sum(1 for d in draws if d.startswith("solo-")) / len(draws)
+        assert solo_frequency == pytest.approx(landscape.solo_fraction, abs=0.04)
+
+    def test_solo_identities_are_numerous(self):
+        landscape = eth_pool_landscape()
+        sampler = landscape.make_sampler(0)
+        rng = random.Random(4)
+        solos = {d for d in (sampler(rng) for _ in range(3000))
+                 if d.startswith("solo-")}
+        assert len(solos) > 100  # no solo identity can look like a pool
+
+    def test_mismatched_start_target_rejected(self):
+        with pytest.raises(ValueError):
+            PoolLandscape(
+                start=[PoolSpec("a", 1.0)],
+                target=[PoolSpec("b", 1.0)],
+            )
+
+
+class TestAnchoredRate:
+    def test_interpolation(self):
+        rate = AnchoredRate([RateAnchor(0, 0.0), RateAnchor(10, 100.0)])
+        assert rate.at(5) == pytest.approx(50.0)
+
+    def test_clamps(self):
+        rate = AnchoredRate([RateAnchor(5, 1.0), RateAnchor(6, 2.0)])
+        assert rate.at(0) == 1.0
+        assert rate.at(100) == 2.0
+
+
+class TestWorkloads:
+    def test_eth_daily_counts_near_trajectory(self):
+        workload = eth_workload()
+        rng = random.Random(5)
+        day0 = [workload.daily_count(0, rng) for _ in range(30)]
+        mean = sum(day0) / len(day0)
+        assert mean == pytest.approx(42_000, rel=0.15)
+
+    def test_eth_late_march_surge(self):
+        workload = eth_workload()
+        assert workload.rate.at(265) > 2 * workload.rate.at(100)
+
+    def test_ratio_eth_to_etc(self):
+        """The 2.5:1 → 5:1 usage ratio (Figure 2 middle)."""
+        eth, etc = eth_workload(), etc_workload()
+        mid_ratio = eth.rate.at(100) / etc.rate.at(100)
+        late_ratio = eth.rate.at(268) / etc.rate.at(268)
+        assert 2.0 < mid_ratio < 3.2
+        assert 4.0 < late_ratio < 6.5
+
+    def test_contract_fractions_similar_until_late(self):
+        """Figure 2 bottom: similar fractions for months, diverging at
+        the end of the window."""
+        eth, etc = eth_workload(), etc_workload()
+        assert abs(eth.contract_fraction(60) - etc.contract_fraction(60)) < 0.06
+        assert eth.contract_fraction(268) - etc.contract_fraction(268) > 0.2
+
+    def test_per_block_sampler_splits_day_total(self):
+        workload = eth_workload()
+        sampler = workload.per_block_sampler(day=0, daily_total=86_400)
+        rng = random.Random(6)
+        # 1 tx/second: a 14 s block carries ~14.
+        counts = [sampler(rng, 14.0) for _ in range(200)]
+        mean_txs = sum(c for c, _ in counts) / len(counts)
+        assert mean_txs == pytest.approx(14.0, rel=0.2)
+        # Contract share matches the model fraction.
+        total = sum(c for c, _ in counts)
+        contracts = sum(k for _, k in counts)
+        assert contracts / total == pytest.approx(
+            workload.contract_fraction(0), abs=0.08
+        )
+
+    def test_sampler_zero_gap(self):
+        workload = eth_workload()
+        sampler = workload.per_block_sampler(0, 1000)
+        assert sampler(random.Random(1), 0.0) == (0, 0)
+
+    def test_zero_rate_day(self):
+        workload = eth_workload()
+        rng = random.Random(1)
+        sampler = workload.per_block_sampler(0, 0)
+        assert sampler(rng, 100.0) == (0, 0)
