@@ -1,10 +1,13 @@
 """Shared fixtures for the benchmark harness.
 
 The expensive inputs — the nine-month fork simulation, the replay
-workload, the message-level partition run — are produced once per session
-and shared across every figure benchmark.  Each benchmark then times the
-*analysis* step it exercises and writes its regenerated figure to
-``benchmarks/output/`` as both a text table and a CSV.
+workload, the message-level partition run — are routed through the
+:mod:`repro.harness` content-addressed result cache, so they are
+computed once *ever* (not once per session): a rerun of any figure
+benchmark is a pickle load.  Set ``REPRO_CACHE_DIR`` to relocate the
+cache, or ``REPRO_NO_CACHE=1`` to force recomputation.  Each benchmark
+then times the *analysis* step it exercises and writes its regenerated
+figure to ``benchmarks/output/`` as both a text table and a CSV.
 """
 
 import os
@@ -12,14 +15,16 @@ from pathlib import Path
 
 import pytest
 
-from repro.core import EchoDetector
 from repro.core.metrics import trace_transactions_per_day
-from repro.scenarios.partition_event import (
-    PartitionScenario,
-    PartitionScenarioConfig,
+from repro.harness import (
+    NullCache,
+    ResultCache,
+    echoes_spec,
+    execute_job,
+    partition_spec,
+    simulate_spec,
 )
-from repro.scenarios.replay_attack import ReplayWorkload, ReplayWorkloadConfig
-from repro.sim.engine import ForkSimConfig, ForkSimulation
+from repro.sim.engine import ForkSimConfig
 
 OUTPUT_DIR = Path(__file__).parent / "output"
 
@@ -27,11 +32,29 @@ OUTPUT_DIR = Path(__file__).parent / "output"
 FULL_DAYS = 270
 
 
+def _shared_cache():
+    if os.environ.get("REPRO_NO_CACHE"):
+        return NullCache()
+    root = os.environ.get(
+        "REPRO_CACHE_DIR", str(Path(__file__).parent / ".cache")
+    )
+    return ResultCache(root)
+
+
 @pytest.fixture(scope="session")
-def fork_result():
-    """The full nine-month, two-chain reconstruction."""
-    config = ForkSimConfig(days=FULL_DAYS, prefork_days=14)
-    return ForkSimulation(config).run()
+def result_cache():
+    return _shared_cache()
+
+
+@pytest.fixture(scope="session")
+def sim_config():
+    return ForkSimConfig(days=FULL_DAYS, prefork_days=14)
+
+
+@pytest.fixture(scope="session")
+def fork_result(result_cache, sim_config):
+    """The full nine-month, two-chain reconstruction (cached)."""
+    return execute_job(simulate_spec(sim_config), result_cache).value
 
 
 @pytest.fixture(scope="session")
@@ -46,20 +69,16 @@ def daily_tx_totals(fork_result):
 
 
 @pytest.fixture(scope="session")
-def echo_data(fork_result, daily_tx_totals):
-    """Replay workload + a detector that has consumed it."""
-    eth_daily, etc_daily = daily_tx_totals
-    workload = ReplayWorkload(ReplayWorkloadConfig(days=FULL_DAYS))
-    records, truth = workload.generate(eth_daily.values, etc_daily.values)
-    detector = EchoDetector()
-    detector.observe_records(records)
-    return detector, truth, records
+def echo_data(result_cache, sim_config):
+    """Replay workload + a detector that has consumed it (cached)."""
+    bundle = execute_job(echoes_spec(sim_config), result_cache).value
+    return bundle.detector, bundle.truth, bundle.records
 
 
 @pytest.fixture(scope="session")
-def partition_result():
-    """The message-level node-census run (Observation 1)."""
-    return PartitionScenario(PartitionScenarioConfig()).run()
+def partition_result(result_cache):
+    """The message-level node-census run (Observation 1, cached)."""
+    return execute_job(partition_spec(), result_cache).value
 
 
 @pytest.fixture(scope="session")

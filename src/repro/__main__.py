@@ -13,6 +13,13 @@ Subcommands:
 ``fork-lengths``
     Print the Section 2.1 fork-length comparison (86 vs 3,583 blocks).
 
+``run-all``
+    Produce all five figures plus the observation scoreboard in one
+    parallel, cached pass through :mod:`repro.harness` — ``--jobs N``
+    workers, results content-addressed under ``--cache-dir`` so a
+    second invocation is served from cache, and a JSON run manifest
+    written for observability.
+
 The full-fidelity runs live in ``benchmarks/``; this CLI trades horizon
 for latency so a first look takes tens of seconds, not minutes.
 """
@@ -52,6 +59,32 @@ def _build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("fork-lengths",
                    help="the Section 2.1 fork-length comparison")
+
+    runall = sub.add_parser(
+        "run-all",
+        help="all five figures + the scoreboard in one parallel, "
+             "cached pass",
+    )
+    runall.add_argument("--days", type=int, default=150)
+    runall.add_argument("--seed", type=int, default=2016_07_20)
+    runall.add_argument("--sample-days", type=int, default=7)
+    runall.add_argument("--jobs", type=int, default=1,
+                        help="worker processes (1 = in-process serial)")
+    runall.add_argument("--cache-dir", type=str, default=".repro-cache",
+                        help="content-addressed result cache location")
+    runall.add_argument("--no-cache", action="store_true",
+                        help="recompute everything; never read or write "
+                             "the cache")
+    runall.add_argument("--output-dir", type=str, default="runs",
+                        help="where figure tables and the scoreboard land")
+    runall.add_argument("--manifest", type=str, default=None,
+                        help="run-manifest path (default: "
+                             "<output-dir>/manifest.json)")
+    runall.add_argument("--timeout", type=float, default=900.0,
+                        help="per-job deadline in seconds before the "
+                             "worker is killed and the job retried")
+    runall.add_argument("--retries", type=int, default=1,
+                        help="extra attempts after a timeout or crash")
     return parser
 
 
@@ -118,9 +151,43 @@ def cmd_figure(args) -> int:
     print()
     print(figure.render(sample_days=args.sample_days))
     if args.csv:
-        rows = figure.write_csv(args.csv)
+        try:
+            rows = figure.write_csv(args.csv)
+        except OSError as exc:
+            print(f"error: cannot write CSV to {args.csv}: {exc}",
+                  file=sys.stderr)
+            return 1
         print(f"\nwrote {rows} rows to {args.csv}", file=sys.stderr)
     return 0
+
+
+def cmd_run_all(args) -> int:
+    from .harness import ProgressReporter, run_all
+
+    if args.jobs < 1:
+        print("error: --jobs must be >= 1", file=sys.stderr)
+        return 2
+    if args.retries < 0:
+        print("error: --retries must be >= 0", file=sys.stderr)
+        return 2
+    manifest = run_all(
+        days=args.days,
+        seed=args.seed,
+        prefork_days=7,
+        jobs=args.jobs,
+        cache_dir=None if args.no_cache else args.cache_dir,
+        output_dir=args.output_dir,
+        manifest_path=args.manifest,
+        timeout=args.timeout,
+        retries=args.retries,
+        sample_days=args.sample_days,
+        progress=ProgressReporter(),
+    )
+    print()
+    print(manifest.summary())
+    for path in manifest.outputs:
+        print(f"  wrote {path}")
+    return 1 if manifest.failures else 0
 
 
 def cmd_fork_lengths(_args) -> int:
@@ -139,6 +206,7 @@ def main(argv: Optional[list] = None) -> int:
         "observations": cmd_observations,
         "figure": cmd_figure,
         "fork-lengths": cmd_fork_lengths,
+        "run-all": cmd_run_all,
     }
     return handlers[args.command](args)
 

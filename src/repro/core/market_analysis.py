@@ -130,7 +130,15 @@ def market_efficiency_report(
     start = fork_timestamp + skip_days * DAY
     eth = eth_hashes_per_usd.clip_time(start, float("inf"))
     etc = etc_hashes_per_usd.clip_time(start, float("inf"))
-    correlation = pearson(eth, etc)
+    if min(len(eth), len(etc)) < 2:
+        # Horizon shorter than the transient window (quick-look runs):
+        # fall back to the full post-fork series rather than crashing.
+        eth = eth_hashes_per_usd.clip_time(fork_timestamp, float("inf"))
+        etc = etc_hashes_per_usd.clip_time(fork_timestamp, float("inf"))
+    try:
+        correlation = pearson(eth, etc)
+    except ValueError:
+        correlation = float("nan")
     gaps = relative_gap_series(eth, etc)
     sorted_gaps = sorted(gaps.values)
     median_gap = sorted_gaps[len(sorted_gaps) // 2] if sorted_gaps else 0.0

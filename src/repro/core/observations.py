@@ -89,6 +89,15 @@ def observation_3(result: ForkSimResult) -> Observation:
     etc = trace_daily_mean_difficulty(
         result.etc_trace, start_ts=result.fork_timestamp + 14 * DAY
     )
+    if not eth.values or not etc.values:
+        # Horizon too short to even reach the comparison window.
+        return Observation(
+            number=3,
+            claim="ETH difficulty grew tremendously while ETC's held roughly "
+            "constant; both chains persist",
+            holds=False,
+            details={"horizon_days": float(horizon)},
+        )
     eth_growth = eth.values[-1] / eth.values[0]
     etc_growth = etc.values[-1] / etc.values[0]
     ratio_end = eth.values[-1] / etc.values[-1]

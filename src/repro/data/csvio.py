@@ -148,6 +148,9 @@ def write_series_csv(
     length = lengths.pop() if lengths else 0
     if index is None:
         index = range(length)
+    parent = Path(path).parent
+    if parent and not parent.exists():
+        parent.mkdir(parents=True, exist_ok=True)
     with open(path, "w", newline="") as handle:
         writer = csv.writer(handle)
         writer.writerow([index_name, *columns.keys()])

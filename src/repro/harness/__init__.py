@@ -1,0 +1,77 @@
+"""repro.harness — parallel experiment orchestration.
+
+The subsystem that turns "call ``ForkSimulation(...).run()`` everywhere"
+into declarative, cacheable, parallel experiment jobs:
+
+* :mod:`~repro.harness.jobs` — frozen :class:`JobSpec`\\ s (kind +
+  canonical params + seed), the runner registry, and cache-through
+  execution (:func:`execute_job`).
+* :mod:`~repro.harness.cache` — content-addressed pickle cache keyed by
+  the spec's canonical-JSON SHA-256.
+* :mod:`~repro.harness.pool` — a :class:`WorkerPool` of OS processes
+  with per-job timeouts, bounded fresh-worker retries, and a serial
+  in-process fallback.
+* :mod:`~repro.harness.manifest` — per-invocation JSON run manifests
+  (specs, keys, wall times, cache hits/misses, failures).
+* :mod:`~repro.harness.progress` — stderr narration for CLI runs.
+* :mod:`~repro.harness.runall` — the ``run-all`` orchestrator: all five
+  figures plus the observation scoreboard in one parallel pass.
+
+The load-bearing invariant: an identical config + seed produces a
+bit-identical simulation whether run in-process or in a worker
+(``tests/test_seed_determinism.py``), so a cache key *is* the
+experiment's identity and a hit is equivalent to a re-run.
+"""
+
+from .cache import CacheStats, NullCache, ResultCache
+from .jobs import (
+    CACHE_SCHEMA_VERSION,
+    EchoBundle,
+    JobOutcome,
+    JobSpec,
+    echoes_spec,
+    execute_job,
+    figure_spec,
+    fork_lengths_spec,
+    observations_spec,
+    partition_spec,
+    register_runner,
+    run_cached,
+    run_job,
+    simulate_spec,
+)
+from .manifest import MANIFEST_SCHEMA_VERSION, JobRecord, RunManifest
+from .pool import DEFAULT_TIMEOUT, JobResult, WorkerPool
+from .progress import NullProgress, ProgressReporter
+from .runall import DEFAULT_CACHE_DIR, build_waves, run_all
+
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "CacheStats",
+    "DEFAULT_CACHE_DIR",
+    "DEFAULT_TIMEOUT",
+    "EchoBundle",
+    "JobOutcome",
+    "JobRecord",
+    "JobResult",
+    "JobSpec",
+    "MANIFEST_SCHEMA_VERSION",
+    "NullCache",
+    "NullProgress",
+    "ProgressReporter",
+    "ResultCache",
+    "RunManifest",
+    "WorkerPool",
+    "build_waves",
+    "echoes_spec",
+    "execute_job",
+    "figure_spec",
+    "fork_lengths_spec",
+    "observations_spec",
+    "partition_spec",
+    "register_runner",
+    "run_all",
+    "run_cached",
+    "run_job",
+    "simulate_spec",
+]

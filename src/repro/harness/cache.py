@@ -1,0 +1,113 @@
+"""Content-addressed result cache for experiment jobs.
+
+Completed job results are pickled under ``<root>/<key[:2]>/<key>.pkl``
+where ``key`` is the job spec's canonical-JSON hash (see
+:meth:`repro.harness.jobs.JobSpec.cache_key`).  Because the key covers
+every calibration knob plus the seed, a cache hit is *definitionally*
+the same experiment — the sim layer guarantees bit-identical results
+per config (``tests/test_seed_determinism.py``), so loading the pickle
+is equivalent to re-running the job.
+
+Writes are atomic (temp file + ``os.replace``) so concurrent workers
+computing the same key race benignly: last writer wins with an
+identical payload.  A corrupt or truncated entry is treated as a miss
+and evicted.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any, Tuple, Union
+
+__all__ = ["ResultCache", "NullCache", "CacheStats"]
+
+
+class CacheStats:
+    """Hit/miss/store counters, shared by both cache flavours."""
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def as_dict(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses, "stores": self.stores}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CacheStats(hits={self.hits}, misses={self.misses}, stores={self.stores})"
+
+
+class NullCache:
+    """The ``--no-cache`` degenerate case: every lookup misses."""
+
+    root = None
+
+    def __init__(self) -> None:
+        self.stats = CacheStats()
+
+    def lookup(self, key: str) -> Tuple[bool, Any]:
+        self.stats.misses += 1
+        return False, None
+
+    def store(self, key: str, value: Any) -> None:
+        pass
+
+    def contains(self, key: str) -> bool:
+        return False
+
+
+class ResultCache:
+    """Pickle-backed content-addressed store on the local filesystem."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.stats = CacheStats()
+
+    def path_for(self, key: str) -> Path:
+        """Two-level fan-out so one directory never holds every entry."""
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def contains(self, key: str) -> bool:
+        return self.path_for(key).exists()
+
+    def lookup(self, key: str) -> Tuple[bool, Any]:
+        """Returns ``(hit, value)``; corrupt entries count as misses."""
+        path = self.path_for(key)
+        try:
+            with open(path, "rb") as handle:
+                value = pickle.load(handle)
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return False, None
+        except (pickle.UnpicklingError, EOFError, OSError, AttributeError):
+            # Truncated write or a pickle from an incompatible code
+            # version: evict and recompute.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            self.stats.misses += 1
+            return False, None
+        self.stats.hits += 1
+        return True, value
+
+    def store(self, key: str, value: Any) -> None:
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        descriptor, tmp_name = tempfile.mkstemp(
+            prefix=f".{key[:8]}-", suffix=".tmp", dir=path.parent
+        )
+        try:
+            with os.fdopen(descriptor, "wb") as handle:
+                pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.stats.stores += 1

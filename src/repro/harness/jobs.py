@@ -1,0 +1,329 @@
+"""Declarative experiment jobs: frozen specs plus a runner registry.
+
+A :class:`JobSpec` is the unit of work the harness schedules: a job
+*kind* (``simulate``, ``figure``, ``observations``, ...) plus a
+canonical-JSON parameter blob that captures every knob and seed.  The
+spec is frozen and picklable, so it crosses process boundaries intact,
+and its :meth:`~JobSpec.cache_key` — a SHA-256 over the canonical JSON
+— is the content address under which the result is cached.
+
+Runners are pure functions ``(params, cache) -> result`` registered per
+kind.  Composite jobs (a figure, the observation scoreboard) obtain
+their expensive inputs *through the cache* via :func:`run_cached`, so
+five figure jobs running in five workers share one simulation once the
+first worker has stored it — and a warm cache turns each of them into a
+single pickle load.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Any, Callable, Dict, List, NamedTuple, Optional, Tuple
+
+from ..core.echoes import EchoDetector
+from ..core.metrics import trace_transactions_per_day
+from ..core.observations import Observation, evaluate_all
+from ..core.report import FigureData, figure_1, figure_2, figure_3, figure_4, figure_5
+from ..scenarios.dos_forks import compare_upgrade_forks
+from ..scenarios.partition_event import (
+    PartitionResult,
+    PartitionScenario,
+    PartitionScenarioConfig,
+)
+from ..scenarios.replay_attack import (
+    GroundTruth,
+    ReplayWorkload,
+    ReplayWorkloadConfig,
+)
+from ..sim.engine import ForkSimConfig, ForkSimResult, run_fork_sim
+
+__all__ = [
+    "JobSpec",
+    "JobOutcome",
+    "EchoBundle",
+    "register_runner",
+    "run_job",
+    "execute_job",
+    "run_cached",
+    "simulate_spec",
+    "partition_spec",
+    "echoes_spec",
+    "figure_spec",
+    "observations_spec",
+    "fork_lengths_spec",
+    "CACHE_SCHEMA_VERSION",
+]
+
+#: Bumping this invalidates every cached result (schema change, runner
+#: semantics change).  It is hashed into every cache key.
+CACHE_SCHEMA_VERSION = 1
+
+
+def canonical_json(params: Dict[str, Any]) -> str:
+    """Deterministic JSON: sorted keys, no whitespace variance.
+
+    Raises ``TypeError`` on values JSON cannot represent — a cache key
+    must never depend on ``repr`` fallbacks.
+    """
+    return json.dumps(
+        params, sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One schedulable experiment: kind + canonical parameters + seed."""
+
+    kind: str
+    params_json: str
+    label: str
+
+    @classmethod
+    def make(
+        cls, kind: str, params: Dict[str, Any], label: Optional[str] = None
+    ) -> "JobSpec":
+        return cls(
+            kind=kind,
+            params_json=canonical_json(params),
+            label=label or kind,
+        )
+
+    @property
+    def params(self) -> Dict[str, Any]:
+        return json.loads(self.params_json)
+
+    def cache_key(self) -> str:
+        payload = canonical_json(
+            {
+                "version": CACHE_SCHEMA_VERSION,
+                "kind": self.kind,
+                "params": json.loads(self.params_json),
+            }
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class JobOutcome(NamedTuple):
+    value: Any
+    cache_hit: bool
+
+
+# --------------------------------------------------------------------------
+# runner registry
+
+
+_RUNNERS: Dict[str, Callable[[Dict[str, Any], Any], Any]] = {}
+
+
+def register_runner(kind: str):
+    """Decorator: register the runner for a job kind."""
+
+    def decorator(fn: Callable[[Dict[str, Any], Any], Any]):
+        _RUNNERS[kind] = fn
+        return fn
+
+    return decorator
+
+
+def run_job(spec: JobSpec, cache) -> Any:
+    """Execute a spec unconditionally (no lookup of *this* spec's key).
+
+    The runner may still consult ``cache`` for sub-results it composes
+    over (e.g. a figure job loading the shared simulation).
+    """
+    runner = _RUNNERS.get(spec.kind)
+    if runner is None:
+        raise KeyError(f"no runner registered for job kind {spec.kind!r}")
+    return runner(spec.params, cache)
+
+
+def execute_job(spec: JobSpec, cache) -> JobOutcome:
+    """Cache-through execution: lookup, else run and store."""
+    key = spec.cache_key()
+    hit, value = cache.lookup(key)
+    if hit:
+        return JobOutcome(value, True)
+    value = run_job(spec, cache)
+    cache.store(key, value)
+    return JobOutcome(value, False)
+
+
+def run_cached(spec: JobSpec, cache) -> Any:
+    """Sub-result memoization helper used inside composite runners."""
+    return execute_job(spec, cache).value
+
+
+# --------------------------------------------------------------------------
+# spec constructors
+
+
+def simulate_spec(config: ForkSimConfig) -> JobSpec:
+    return JobSpec.make(
+        "simulate",
+        {"config": config.to_dict()},
+        label=f"simulate[{config.days}d seed={config.seed}]",
+    )
+
+
+def partition_spec(config: Optional[PartitionScenarioConfig] = None) -> JobSpec:
+    config = config or PartitionScenarioConfig()
+    return JobSpec.make(
+        "partition",
+        {"config": asdict(config)},
+        label=f"partition[{config.num_nodes} nodes]",
+    )
+
+
+def echoes_spec(
+    sim_config: ForkSimConfig, replay_seed: int = 4242
+) -> JobSpec:
+    return JobSpec.make(
+        "echoes",
+        {"sim": sim_config.to_dict(), "replay_seed": replay_seed},
+        label=f"echoes[{sim_config.days}d]",
+    )
+
+
+def figure_spec(
+    number: int, sim_config: ForkSimConfig, replay_seed: int = 4242
+) -> JobSpec:
+    if number not in (1, 2, 3, 4, 5):
+        raise ValueError(f"no figure {number}; the paper has figures 1-5")
+    params: Dict[str, Any] = {"number": number, "sim": sim_config.to_dict()}
+    if number == 4:
+        # Only figure 4 consumes the replay workload; keeping the seed
+        # out of the other keys lets them survive replay-knob changes.
+        params["replay_seed"] = replay_seed
+    return JobSpec.make("figure", params, label=f"figure-{number}")
+
+
+def observations_spec(
+    sim_config: ForkSimConfig,
+    partition_config: Optional[PartitionScenarioConfig] = None,
+    replay_seed: int = 4242,
+) -> JobSpec:
+    partition_config = partition_config or PartitionScenarioConfig()
+    return JobSpec.make(
+        "observations",
+        {
+            "sim": sim_config.to_dict(),
+            "partition": asdict(partition_config),
+            "replay_seed": replay_seed,
+        },
+        label="observations",
+    )
+
+
+def fork_lengths_spec() -> JobSpec:
+    return JobSpec.make("fork-lengths", {}, label="fork-lengths")
+
+
+# --------------------------------------------------------------------------
+# built-in runners
+
+
+@dataclass
+class EchoBundle:
+    """The replay workload's outputs, bundled for caching."""
+
+    detector: EchoDetector
+    truth: GroundTruth
+    records: list = field(default_factory=list)
+
+
+@register_runner("simulate")
+def _run_simulate(params: Dict[str, Any], cache) -> ForkSimResult:
+    return run_fork_sim(ForkSimConfig.from_dict(params["config"]))
+
+
+@register_runner("partition")
+def _run_partition(params: Dict[str, Any], cache) -> PartitionResult:
+    config = PartitionScenarioConfig(**params["config"])
+    return PartitionScenario(config).run()
+
+
+@register_runner("echoes")
+def _run_echoes(params: Dict[str, Any], cache) -> EchoBundle:
+    sim_config = ForkSimConfig.from_dict(params["sim"])
+    result = run_cached(simulate_spec(sim_config), cache)
+    eth = trace_transactions_per_day(result.eth_trace, result.fork_timestamp)
+    etc = trace_transactions_per_day(result.etc_trace, result.fork_timestamp)
+    workload = ReplayWorkload(
+        ReplayWorkloadConfig(days=sim_config.days, seed=params["replay_seed"])
+    )
+    records, truth = workload.generate(eth.values, etc.values)
+    detector = EchoDetector()
+    detector.observe_records(records)
+    return EchoBundle(detector=detector, truth=truth, records=records)
+
+
+@register_runner("figure")
+def _run_figure(params: Dict[str, Any], cache) -> FigureData:
+    sim_config = ForkSimConfig.from_dict(params["sim"])
+    number = params["number"]
+    result = run_cached(simulate_spec(sim_config), cache)
+    if number == 4:
+        bundle = run_cached(
+            echoes_spec(sim_config, params["replay_seed"]), cache
+        )
+        return figure_4(result, bundle.detector)
+    generators = {1: figure_1, 2: figure_2, 3: figure_3, 5: figure_5}
+    return generators[number](result)
+
+
+@register_runner("observations")
+def _run_observations(params: Dict[str, Any], cache) -> List[Observation]:
+    sim_config = ForkSimConfig.from_dict(params["sim"])
+    result = run_cached(simulate_spec(sim_config), cache)
+    partition = run_cached(
+        partition_spec(PartitionScenarioConfig(**params["partition"])), cache
+    )
+    bundle = run_cached(echoes_spec(sim_config, params["replay_seed"]), cache)
+    return evaluate_all(result, partition, bundle.detector)
+
+
+@register_runner("fork-lengths")
+def _run_fork_lengths(params: Dict[str, Any], cache) -> Tuple[Any, Any]:
+    return compare_upgrade_forks()
+
+
+# --------------------------------------------------------------------------
+# self-test kinds (used by the harness's own test suite; registered here
+# so spawned workers — which re-import this module — know them too)
+
+
+@register_runner("selftest-echo")
+def _run_selftest_echo(params: Dict[str, Any], cache) -> Any:
+    return params["value"]
+
+
+@register_runner("selftest-sleep")
+def _run_selftest_sleep(params: Dict[str, Any], cache) -> float:
+    time.sleep(params["seconds"])
+    return params["seconds"]
+
+
+@register_runner("selftest-flaky")
+def _run_selftest_flaky(params: Dict[str, Any], cache) -> int:
+    """Fails the first ``fail_times`` attempts, succeeds after.
+
+    Attempt counting uses a marker file so the count survives fresh
+    worker processes — exactly the retry path the pool must handle.
+    """
+    marker = params["marker_path"]
+    try:
+        with open(marker) as handle:
+            attempts = int(handle.read().strip() or 0)
+    except FileNotFoundError:
+        attempts = 0
+    attempts += 1
+    with open(marker, "w") as handle:
+        handle.write(str(attempts))
+    if attempts <= params["fail_times"]:
+        raise RuntimeError(
+            f"selftest-flaky failing on purpose (attempt {attempts})"
+        )
+    return attempts

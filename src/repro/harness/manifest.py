@@ -1,0 +1,122 @@
+"""Run manifests: the observability record of one harness invocation.
+
+Every ``run-all`` (and every :meth:`WorkerPool.run`) appends a
+:class:`JobRecord` per job — spec label, kind, cache key, status,
+cache-hit flag, wall time, attempt count, error text — and the manifest
+totals them up alongside the worker count and cache statistics.  The
+manifest is plain JSON with a schema version, written next to the run's
+outputs, so "was the second run actually served from cache?" is
+answerable from the artifact alone.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+__all__ = ["JobRecord", "RunManifest", "MANIFEST_SCHEMA_VERSION"]
+
+MANIFEST_SCHEMA_VERSION = 1
+
+#: Terminal job states a record may carry.
+JOB_STATUSES = ("ok", "failed", "timeout")
+
+
+@dataclass
+class JobRecord:
+    """Outcome of one scheduled job."""
+
+    label: str
+    kind: str
+    key: str
+    status: str
+    cache_hit: bool
+    wall_time: float
+    attempts: int
+    error: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.status not in JOB_STATUSES:
+            raise ValueError(
+                f"status must be one of {JOB_STATUSES}, got {self.status!r}"
+            )
+
+
+@dataclass
+class RunManifest:
+    """One invocation's full accounting."""
+
+    command: str
+    workers: int
+    cache_dir: Optional[str] = None
+    started_at: float = 0.0
+    total_wall_time: float = 0.0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    jobs: List[JobRecord] = field(default_factory=list)
+    #: Paths of artifacts (figure tables, scoreboards) this run wrote.
+    outputs: List[str] = field(default_factory=list)
+    schema_version: int = MANIFEST_SCHEMA_VERSION
+
+    def add(self, record: JobRecord) -> None:
+        self.jobs.append(record)
+        if record.cache_hit:
+            self.cache_hits += 1
+        else:
+            self.cache_misses += 1
+
+    @property
+    def failures(self) -> List[JobRecord]:
+        return [job for job in self.jobs if job.status != "ok"]
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload = asdict(self)
+        payload["started_at_iso"] = time.strftime(
+            "%Y-%m-%dT%H:%M:%SZ", time.gmtime(self.started_at)
+        )
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "RunManifest":
+        data = dict(payload)
+        data.pop("started_at_iso", None)
+        version = data.get("schema_version", MANIFEST_SCHEMA_VERSION)
+        if version > MANIFEST_SCHEMA_VERSION:
+            raise ValueError(
+                f"manifest schema {version} is newer than this code "
+                f"understands ({MANIFEST_SCHEMA_VERSION})"
+            )
+        data["jobs"] = [JobRecord(**job) for job in data.get("jobs", [])]
+        return cls(**data)
+
+    def dumps(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    def write(self, path: Union[str, Path]) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.dumps() + "\n")
+        return path
+
+    @classmethod
+    def read(cls, path: Union[str, Path]) -> "RunManifest":
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+    def summary(self) -> str:
+        """One-paragraph human rendering for the CLI footer."""
+        ok = sum(1 for job in self.jobs if job.status == "ok")
+        lines = [
+            f"{ok}/{len(self.jobs)} jobs ok, "
+            f"{self.cache_hits} cache hits / {self.cache_misses} misses, "
+            f"{self.workers} worker(s), "
+            f"{self.total_wall_time:.1f}s total"
+        ]
+        for job in self.failures:
+            lines.append(
+                f"  FAILED {job.label} [{job.status}] after "
+                f"{job.attempts} attempt(s): {job.error}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,293 @@
+"""The worker pool: parallel job execution with timeouts and retries.
+
+One OS process per in-flight job (bounded by ``workers``), results
+returned over a pipe.  This deliberately is *not*
+``multiprocessing.Pool``: that API cannot kill a hung worker — its
+per-result timeout leaves the process running.  Here a job that blows
+its deadline is terminated, its process discarded, and the job requeued
+into a **fresh** worker with the same spec (hence the same seed, hence
+the same answer) up to ``retries`` extra attempts before the manifest
+records a ``timeout``/``failed`` job.  Crashed workers (a died process,
+an unpicklable result) take the same retry path.
+
+When ``workers <= 1``, or ``multiprocessing`` cannot start processes on
+the host, the pool degrades to in-process serial execution with
+identical results and manifest records (timeouts are best-effort there:
+a job cannot be preempted from inside its own process, so the deadline
+is only checked between attempts).
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from collections import deque
+from typing import Any, List, NamedTuple, Optional, Sequence
+
+from .cache import NullCache, ResultCache
+from .jobs import JobSpec, execute_job
+from .manifest import JobRecord
+from .progress import NullProgress
+
+__all__ = ["WorkerPool", "JobResult", "DEFAULT_TIMEOUT"]
+
+#: Generous default: one full nine-month simulation fits comfortably.
+DEFAULT_TIMEOUT = 900.0
+
+
+class JobResult(NamedTuple):
+    """A finished job: its spec, manifest record, and value (None on failure)."""
+
+    spec: JobSpec
+    record: JobRecord
+    value: Any
+
+
+class _Task:
+    __slots__ = ("spec", "index", "attempts", "first_start")
+
+    def __init__(self, spec: JobSpec, index: int) -> None:
+        self.spec = spec
+        self.index = index
+        self.attempts = 0
+        self.first_start = None  # perf_counter at first launch
+
+
+def _child_main(conn, spec: JobSpec, cache_dir: Optional[str]) -> None:
+    """Worker entry point: run one job, ship (status, payload) back."""
+    start = time.perf_counter()
+    try:
+        cache = ResultCache(cache_dir) if cache_dir else NullCache()
+        value, cache_hit = execute_job(spec, cache)
+        conn.send(("ok", value, cache_hit, time.perf_counter() - start))
+    except BaseException as exc:  # noqa: BLE001 - report, don't die silently
+        detail = f"{type(exc).__name__}: {exc}"
+        tail = traceback.format_exc(limit=3)
+        try:
+            conn.send(("error", f"{detail}\n{tail}", False, time.perf_counter() - start))
+        except Exception:
+            pass
+    finally:
+        conn.close()
+
+
+class WorkerPool:
+    """Schedules :class:`JobSpec` batches; see the module docstring."""
+
+    def __init__(
+        self,
+        workers: int = 1,
+        cache_dir: Optional[str] = None,
+        timeout: Optional[float] = DEFAULT_TIMEOUT,
+        retries: int = 1,
+        progress=None,
+        start_method: Optional[str] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        self.workers = workers
+        self.cache_dir = str(cache_dir) if cache_dir else None
+        self.timeout = timeout
+        self.retries = retries
+        self.progress = progress or NullProgress()
+        self._ctx = None
+        if workers > 1:
+            self._ctx = self._probe_context(start_method)
+            if self._ctx is None:
+                self.progress.note(
+                    "multiprocessing unavailable; falling back to serial"
+                )
+                self.workers = 1
+
+    @staticmethod
+    def _probe_context(start_method: Optional[str]):
+        """A usable multiprocessing context, or None for serial fallback."""
+        try:
+            import multiprocessing
+            from multiprocessing import connection  # noqa: F401
+
+            ctx = (
+                multiprocessing.get_context(start_method)
+                if start_method
+                else multiprocessing.get_context()
+            )
+            # Some hosts import multiprocessing fine but cannot create
+            # primitives (missing /dev/shm, locked-down sandboxes).
+            reader, writer = ctx.Pipe(duplex=False)
+            reader.close()
+            writer.close()
+            return ctx
+        except (ImportError, OSError, ValueError):
+            return None
+
+    # -- public API --------------------------------------------------------
+
+    def run(self, specs: Sequence[JobSpec]) -> List[JobResult]:
+        """Execute every spec; results come back in input order."""
+        specs = list(specs)
+        self.progress.begin(len(specs))
+        if self.workers <= 1 or self._ctx is None or len(specs) <= 1:
+            results = self._run_serial(specs)
+        else:
+            results = self._run_parallel(specs)
+        return results
+
+    # -- serial fallback ---------------------------------------------------
+
+    def _run_serial(self, specs: Sequence[JobSpec]) -> List[JobResult]:
+        cache = (
+            ResultCache(self.cache_dir) if self.cache_dir else NullCache()
+        )
+        results: List[JobResult] = []
+        for spec in specs:
+            self.progress.job_started(spec.label)
+            start = time.perf_counter()
+            attempts = 0
+            error: Optional[str] = None
+            value = None
+            cache_hit = False
+            status = "failed"
+            while attempts <= self.retries:
+                attempts += 1
+                try:
+                    value, cache_hit = execute_job(spec, cache)
+                    status = "ok"
+                    error = None
+                    break
+                except Exception as exc:  # noqa: BLE001
+                    error = f"{type(exc).__name__}: {exc}"
+                    elapsed = time.perf_counter() - start
+                    if self.timeout is not None and elapsed > self.timeout:
+                        status = "timeout"
+                        break
+            record = JobRecord(
+                label=spec.label,
+                kind=spec.kind,
+                key=spec.cache_key(),
+                status=status,
+                cache_hit=cache_hit,
+                wall_time=time.perf_counter() - start,
+                attempts=attempts,
+                error=error,
+            )
+            self.progress.job_finished(record)
+            results.append(JobResult(spec, record, value))
+        return results
+
+    # -- parallel path -----------------------------------------------------
+
+    def _launch(self, task: _Task, running: dict) -> None:
+        reader, writer = self._ctx.Pipe(duplex=False)
+        process = self._ctx.Process(
+            target=_child_main,
+            args=(writer, task.spec, self.cache_dir),
+            daemon=True,
+        )
+        task.attempts += 1
+        if task.first_start is None:
+            task.first_start = time.perf_counter()
+            self.progress.job_started(task.spec.label)
+        process.start()
+        # The child owns its end now; closing ours makes EOF detection
+        # on a dead child reliable.
+        writer.close()
+        deadline = (
+            time.perf_counter() + self.timeout
+            if self.timeout is not None
+            else None
+        )
+        running[reader] = (task, process, deadline)
+
+    def _settle(
+        self,
+        task: _Task,
+        status: str,
+        value: Any,
+        cache_hit: bool,
+        error: Optional[str],
+        results: dict,
+    ) -> None:
+        record = JobRecord(
+            label=task.spec.label,
+            kind=task.spec.kind,
+            key=task.spec.cache_key(),
+            status=status,
+            cache_hit=cache_hit,
+            wall_time=time.perf_counter() - task.first_start,
+            attempts=task.attempts,
+            error=error,
+        )
+        self.progress.job_finished(record)
+        results[task.index] = JobResult(task.spec, record, value)
+
+    def _retry_or_settle(
+        self,
+        task: _Task,
+        status: str,
+        error: str,
+        pending: deque,
+        results: dict,
+    ) -> None:
+        if task.attempts <= self.retries:
+            pending.append(task)
+        else:
+            self._settle(task, status, None, False, error, results)
+
+    def _run_parallel(self, specs: Sequence[JobSpec]) -> List[JobResult]:
+        from multiprocessing import connection
+
+        pending: deque = deque(
+            _Task(spec, index) for index, spec in enumerate(specs)
+        )
+        running: dict = {}
+        results: dict = {}
+        try:
+            while pending or running:
+                while pending and len(running) < self.workers:
+                    self._launch(pending.popleft(), running)
+                ready = connection.wait(list(running), timeout=0.1)
+                for reader in ready:
+                    task, process, _ = running.pop(reader)
+                    try:
+                        message = reader.recv()
+                    except EOFError:
+                        message = None
+                    reader.close()
+                    process.join()
+                    if message is None:
+                        self._retry_or_settle(
+                            task,
+                            "failed",
+                            f"worker died (exitcode {process.exitcode})",
+                            pending,
+                            results,
+                        )
+                    elif message[0] == "ok":
+                        _, value, cache_hit, _ = message
+                        self._settle(task, "ok", value, cache_hit, None, results)
+                    else:
+                        self._retry_or_settle(
+                            task, "failed", message[1], pending, results
+                        )
+                now = time.perf_counter()
+                for reader, (task, process, deadline) in list(running.items()):
+                    if deadline is not None and now > deadline:
+                        running.pop(reader)
+                        process.terminate()
+                        process.join()
+                        reader.close()
+                        self._retry_or_settle(
+                            task,
+                            "timeout",
+                            f"exceeded {self.timeout:.0f}s deadline",
+                            pending,
+                            results,
+                        )
+        finally:
+            for reader, (task, process, _) in running.items():
+                process.terminate()
+                process.join()
+                reader.close()
+        return [results[index] for index in sorted(results)]

@@ -1,0 +1,61 @@
+"""Progress reporting for harness runs.
+
+The pool is quiet by default (library use, tests); the CLI attaches a
+:class:`ProgressReporter` that narrates each job's start and landing on
+stderr — ``[3/8] figure-2  ok  1.4s`` — plus a cache-hit marker, so a
+warm run visibly flies by.  :class:`NullProgress` is the no-op sink.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Optional, TextIO
+
+from .manifest import JobRecord
+
+__all__ = ["ProgressReporter", "NullProgress"]
+
+
+class NullProgress:
+    """Silent sink with the reporter interface."""
+
+    def begin(self, total: int) -> None:
+        pass
+
+    def job_started(self, label: str) -> None:
+        pass
+
+    def job_finished(self, record: JobRecord) -> None:
+        pass
+
+    def note(self, message: str) -> None:
+        pass
+
+
+class ProgressReporter(NullProgress):
+    """Line-per-job narration on a stream (default stderr)."""
+
+    def __init__(self, stream: Optional[TextIO] = None) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+        self.total = 0
+        self.done = 0
+
+    def begin(self, total: int) -> None:
+        self.total += total
+
+    def job_started(self, label: str) -> None:
+        print(f"       {label} ...", file=self.stream, flush=True)
+
+    def job_finished(self, record: JobRecord) -> None:
+        self.done += 1
+        hit = "  (cache hit)" if record.cache_hit else ""
+        status = record.status if record.status != "ok" else "ok"
+        print(
+            f"[{self.done}/{self.total}] {record.label:<24} {status:>7} "
+            f"{record.wall_time:6.2f}s{hit}",
+            file=self.stream,
+            flush=True,
+        )
+
+    def note(self, message: str) -> None:
+        print(message, file=self.stream, flush=True)

@@ -1,0 +1,145 @@
+"""``run-all``: every figure plus the scoreboard in one parallel pass.
+
+The dependency graph of the paper's artifacts is shallow but real:
+
+    simulate ──┬── figure 1, 2, 3, 5
+               ├── echoes ──── figure 4
+               └──────────┬─── observations ─── (also needs partition)
+    partition ────────────┘
+
+so the orchestrator runs three waves through one :class:`WorkerPool`:
+the two expensive roots first (simulation + partition scenario, in
+parallel), then the echo workload (which loads the now-cached sim),
+then all five figures and the observation scoreboard fanned out — each
+a cheap cache-load plus analysis.  With a warm cache every wave is pure
+cache hits and the whole pass is a few pickle loads.
+
+Artifacts land in ``output_dir`` (``figureN.txt``/``.csv`` and
+``observations.txt``); the run manifest (JSON) records every job's
+cache key, hit/miss, wall time, and attempts.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from ..scenarios.partition_event import PartitionScenarioConfig
+from ..sim.engine import ForkSimConfig
+from .jobs import (
+    JobSpec,
+    echoes_spec,
+    figure_spec,
+    observations_spec,
+    partition_spec,
+    simulate_spec,
+)
+from .manifest import RunManifest
+from .pool import DEFAULT_TIMEOUT, WorkerPool
+from .progress import NullProgress
+
+__all__ = ["run_all", "build_waves", "DEFAULT_CACHE_DIR"]
+
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+def build_waves(
+    sim_config: ForkSimConfig,
+    partition_config: Optional[PartitionScenarioConfig] = None,
+) -> List[List[JobSpec]]:
+    """The three dependency waves described in the module docstring."""
+    partition_config = partition_config or PartitionScenarioConfig()
+    return [
+        [simulate_spec(sim_config), partition_spec(partition_config)],
+        [echoes_spec(sim_config)],
+        [
+            *[figure_spec(number, sim_config) for number in range(1, 6)],
+            observations_spec(sim_config, partition_config),
+        ],
+    ]
+
+
+def run_all(
+    days: int = 150,
+    seed: int = 2016_07_20,
+    prefork_days: int = 7,
+    jobs: int = 1,
+    cache_dir: Optional[Union[str, Path]] = DEFAULT_CACHE_DIR,
+    output_dir: Union[str, Path] = "runs",
+    manifest_path: Optional[Union[str, Path]] = None,
+    timeout: Optional[float] = DEFAULT_TIMEOUT,
+    retries: int = 1,
+    sample_days: int = 7,
+    progress=None,
+    partition_config: Optional[PartitionScenarioConfig] = None,
+) -> RunManifest:
+    """Produce all five figures and the scoreboard; returns the manifest.
+
+    ``cache_dir=None`` disables caching entirely (the ``--no-cache``
+    path); every job then recomputes its inputs from scratch.
+    """
+    progress = progress or NullProgress()
+    output_dir = Path(output_dir)
+    output_dir.mkdir(parents=True, exist_ok=True)
+    manifest_path = Path(manifest_path or output_dir / "manifest.json")
+
+    sim_config = ForkSimConfig(days=days, prefork_days=prefork_days, seed=seed)
+    waves = build_waves(sim_config, partition_config)
+
+    manifest = RunManifest(
+        command=(
+            f"run-all --days {days} --seed {seed} --jobs {jobs}"
+            + (" --no-cache" if cache_dir is None else "")
+        ),
+        workers=jobs,
+        cache_dir=str(cache_dir) if cache_dir else None,
+        started_at=time.time(),
+    )
+
+    pool = WorkerPool(
+        workers=jobs,
+        cache_dir=str(cache_dir) if cache_dir else None,
+        timeout=timeout,
+        retries=retries,
+        progress=progress,
+    )
+
+    start = time.perf_counter()
+    values: Dict[str, object] = {}
+    for wave in waves:
+        for result in pool.run(wave):
+            manifest.add(result.record)
+            if result.record.status == "ok":
+                values[result.spec.label] = result.value
+    manifest.total_wall_time = time.perf_counter() - start
+
+    # -- write artifacts ---------------------------------------------------
+    for number in range(1, 6):
+        figure = values.get(f"figure-{number}")
+        if figure is None:
+            continue
+        text_path = output_dir / f"figure{number}.txt"
+        text_path.write_text(figure.render(sample_days=sample_days) + "\n")
+        figure.write_csv(output_dir / f"figure{number}.csv")
+        manifest.outputs.append(str(text_path))
+        manifest.outputs.append(str(output_dir / f"figure{number}.csv"))
+
+    observations = values.get("observations")
+    if observations is not None:
+        scoreboard = "\n".join(obs.render() for obs in observations)
+        obs_path = output_dir / "observations.txt"
+        obs_path.write_text(scoreboard + "\n")
+        manifest.outputs.append(str(obs_path))
+
+    manifest.write(manifest_path)
+    progress.note(f"manifest: {manifest_path}")
+    return manifest
+
+
+def main(argv=None) -> int:  # pragma: no cover - thin convenience wrapper
+    """Allow ``python -m repro.harness.runall`` during development."""
+    from ..__main__ import main as cli_main
+
+    return cli_main(["run-all", *(argv or sys.argv[1:])])

@@ -27,9 +27,11 @@ series through :class:`~repro.data.store.ChainDatabase`.
 
 from __future__ import annotations
 
+import hashlib
 import random
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+import struct
+from dataclasses import dataclass, field, fields
+from typing import Any, Dict, List, Optional, Sequence
 
 from ..chain.config import ETC_CONFIG, ETH_CONFIG, PRE_FORK_CONFIG, DAO_FORK_BLOCK
 from ..data.store import ChainDatabase
@@ -47,7 +49,7 @@ from .population import (
 )
 from .workload import TransactionWorkload, etc_workload, eth_workload
 
-__all__ = ["ForkSimConfig", "ForkSimResult", "ForkSimulation"]
+__all__ = ["ForkSimConfig", "ForkSimResult", "ForkSimulation", "run_fork_sim"]
 
 
 @dataclass
@@ -86,6 +88,40 @@ class ForkSimConfig:
     #: difficulty-only experiments to halve runtime).
     with_transactions: bool = True
 
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-serializable snapshot of every calibration knob.
+
+        The harness hashes this dict (canonically ordered) into cache
+        keys, so it must capture *everything* that influences the run —
+        including the event list, serialized field by field.
+        """
+        payload: Dict[str, Any] = {}
+        for spec in fields(self):
+            value = getattr(self, spec.name)
+            if spec.name == "events":
+                value = [
+                    {
+                        "name": event.name,
+                        "day": event.day,
+                        "peak_fraction": event.peak_fraction,
+                        "ramp_days": event.ramp_days,
+                        "decay_days": event.decay_days,
+                    }
+                    for event in value
+                ]
+            payload[spec.name] = value
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "ForkSimConfig":
+        """Inverse of :meth:`to_dict` (round-trips exactly)."""
+        kwargs = dict(payload)
+        if "events" in kwargs:
+            kwargs["events"] = [
+                ExternalDraw(**event) for event in kwargs["events"]
+            ]
+        return cls(**kwargs)
+
 
 @dataclass
 class ForkSimResult:
@@ -102,6 +138,39 @@ class ForkSimResult:
 
     def traces(self) -> Dict[str, ChainTrace]:
         return {"ETH": self.eth_trace, "ETC": self.etc_trace}
+
+    def digest(self) -> str:
+        """Bit-exact fingerprint of the simulated outcome.
+
+        Hashes every trace column, the miner label tables, the daily
+        hashrate allocation, and the price series — two runs with the
+        same config must produce the same digest whether they executed
+        in this process or a worker subprocess.  The harness's cache
+        correctness rests on this property.
+        """
+        hasher = hashlib.sha256()
+        for trace in (self.eth_trace, self.etc_trace):
+            hasher.update(trace.chain.encode("utf-8"))
+            for column in (
+                trace.numbers,
+                trace.timestamps,
+                trace.difficulties,
+                trace.miner_ids,
+                trace.tx_counts,
+                trace.contract_tx_counts,
+            ):
+                hasher.update(column.tobytes())
+            hasher.update("\x00".join(trace.miner_labels).encode("utf-8"))
+        hasher.update(struct.pack("<qq", self.fork_timestamp, self.fork_number))
+        for chain in sorted(self.daily_hashrate):
+            values = self.daily_hashrate[chain]
+            hasher.update(chain.encode("utf-8"))
+            hasher.update(struct.pack(f"<{len(values)}d", *values))
+        for asset in self.rates.assets():
+            series = self.rates.series(asset)
+            hasher.update(asset.encode("utf-8"))
+            hasher.update(struct.pack(f"<{len(series)}d", *series))
+        return hasher.hexdigest()
 
     def to_database(self, include_prefix: bool = True) -> ChainDatabase:
         """Load block records into a fresh analysis database."""
@@ -123,7 +192,6 @@ class ForkSimulation:
 
     def __init__(self, config: Optional[ForkSimConfig] = None) -> None:
         self.config = config or ForkSimConfig()
-        self.rng = random.Random(self.config.seed)
 
     def run(self) -> ForkSimResult:
         config = self.config
@@ -272,3 +340,15 @@ class ForkSimulation:
     def _expected_blocks(days: int) -> int:
         """Rough pre-fork block count for numbering the prefix."""
         return int(days * SECONDS_PER_DAY / 14)
+
+
+def run_fork_sim(config: ForkSimConfig) -> ForkSimResult:
+    """Pure entry point for cross-process dispatch.
+
+    Every source of randomness below here is derived from
+    ``config.seed`` (no module-level RNG state), so a worker subprocess
+    running this function produces a bit-identical
+    :meth:`ForkSimResult.digest` to an in-process call — the property
+    the harness cache keys depend on.
+    """
+    return ForkSimulation(config).run()

@@ -22,6 +22,26 @@ class TestParser:
         with pytest.raises(SystemExit):
             _build_parser().parse_args([])
 
+    def test_run_all_defaults(self):
+        args = _build_parser().parse_args(["run-all"])
+        assert args.command == "run-all"
+        assert args.jobs == 1
+        assert args.cache_dir == ".repro-cache"
+        assert args.no_cache is False
+        assert args.manifest is None
+
+    def test_run_all_flags_parse(self):
+        args = _build_parser().parse_args(
+            ["run-all", "--days", "5", "--jobs", "2", "--no-cache",
+             "--manifest", "m.json", "--timeout", "30", "--retries", "2"]
+        )
+        assert args.days == 5
+        assert args.jobs == 2
+        assert args.no_cache is True
+        assert args.manifest == "m.json"
+        assert args.timeout == 30.0
+        assert args.retries == 2
+
 
 class TestCommands:
     def test_fork_lengths_prints_table(self, capsys):
@@ -44,3 +64,37 @@ class TestCommands:
         assert csv_path.exists()
         header = csv_path.read_text().splitlines()[0]
         assert "ETH difficulty" in header
+
+    def test_figure_csv_creates_missing_parent_dirs(self, tmp_path, capsys):
+        csv_path = tmp_path / "deep" / "nested" / "fig.csv"
+        assert main(
+            ["figure", "2", "--days", "6", "--csv", str(csv_path)]
+        ) == 0
+        assert csv_path.exists()
+
+    def test_figure_csv_unwritable_path_fails_cleanly(self, tmp_path, capsys):
+        # The parent "directory" is a regular file: mkdir/open must fail,
+        # and the CLI should report it without a traceback.
+        blocker = tmp_path / "blocker"
+        blocker.write_text("i am a file")
+        csv_path = blocker / "fig.csv"
+        assert main(
+            ["figure", "2", "--days", "6", "--csv", str(csv_path)]
+        ) == 1
+        err = capsys.readouterr().err
+        assert "error: cannot write CSV" in err
+        assert "Traceback" not in err
+
+    def test_run_all_small(self, tmp_path, capsys):
+        code = main(
+            ["run-all", "--days", "2", "--jobs", "1",
+             "--cache-dir", str(tmp_path / "cache"),
+             "--output-dir", str(tmp_path / "out"),
+             "--manifest", str(tmp_path / "out" / "manifest.json")]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert (tmp_path / "out" / "figure5.txt").exists()
+        assert (tmp_path / "out" / "observations.txt").exists()
+        assert (tmp_path / "out" / "manifest.json").exists()
+        assert "jobs ok" in captured.out

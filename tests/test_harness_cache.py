@@ -1,0 +1,109 @@
+"""Cache keys and the content-addressed store."""
+
+import pytest
+
+from repro.harness import (
+    JobSpec,
+    NullCache,
+    ResultCache,
+    execute_job,
+    figure_spec,
+    simulate_spec,
+)
+from repro.harness.jobs import canonical_json
+from repro.sim.engine import ForkSimConfig
+
+
+class TestCacheKeys:
+    def test_same_params_same_key(self):
+        a = JobSpec.make("selftest-echo", {"value": 1, "other": "x"})
+        b = JobSpec.make("selftest-echo", {"other": "x", "value": 1})
+        assert a.cache_key() == b.cache_key()
+
+    def test_key_insensitive_to_dict_insertion_order(self):
+        config = ForkSimConfig(days=3)
+        payload = config.to_dict()
+        shuffled = dict(reversed(list(payload.items())))
+        a = JobSpec.make("simulate", {"config": payload})
+        b = JobSpec.make("simulate", {"config": shuffled})
+        assert a.cache_key() == b.cache_key()
+
+    def test_config_change_invalidates_key(self):
+        base = simulate_spec(ForkSimConfig(days=3))
+        longer = simulate_spec(ForkSimConfig(days=4))
+        reseeded = simulate_spec(ForkSimConfig(days=3, seed=999))
+        recalibrated = simulate_spec(
+            ForkSimConfig(days=3, allocator_alpha=0.2)
+        )
+        keys = {
+            base.cache_key(),
+            longer.cache_key(),
+            reseeded.cache_key(),
+            recalibrated.cache_key(),
+        }
+        assert len(keys) == 4
+
+    def test_kind_distinguishes_keys(self):
+        a = JobSpec.make("simulate", {"x": 1})
+        b = JobSpec.make("partition", {"x": 1})
+        assert a.cache_key() != b.cache_key()
+
+    def test_label_does_not_affect_key(self):
+        a = JobSpec.make("selftest-echo", {"value": 1}, label="first")
+        b = JobSpec.make("selftest-echo", {"value": 1}, label="second")
+        assert a.cache_key() == b.cache_key()
+
+    def test_figure_spec_rejects_unknown_figure(self):
+        with pytest.raises(ValueError):
+            figure_spec(6, ForkSimConfig(days=3))
+
+    def test_non_json_params_rejected(self):
+        with pytest.raises(TypeError):
+            canonical_json({"bad": object()})
+
+
+class TestResultCache:
+    def test_store_then_lookup_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.store("ab" + "0" * 62, {"payload": [1, 2, 3]})
+        hit, value = cache.lookup("ab" + "0" * 62)
+        assert hit and value == {"payload": [1, 2, 3]}
+        assert cache.stats.hits == 1 and cache.stats.stores == 1
+
+    def test_missing_key_is_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        hit, value = cache.lookup("cd" + "0" * 62)
+        assert not hit and value is None
+        assert cache.stats.misses == 1
+
+    def test_corrupt_entry_evicted_and_missed(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "ef" + "0" * 62
+        path = cache.path_for(key)
+        path.parent.mkdir(parents=True)
+        path.write_bytes(b"not a pickle")
+        hit, _ = cache.lookup(key)
+        assert not hit
+        assert not path.exists()
+
+    def test_null_cache_never_hits(self):
+        cache = NullCache()
+        cache.store("aa" + "0" * 62, 42)
+        hit, _ = cache.lookup("aa" + "0" * 62)
+        assert not hit
+
+
+class TestExecuteJob:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = JobSpec.make("selftest-echo", {"value": "payload"})
+        first = execute_job(spec, cache)
+        second = execute_job(spec, cache)
+        assert first.value == "payload" and not first.cache_hit
+        assert second.value == "payload" and second.cache_hit
+
+    def test_different_params_do_not_collide(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        a = execute_job(JobSpec.make("selftest-echo", {"value": 1}), cache)
+        b = execute_job(JobSpec.make("selftest-echo", {"value": 2}), cache)
+        assert (a.value, b.value) == (1, 2)

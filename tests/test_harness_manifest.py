@@ -1,0 +1,121 @@
+"""Run-manifest schema: round-trips, totals, file IO."""
+
+import json
+
+import pytest
+
+from repro.harness import (
+    MANIFEST_SCHEMA_VERSION,
+    JobRecord,
+    RunManifest,
+)
+
+
+def sample_manifest():
+    manifest = RunManifest(
+        command="run-all --days 5 --jobs 2",
+        workers=2,
+        cache_dir="/tmp/cache",
+        started_at=1_700_000_000.0,
+    )
+    manifest.add(
+        JobRecord(
+            label="simulate[5d]",
+            kind="simulate",
+            key="ab" * 32,
+            status="ok",
+            cache_hit=False,
+            wall_time=1.5,
+            attempts=1,
+        )
+    )
+    manifest.add(
+        JobRecord(
+            label="figure-3",
+            kind="figure",
+            key="cd" * 32,
+            status="ok",
+            cache_hit=True,
+            wall_time=0.05,
+            attempts=1,
+        )
+    )
+    manifest.add(
+        JobRecord(
+            label="observations",
+            kind="observations",
+            key="ef" * 32,
+            status="timeout",
+            cache_hit=False,
+            wall_time=10.0,
+            attempts=2,
+            error="exceeded 5s deadline",
+        )
+    )
+    manifest.total_wall_time = 11.6
+    manifest.outputs = ["runs/figure3.txt"]
+    return manifest
+
+
+class TestSchema:
+    def test_dict_roundtrip_is_lossless(self):
+        manifest = sample_manifest()
+        assert RunManifest.from_dict(manifest.to_dict()) == manifest
+
+    def test_json_roundtrip_is_lossless(self):
+        manifest = sample_manifest()
+        restored = RunManifest.from_dict(json.loads(manifest.dumps()))
+        assert restored == manifest
+
+    def test_schema_version_embedded(self):
+        payload = sample_manifest().to_dict()
+        assert payload["schema_version"] == MANIFEST_SCHEMA_VERSION
+
+    def test_newer_schema_rejected(self):
+        payload = sample_manifest().to_dict()
+        payload["schema_version"] = MANIFEST_SCHEMA_VERSION + 1
+        with pytest.raises(ValueError):
+            RunManifest.from_dict(payload)
+
+    def test_invalid_status_rejected(self):
+        with pytest.raises(ValueError):
+            JobRecord(
+                label="x",
+                kind="simulate",
+                key="00" * 32,
+                status="exploded",
+                cache_hit=False,
+                wall_time=0.0,
+                attempts=1,
+            )
+
+
+class TestAccounting:
+    def test_add_tallies_hits_and_misses(self):
+        manifest = sample_manifest()
+        assert manifest.cache_hits == 1
+        assert manifest.cache_misses == 2
+
+    def test_failures_listed(self):
+        manifest = sample_manifest()
+        assert [job.label for job in manifest.failures] == ["observations"]
+
+    def test_summary_mentions_failures_and_counts(self):
+        text = sample_manifest().summary()
+        assert "2/3 jobs ok" in text
+        assert "1 cache hits" in text
+        assert "observations" in text
+
+
+class TestFileIO:
+    def test_write_then_read(self, tmp_path):
+        manifest = sample_manifest()
+        path = manifest.write(tmp_path / "deep" / "manifest.json")
+        assert path.exists()
+        assert RunManifest.read(path) == manifest
+
+    def test_written_json_is_valid_and_sorted(self, tmp_path):
+        path = sample_manifest().write(tmp_path / "manifest.json")
+        payload = json.loads(path.read_text())
+        assert payload["jobs"][0]["kind"] == "simulate"
+        assert "started_at_iso" in payload

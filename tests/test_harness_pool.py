@@ -1,0 +1,125 @@
+"""The worker pool: parallel/serial parity, timeouts, retries."""
+
+import pytest
+
+from repro.harness import JobSpec, WorkerPool
+
+
+def echo_specs(count):
+    return [
+        JobSpec.make("selftest-echo", {"value": index}, label=f"echo-{index}")
+        for index in range(count)
+    ]
+
+
+def make_pool(**kwargs):
+    kwargs.setdefault("timeout", 60.0)
+    kwargs.setdefault("retries", 0)
+    pool = WorkerPool(**kwargs)
+    if kwargs.get("workers", 1) > 1 and pool.workers == 1:
+        pytest.skip("multiprocessing unavailable on this host")
+    return pool
+
+
+class TestSerial:
+    def test_results_in_input_order(self):
+        results = make_pool(workers=1).run(echo_specs(5))
+        assert [r.value for r in results] == list(range(5))
+        assert all(r.record.status == "ok" for r in results)
+
+    def test_failure_recorded_not_raised(self):
+        spec = JobSpec.make("no-such-kind", {}, label="bad")
+        [result] = make_pool(workers=1).run([spec])
+        assert result.record.status == "failed"
+        assert result.value is None
+        assert "no-such-kind" in result.record.error
+
+    def test_serial_retry_then_success(self, tmp_path):
+        marker = tmp_path / "marker"
+        spec = JobSpec.make(
+            "selftest-flaky",
+            {"marker_path": str(marker), "fail_times": 1},
+        )
+        [result] = make_pool(workers=1, retries=1).run([spec])
+        assert result.record.status == "ok"
+        assert result.record.attempts == 2
+
+    def test_serial_uses_cache(self, tmp_path):
+        pool = make_pool(workers=1, cache_dir=str(tmp_path / "cache"))
+        spec = JobSpec.make("selftest-echo", {"value": 7})
+        [cold] = pool.run([spec])
+        [warm] = pool.run([spec])
+        assert not cold.record.cache_hit
+        assert warm.record.cache_hit
+        assert warm.value == 7
+
+
+class TestParallel:
+    def test_parity_with_serial(self):
+        specs = echo_specs(6)
+        serial = make_pool(workers=1).run(specs)
+        parallel = make_pool(workers=3).run(specs)
+        assert [r.value for r in serial] == [r.value for r in parallel]
+        assert [r.spec.cache_key() for r in serial] == [
+            r.spec.cache_key() for r in parallel
+        ]
+
+    def test_timeout_then_retry_then_give_up(self):
+        sleeper = JobSpec.make(
+            "selftest-sleep", {"seconds": 30.0}, label="sleeper"
+        )
+        quick = JobSpec.make("selftest-echo", {"value": "ok"}, label="quick")
+        pool = make_pool(workers=2, timeout=1.0, retries=1)
+        results = {r.spec.label: r for r in pool.run([sleeper, quick])}
+        assert results["quick"].record.status == "ok"
+        timed_out = results["sleeper"].record
+        assert timed_out.status == "timeout"
+        assert timed_out.attempts == 2  # first try + one fresh-worker retry
+        assert timed_out.error and "deadline" in timed_out.error
+
+    def test_crash_retried_in_fresh_worker(self, tmp_path):
+        marker = tmp_path / "marker"
+        spec = JobSpec.make(
+            "selftest-flaky",
+            {"marker_path": str(marker), "fail_times": 1},
+        )
+        [result] = make_pool(workers=2, retries=1).run([spec, *echo_specs(1)])[:1]
+        assert result.record.status == "ok"
+        assert result.record.attempts == 2
+        assert marker.read_text() == "2"
+
+    def test_persistent_failure_gives_up(self, tmp_path):
+        marker = tmp_path / "marker"
+        spec = JobSpec.make(
+            "selftest-flaky",
+            {"marker_path": str(marker), "fail_times": 99},
+            label="doomed",
+        )
+        results = make_pool(workers=2, retries=1).run([spec, *echo_specs(1)])
+        doomed = next(r for r in results if r.spec.label == "doomed")
+        assert doomed.record.status == "failed"
+        assert doomed.record.attempts == 2
+        assert "selftest-flaky" in doomed.record.error
+
+    def test_cache_shared_across_workers(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        spec = JobSpec.make("selftest-echo", {"value": "shared"})
+        cold = make_pool(workers=2, cache_dir=cache_dir).run(
+            [spec, *echo_specs(1)]
+        )
+        warm = make_pool(workers=2, cache_dir=cache_dir).run(
+            [spec, *echo_specs(1)]
+        )
+        assert not cold[0].record.cache_hit
+        assert warm[0].record.cache_hit
+        assert warm[0].value == "shared"
+
+
+class TestValidation:
+    def test_rejects_zero_workers(self):
+        with pytest.raises(ValueError):
+            WorkerPool(workers=0)
+
+    def test_rejects_negative_retries(self):
+        with pytest.raises(ValueError):
+            WorkerPool(workers=1, retries=-1)

@@ -1,0 +1,103 @@
+"""End-to-end ``run_all``: artifacts, manifest, cold/warm cache behavior."""
+
+import pytest
+
+from repro.harness import RunManifest, build_waves, run_all
+from repro.scenarios.partition_event import PartitionScenarioConfig
+from repro.sim.engine import ForkSimConfig
+
+#: Small enough for tier-1 latency, large enough that every job kind runs.
+DAYS = 3
+QUICK_PARTITION = PartitionScenarioConfig(
+    num_nodes=14, num_miners=4, post_fork_horizon=1200.0
+)
+
+
+@pytest.fixture(scope="module")
+def cold_and_warm(tmp_path_factory):
+    root = tmp_path_factory.mktemp("runall")
+    kwargs = dict(
+        days=DAYS,
+        prefork_days=2,
+        jobs=1,
+        cache_dir=root / "cache",
+        output_dir=root / "out",
+        timeout=300.0,
+        partition_config=QUICK_PARTITION,
+    )
+    cold = run_all(**kwargs)
+    warm = run_all(**kwargs)
+    return root, cold, warm
+
+
+class TestArtifacts:
+    def test_all_figures_and_scoreboard_written(self, cold_and_warm):
+        root, cold, _ = cold_and_warm
+        for number in range(1, 6):
+            assert (root / "out" / f"figure{number}.txt").exists()
+            assert (root / "out" / f"figure{number}.csv").exists()
+        scoreboard = (root / "out" / "observations.txt").read_text()
+        assert scoreboard.count("Observation") == 6
+        assert len(cold.outputs) == 11  # 5 txt + 5 csv + scoreboard
+
+    def test_manifest_written_and_readable(self, cold_and_warm):
+        root, cold, _ = cold_and_warm
+        loaded = RunManifest.read(root / "out" / "manifest.json")
+        # The file reflects the *warm* (latest) invocation.
+        assert loaded.cache_hits == len(loaded.jobs)
+        assert cold.cache_misses == len(cold.jobs)
+
+    def test_figure_tables_have_content(self, cold_and_warm):
+        root, _, _ = cold_and_warm
+        table = (root / "out" / "figure1.txt").read_text()
+        assert "Figure 1" in table
+        assert "2016-07" in table
+
+
+class TestCacheBehavior:
+    def test_cold_run_all_misses(self, cold_and_warm):
+        _, cold, _ = cold_and_warm
+        assert cold.cache_hits == 0
+        assert cold.cache_misses == 9  # 2 roots + echoes + 5 figures + obs
+        assert not cold.failures
+
+    def test_warm_run_all_hits(self, cold_and_warm):
+        _, _, warm = cold_and_warm
+        assert warm.cache_misses == 0
+        assert warm.cache_hits == 9
+        assert not warm.failures
+
+    def test_warm_run_is_faster(self, cold_and_warm):
+        _, cold, warm = cold_and_warm
+        assert warm.total_wall_time < cold.total_wall_time
+
+    def test_no_cache_mode_recomputes(self, tmp_path):
+        manifest = run_all(
+            days=2,
+            prefork_days=2,
+            jobs=1,
+            cache_dir=None,
+            output_dir=tmp_path / "out",
+            timeout=300.0,
+            partition_config=QUICK_PARTITION,
+        )
+        assert manifest.cache_hits == 0
+        assert manifest.cache_dir is None
+        assert not manifest.failures
+
+
+class TestWavePlan:
+    def test_three_waves_cover_nine_jobs(self):
+        waves = build_waves(ForkSimConfig(days=DAYS))
+        assert [len(wave) for wave in waves] == [2, 1, 6]
+        labels = [spec.label for wave in waves for spec in wave]
+        assert "observations" in labels
+        assert sum(label.startswith("figure-") for label in labels) == 5
+
+    def test_wave_specs_are_deterministic(self):
+        config = ForkSimConfig(days=DAYS)
+        first = build_waves(config)
+        second = build_waves(config)
+        assert [
+            [spec.cache_key() for spec in wave] for wave in first
+        ] == [[spec.cache_key() for spec in wave] for wave in second]
