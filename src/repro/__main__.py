@@ -20,6 +20,12 @@ Subcommands:
     second invocation is served from cache, and a JSON run manifest
     written for observability.
 
+``fault-sweep``
+    Run the robustness grid (churn rate x link loss x split duration)
+    of fault-injected partition scenarios through the same pool and
+    cache, writing ``robustness.txt``/``.csv``/``.json`` with per-cell
+    recovery times and a reproducibility digest.
+
 The full-fidelity runs live in ``benchmarks/``; this CLI trades horizon
 for latency so a first look takes tens of seconds, not minutes.
 """
@@ -85,6 +91,36 @@ def _build_parser() -> argparse.ArgumentParser:
                              "worker is killed and the job retried")
     runall.add_argument("--retries", type=int, default=1,
                         help="extra attempts after a timeout or crash")
+
+    sweep = sub.add_parser(
+        "fault-sweep",
+        help="grid of fault-injected partition runs (chaos testing)",
+    )
+    sweep.add_argument("--nodes", type=int, default=30)
+    sweep.add_argument("--miners", type=int, default=8)
+    sweep.add_argument("--seed", type=int, default=2016_07_20)
+    sweep.add_argument("--horizon", type=float, default=3600.0,
+                       help="simulated seconds past the fork per cell")
+    sweep.add_argument("--churn", type=float, nargs="+",
+                       default=[0.0, 0.005],
+                       help="churn axis: crashes per simulated second")
+    sweep.add_argument("--loss", type=float, nargs="+", default=[0.0, 0.1],
+                       help="loss axis: extra region-wide loss fraction")
+    sweep.add_argument("--split", type=float, nargs="+",
+                       default=[0.0, 600.0],
+                       help="split axis: cross-region cut duration (s)")
+    sweep.add_argument("--no-resilience", action="store_true",
+                       help="control arm: legacy protocol under fire")
+    sweep.add_argument("--jobs", type=int, default=1,
+                       help="worker processes (1 = in-process serial)")
+    sweep.add_argument("--cache-dir", type=str, default=".repro-cache")
+    sweep.add_argument("--no-cache", action="store_true")
+    sweep.add_argument("--output-dir", type=str, default="runs")
+    sweep.add_argument("--manifest", type=str, default=None,
+                       help="manifest path (default: "
+                            "<output-dir>/fault-sweep-manifest.json)")
+    sweep.add_argument("--timeout", type=float, default=900.0)
+    sweep.add_argument("--retries", type=int, default=1)
     return parser
 
 
@@ -190,6 +226,42 @@ def cmd_run_all(args) -> int:
     return 1 if manifest.failures else 0
 
 
+def cmd_fault_sweep(args) -> int:
+    from .harness import FaultSweepConfig, ProgressReporter, run_fault_sweep
+
+    if args.jobs < 1:
+        print("error: --jobs must be >= 1", file=sys.stderr)
+        return 2
+    if args.retries < 0:
+        print("error: --retries must be >= 0", file=sys.stderr)
+        return 2
+    config = FaultSweepConfig(
+        num_nodes=args.nodes,
+        num_miners=args.miners,
+        post_fork_horizon=args.horizon,
+        seed=args.seed,
+        churn_rates=tuple(args.churn),
+        loss_rates=tuple(args.loss),
+        split_durations=tuple(args.split),
+        resilience=not args.no_resilience,
+    )
+    manifest = run_fault_sweep(
+        config,
+        jobs=args.jobs,
+        cache_dir=None if args.no_cache else args.cache_dir,
+        output_dir=args.output_dir,
+        manifest_path=args.manifest,
+        timeout=args.timeout,
+        retries=args.retries,
+        progress=ProgressReporter(),
+    )
+    print()
+    print(manifest.summary())
+    for path in manifest.outputs:
+        print(f"  wrote {path}")
+    return 1 if manifest.failures else 0
+
+
 def cmd_fork_lengths(_args) -> int:
     from .scenarios.dos_forks import compare_upgrade_forks
 
@@ -207,6 +279,7 @@ def main(argv: Optional[list] = None) -> int:
         "figure": cmd_figure,
         "fork-lengths": cmd_fork_lengths,
         "run-all": cmd_run_all,
+        "fault-sweep": cmd_fault_sweep,
     }
     return handlers[args.command](args)
 

@@ -1,0 +1,44 @@
+"""repro.faults — deterministic fault injection for the P2P experiments.
+
+The paper's headline event *is* a network fault: ~90% of reachable ETC
+nodes vanish at the fork and the mesh heals through fork-blind
+discovery.  This package turns that single trajectory into a robustness
+study: a :class:`FaultSchedule` declares timed faults (node crash and
+restart churn, per-link and per-region loss, latency spikes, network
+splits, slow and byzantine peers), a :class:`FaultInjector` arms them
+against a :class:`~repro.net.network.Network` on the shared
+discrete-event clock, and a :class:`RobustnessReport` distils each run
+into recovery time, orphan rate, and propagation delay.
+
+Everything is seed-deterministic: the same seed and schedule replay to
+byte-identical census trajectories and report digests, in-process or in
+a spawned harness worker (``tests/test_faults_determinism.py``).
+"""
+
+from .injector import ActiveFaults, FaultInjector
+from .report import RobustnessReport, build_robustness_report
+from .schedule import (
+    ByzantineFault,
+    ChurnBurst,
+    CrashNode,
+    FaultSchedule,
+    LatencyFault,
+    LinkFault,
+    SlowPeerFault,
+    SplitFault,
+)
+
+__all__ = [
+    "ActiveFaults",
+    "ByzantineFault",
+    "ChurnBurst",
+    "CrashNode",
+    "FaultInjector",
+    "FaultSchedule",
+    "LatencyFault",
+    "LinkFault",
+    "RobustnessReport",
+    "SlowPeerFault",
+    "SplitFault",
+    "build_robustness_report",
+]

@@ -1,0 +1,275 @@
+"""Arming fault schedules against a live network.
+
+Two pieces:
+
+* :class:`ActiveFaults` — the *currently active* fault state the
+  transport consults on every send.  :meth:`ActiveFaults.judge` returns
+  the message's fate (deliver / lost / blocked) plus any latency
+  distortion; :class:`~repro.net.network.Network` attaches it as its
+  ``faults`` hook so the baseline (no faults) send path is untouched.
+* :class:`FaultInjector` — compiles a declarative
+  :class:`~repro.faults.schedule.FaultSchedule` into simulator events:
+  window faults activate/deactivate the shared :class:`ActiveFaults`,
+  crash faults flip nodes offline/online, and churn bursts expand into a
+  deterministic crash/restart trace drawn from a seeded RNG.
+
+Determinism: the injector owns one ``random.Random`` seeded from
+``(run seed, schedule seed)``.  Churn expansion happens at arm time
+(fixed draw order over sorted node names) and fault-loss coin flips
+happen in transport order on the single-threaded simulator, so a given
+seed + schedule replays byte-identically.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from ..net.messages import Blocks, Message, NewBlock, NewBlockHashes
+from .schedule import (
+    ByzantineFault,
+    ChurnBurst,
+    CrashNode,
+    FaultSchedule,
+    LatencyFault,
+    LinkFault,
+    SlowPeerFault,
+    SplitFault,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..net.network import Network
+
+__all__ = ["ActiveFaults", "FaultInjector"]
+
+#: Message classes a withholding byzantine peer refuses to ship.
+_BLOCK_BEARING = (NewBlock, NewBlockHashes, Blocks)
+
+
+class ActiveFaults:
+    """The set of fault windows currently open, indexed for the hot path.
+
+    The transport calls :meth:`judge` once per send; everything here is
+    O(active faults), and an empty instance judges every message
+    "deliver, undistorted" — so an armed-but-idle injector does not
+    change trajectories outside fault windows (beyond the schedule's own
+    activation events on the clock).
+    """
+
+    def __init__(self, rng: Optional[random.Random] = None) -> None:
+        self.rng = rng or random.Random(0)
+        self._link_loss: List[LinkFault] = []
+        self._latency: List[LatencyFault] = []
+        self._splits: List[Tuple[SplitFault, Dict[str, int]]] = []
+        self._slow: Dict[str, float] = {}
+        self._byzantine: Dict[str, ByzantineFault] = {}
+
+    # -- window management -------------------------------------------------
+
+    def activate(self, fault) -> None:
+        if isinstance(fault, LinkFault):
+            self._link_loss.append(fault)
+        elif isinstance(fault, LatencyFault):
+            self._latency.append(fault)
+        elif isinstance(fault, SplitFault):
+            membership = {
+                member: index
+                for index, group in enumerate(fault.groups)
+                for member in group
+            }
+            self._splits.append((fault, membership))
+        elif isinstance(fault, SlowPeerFault):
+            self._slow[fault.node] = self._slow.get(fault.node, 0.0) + fault.extra_delay
+        elif isinstance(fault, ByzantineFault):
+            self._byzantine[fault.node] = fault
+        else:  # pragma: no cover - schedule validation prevents this
+            raise TypeError(f"cannot activate {fault!r}")
+
+    def deactivate(self, fault) -> None:
+        if isinstance(fault, LinkFault):
+            self._link_loss.remove(fault)
+        elif isinstance(fault, LatencyFault):
+            self._latency.remove(fault)
+        elif isinstance(fault, SplitFault):
+            self._splits = [
+                entry for entry in self._splits if entry[0] is not fault
+            ]
+        elif isinstance(fault, SlowPeerFault):
+            remaining = self._slow.get(fault.node, 0.0) - fault.extra_delay
+            if remaining <= 1e-12:
+                self._slow.pop(fault.node, None)
+            else:
+                self._slow[fault.node] = remaining
+        elif isinstance(fault, ByzantineFault):
+            if self._byzantine.get(fault.node) is fault:
+                del self._byzantine[fault.node]
+
+    @property
+    def any_active(self) -> bool:
+        return bool(
+            self._link_loss
+            or self._latency
+            or self._splits
+            or self._slow
+            or self._byzantine
+        )
+
+    # -- the hot path ------------------------------------------------------
+
+    @staticmethod
+    def _endpoint(selector_scope: str, name: str, region: str) -> str:
+        return name if selector_scope == "node" else region
+
+    def judge(
+        self,
+        source: str,
+        source_region: str,
+        destination: str,
+        destination_region: str,
+        message: Message,
+    ) -> Tuple[str, float, float]:
+        """Fate of one message: ``(verdict, latency_scale, extra_delay)``.
+
+        ``verdict`` is ``"deliver"``, ``"lost"`` (counted as loss) or
+        ``"blocked"`` (counted as a fault cut: split or withholding).
+        """
+        for fault, membership in self._splits:
+            side_a = membership.get(
+                self._endpoint(fault.scope, source, source_region)
+            )
+            side_b = membership.get(
+                self._endpoint(fault.scope, destination, destination_region)
+            )
+            if side_a is not None and side_b is not None and side_a != side_b:
+                return "blocked", 1.0, 0.0
+
+        byz = self._byzantine.get(source)
+        extra = 0.0
+        if byz is not None and isinstance(message, _BLOCK_BEARING):
+            if byz.mode == "withhold":
+                return "blocked", 1.0, 0.0
+            extra += byz.extra_delay
+
+        for fault in self._link_loss:
+            src_sel = self._endpoint(fault.scope, source, source_region)
+            dst_sel = self._endpoint(fault.scope, destination, destination_region)
+            if fault.src is not None and fault.src != src_sel:
+                continue
+            if fault.dst is not None and fault.dst != dst_sel:
+                continue
+            if self.rng.random() < fault.loss_rate:
+                return "lost", 1.0, 0.0
+
+        scale = 1.0
+        for fault in self._latency:
+            if (
+                fault.region is None
+                or fault.region in (source_region, destination_region)
+            ):
+                scale *= fault.factor
+
+        extra += self._slow.get(source, 0.0)
+        return "deliver", scale, extra
+
+
+class FaultInjector:
+    """Compile a schedule into events on the network's simulator."""
+
+    def __init__(
+        self,
+        network: "Network",
+        schedule: FaultSchedule,
+        seed: int = 0,
+    ) -> None:
+        self.network = network
+        self.schedule = schedule
+        # Mix the run seed and the schedule's own seed so either can be
+        # swept independently; the constant breaks accidental symmetry
+        # with other derived seeds in the scenario layer.
+        self.rng = random.Random((seed * 1_000_003 + schedule.seed) ^ 0xFA017)
+        self.active = ActiveFaults(self.rng)
+        self.armed = False
+        #: (time, event) trace for debugging and reports.
+        self.log: List[Tuple[float, str]] = []
+
+    # -- arming ------------------------------------------------------------
+
+    def arm(self) -> None:
+        """Attach to the network and schedule every fault. Idempotent-ish:
+        calling twice would double-schedule, so it refuses."""
+        if self.armed:
+            raise RuntimeError("injector already armed")
+        self.armed = True
+        self.network.faults = self.active
+        sim = self.network.sim
+        for fault in self.schedule.faults:
+            if isinstance(fault, CrashNode):
+                sim.schedule_at(
+                    fault.at, self._crash, fault.node, fault.restart_after
+                )
+            elif isinstance(fault, ChurnBurst):
+                self._expand_churn(fault)
+            else:
+                sim.schedule_at(fault.start, self._open_window, fault)
+                sim.schedule_at(fault.end, self._close_window, fault)
+
+    def _expand_churn(self, burst: ChurnBurst) -> None:
+        """Draw the whole churn trace now, with a fixed draw order."""
+        expected = burst.expected_crashes
+        count = int(expected)
+        if self.rng.random() < expected - count:
+            count += 1
+        sim = self.network.sim
+        for _ in range(count):
+            at = burst.start + self.rng.random() * burst.duration
+            jitter = 1.0 + burst.downtime_jitter * (2 * self.rng.random() - 1)
+            downtime = burst.downtime * jitter
+            # The victim is drawn at *fire* time from whoever is then
+            # online, so bursts compose with crashes already in flight.
+            sim.schedule_at(at, self._crash_random, downtime)
+
+    # -- fault actions -----------------------------------------------------
+
+    def _note(self, event: str) -> None:
+        self.log.append((self.network.sim.now, event))
+
+    def _open_window(self, fault) -> None:
+        self.active.activate(fault)
+        self._note(f"open {fault.KIND}")
+
+    def _close_window(self, fault) -> None:
+        self.active.deactivate(fault)
+        self._note(f"close {fault.KIND}")
+
+    def _crash(self, name: str, restart_after: Optional[float]) -> None:
+        node = self.network.nodes.get(name)
+        if node is None or not node.online:
+            return
+        node.go_offline()
+        self._note(f"crash {name}")
+        if restart_after is not None:
+            self.network.sim.schedule(restart_after, self._restart, name)
+
+    def _crash_random(self, downtime: float) -> None:
+        online = [
+            name
+            for name in sorted(self.network.nodes)
+            if self.network.nodes[name].online
+        ]
+        if not online:
+            return
+        name = online[self.rng.randrange(len(online))]
+        self._crash(name, downtime)
+
+    def _restart(self, name: str) -> None:
+        node = self.network.nodes.get(name)
+        if node is None or node.online:
+            return
+        node.go_online()
+        self._note(f"restart {name}")
+        # A bounced client redials from its routing table, exactly like
+        # the discovery-driven recovery the paper observed post-fork.
+        for peer_name in node.routing.random_peers(
+            max(1, node.max_peers // 2), node.rng
+        ):
+            node.dial(peer_name)

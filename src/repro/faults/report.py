@@ -1,0 +1,227 @@
+"""RobustnessReport: what one chaos run says about recovery.
+
+The partition experiments' question changes under fault injection from
+"does the census collapse and heal?" to "how *fast* and how *cleanly*
+does it heal under this fault configuration?".  The report reduces one
+run to the three quantities the fault-sweep tables compare:
+
+* **recovery time** — seconds from the end of the last scheduled
+  disruption until the watched side's reachable crawl is back to
+  ``recovery_fraction`` of its pre-disruption baseline;
+* **orphan rate** — the fraction of mined blocks that never made the
+  canonical chains (uncles and abandoned branches), gossip's casualty
+  count under loss and splits;
+* **propagation delay** — mean seconds from a block's first
+  transmission to each delivery of its full body, from the network's
+  propagation trace.
+
+Reports are deterministic: :meth:`RobustnessReport.digest` hashes the
+canonical JSON, and the regression tests pin that an identical seed +
+schedule reproduces the digest byte-for-byte across processes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = ["RobustnessSample", "RobustnessReport", "build_robustness_report"]
+
+
+@dataclass(frozen=True)
+class RobustnessSample:
+    """One census row, as the robustness analysis sees it."""
+
+    time: float
+    watched_reachable: int
+    other_reachable: int
+    online_nodes: int
+    watched_mean_peers: float
+
+
+@dataclass
+class RobustnessReport:
+    """The distilled outcome of one fault-injected run."""
+
+    seed: int
+    schedule_digest: str
+    watched: str
+    samples: List[RobustnessSample] = field(default_factory=list)
+
+    #: Census baseline before the first disruption, and the floor after.
+    baseline_reachable: int = 0
+    minimum_reachable: int = 0
+    #: Absolute time the last scheduled disruption ended (None: no faults).
+    disruption_end: Optional[float] = None
+    #: Seconds from disruption_end until the crawl is back to
+    #: ``recovery_fraction * baseline`` (None: never recovered).
+    recovery_time: Optional[float] = None
+    recovery_fraction: float = 0.9
+
+    orphan_rate: float = 0.0
+    mean_propagation_delay: Optional[float] = None
+
+    #: Transport accounting (see Network counters).
+    messages_sent: int = 0
+    messages_lost: int = 0
+    messages_undeliverable: int = 0
+    messages_blocked: int = 0
+
+    #: Resilience-mechanism accounting, summed over nodes.
+    dials_timed_out: int = 0
+    peers_evicted_unresponsive: int = 0
+    peers_banned: int = 0
+
+    events_processed: int = 0
+    fault_log: List[Tuple[float, str]] = field(default_factory=list)
+
+    def recovered(self) -> bool:
+        return self.recovery_time is not None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "schedule_digest": self.schedule_digest,
+            "watched": self.watched,
+            "samples": [
+                [s.time, s.watched_reachable, s.other_reachable,
+                 s.online_nodes, s.watched_mean_peers]
+                for s in self.samples
+            ],
+            "baseline_reachable": self.baseline_reachable,
+            "minimum_reachable": self.minimum_reachable,
+            "disruption_end": self.disruption_end,
+            "recovery_time": self.recovery_time,
+            "recovery_fraction": self.recovery_fraction,
+            "orphan_rate": self.orphan_rate,
+            "mean_propagation_delay": self.mean_propagation_delay,
+            "messages_sent": self.messages_sent,
+            "messages_lost": self.messages_lost,
+            "messages_undeliverable": self.messages_undeliverable,
+            "messages_blocked": self.messages_blocked,
+            "dials_timed_out": self.dials_timed_out,
+            "peers_evicted_unresponsive": self.peers_evicted_unresponsive,
+            "peers_banned": self.peers_banned,
+            "events_processed": self.events_processed,
+            "fault_log": [[t, e] for t, e in self.fault_log],
+        }
+
+    def digest(self) -> str:
+        """SHA-256 over the canonical JSON — the run's reproducibility
+        fingerprint (identical seed + schedule ⇒ identical digest)."""
+        payload = json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":"),
+            allow_nan=False,
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def render(self) -> str:
+        """A compact human summary (fault-sweep table row detail)."""
+        recovery = (
+            f"{self.recovery_time:.0f}s" if self.recovery_time is not None
+            else "never"
+        )
+        propagation = (
+            f"{self.mean_propagation_delay:.3f}s"
+            if self.mean_propagation_delay is not None else "n/a"
+        )
+        return (
+            f"watched={self.watched} "
+            f"baseline={self.baseline_reachable} "
+            f"floor={self.minimum_reachable} "
+            f"recovery={recovery} "
+            f"orphans={self.orphan_rate:.3f} "
+            f"propagation={propagation} "
+            f"lost={self.messages_lost} blocked={self.messages_blocked} "
+            f"banned={self.peers_banned}"
+        )
+
+
+def build_robustness_report(
+    *,
+    seed: int,
+    schedule,
+    samples: List[RobustnessSample],
+    network,
+    recovery_fraction: float = 0.9,
+    fork_time: Optional[float] = None,
+    watched: str = "etc",
+    fault_log: Optional[List[Tuple[float, str]]] = None,
+    total_blocks_mined: int = 0,
+    canonical_blocks: int = 0,
+) -> RobustnessReport:
+    """Assemble the report from a finished chaos run.
+
+    The *disruption window* spans from the first scheduled fault (or the
+    fork itself, whichever is earlier — the fork is a fault too) to the
+    later of the last fault's end and the fork; recovery is measured
+    from the window's end.
+    """
+    starts = [t for t in (schedule.first_start(), fork_time) if t is not None]
+    ends = [t for t in (schedule.last_end(), fork_time) if t is not None]
+    disruption_start = min(starts) if starts else None
+    disruption_end = max(ends) if ends else None
+
+    baseline = 0
+    if disruption_start is not None:
+        baseline = max(
+            (s.watched_reachable for s in samples if s.time < disruption_start),
+            default=0,
+        )
+    if baseline == 0:
+        baseline = max((s.watched_reachable for s in samples), default=0)
+
+    floor = baseline
+    recovery_time: Optional[float] = None
+    if disruption_start is not None:
+        post = [s for s in samples if s.time >= disruption_start]
+        floor = min((s.watched_reachable for s in post), default=baseline)
+        threshold = recovery_fraction * baseline
+        if disruption_end is not None:
+            for sample in post:
+                if sample.time >= disruption_end and (
+                    sample.watched_reachable >= threshold
+                ):
+                    recovery_time = sample.time - disruption_end
+                    break
+
+    orphan_rate = 0.0
+    if total_blocks_mined > 0:
+        orphan_rate = max(
+            0.0, 1.0 - canonical_blocks / total_blocks_mined
+        )
+
+    stats_sum = {
+        "dials_timed_out": 0,
+        "peers_evicted_unresponsive": 0,
+        "peers_banned": 0,
+    }
+    for name in sorted(network.nodes):
+        node_stats = network.nodes[name].stats
+        for key in stats_sum:
+            stats_sum[key] += node_stats.get(key, 0)
+
+    return RobustnessReport(
+        seed=seed,
+        schedule_digest=schedule.digest(),
+        watched=watched,
+        samples=list(samples),
+        baseline_reachable=baseline,
+        minimum_reachable=floor,
+        disruption_end=disruption_end,
+        recovery_time=recovery_time,
+        recovery_fraction=recovery_fraction,
+        orphan_rate=orphan_rate,
+        mean_propagation_delay=network.mean_block_propagation_delay(),
+        messages_sent=network.messages_sent,
+        messages_lost=network.messages_lost,
+        messages_undeliverable=network.messages_undeliverable,
+        messages_blocked=network.messages_blocked,
+        dials_timed_out=stats_sum["dials_timed_out"],
+        peers_evicted_unresponsive=stats_sum["peers_evicted_unresponsive"],
+        peers_banned=stats_sum["peers_banned"],
+        events_processed=network.sim.events_processed,
+        fault_log=list(fault_log or []),
+    )

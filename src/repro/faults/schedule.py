@@ -1,0 +1,357 @@
+"""Declarative fault schedules.
+
+A :class:`FaultSchedule` is a plain, JSON-serializable list of timed
+faults.  It is *data*, not behaviour: the schedule says "cut all
+cross-region links between t=900 and t=1500"; the
+:class:`~repro.faults.injector.FaultInjector` turns that into simulator
+events.  Keeping the schedule declarative buys three things the
+robustness experiments need:
+
+* **determinism** — the schedule (plus the run seed) is the complete
+  description of the chaos; its :meth:`~FaultSchedule.digest` can key a
+  result cache exactly like a :class:`~repro.sim.engine.ForkSimConfig`;
+* **sweepability** — a grid of schedules is just a grid of dicts, so the
+  harness's content-addressed cache and manifests apply unchanged;
+* **reproducibility in print** — EXPERIMENTS.md can state a recovery
+  time as "seed S + this schedule" and anyone can replay it.
+
+Times are absolute simulated seconds on the scenario clock.  Window
+faults carry ``start``/``duration``; point faults carry ``at``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, Optional, Tuple, Type, Union
+
+__all__ = [
+    "CrashNode",
+    "ChurnBurst",
+    "LinkFault",
+    "LatencyFault",
+    "SplitFault",
+    "SlowPeerFault",
+    "ByzantineFault",
+    "FaultSchedule",
+    "FaultSpec",
+]
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ValueError(message)
+
+
+@dataclass(frozen=True)
+class CrashNode:
+    """Take one node offline at ``at``; optionally restart it later.
+
+    A restarted node comes back with an empty peer set and redials from
+    its routing table — the model of an operator bouncing a crashed
+    client, not of a brand-new identity.
+    """
+
+    KIND = "crash"
+
+    at: float
+    node: str
+    restart_after: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        _require(self.at >= 0, "crash time must be >= 0")
+        _require(
+            self.restart_after is None or self.restart_after > 0,
+            "restart_after must be positive when given",
+        )
+
+    @property
+    def start(self) -> float:
+        return self.at
+
+    @property
+    def end(self) -> float:
+        if self.restart_after is None:
+            return self.at
+        return self.at + self.restart_after
+
+
+@dataclass(frozen=True)
+class ChurnBurst:
+    """Sustained crash/restart churn over a window.
+
+    ``rate`` is expected crashes per simulated second across the whole
+    population; victims and crash times are drawn from the injector's
+    seeded RNG (over *sorted* node names), so a given seed + schedule
+    always produces the identical churn trace.  Every victim restarts
+    after ``downtime`` seconds (± ``downtime_jitter`` as a fraction).
+    """
+
+    KIND = "churn"
+
+    start: float
+    duration: float
+    rate: float
+    downtime: float = 120.0
+    downtime_jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        _require(self.start >= 0, "churn start must be >= 0")
+        _require(self.duration > 0, "churn duration must be positive")
+        _require(self.rate > 0, "churn rate must be positive")
+        _require(self.downtime > 0, "downtime must be positive")
+        _require(
+            0 <= self.downtime_jitter < 1,
+            "downtime_jitter must be in [0, 1)",
+        )
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+    @property
+    def expected_crashes(self) -> float:
+        return self.rate * self.duration
+
+
+@dataclass(frozen=True)
+class LinkFault:
+    """Extra packet loss on matching links for a window.
+
+    ``src``/``dst`` select link endpoints; ``None`` is a wildcard.  With
+    ``scope="region"`` the selectors name regions (``"na"``, ``"eu"``,
+    ``"as"``) instead of nodes, which is how geo-correlated loss — the
+    behaviour *Impact of Geo-distribution...* measures — is scripted.
+    The fault loss compounds with the network's base ``loss_rate``.
+    """
+
+    KIND = "link-loss"
+
+    start: float
+    duration: float
+    loss_rate: float
+    src: Optional[str] = None
+    dst: Optional[str] = None
+    scope: str = "node"
+
+    def __post_init__(self) -> None:
+        _require(self.start >= 0, "fault start must be >= 0")
+        _require(self.duration > 0, "fault duration must be positive")
+        _require(0 < self.loss_rate <= 1, "loss_rate must be in (0, 1]")
+        _require(self.scope in ("node", "region"), "scope: 'node' or 'region'")
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+
+@dataclass(frozen=True)
+class LatencyFault:
+    """Multiply link delays by ``factor`` for a window.
+
+    ``region=None`` spikes every link; otherwise links with either
+    endpoint in the region are affected (a congested continent).
+    """
+
+    KIND = "latency"
+
+    start: float
+    duration: float
+    factor: float
+    region: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        _require(self.start >= 0, "fault start must be >= 0")
+        _require(self.duration > 0, "fault duration must be positive")
+        _require(self.factor > 0, "latency factor must be positive")
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+
+@dataclass(frozen=True)
+class SplitFault:
+    """Cut every link crossing between ``groups`` for a window.
+
+    Groups are disjoint tuples of node names (``scope="node"``) or
+    region names (``scope="region"``).  Endpoints in no group keep full
+    connectivity; endpoints in different groups cannot exchange any
+    message until the window closes — the sharpest fault the paper's
+    recovery mechanisms (fork-blind discovery + redial) must survive.
+    """
+
+    KIND = "split"
+
+    start: float
+    duration: float
+    groups: Tuple[Tuple[str, ...], ...]
+    scope: str = "node"
+
+    def __post_init__(self) -> None:
+        _require(self.start >= 0, "fault start must be >= 0")
+        _require(self.duration > 0, "fault duration must be positive")
+        _require(len(self.groups) >= 2, "a split needs at least two groups")
+        _require(self.scope in ("node", "region"), "scope: 'node' or 'region'")
+        # Normalize nested lists (JSON round-trips) to tuples.
+        object.__setattr__(
+            self, "groups", tuple(tuple(group) for group in self.groups)
+        )
+        seen: set = set()
+        for group in self.groups:
+            _require(len(group) > 0, "split groups must be non-empty")
+            for member in group:
+                _require(member not in seen, f"{member!r} in two split groups")
+                seen.add(member)
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+
+@dataclass(frozen=True)
+class SlowPeerFault:
+    """All messages *sent by* ``node`` gain ``extra_delay`` seconds.
+
+    Models an overloaded or badly-provisioned peer: it still follows the
+    protocol, it is just late — the benign end of the misbehaviour
+    spectrum, and the one peer scoring must *not* ban."""
+
+    KIND = "slow-peer"
+
+    start: float
+    duration: float
+    node: str
+    extra_delay: float = 2.0
+
+    def __post_init__(self) -> None:
+        _require(self.start >= 0, "fault start must be >= 0")
+        _require(self.duration > 0, "fault duration must be positive")
+        _require(self.extra_delay > 0, "extra_delay must be positive")
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+
+@dataclass(frozen=True)
+class ByzantineFault:
+    """``node`` withholds (or delays) block propagation for a window.
+
+    ``mode="withhold"`` silently drops every block-bearing message the
+    node sends (NewBlock, NewBlockHashes, Blocks) — it still gossips
+    transactions and answers pings, so liveness checks alone will not
+    catch it; ``mode="delay"`` ships blocks ``extra_delay`` late, the
+    selfish-ish variant."""
+
+    KIND = "byzantine"
+
+    start: float
+    duration: float
+    node: str
+    mode: str = "withhold"
+    extra_delay: float = 10.0
+
+    def __post_init__(self) -> None:
+        _require(self.start >= 0, "fault start must be >= 0")
+        _require(self.duration > 0, "fault duration must be positive")
+        _require(self.mode in ("withhold", "delay"), "mode: withhold|delay")
+        _require(self.extra_delay > 0, "extra_delay must be positive")
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+
+FaultSpec = Union[
+    CrashNode,
+    ChurnBurst,
+    LinkFault,
+    LatencyFault,
+    SplitFault,
+    SlowPeerFault,
+    ByzantineFault,
+]
+
+_FAULT_TYPES: Dict[str, Type] = {
+    cls.KIND: cls
+    for cls in (
+        CrashNode,
+        ChurnBurst,
+        LinkFault,
+        LatencyFault,
+        SplitFault,
+        SlowPeerFault,
+        ByzantineFault,
+    )
+}
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """An ordered list of faults plus the seed for fault-side draws.
+
+    The ``seed`` salts *only* the randomness the faults themselves
+    introduce (churn victim selection, fault-loss coin flips); the
+    scenario's own seed keeps governing everything else, so one can
+    sweep chaos seeds against a fixed world or vice versa.
+    """
+
+    faults: Tuple[FaultSpec, ...] = ()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "faults", tuple(self.faults))
+        known = tuple(_FAULT_TYPES.values())
+        for fault in self.faults:
+            _require(isinstance(fault, known), f"unknown fault object {fault!r}")
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def first_start(self) -> Optional[float]:
+        if not self.faults:
+            return None
+        return min(fault.start for fault in self.faults)
+
+    def last_end(self) -> Optional[float]:
+        """When the final fault is fully over (restarts included)."""
+        if not self.faults:
+            return None
+        return max(fault.end for fault in self.faults)
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe form with explicit ``kind`` tags per fault."""
+        entries = []
+        for fault in self.faults:
+            entry = {"kind": fault.KIND}
+            entry.update(asdict(fault))
+            entries.append(entry)
+        return {"seed": self.seed, "faults": entries}
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "FaultSchedule":
+        faults = []
+        for entry in payload.get("faults", []):
+            entry = dict(entry)
+            kind = entry.pop("kind", None)
+            fault_cls = _FAULT_TYPES.get(kind)
+            if fault_cls is None:
+                raise ValueError(f"unknown fault kind {kind!r}")
+            if fault_cls is SplitFault and "groups" in entry:
+                entry["groups"] = tuple(tuple(g) for g in entry["groups"])
+            faults.append(fault_cls(**entry))
+        return cls(faults=tuple(faults), seed=payload.get("seed", 0))
+
+    def canonical_json(self) -> str:
+        return json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":"),
+            allow_nan=False,
+        )
+
+    def digest(self) -> str:
+        """Content address of the chaos: SHA-256 of the canonical JSON."""
+        return hashlib.sha256(self.canonical_json().encode("utf-8")).hexdigest()

@@ -24,11 +24,18 @@ experiment's identity and a hit is equivalent to a re-run.
 """
 
 from .cache import CacheStats, NullCache, ResultCache
+from .faultsweep import (
+    FaultSweepConfig,
+    build_fault_grid,
+    run_fault_sweep,
+    sweep_digest,
+)
 from .jobs import (
     CACHE_SCHEMA_VERSION,
     EchoBundle,
     JobOutcome,
     JobSpec,
+    chaos_partition_spec,
     echoes_spec,
     execute_job,
     figure_spec,
@@ -51,6 +58,7 @@ __all__ = [
     "DEFAULT_CACHE_DIR",
     "DEFAULT_TIMEOUT",
     "EchoBundle",
+    "FaultSweepConfig",
     "JobOutcome",
     "JobRecord",
     "JobResult",
@@ -62,7 +70,9 @@ __all__ = [
     "ResultCache",
     "RunManifest",
     "WorkerPool",
+    "build_fault_grid",
     "build_waves",
+    "chaos_partition_spec",
     "echoes_spec",
     "execute_job",
     "figure_spec",
@@ -72,6 +82,8 @@ __all__ = [
     "register_runner",
     "run_all",
     "run_cached",
+    "run_fault_sweep",
     "run_job",
     "simulate_spec",
+    "sweep_digest",
 ]

@@ -1,0 +1,268 @@
+"""``fault-sweep``: a grid of chaos runs through the worker pool.
+
+The robustness question is parametric: *how much* churn, loss, and
+partition can the P2P layer absorb before recovery stops happening?  The
+sweep answers it with a grid over three axes —
+
+* **churn rate** (crash/restart events per simulated second),
+* **link loss** (extra region-wide packet loss fraction),
+* **split duration** (seconds every cross-region link stays cut),
+
+each cell one :class:`~repro.scenarios.partition_event.ChaosPartitionConfig`
+run as a ``chaos-partition`` job.  Cells are independent, so the sweep
+reuses PR 2's machinery unchanged: content-addressed caching (a cell's
+fault schedule is hashed into its cache key), the process pool, and the
+run manifest.  The all-zero cell is kept as the control arm.
+
+Artifacts land in ``output_dir``:
+
+* ``robustness.txt`` — one rendered report line per cell;
+* ``robustness.csv`` — the table the analysis notebooks read;
+* ``robustness.json`` — per-cell report dicts + digests, plus the
+  *sweep digest* (SHA-256 over the ordered per-cell digests) that the
+  CI smoke job pins: identical seed + grid ⇒ identical sweep digest.
+"""
+
+from __future__ import annotations
+
+import csv
+import hashlib
+import json
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from ..faults.schedule import ChurnBurst, FaultSchedule, LinkFault, SplitFault
+from ..net.node import ResiliencePolicy
+from ..scenarios.partition_event import ChaosPartitionConfig
+from .jobs import JobSpec, chaos_partition_spec
+from .manifest import RunManifest
+from .pool import DEFAULT_TIMEOUT, WorkerPool
+from .progress import NullProgress
+
+__all__ = [
+    "FaultSweepConfig",
+    "build_fault_grid",
+    "run_fault_sweep",
+    "sweep_digest",
+]
+
+#: Pre-fork settling time hard-coded in PartitionScenario.run().
+_SETTLE_SECONDS = 120.0
+#: Target block interval used by the scenario's fork-time estimate.
+_BLOCK_INTERVAL = 14.0
+
+
+@dataclass
+class FaultSweepConfig:
+    """The sweep grid plus the per-cell scenario shape."""
+
+    num_nodes: int = 30
+    num_miners: int = 8
+    fork_block: int = 40
+    post_fork_horizon: float = 3600.0
+    census_interval: float = 120.0
+    seed: int = 2016_07_20
+    #: Grid axes (a cell per cross-product entry; zero disables the axis).
+    churn_rates: Tuple[float, ...] = (0.0, 0.005)
+    loss_rates: Tuple[float, ...] = (0.0, 0.1)
+    split_durations: Tuple[float, ...] = (0.0, 600.0)
+    #: Faults open this long after the expected fork time, so the grid
+    #: stresses the *recovering* minority mesh, not the pre-fork one.
+    fault_start_offset: float = 300.0
+    #: Window length for churn and loss faults (splits use their axis).
+    fault_duration: float = 900.0
+    #: Give every node the resilience mechanisms (False = control
+    #: population running the legacy protocol under fire).
+    resilience: bool = True
+    #: Per-cell event safety valve: a redial storm fails the job loudly.
+    max_events: Optional[int] = 5_000_000
+
+    def expected_fork_time(self) -> float:
+        return _SETTLE_SECONDS + self.fork_block * _BLOCK_INTERVAL
+
+    def cell_schedule(
+        self, churn: float, loss: float, split: float
+    ) -> FaultSchedule:
+        """The declarative schedule for one grid cell."""
+        start = self.expected_fork_time() + self.fault_start_offset
+        faults: List[Any] = []
+        if churn > 0:
+            faults.append(
+                ChurnBurst(
+                    start=start, duration=self.fault_duration, rate=churn
+                )
+            )
+        if loss > 0:
+            faults.append(
+                LinkFault(
+                    start=start,
+                    duration=self.fault_duration,
+                    loss_rate=loss,
+                    scope="region",
+                )
+            )
+        if split > 0:
+            faults.append(
+                SplitFault(
+                    start=start,
+                    duration=split,
+                    groups=(("na",), ("eu", "as")),
+                    scope="region",
+                )
+            )
+        return FaultSchedule(faults=tuple(faults), seed=self.seed)
+
+    def cell_config(
+        self, churn: float, loss: float, split: float
+    ) -> ChaosPartitionConfig:
+        return ChaosPartitionConfig(
+            num_nodes=self.num_nodes,
+            num_miners=self.num_miners,
+            fork_block=self.fork_block,
+            post_fork_horizon=self.post_fork_horizon,
+            census_interval=self.census_interval,
+            seed=self.seed,
+            faults=self.cell_schedule(churn, loss, split).to_dict(),
+            resilience=ResiliencePolicy().to_dict() if self.resilience else None,
+            max_events=self.max_events,
+        )
+
+
+def build_fault_grid(
+    config: FaultSweepConfig,
+) -> List[Tuple[Tuple[float, float, float], JobSpec]]:
+    """One ``chaos-partition`` spec per grid cell, in axis order."""
+    grid: List[Tuple[Tuple[float, float, float], JobSpec]] = []
+    for churn in config.churn_rates:
+        for loss in config.loss_rates:
+            for split in config.split_durations:
+                spec = chaos_partition_spec(
+                    config.cell_config(churn, loss, split)
+                )
+                grid.append(((churn, loss, split), spec))
+    return grid
+
+
+def sweep_digest(cell_digests: List[str]) -> str:
+    """The sweep's reproducibility fingerprint: hash of the ordered
+    per-cell report digests."""
+    payload = json.dumps(cell_digests, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def run_fault_sweep(
+    config: Optional[FaultSweepConfig] = None,
+    jobs: int = 1,
+    cache_dir: Optional[Union[str, Path]] = ".repro-cache",
+    output_dir: Union[str, Path] = "runs",
+    manifest_path: Optional[Union[str, Path]] = None,
+    timeout: Optional[float] = DEFAULT_TIMEOUT,
+    retries: int = 1,
+    progress=None,
+) -> RunManifest:
+    """Run the grid, write the robustness artifacts, return the manifest."""
+    config = config or FaultSweepConfig()
+    progress = progress or NullProgress()
+    output_dir = Path(output_dir)
+    output_dir.mkdir(parents=True, exist_ok=True)
+    manifest_path = Path(manifest_path or output_dir / "fault-sweep-manifest.json")
+
+    grid = build_fault_grid(config)
+
+    manifest = RunManifest(
+        command=(
+            f"fault-sweep --nodes {config.num_nodes} --seed {config.seed}"
+            f" --jobs {jobs}"
+            + (" --no-cache" if cache_dir is None else "")
+        ),
+        workers=jobs,
+        cache_dir=str(cache_dir) if cache_dir else None,
+        started_at=time.time(),
+    )
+
+    pool = WorkerPool(
+        workers=jobs,
+        cache_dir=str(cache_dir) if cache_dir else None,
+        timeout=timeout,
+        retries=retries,
+        progress=progress,
+    )
+
+    start = time.perf_counter()
+    by_label: Dict[str, Any] = {}
+    for result in pool.run([spec for _, spec in grid]):
+        manifest.add(result.record)
+        if result.record.status == "ok":
+            by_label[result.spec.label] = result.value
+    manifest.total_wall_time = time.perf_counter() - start
+
+    # -- artifacts ---------------------------------------------------------
+    rows: List[Dict[str, Any]] = []
+    lines: List[str] = []
+    cells_json: List[Dict[str, Any]] = []
+    for (churn, loss, split), spec in grid:
+        value = by_label.get(spec.label)
+        report = getattr(value, "robustness", None)
+        if report is None:
+            continue
+        cell = {"churn": churn, "loss": loss, "split": split}
+        lines.append(
+            f"churn={churn:g} loss={loss:g} split={split:g}s  "
+            + report.render()
+        )
+        rows.append(
+            {
+                **cell,
+                "baseline_reachable": report.baseline_reachable,
+                "minimum_reachable": report.minimum_reachable,
+                "recovery_time": (
+                    "" if report.recovery_time is None else report.recovery_time
+                ),
+                "orphan_rate": report.orphan_rate,
+                "mean_propagation_delay": (
+                    ""
+                    if report.mean_propagation_delay is None
+                    else report.mean_propagation_delay
+                ),
+                "messages_lost": report.messages_lost,
+                "messages_blocked": report.messages_blocked,
+                "dials_timed_out": report.dials_timed_out,
+                "peers_evicted_unresponsive": report.peers_evicted_unresponsive,
+                "peers_banned": report.peers_banned,
+                "digest": report.digest(),
+            }
+        )
+        cells_json.append({**cell, "digest": report.digest(), "report": report.to_dict()})
+
+    text_path = output_dir / "robustness.txt"
+    text_path.write_text("\n".join(lines) + "\n" if lines else "")
+    manifest.outputs.append(str(text_path))
+
+    csv_path = output_dir / "robustness.csv"
+    if rows:
+        with csv_path.open("w", newline="") as handle:
+            writer = csv.DictWriter(handle, fieldnames=list(rows[0]))
+            writer.writeheader()
+            writer.writerows(rows)
+        manifest.outputs.append(str(csv_path))
+
+    json_path = output_dir / "robustness.json"
+    json_path.write_text(
+        json.dumps(
+            {
+                "seed": config.seed,
+                "sweep_digest": sweep_digest([c["digest"] for c in cells_json]),
+                "cells": cells_json,
+            },
+            indent=2,
+            sort_keys=True,
+        )
+        + "\n"
+    )
+    manifest.outputs.append(str(json_path))
+
+    manifest.write(manifest_path)
+    progress.note(f"manifest: {manifest_path}")
+    return manifest

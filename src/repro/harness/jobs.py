@@ -29,6 +29,7 @@ from ..core.observations import Observation, evaluate_all
 from ..core.report import FigureData, figure_1, figure_2, figure_3, figure_4, figure_5
 from ..scenarios.dos_forks import compare_upgrade_forks
 from ..scenarios.partition_event import (
+    ChaosPartitionConfig,
     PartitionResult,
     PartitionScenario,
     PartitionScenarioConfig,
@@ -50,6 +51,7 @@ __all__ = [
     "run_cached",
     "simulate_spec",
     "partition_spec",
+    "chaos_partition_spec",
     "echoes_spec",
     "figure_spec",
     "observations_spec",
@@ -59,7 +61,8 @@ __all__ = [
 
 #: Bumping this invalidates every cached result (schema change, runner
 #: semantics change).  It is hashed into every cache key.
-CACHE_SCHEMA_VERSION = 1
+#: v2: PartitionResult grew a ``robustness`` field (repro.faults).
+CACHE_SCHEMA_VERSION = 2
 
 
 def canonical_json(params: Dict[str, Any]) -> str:
@@ -177,6 +180,16 @@ def partition_spec(config: Optional[PartitionScenarioConfig] = None) -> JobSpec:
     )
 
 
+def chaos_partition_spec(config: ChaosPartitionConfig) -> JobSpec:
+    """A fault-injected partition run; the schedule digest labels it."""
+    digest = config.fault_schedule().digest()[:8]
+    return JobSpec.make(
+        "chaos-partition",
+        {"config": asdict(config)},
+        label=f"chaos[{config.num_nodes}n sched={digest}]",
+    )
+
+
 def echoes_spec(
     sim_config: ForkSimConfig, replay_seed: int = 4242
 ) -> JobSpec:
@@ -242,6 +255,12 @@ def _run_simulate(params: Dict[str, Any], cache) -> ForkSimResult:
 @register_runner("partition")
 def _run_partition(params: Dict[str, Any], cache) -> PartitionResult:
     config = PartitionScenarioConfig(**params["config"])
+    return PartitionScenario(config).run()
+
+
+@register_runner("chaos-partition")
+def _run_chaos_partition(params: Dict[str, Any], cache) -> PartitionResult:
+    config = ChaosPartitionConfig(**params["config"])
     return PartitionScenario(config).run()
 
 

@@ -18,11 +18,13 @@ from .messages import (
     Neighbors,
     NewBlock,
     NewBlockHashes,
+    Ping,
+    Pong,
     Status,
     Transactions,
 )
 from .network import Network, NetworkCensus
-from .node import PROTOCOL_VERSION, FullNode
+from .node import PROTOCOL_VERSION, FullNode, ResiliencePolicy
 from .simulator import EventHandle, SimulationError, Simulator
 
 __all__ = [
@@ -32,6 +34,7 @@ __all__ = [
     "Network",
     "NetworkCensus",
     "FullNode",
+    "ResiliencePolicy",
     "PROTOCOL_VERSION",
     "Mempool",
     "AdmissionResult",
@@ -55,4 +58,6 @@ __all__ = [
     "Transactions",
     "FindNode",
     "Neighbors",
+    "Ping",
+    "Pong",
 ]

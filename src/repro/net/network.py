@@ -18,7 +18,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..chain.types import Hash32
 from .latency import GeographicLatency, LatencyModel
-from .messages import Message
+from .messages import Message, NewBlock
 from .node import FullNode
 from .simulator import Simulator
 
@@ -68,7 +68,24 @@ class Network:
         self.loss_rate = loss_rate
         self.nodes: Dict[str, FullNode] = {}
         self.messages_sent = 0
-        self.messages_dropped = 0
+        #: Drops from sampled packet loss (base ``loss_rate`` plus any
+        #: fault-injected link loss).
+        self.messages_lost = 0
+        #: Drops because the destination is offline or unknown.
+        self.messages_undeliverable = 0
+        #: Drops from scheduled fault cuts (network splits, byzantine
+        #: withholding) — see :mod:`repro.faults`.
+        self.messages_blocked = 0
+        #: Fault hook: an object with ``judge(src, src_region, dst,
+        #: dst_region, message) -> (verdict, scale, extra)`` — attached
+        #: by :class:`repro.faults.injector.FaultInjector`; ``None``
+        #: keeps the transport on the exact pre-fault code path.
+        self.faults = None
+        #: When True, record block first-transmission and delivery times
+        #: for the RobustnessReport's propagation-delay metric.
+        self.track_block_propagation = False
+        self._block_first_sent: Dict[bytes, float] = {}
+        self._block_delivery_delays: List[float] = []
         self._upgrade_log: List[Tuple[float, str]] = []
 
     # -- membership -----------------------------------------------------------
@@ -82,9 +99,31 @@ class Network:
 
     def remove_node(self, name: str) -> None:
         node = self.nodes.pop(name, None)
-        if node is not None:
-            node.go_offline()
-            node.network = None
+        if node is None:
+            return
+        node.go_offline()
+        node.network = None
+        # Evict the departed name from every live peer set and routing
+        # table: a census must not count links to a node that no longer
+        # exists (the old behaviour silently retained them).
+        for other in self.nodes.values():
+            other.peers.discard(name)
+            other.routing.remove(name)
+
+    @property
+    def messages_dropped(self) -> int:
+        """Deprecated aggregate of every drop class.
+
+        Kept for callers that predate the split into
+        :attr:`messages_lost` / :attr:`messages_undeliverable` /
+        :attr:`messages_blocked`; new code (the fault-sweep metrics in
+        particular) should read the specific counters.
+        """
+        return (
+            self.messages_lost
+            + self.messages_undeliverable
+            + self.messages_blocked
+        )
 
     def note_upgrade(self, node_name: str) -> None:
         self._upgrade_log.append((self.sim.now, node_name))
@@ -99,19 +138,39 @@ class Network:
         """Deliver ``message`` after a sampled latency (maybe drop it)."""
         target = self.nodes.get(destination)
         if target is None or not target.online:
-            self.messages_dropped += 1
+            self.messages_undeliverable += 1
             return
         if self.loss_rate and self.sim_rng.random() < self.loss_rate:
-            self.messages_dropped += 1
+            self.messages_lost += 1
             return
-        self.messages_sent += 1
         source_node = self.nodes.get(source)
+        scale, extra = 1.0, 0.0
+        if self.faults is not None:
+            verdict, scale, extra = self.faults.judge(
+                source,
+                source_node.region if source_node is not None else "",
+                destination,
+                target.region,
+                message,
+            )
+            if verdict == "blocked":
+                self.messages_blocked += 1
+                return
+            if verdict == "lost":
+                self.messages_lost += 1
+                return
+        self.messages_sent += 1
         if isinstance(self.latency, GeographicLatency) and source_node:
             delay = self.latency.delay_between(
                 source_node.region, target.region, self.sim_rng
             )
         else:
             delay = self.latency.sample(self.sim_rng)
+        delay = delay * scale + extra
+        if self.track_block_propagation and isinstance(message, NewBlock):
+            key = bytes(message.block.block_hash)
+            first = self._block_first_sent.setdefault(key, self.sim.now)
+            self._block_delivery_delays.append(self.sim.now + delay - first)
         self.sim.schedule(delay, target.receive, message)
 
     # -- bootstrap ---------------------------------------------------------------
@@ -156,7 +215,53 @@ class Network:
 
         self.sim.schedule(interval, redial)
 
+    # -- resilience loops -------------------------------------------------------
+
+    def schedule_liveness_loop(self, interval: float = 45.0) -> None:
+        """Periodic peer liveness: each node pings its peers and evicts
+        the unresponsive (see :meth:`FullNode.ping_peers`).
+
+        Without this, a crashed peer is retained in ``peers`` forever:
+        the census over-counts mesh degree and gossip keeps wasting
+        sends into a dead link.  Nodes without a
+        :class:`~repro.net.node.ResiliencePolicy` ignore the tick, so
+        arming the loop on a legacy population is a no-op.
+        """
+
+        def tick() -> None:
+            for name in sorted(self.nodes):
+                self.nodes[name].ping_peers()
+            self.sim.schedule(interval, tick)
+
+        self.sim.schedule(interval, tick)
+
+    def schedule_gossip_heal_loop(self, interval: float = 120.0) -> None:
+        """Periodic gossip repair under sustained loss.
+
+        Each node re-announces its head hash (peers that missed the
+        push pull the body) and re-relays a bounded sample of pending
+        transactions — degraded-mode gossip: slower and chattier, but
+        convergent while messages keep vanishing.  Policy-less nodes
+        ignore the tick.
+        """
+
+        def tick() -> None:
+            for name in sorted(self.nodes):
+                node = self.nodes[name]
+                node.announce_head()
+                node.rebroadcast_transactions()
+            self.sim.schedule(interval, tick)
+
+        self.sim.schedule(interval, tick)
+
     # -- measurement ---------------------------------------------------------------
+
+    def mean_block_propagation_delay(self) -> Optional[float]:
+        """Mean seconds from first transmission to each full-block
+        delivery, or None when tracing was off / nothing propagated."""
+        if not self._block_delivery_delays:
+            return None
+        return sum(self._block_delivery_delays) / len(self._block_delivery_delays)
 
     def census(self) -> NetworkCensus:
         """Group online nodes by their current network allegiance.

@@ -21,7 +21,8 @@ from __future__ import annotations
 
 import random
 import zlib
-from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
+from dataclasses import asdict, dataclass
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Set, Tuple
 
 from ..chain.block import Block, BlockHeader, ommers_root, transactions_root
 from ..chain.chainstore import Blockchain
@@ -42,6 +43,8 @@ from .messages import (
     Neighbors,
     NewBlock,
     NewBlockHashes,
+    Ping,
+    Pong,
     Status,
     Transactions,
 )
@@ -49,9 +52,66 @@ from .messages import (
 if TYPE_CHECKING:  # pragma: no cover
     from .network import Network
 
-__all__ = ["FullNode", "PROTOCOL_VERSION"]
+__all__ = ["FullNode", "ResiliencePolicy", "PROTOCOL_VERSION"]
 
 PROTOCOL_VERSION = 63
+
+
+@dataclass(frozen=True)
+class ResiliencePolicy:
+    """Opt-in peer-level resilience knobs.
+
+    ``None`` (the default everywhere) preserves the seed behaviour
+    byte-for-byte: no dial bookkeeping, no pings, no scoring — so the
+    calibrated partition scenario and its pinned observations are
+    untouched.  Chaos runs construct nodes with a policy, which enables:
+
+    * **dial timeouts with exponential backoff and a retry budget** — an
+      unanswered dial backs the peer off ``backoff_base * 2^(n-1)``
+      seconds (capped); after ``dial_retry_budget`` consecutive
+      timeouts the peer is dropped from the routing table.  Any message
+      later received from it resets the slate (it proved liveness).
+      This is what keeps crash/restart churn from degenerating into a
+      redial storm.
+    * **liveness pings** — peers that miss a Pong deadline are evicted
+      from the peer set instead of being silently retained.
+    * **peer scoring with a ban list** — protocol breaches and invalid
+      blocks cost ``penalty_*`` points; at ``ban_threshold`` the peer is
+      disconnected, de-routed, and refused for ``ban_seconds``.
+    * **gossip degradation** — periodic head re-announcement and a
+      bounded pending-transaction re-relay (driven by the network's
+      heal loop) so gossip converges under sustained loss.
+    """
+
+    dial_timeout: float = 10.0
+    dial_backoff_base: float = 30.0
+    dial_backoff_cap: float = 960.0
+    dial_retry_budget: int = 6
+    ping_timeout: float = 10.0
+    ban_threshold: float = -10.0
+    ban_seconds: float = 600.0
+    penalty_invalid_block: float = -10.0
+    penalty_breach: float = -10.0
+    penalty_incompatible: float = -4.0
+    penalty_ping_timeout: float = -1.0
+    tx_rebroadcast_limit: int = 16
+
+    def __post_init__(self) -> None:
+        if self.dial_timeout <= 0 or self.ping_timeout <= 0:
+            raise ValueError("timeouts must be positive")
+        if self.dial_backoff_base <= 0 or self.dial_backoff_cap < self.dial_backoff_base:
+            raise ValueError("need 0 < backoff_base <= backoff_cap")
+        if self.dial_retry_budget < 1:
+            raise ValueError("dial_retry_budget must be >= 1")
+        if self.ban_threshold >= 0 or self.ban_seconds <= 0:
+            raise ValueError("ban_threshold must be negative, ban_seconds positive")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "ResiliencePolicy":
+        return cls(**payload)
 
 
 class FullNode:
@@ -66,6 +126,7 @@ class FullNode:
         mining_hashrate: float = 0.0,
         coinbase: Optional[Address] = None,
         rng_seed: Optional[int] = None,
+        resilience: Optional[ResiliencePolicy] = None,
     ) -> None:
         self.name = name
         self.chain = chain
@@ -96,6 +157,23 @@ class FullNode:
         self.coinbase = coinbase or Address.zero()
         self._mining_event = None
 
+        #: ``None`` keeps the exact legacy behaviour; chaos runs pass a
+        #: :class:`ResiliencePolicy` to enable dial backoff, liveness
+        #: pings, and peer scoring.
+        self.resilience = resilience
+        #: peer -> time the outstanding dial was sent.
+        self._dial_pending: Dict[str, float] = {}
+        #: peer -> consecutive dial timeouts.
+        self._dial_failures: Dict[str, int] = {}
+        #: peer -> earliest time we may dial it again.
+        self._dial_blocked_until: Dict[str, float] = {}
+        #: peer -> time the outstanding ping was sent.
+        self._ping_pending: Dict[str, float] = {}
+        #: peer -> accumulated misbehaviour score (<= 0).
+        self._peer_scores: Dict[str, float] = {}
+        #: peer -> time its ban lapses.
+        self._banned_until: Dict[str, float] = {}
+
         # Telemetry the experiments read.
         self.stats: Dict[str, int] = {
             "blocks_imported": 0,
@@ -103,6 +181,11 @@ class FullNode:
             "txs_admitted": 0,
             "handshakes_refused": 0,
             "disconnects_incompatible": 0,
+            "dials_started": 0,
+            "dials_timed_out": 0,
+            "peers_evicted_unresponsive": 0,
+            "peers_banned": 0,
+            "head_reannounces": 0,
         }
 
     # -- identity ------------------------------------------------------------
@@ -147,12 +230,68 @@ class FullNode:
         return True, ""
 
     def dial(self, peer_name: str) -> None:
-        """Initiate a connection (send our Status)."""
+        """Initiate a connection (send our Status).
+
+        With a :class:`ResiliencePolicy`, dials are bookkept: a peer with
+        an outstanding dial, an unexpired backoff, or an active ban is
+        skipped, and every dial arms a timeout check.  Without a policy
+        this is the legacy fire-and-forget send.
+        """
         if not self.online or peer_name == self.name:
             return
         if peer_name in self.peers or len(self.peers) >= self.max_peers:
             return
+        policy = self.resilience
+        if policy is not None:
+            now = self._now()
+            if (
+                peer_name in self._dial_pending
+                or now < self._dial_blocked_until.get(peer_name, 0.0)
+                or now < self._banned_until.get(peer_name, 0.0)
+            ):
+                return
+            self._dial_pending[peer_name] = now
+            self.stats["dials_started"] += 1
+            if self.network is not None:
+                self.network.sim.schedule(
+                    policy.dial_timeout, self._check_dial, peer_name, now
+                )
         self._send(peer_name, self.status_message())
+
+    def _check_dial(self, peer_name: str, dialed_at: float) -> None:
+        """Dial-timeout bookkeeping: back off, and eventually give up.
+
+        Fires ``dial_timeout`` seconds after the dial.  If the handshake
+        completed (or the dial entry was superseded) this is a no-op;
+        otherwise the peer earns exponential backoff —
+        ``backoff_base * 2^(failures-1)`` capped at ``backoff_cap`` —
+        and, once the retry budget is spent, removal from the routing
+        table so discovery stops re-suggesting a corpse.
+        """
+        policy = self.resilience
+        if policy is None or not self.online:
+            return
+        if self._dial_pending.get(peer_name) != dialed_at:
+            return
+        del self._dial_pending[peer_name]
+        if peer_name in self.peers:
+            return
+        self.stats["dials_timed_out"] += 1
+        failures = self._dial_failures.get(peer_name, 0) + 1
+        self._dial_failures[peer_name] = failures
+        backoff = min(
+            policy.dial_backoff_base * (2 ** (failures - 1)),
+            policy.dial_backoff_cap,
+        )
+        self._dial_blocked_until[peer_name] = self._now() + backoff
+        if failures >= policy.dial_retry_budget:
+            self.routing.remove(peer_name)
+
+    def _note_alive(self, peer_name: str) -> None:
+        """Any inbound message proves liveness: reset the dial slate."""
+        self._dial_pending.pop(peer_name, None)
+        self._dial_failures.pop(peer_name, None)
+        self._dial_blocked_until.pop(peer_name, None)
 
     def disconnect(self, peer_name: str, reason: str) -> None:
         if peer_name in self.peers:
@@ -169,6 +308,10 @@ class FullNode:
         self.online = False
         self.stop_mining()
         self.peers.clear()
+        # In-flight dial/ping state dies with the process; scores and
+        # bans survive a bounce (they model the operator's node database).
+        self._dial_pending.clear()
+        self._ping_pending.clear()
 
     def go_online(self) -> None:
         self.online = True
@@ -295,8 +438,10 @@ class FullNode:
             if result.reason == "dao-extra-data":
                 self.stats["disconnects_incompatible"] += 1
                 self.disconnect(origin, DisconnectReason.INCOMPATIBLE_FORK)
+                self._punish(origin, "penalty_incompatible")
             else:
                 self.disconnect(origin, DisconnectReason.BREACH_OF_PROTOCOL)
+                self._punish(origin, "penalty_invalid_block")
         return result.status
 
     #: Seconds before an unanswered ancestor request may be retried.
@@ -368,6 +513,16 @@ class FullNode:
         if not self.online:
             return
         sender = message.sender_id
+        if self.resilience is not None:
+            if self._now() < self._banned_until.get(sender, 0.0):
+                return  # banned peers get silence, not service
+            self._note_alive(sender)
+            if isinstance(message, Ping):
+                self._send(sender, Pong(sender_id=self.name))
+                return
+            if isinstance(message, Pong):
+                self._ping_pending.pop(sender, None)
+                return
         self.routing.observe(sender)
 
         if isinstance(message, Status):
@@ -493,6 +648,105 @@ class FullNode:
                 fresh.append(tx)
         if fresh:
             self._relay_transactions(tuple(fresh), exclude=message.sender_id)
+
+    # -- resilience ----------------------------------------------------------
+
+    def _now(self) -> float:
+        return self.network.sim.now if self.network is not None else 0.0
+
+    def _punish(self, peer_name: str, penalty_key: str) -> None:
+        """Dock a peer's score; at the ban threshold, cut it loose.
+
+        Banning disconnects (``USELESS_PEER``), drops the peer from the
+        routing table, and refuses its messages and our dials to it for
+        ``ban_seconds``.  No-op without a policy.
+        """
+        policy = self.resilience
+        if policy is None:
+            return
+        score = self._peer_scores.get(peer_name, 0.0) + getattr(
+            policy, penalty_key
+        )
+        self._peer_scores[peer_name] = score
+        if score <= policy.ban_threshold:
+            self.disconnect(peer_name, DisconnectReason.USELESS_PEER)
+            self.peers.discard(peer_name)
+            self.routing.remove(peer_name)
+            self._banned_until[peer_name] = self._now() + policy.ban_seconds
+            self._peer_scores.pop(peer_name, None)
+            self.stats["peers_banned"] += 1
+
+    def ping_peers(self) -> None:
+        """Liveness sweep: ping every peer, arm an eviction deadline.
+
+        Called by the network's liveness loop.  A peer that already has
+        an outstanding ping is not pinged again — its pending check will
+        evict it.  No-op without a policy (legacy nodes keep crashed
+        peers forever, as the seed behaviour did).
+        """
+        policy = self.resilience
+        if policy is None or not self.online or self.network is None:
+            return
+        now = self._now()
+        for peer_name in sorted(self.peers):
+            if peer_name in self._ping_pending:
+                continue
+            self._ping_pending[peer_name] = now
+            self._send(peer_name, Ping(sender_id=self.name))
+            self.network.sim.schedule(
+                policy.ping_timeout, self._check_ping, peer_name, now
+            )
+
+    def _check_ping(self, peer_name: str, pinged_at: float) -> None:
+        """Evict a peer whose Pong never came back."""
+        policy = self.resilience
+        if policy is None or not self.online:
+            return
+        if self._ping_pending.get(peer_name) != pinged_at:
+            return
+        del self._ping_pending[peer_name]
+        if peer_name in self.peers:
+            self.peers.discard(peer_name)
+            self.stats["peers_evicted_unresponsive"] += 1
+            self._punish(peer_name, "penalty_ping_timeout")
+
+    def announce_head(self) -> None:
+        """Re-announce the head hash to every peer (gossip repair).
+
+        Peers that missed the original push/announce — the message was
+        lost, or they were mid-crash — pull the body via ``GetBlocks``.
+        Driven by the network's heal loop; no-op without a policy.
+        """
+        if self.resilience is None or not self.online or not self.peers:
+            return
+        message = NewBlockHashes(
+            sender_id=self.name, hashes=(self.chain.head.block_hash,)
+        )
+        for peer_name in sorted(self.peers):
+            self._send(peer_name, message)
+        self.stats["head_reannounces"] += 1
+
+    def rebroadcast_transactions(self) -> None:
+        """Re-relay a bounded, deterministic slice of the mempool.
+
+        Degraded-mode gossip under loss: bounded by
+        ``tx_rebroadcast_limit`` so healing chatter cannot melt the
+        simulator, ordered by tx hash so replays are identical.
+        """
+        policy = self.resilience
+        if policy is None or not self.online or not self.peers:
+            return
+        hashes = sorted(self.mempool.all_hashes(), key=bytes)
+        txs = tuple(
+            tx
+            for tx in (
+                self.mempool.get(h)
+                for h in hashes[: policy.tx_rebroadcast_limit]
+            )
+            if tx is not None
+        )
+        if txs:
+            self._relay_transactions(txs, exclude=None)
 
     # -- transport ------------------------------------------------------------
 

@@ -94,25 +94,30 @@ class Simulator:
             time, _, handle = self._queue[0]
             if time > end_time:
                 break
-            heapq.heappop(self._queue)
             if handle.cancelled:
+                heapq.heappop(self._queue)
                 continue
+            if max_events is not None and processed >= max_events:
+                raise SimulationError(
+                    f"exceeded {max_events} events before t={end_time}"
+                )
+            heapq.heappop(self._queue)
             self.now = time
             self.events_processed += 1
             handle.callback(*handle.args)
             processed += 1
-            if max_events is not None and processed > max_events:
-                raise SimulationError(
-                    f"exceeded {max_events} events before t={end_time}"
-                )
         self.now = max(self.now, end_time)
         return processed
 
     def run_all(self, max_events: int = 10_000_000) -> int:
         """Drain the queue completely (bounded by ``max_events``)."""
         processed = 0
-        while self.step():
-            processed += 1
-            if processed > max_events:
+        while self._queue:
+            if processed >= max_events and any(
+                not handle.cancelled for _, _, handle in self._queue
+            ):
                 raise SimulationError(f"exceeded {max_events} events")
+            if not self.step():
+                break
+            processed += 1
         return processed

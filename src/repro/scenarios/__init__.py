@@ -17,6 +17,7 @@ from .dos_forks import (
     compare_upgrade_forks,
 )
 from .partition_event import (
+    ChaosPartitionConfig,
     PartitionResult,
     PartitionScenario,
     PartitionScenarioConfig,
@@ -43,6 +44,7 @@ __all__ = [
     "ChainWriter",
     "PartitionScenario",
     "PartitionScenarioConfig",
+    "ChaosPartitionConfig",
     "PartitionResult",
     "PartitionSnapshot",
     "reachable_nodes",

@@ -21,19 +21,27 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, replace
-from typing import List, Optional, Set
+from typing import Any, Dict, List, Optional, Set
 
 from ..chain.chainstore import Blockchain
 from ..chain.config import ETC_CONFIG, ETH_CONFIG
 from ..chain.difficulty import equilibrium_difficulty
 from ..chain.genesis import build_genesis
+from ..faults.injector import FaultInjector
+from ..faults.report import (
+    RobustnessReport,
+    RobustnessSample,
+    build_robustness_report,
+)
+from ..faults.schedule import FaultSchedule
 from ..net.latency import LognormalLatency
 from ..net.network import Network
-from ..net.node import FullNode
+from ..net.node import FullNode, ResiliencePolicy
 from ..net.simulator import Simulator
 
 __all__ = [
     "PartitionScenarioConfig",
+    "ChaosPartitionConfig",
     "PartitionSnapshot",
     "PartitionResult",
     "PartitionScenario",
@@ -77,6 +85,40 @@ class PartitionScenarioConfig:
     redial_interval: float = 60.0
 
 
+@dataclass
+class ChaosPartitionConfig(PartitionScenarioConfig):
+    """The partition scenario under scheduled faults.
+
+    ``faults`` is a :meth:`~repro.faults.schedule.FaultSchedule.to_dict`
+    payload and ``resilience`` a
+    :meth:`~repro.net.node.ResiliencePolicy.to_dict` payload — dicts
+    rather than objects so ``asdict(config)`` stays JSON-round-trippable
+    and the harness's content-addressed cache keys it unchanged.
+
+    With ``resilience=None`` the population runs the legacy protocol
+    under fire (the control arm); with a policy, dial backoff, liveness
+    pings, scoring, and gossip healing are enabled (the treatment arm).
+    """
+
+    faults: Optional[Dict[str, Any]] = None
+    resilience: Optional[Dict[str, Any]] = None
+    #: Recovery threshold as a fraction of the pre-disruption baseline.
+    recovery_fraction: float = 0.9
+    liveness_interval: float = 45.0
+    heal_interval: float = 120.0
+    #: Safety valve forwarded to ``run_until`` — a chaos run that
+    #: degenerates into a redial storm fails loudly instead of spinning.
+    max_events: Optional[int] = None
+
+    def fault_schedule(self) -> FaultSchedule:
+        return FaultSchedule.from_dict(self.faults or {})
+
+    def resilience_policy(self) -> Optional[ResiliencePolicy]:
+        if self.resilience is None:
+            return None
+        return ResiliencePolicy.from_dict(self.resilience)
+
+
 @dataclass(frozen=True)
 class PartitionSnapshot:
     """One census row."""
@@ -99,6 +141,8 @@ class PartitionResult:
     fork_time: Optional[float]
     handshake_refusals: int
     incompatible_disconnects: int
+    #: Populated only by chaos runs (:class:`ChaosPartitionConfig`).
+    robustness: Optional[RobustnessReport] = None
 
     def minimum_etc_reachable(self) -> int:
         post = [s for s in self.snapshots if self.fork_time and s.time >= self.fork_time]
@@ -127,6 +171,11 @@ class PartitionScenario:
 
     def run(self) -> PartitionResult:
         config = self.config
+        # Chaos is strictly additive: a plain PartitionScenarioConfig
+        # takes the exact pre-fault code path (no injector, no loops, no
+        # policy), so baseline trajectories replay byte-identically.
+        chaos = isinstance(config, ChaosPartitionConfig)
+        policy = config.resilience_policy() if chaos else None
         rng = random.Random(config.seed)
 
         total_hashrate = config.num_miners * config.miner_hashrate
@@ -166,6 +215,7 @@ class PartitionScenario:
                 mining_hashrate=config.miner_hashrate if is_miner else 0.0,
                 region=rng.choice(["na", "eu", "as"]),
                 rng_seed=config.seed * 1000 + index,
+                resilience=policy,
             )
             network.add_node(node)
             if rng.random() < config.upgrade_fraction:
@@ -179,6 +229,18 @@ class PartitionScenario:
 
         network.bootstrap_mesh(target_degree=config.target_degree)
         network.schedule_redial_loop(config.redial_interval)
+
+        injector: Optional[FaultInjector] = None
+        if chaos:
+            injector = FaultInjector(
+                network, config.fault_schedule(), seed=config.seed
+            )
+            injector.arm()
+            network.track_block_propagation = True
+            if policy is not None:
+                network.schedule_liveness_loop(config.liveness_interval)
+                network.schedule_gossip_heal_loop(config.heal_interval)
+
         sim.run_until(120)  # let handshakes settle
         network.start_all_miners()
 
@@ -195,6 +257,7 @@ class PartitionScenario:
             )
 
         snapshots: List[PartitionSnapshot] = []
+        robustness_samples: List[RobustnessSample] = []
         fork_time_holder: List[float] = []
 
         eth_seed = upgraders[0]
@@ -215,24 +278,42 @@ class PartitionScenario:
             etc_height = max((n.chain.height for n in etc_nodes), default=0)
             if not fork_time_holder and max(eth_height, etc_height) >= config.fork_block:
                 fork_time_holder.append(sim.now)
+            eth_reachable = len(reachable_nodes(network, eth_seed))
+            etc_reachable = len(reachable_nodes(network, etc_seed))
+            etc_mean_peers = _mean(len(n.peers) for n in etc_nodes)
             snapshots.append(
                 PartitionSnapshot(
                     time=sim.now,
                     eth_height=eth_height,
                     etc_height=etc_height,
-                    eth_reachable=len(reachable_nodes(network, eth_seed)),
-                    etc_reachable=len(reachable_nodes(network, etc_seed)),
+                    eth_reachable=eth_reachable,
+                    etc_reachable=etc_reachable,
                     eth_mean_peers=_mean(len(n.peers) for n in eth_nodes),
-                    etc_mean_peers=_mean(len(n.peers) for n in etc_nodes),
+                    etc_mean_peers=etc_mean_peers,
                 )
             )
+            if chaos:
+                robustness_samples.append(
+                    RobustnessSample(
+                        time=sim.now,
+                        watched_reachable=etc_reachable,
+                        other_reachable=eth_reachable,
+                        online_nodes=sum(
+                            1 for n in network.nodes.values() if n.online
+                        ),
+                        watched_mean_peers=etc_mean_peers,
+                    )
+                )
 
         end_time = expected_fork_time + config.post_fork_horizon
         tick = sim.now
         while tick <= end_time:
             sim.schedule_at(tick, census)
             tick += config.census_interval
-        sim.run_until(end_time)
+        sim.run_until(
+            end_time,
+            max_events=config.max_events if chaos else None,
+        )
 
         refusals = sum(
             node.stats["handshakes_refused"] for node in network.nodes.values()
@@ -241,12 +322,53 @@ class PartitionScenario:
             node.stats["disconnects_incompatible"]
             for node in network.nodes.values()
         )
+        fork_time = fork_time_holder[0] if fork_time_holder else None
+
+        robustness: Optional[RobustnessReport] = None
+        if injector is not None:
+            total_mined = sum(
+                network.nodes[n].stats["blocks_mined"]
+                for n in sorted(network.nodes)
+            )
+            # Each side's canonical chain counts every mined block that
+            # survived; the rest (uncles, abandoned branches) are the
+            # orphans the report's orphan_rate charges to the faults.
+            eth_best = max(
+                (
+                    n.chain.height
+                    for n in network.nodes.values()
+                    if n.config.dao_fork_support
+                ),
+                default=0,
+            )
+            etc_best = max(
+                (
+                    n.chain.height
+                    for n in network.nodes.values()
+                    if not n.config.dao_fork_support
+                ),
+                default=0,
+            )
+            robustness = build_robustness_report(
+                seed=config.seed,
+                schedule=injector.schedule,
+                samples=robustness_samples,
+                network=network,
+                recovery_fraction=config.recovery_fraction,
+                fork_time=fork_time if fork_time is not None else expected_fork_time,
+                watched="etc",
+                fault_log=injector.log,
+                total_blocks_mined=total_mined,
+                canonical_blocks=eth_best + etc_best,
+            )
+
         return PartitionResult(
             config=config,
             snapshots=snapshots,
-            fork_time=fork_time_holder[0] if fork_time_holder else None,
+            fork_time=fork_time,
             handshake_refusals=refusals,
             incompatible_disconnects=incompatible,
+            robustness=robustness,
         )
 
 

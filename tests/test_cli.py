@@ -42,6 +42,19 @@ class TestParser:
         assert args.timeout == 30.0
         assert args.retries == 2
 
+    def test_fault_sweep_flags_parse(self):
+        args = _build_parser().parse_args(
+            ["fault-sweep", "--nodes", "10", "--churn", "0", "0.01",
+             "--loss", "0.2", "--split", "0", "300", "--no-resilience",
+             "--jobs", "2"]
+        )
+        assert args.command == "fault-sweep"
+        assert args.nodes == 10
+        assert args.churn == [0.0, 0.01]
+        assert args.loss == [0.2]
+        assert args.split == [0.0, 300.0]
+        assert args.no_resilience is True
+
 
 class TestCommands:
     def test_fork_lengths_prints_table(self, capsys):
@@ -84,6 +97,21 @@ class TestCommands:
         err = capsys.readouterr().err
         assert "error: cannot write CSV" in err
         assert "Traceback" not in err
+
+    def test_fault_sweep_small(self, tmp_path, capsys):
+        code = main(
+            ["fault-sweep", "--nodes", "8", "--miners", "2",
+             "--horizon", "300", "--churn", "0", "--loss", "0",
+             "--split", "0", "120", "--jobs", "1",
+             "--cache-dir", str(tmp_path / "cache"),
+             "--output-dir", str(tmp_path / "out")]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert (tmp_path / "out" / "robustness.txt").exists()
+        assert (tmp_path / "out" / "robustness.json").exists()
+        assert (tmp_path / "out" / "fault-sweep-manifest.json").exists()
+        assert "jobs ok" in captured.out
 
     def test_run_all_small(self, tmp_path, capsys):
         code = main(

@@ -1,0 +1,273 @@
+"""repro.faults: schedules, the injector, and the robustness report."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.chain.chainstore import Blockchain
+from repro.chain.config import ETH_CONFIG
+from repro.chain.genesis import build_genesis
+from repro.faults.injector import ActiveFaults, FaultInjector
+from repro.faults.report import RobustnessSample, build_robustness_report
+from repro.faults.schedule import (
+    ByzantineFault,
+    ChurnBurst,
+    CrashNode,
+    FaultSchedule,
+    LatencyFault,
+    LinkFault,
+    SlowPeerFault,
+    SplitFault,
+)
+from repro.net.latency import ConstantLatency
+from repro.net.messages import NewBlockHashes, Ping
+from repro.net.network import Network
+from repro.net.node import FullNode
+from repro.net.simulator import Simulator
+
+CFG = replace(ETH_CONFIG, dao_fork_block=10**9, bomb_delay=10**9)
+
+
+def tiny_network(n=4, seed=1):
+    genesis, _ = build_genesis({})
+    sim = Simulator()
+    net = Network(sim, latency=ConstantLatency(0.01), seed=seed)
+    regions = ["na", "eu", "as", "eu"]
+    nodes = [
+        FullNode(
+            f"n{i}",
+            Blockchain(CFG, genesis, execute_transactions=False),
+            region=regions[i % len(regions)],
+            rng_seed=i,
+        )
+        for i in range(n)
+    ]
+    for node in nodes:
+        net.add_node(node)
+    return sim, net, nodes
+
+
+class TestScheduleValidation:
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            CrashNode(at=-1.0, node="n0")
+        with pytest.raises(ValueError):
+            ChurnBurst(start=0.0, duration=0.0, rate=0.1)
+        with pytest.raises(ValueError):
+            LinkFault(start=0.0, duration=10.0, loss_rate=0.0)
+        with pytest.raises(ValueError):
+            LatencyFault(start=0.0, duration=10.0, factor=0.0)
+        with pytest.raises(ValueError):
+            SplitFault(start=0.0, duration=10.0, groups=(("a",),))
+        with pytest.raises(ValueError):
+            SplitFault(
+                start=0.0, duration=10.0, groups=(("a",), ("a", "b"))
+            )
+        with pytest.raises(ValueError):
+            ByzantineFault(start=0.0, duration=10.0, node="n0", mode="evil")
+
+    def test_rejects_non_fault_entries(self):
+        with pytest.raises(ValueError):
+            FaultSchedule(faults=("not-a-fault",))
+
+    def test_window_bounds(self):
+        schedule = FaultSchedule(
+            faults=(
+                CrashNode(at=50.0, node="n0", restart_after=100.0),
+                LinkFault(start=10.0, duration=30.0, loss_rate=0.5),
+            )
+        )
+        assert schedule.first_start() == 10.0
+        assert schedule.last_end() == 150.0
+        assert len(schedule) == 2
+        assert FaultSchedule().first_start() is None
+
+
+class TestScheduleSerialization:
+    def schedule(self):
+        return FaultSchedule(
+            faults=(
+                CrashNode(at=5.0, node="n1", restart_after=60.0),
+                ChurnBurst(start=10.0, duration=100.0, rate=0.05),
+                LinkFault(start=0.0, duration=50.0, loss_rate=0.3,
+                          src="na", scope="region"),
+                LatencyFault(start=20.0, duration=40.0, factor=3.0,
+                             region="eu"),
+                SplitFault(start=30.0, duration=60.0,
+                           groups=(("n0", "n1"), ("n2",))),
+                SlowPeerFault(start=1.0, duration=2.0, node="n3"),
+                ByzantineFault(start=4.0, duration=9.0, node="n2",
+                               mode="delay", extra_delay=5.0),
+            ),
+            seed=99,
+        )
+
+    def test_round_trip(self):
+        schedule = self.schedule()
+        assert FaultSchedule.from_dict(schedule.to_dict()) == schedule
+
+    def test_digest_stable_and_sensitive(self):
+        schedule = self.schedule()
+        assert schedule.digest() == self.schedule().digest()
+        other = FaultSchedule(faults=schedule.faults, seed=100)
+        assert other.digest() != schedule.digest()
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            FaultSchedule.from_dict(
+                {"seed": 0, "faults": [{"kind": "meteor", "at": 1.0}]}
+            )
+
+
+class TestActiveFaults:
+    def test_idle_instance_delivers_untouched(self):
+        active = ActiveFaults()
+        verdict, scale, extra = active.judge(
+            "a", "na", "b", "eu", Ping(sender_id="a")
+        )
+        assert (verdict, scale, extra) == ("deliver", 1.0, 0.0)
+        assert not active.any_active
+
+    def test_split_blocks_cross_group_only(self):
+        active = ActiveFaults()
+        fault = SplitFault(
+            start=0.0, duration=10.0, groups=(("a",), ("b",)), scope="node"
+        )
+        active.activate(fault)
+        msg = Ping(sender_id="a")
+        assert active.judge("a", "na", "b", "eu", msg)[0] == "blocked"
+        assert active.judge("a", "na", "c", "eu", msg)[0] == "deliver"
+        active.deactivate(fault)
+        assert active.judge("a", "na", "b", "eu", msg)[0] == "deliver"
+
+    def test_latency_factor_and_slow_peer_compose(self):
+        active = ActiveFaults()
+        active.activate(
+            LatencyFault(start=0.0, duration=10.0, factor=4.0, region="eu")
+        )
+        active.activate(
+            SlowPeerFault(start=0.0, duration=10.0, node="a", extra_delay=2.0)
+        )
+        verdict, scale, extra = active.judge(
+            "a", "eu", "b", "na", Ping(sender_id="a")
+        )
+        assert (verdict, scale, extra) == ("deliver", 4.0, 2.0)
+
+    def test_byzantine_withholds_blocks_but_not_pings(self):
+        active = ActiveFaults()
+        active.activate(
+            ByzantineFault(start=0.0, duration=10.0, node="a")
+        )
+        announce = NewBlockHashes(sender_id="a", hashes=())
+        assert active.judge("a", "na", "b", "eu", announce)[0] == "blocked"
+        assert active.judge("a", "na", "b", "eu",
+                            Ping(sender_id="a"))[0] == "deliver"
+
+
+class TestInjector:
+    def test_crash_and_restart(self):
+        sim, net, nodes = tiny_network()
+        schedule = FaultSchedule(
+            faults=(CrashNode(at=10.0, node="n0", restart_after=20.0),)
+        )
+        injector = FaultInjector(net, schedule, seed=1)
+        injector.arm()
+        sim.run_until(15.0)
+        assert not nodes[0].online
+        sim.run_until(40.0)
+        assert nodes[0].online
+        events = [event for _, event in injector.log]
+        assert events == ["crash n0", "restart n0"]
+
+    def test_double_arm_refused(self):
+        sim, net, _ = tiny_network()
+        injector = FaultInjector(net, FaultSchedule(), seed=1)
+        injector.arm()
+        with pytest.raises(RuntimeError):
+            injector.arm()
+
+    def test_split_blocks_and_heals_through_transport(self):
+        sim, net, nodes = tiny_network()
+        schedule = FaultSchedule(
+            faults=(
+                SplitFault(start=10.0, duration=20.0,
+                           groups=(("n0",), ("n1",))),
+            )
+        )
+        FaultInjector(net, schedule, seed=1).arm()
+        sim.run_until(15.0)
+        net.send("n0", "n1", Ping(sender_id="n0"))
+        assert net.messages_blocked == 1
+        sim.run_until(40.0)
+        net.send("n0", "n1", Ping(sender_id="n0"))
+        assert net.messages_blocked == 1
+        assert net.messages_sent == 1
+
+    def test_link_loss_counts_lost(self):
+        sim, net, nodes = tiny_network()
+        schedule = FaultSchedule(
+            faults=(LinkFault(start=0.0, duration=100.0, loss_rate=1.0),)
+        )
+        FaultInjector(net, schedule, seed=1).arm()
+        sim.run_until(5.0)
+        for _ in range(10):
+            net.send("n0", "n1", Ping(sender_id="n0"))
+        assert net.messages_lost == 10
+
+    def test_churn_trace_is_seed_deterministic(self):
+        def trace(seed):
+            sim, net, nodes = tiny_network(n=6)
+            schedule = FaultSchedule(
+                faults=(ChurnBurst(start=0.0, duration=100.0, rate=0.05),),
+                seed=3,
+            )
+            injector = FaultInjector(net, schedule, seed=seed)
+            injector.arm()
+            sim.run_until(500.0)
+            return injector.log
+
+        assert trace(7) == trace(7)
+        assert trace(7) != trace(8)
+
+
+class TestRobustnessReport:
+    def make_report(self, samples):
+        sim, net, _ = tiny_network()
+        schedule = FaultSchedule(
+            faults=(LinkFault(start=100.0, duration=50.0, loss_rate=0.5),)
+        )
+        return build_robustness_report(
+            seed=1, schedule=schedule, samples=samples, network=net,
+            total_blocks_mined=10, canonical_blocks=9,
+        )
+
+    def test_recovery_time_from_disruption_end(self):
+        samples = [
+            RobustnessSample(0.0, 10, 10, 20, 5.0),
+            RobustnessSample(120.0, 3, 10, 20, 1.0),
+            RobustnessSample(200.0, 9, 10, 20, 4.0),
+        ]
+        report = self.make_report(samples)
+        assert report.baseline_reachable == 10
+        assert report.minimum_reachable == 3
+        assert report.disruption_end == 150.0
+        assert report.recovery_time == 50.0
+        assert report.recovered()
+        assert report.orphan_rate == pytest.approx(0.1)
+
+    def test_never_recovered(self):
+        samples = [
+            RobustnessSample(0.0, 10, 10, 20, 5.0),
+            RobustnessSample(200.0, 3, 10, 20, 1.0),
+        ]
+        report = self.make_report(samples)
+        assert report.recovery_time is None
+        assert not report.recovered()
+
+    def test_digest_reproducible(self):
+        samples = [RobustnessSample(0.0, 10, 10, 20, 5.0)]
+        assert (
+            self.make_report(samples).digest()
+            == self.make_report(samples).digest()
+        )
+        assert "recovery" in self.make_report(samples).render()

@@ -1,0 +1,110 @@
+"""The fault-sweep job family: grid, artifacts, caching, reproducibility."""
+
+import json
+
+import pytest
+
+from repro.harness import (
+    FaultSweepConfig,
+    NullProgress,
+    build_fault_grid,
+    run_fault_sweep,
+    sweep_digest,
+)
+
+TINY = FaultSweepConfig(
+    num_nodes=10,
+    num_miners=3,
+    post_fork_horizon=600.0,
+    census_interval=120.0,
+    churn_rates=(0.0, 0.01),
+    loss_rates=(0.0,),
+    split_durations=(0.0, 300.0),
+    max_events=2_000_000,
+)
+
+
+class TestGrid:
+    def test_one_cell_per_cross_product_entry(self):
+        grid = build_fault_grid(TINY)
+        assert len(grid) == 4
+        cells = [cell for cell, _ in grid]
+        assert cells[0] == (0.0, 0.0, 0.0)  # the control arm survives
+        assert len({spec.cache_key() for _, spec in grid}) == 4
+
+    def test_cell_schedule_reflects_axes(self):
+        schedule = TINY.cell_schedule(0.01, 0.1, 300.0)
+        kinds = sorted(fault.KIND for fault in schedule.faults)
+        assert kinds == ["churn", "link-loss", "split"]
+        assert TINY.cell_schedule(0.0, 0.0, 0.0).faults == ()
+
+    def test_sweep_digest_is_order_sensitive(self):
+        assert sweep_digest(["a", "b"]) != sweep_digest(["b", "a"])
+        assert sweep_digest(["a", "b"]) == sweep_digest(["a", "b"])
+
+
+class TestRunFaultSweep:
+    @pytest.fixture()
+    def outcome(self, tmp_path):
+        manifest = run_fault_sweep(
+            TINY,
+            jobs=1,
+            cache_dir=tmp_path / "cache",
+            output_dir=tmp_path / "out",
+            progress=NullProgress(),
+        )
+        return manifest, tmp_path
+
+    def test_all_cells_succeed_and_artifacts_land(self, outcome):
+        manifest, tmp_path = outcome
+        assert not manifest.failures
+        out = tmp_path / "out"
+        assert (out / "robustness.txt").exists()
+        assert (out / "robustness.csv").exists()
+        payload = json.loads((out / "robustness.json").read_text())
+        assert len(payload["cells"]) == 4
+        assert payload["sweep_digest"]
+        assert (out / "fault-sweep-manifest.json").exists()
+        lines = (out / "robustness.txt").read_text().strip().splitlines()
+        assert len(lines) == 4
+        assert "recovery=" in lines[0]
+
+    def test_warm_cache_reproduces_sweep_digest(self, outcome):
+        manifest, tmp_path = outcome
+        first = json.loads(
+            (tmp_path / "out" / "robustness.json").read_text()
+        )
+        second_manifest = run_fault_sweep(
+            TINY,
+            jobs=1,
+            cache_dir=tmp_path / "cache",
+            output_dir=tmp_path / "out2",
+            progress=NullProgress(),
+        )
+        assert not second_manifest.failures
+        records = second_manifest.jobs
+        assert all(record.cache_hit for record in records)
+        second = json.loads(
+            (tmp_path / "out2" / "robustness.json").read_text()
+        )
+        assert second["sweep_digest"] == first["sweep_digest"]
+
+    def test_cold_recompute_reproduces_sweep_digest(self, outcome):
+        # No cache at all: every cell recomputed from scratch must land
+        # on the same digest — the determinism claim, not just pickle
+        # stability.
+        manifest, tmp_path = outcome
+        first = json.loads(
+            (tmp_path / "out" / "robustness.json").read_text()
+        )
+        run_fault_sweep(
+            TINY,
+            jobs=1,
+            cache_dir=None,
+            output_dir=tmp_path / "out3",
+            progress=NullProgress(),
+        )
+        third = json.loads(
+            (tmp_path / "out3" / "robustness.json").read_text()
+        )
+        assert third["sweep_digest"] == first["sweep_digest"]

@@ -91,6 +91,52 @@ class TestTransport:
         assert "n1" not in net.nodes
         assert not nodes[1].online
 
+    def test_remove_node_evicts_from_peers_and_routing(self):
+        sim, net, nodes = tiny_network()
+        nodes[0].dial("n1")
+        sim.run_all()
+        assert "n1" in nodes[0].peers
+        assert "n1" in nodes[0].routing
+        net.remove_node("n1")
+        assert "n1" not in nodes[0].peers
+        assert "n1" not in nodes[0].routing
+        # The census must not count links to a node that no longer exists.
+        assert net.mean_peer_count() == 0.0
+
+
+class TestDropCounters:
+    def test_undeliverable_vs_lost_split(self):
+        sim, net, nodes = tiny_network()
+        nodes[1].go_offline()
+        net.send("n0", "n1", Ping(sender_id="n0"))
+        net.send("n0", "ghost", Ping(sender_id="n0"))
+        assert net.messages_undeliverable == 2
+        assert net.messages_lost == 0
+        assert net.messages_blocked == 0
+
+    def test_sampled_loss_counts_as_lost(self):
+        genesis, _ = build_genesis({})
+        sim = Simulator()
+        net = Network(sim, latency=ConstantLatency(0.01), seed=3,
+                      loss_rate=0.5)
+        net.add_node(
+            FullNode("a", Blockchain(CFG, genesis, execute_transactions=False))
+        )
+        net.add_node(
+            FullNode("b", Blockchain(CFG, genesis, execute_transactions=False))
+        )
+        for _ in range(200):
+            net.send("a", "b", Ping(sender_id="a"))
+        assert net.messages_lost > 0
+        assert net.messages_undeliverable == 0
+
+    def test_deprecated_aggregate_sums_all_classes(self):
+        sim, net, nodes = tiny_network()
+        net.messages_lost = 2
+        net.messages_undeliverable = 3
+        net.messages_blocked = 5
+        assert net.messages_dropped == 10
+
 
 class TestCensusAndUpgrades:
     def test_prefork_census_is_one_group(self):

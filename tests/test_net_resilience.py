@@ -1,0 +1,214 @@
+"""Opt-in peer resilience: dial backoff, liveness pings, scoring, healing."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.chain.chainstore import Blockchain
+from repro.chain.config import ETH_CONFIG
+from repro.chain.genesis import build_genesis
+from repro.net.latency import ConstantLatency
+from repro.net.messages import Ping, Pong
+from repro.net.network import Network
+from repro.net.node import FullNode, ResiliencePolicy
+from repro.net.simulator import Simulator
+
+CFG = replace(ETH_CONFIG, dao_fork_block=10**9, bomb_delay=10**9)
+
+
+def resilient_network(n=3, seed=1, policy=None):
+    genesis, _ = build_genesis({})
+    sim = Simulator()
+    net = Network(sim, latency=ConstantLatency(0.01), seed=seed)
+    nodes = [
+        FullNode(
+            f"n{i}",
+            Blockchain(CFG, genesis, execute_transactions=False),
+            rng_seed=i,
+            resilience=policy or ResiliencePolicy(),
+        )
+        for i in range(n)
+    ]
+    for node in nodes:
+        net.add_node(node)
+    return sim, net, nodes
+
+
+class TestPolicyValidation:
+    def test_round_trip(self):
+        policy = ResiliencePolicy(dial_timeout=5.0, dial_retry_budget=3)
+        assert ResiliencePolicy.from_dict(policy.to_dict()) == policy
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            ResiliencePolicy(dial_timeout=0.0)
+        with pytest.raises(ValueError):
+            ResiliencePolicy(dial_backoff_base=100.0, dial_backoff_cap=50.0)
+        with pytest.raises(ValueError):
+            ResiliencePolicy(dial_retry_budget=0)
+        with pytest.raises(ValueError):
+            ResiliencePolicy(ban_threshold=1.0)
+
+
+class TestDialBackoff:
+    def test_timeout_backs_off_and_respects_budget(self):
+        policy = ResiliencePolicy(
+            dial_timeout=5.0, dial_backoff_base=30.0, dial_retry_budget=2
+        )
+        sim, net, nodes = resilient_network(policy=policy)
+        a, dead = nodes[0], nodes[1]
+        dead.go_offline()
+        a.routing.observe("n1")
+
+        a.dial("n1")
+        assert a.stats["dials_started"] == 1
+        # Second dial while the first is pending is suppressed.
+        a.dial("n1")
+        assert a.stats["dials_started"] == 1
+
+        sim.run_until(6.0)
+        assert a.stats["dials_timed_out"] == 1
+        # Within the backoff window nothing goes out.
+        a.dial("n1")
+        assert a.stats["dials_started"] == 1
+
+        sim.run_until(40.0)  # backoff (30s) expired
+        a.dial("n1")
+        assert a.stats["dials_started"] == 2
+        sim.run_until(50.0)
+        assert a.stats["dials_timed_out"] == 2
+        # Budget of 2 spent: the peer is dropped from the routing table.
+        assert "n1" not in a.routing
+
+    def test_successful_handshake_clears_slate(self):
+        sim, net, nodes = resilient_network()
+        a = nodes[0]
+        a.dial("n1")
+        sim.run_until(5.0)
+        assert "n1" in a.peers
+        assert a.stats["dials_timed_out"] == 0
+        assert not a._dial_pending
+
+    def test_churn_does_not_storm(self):
+        # A population redialing one dead peer stays bounded by the
+        # exponential backoff: a handful of dials across 120 redial
+        # ticks, not one per tick — and the corpse leaves the routing
+        # table once the retry budget is spent.
+        policy = ResiliencePolicy(dial_timeout=2.0, dial_backoff_base=60.0,
+                                  dial_retry_budget=3)
+        sim, net, nodes = resilient_network(n=5, policy=policy)
+        nodes[4].go_offline()
+        for node in nodes[:4]:
+            node.routing.observe("n4")
+
+        def redial():
+            for node in nodes[:4]:
+                node.dial("n4")
+            sim.schedule(5.0, redial)
+
+        sim.schedule(0.0, redial)
+        sim.run_until(600.0, max_events=5_000)
+        for node in nodes[:4]:
+            assert node.stats["dials_started"] <= 5  # vs 120 naive ticks
+            assert "n4" not in node.routing
+
+
+class TestLivenessPings:
+    def test_ping_gets_pong_and_peer_survives(self):
+        sim, net, nodes = resilient_network()
+        a = nodes[0]
+        a.dial("n1")
+        sim.run_until(5.0)
+        a.ping_peers()
+        sim.run_until(20.0)
+        assert "n1" in a.peers
+        assert a.stats["peers_evicted_unresponsive"] == 0
+
+    def test_crashed_peer_evicted(self):
+        sim, net, nodes = resilient_network()
+        a, b = nodes[0], nodes[1]
+        a.dial("n1")
+        sim.run_until(5.0)
+        assert "n1" in a.peers
+        b.online = False  # crash without the disconnect courtesy
+        a.ping_peers()
+        sim.run_until(20.0)
+        assert "n1" not in a.peers
+        assert a.stats["peers_evicted_unresponsive"] == 1
+
+    def test_liveness_loop_drives_eviction(self):
+        sim, net, nodes = resilient_network()
+        net.schedule_liveness_loop(interval=30.0)
+        nodes[0].dial("n1")
+        sim.run_until(5.0)
+        nodes[1].online = False
+        sim.run_until(120.0)
+        assert "n1" not in nodes[0].peers
+
+
+class TestScoringAndBans:
+    def test_ban_disconnects_and_silences(self):
+        sim, net, nodes = resilient_network()
+        a = nodes[0]
+        a.dial("n1")
+        sim.run_until(5.0)
+        a._punish("n1", "penalty_invalid_block")  # -10 hits the threshold
+        assert a.stats["peers_banned"] == 1
+        assert "n1" not in a.peers
+        assert "n1" not in a.routing
+        # Messages from the banned peer are ignored...
+        a.receive(Ping(sender_id="n1"))
+        assert net.messages_sent == pytest.approx(net.messages_sent)
+        assert "n1" not in a.peers
+        # ...and we refuse to dial it until the ban lapses.
+        before = a.stats["dials_started"]
+        a.dial("n1")
+        assert a.stats["dials_started"] == before
+        sim.run_until(5.0 + ResiliencePolicy().ban_seconds + 1.0)
+        a.dial("n1")
+        assert a.stats["dials_started"] == before + 1
+
+    def test_small_penalties_accumulate(self):
+        sim, net, nodes = resilient_network()
+        a = nodes[0]
+        for _ in range(9):
+            a._punish("n2", "penalty_ping_timeout")
+        assert a.stats["peers_banned"] == 0
+        a._punish("n2", "penalty_ping_timeout")
+        assert a.stats["peers_banned"] == 1
+
+
+class TestGossipHealing:
+    def test_ping_pong_round_trip(self):
+        sim, net, nodes = resilient_network()
+        a, b = nodes[0], nodes[1]
+        a.dial("n1")
+        sim.run_until(5.0)
+        a.ping_peers()
+        assert "n1" in a._ping_pending
+        sim.run_until(10.0)
+        assert "n1" not in a._ping_pending
+
+    def test_announce_head_reaches_peers(self):
+        sim, net, nodes = resilient_network()
+        a = nodes[0]
+        a.dial("n1")
+        sim.run_until(5.0)
+        sent_before = net.messages_sent
+        a.announce_head()
+        assert net.messages_sent == sent_before + 1
+        assert a.stats["head_reannounces"] == 1
+
+    def test_policyless_node_ignores_heal_ticks(self):
+        genesis, _ = build_genesis({})
+        sim = Simulator()
+        net = Network(sim, latency=ConstantLatency(0.01), seed=1)
+        node = FullNode(
+            "legacy", Blockchain(CFG, genesis, execute_transactions=False)
+        )
+        net.add_node(node)
+        net.schedule_liveness_loop(interval=10.0)
+        net.schedule_gossip_heal_loop(interval=10.0)
+        sim.run_until(100.0)
+        assert net.messages_sent == 0
+        assert node.stats["head_reannounces"] == 0

@@ -82,6 +82,43 @@ class TestRunUntil:
         with pytest.raises(SimulationError):
             sim.run_until(100.0, max_events=50)
 
+    def test_exactly_max_events_is_allowed(self):
+        # Regression for the off-by-one: a run needing exactly
+        # max_events events must complete, not raise.
+        sim = Simulator()
+        log = []
+        for index in range(5):
+            sim.schedule(float(index), log.append, index)
+        assert sim.run_until(10.0, max_events=5) == 5
+        assert log == [0, 1, 2, 3, 4]
+
+    def test_one_past_max_events_raises(self):
+        sim = Simulator()
+        for index in range(6):
+            sim.schedule(float(index), lambda: None)
+        with pytest.raises(SimulationError):
+            sim.run_until(10.0, max_events=5)
+
+    def test_cancelled_events_do_not_consume_budget(self):
+        sim = Simulator()
+        log = []
+        for _ in range(5):
+            sim.schedule(1.0, log.append, "dead").cancel()
+        sim.schedule(2.0, log.append, "live")
+        assert sim.run_until(10.0, max_events=1) == 1
+        assert log == ["live"]
+
+    def test_run_all_exact_budget(self):
+        sim = Simulator()
+        for _ in range(4):
+            sim.schedule(1.0, lambda: None)
+        assert sim.run_all(max_events=4) == 4
+        sim2 = Simulator()
+        for _ in range(5):
+            sim2.schedule(1.0, lambda: None)
+        with pytest.raises(SimulationError):
+            sim2.run_all(max_events=4)
+
 
 class TestCancellation:
     def test_cancelled_event_does_not_fire(self):
@@ -106,3 +143,37 @@ class TestCancellation:
             sim.schedule(1.0, lambda: None)
         sim.run_all()
         assert sim.events_processed == 5
+
+
+class TestEdgeCases:
+    def test_schedule_at_in_past_clamps_to_now(self):
+        sim = Simulator(start_time=100.0)
+        seen = []
+        sim.schedule_at(50.0, lambda: seen.append(sim.now))
+        sim.run_all()
+        assert seen == [100.0]
+
+    def test_pending_counts_cancelled_until_drained(self):
+        sim = Simulator()
+        handles = [sim.schedule(1.0, lambda: None) for _ in range(3)]
+        handles[1].cancel()
+        assert sim.pending == 3
+        sim.run_all()
+        assert sim.pending == 0
+
+    def test_fifo_order_survives_cancellation(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(1.0, log.append, "a")
+        doomed = sim.schedule(1.0, log.append, "b")
+        sim.schedule(1.0, log.append, "c")
+        doomed.cancel()
+        sim.run_all()
+        assert log == ["a", "c"]
+
+    def test_cancelled_events_not_counted_processed(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None).cancel()
+        sim.schedule(2.0, lambda: None)
+        assert sim.run_until(5.0) == 1
+        assert sim.events_processed == 1
