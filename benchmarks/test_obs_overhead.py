@@ -1,0 +1,146 @@
+"""Observability overhead budget: the disabled path must be (nearly) free.
+
+The obs layer's contract (DESIGN.md §7) is that a run with ``obs=None``
+pays only cached-``None`` identity checks and shared null context
+managers — never a dict lookup, never string formatting.  These
+benchmarks prove the <5% budget two ways:
+
+* **Analytically**: count the guard checks / null spans a run actually
+  executes, microbenchmark their unit cost, and show the product is far
+  under 5% of the measured run time.  This bounds the disabled path
+  against the *uninstrumented* code, which no longer exists to time.
+* **Comparatively**: fully-enabled tracing must stay within a generous
+  multiple of the disabled run, and must not perturb the trajectory.
+"""
+
+import statistics
+import time
+from contextlib import nullcontext
+
+from repro.obs import Observability
+from repro.scenarios.partition_event import (
+    PartitionScenario,
+    PartitionScenarioConfig,
+)
+from repro.sim.engine import ForkSimConfig, run_fork_sim
+
+FIG1_CONFIG = ForkSimConfig(
+    days=10, prefork_days=3, seed=2016_07_20, with_transactions=False
+)
+PARTITION_CONFIG = PartitionScenarioConfig(
+    num_nodes=12, num_miners=4, post_fork_horizon=600.0
+)
+
+
+def _median_runtime(fn, rounds=3):
+    samples = []
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    return statistics.median(samples)
+
+
+def _unit_cost(fn, iterations=200_000):
+    start = time.perf_counter()
+    for _ in range(iterations):
+        fn()
+    return (time.perf_counter() - start) / iterations
+
+
+def _guard_cost(iterations=1_000_000):
+    """Marginal cost of one inline ``x is not None`` check.
+
+    Timed in-loop with the empty loop subtracted — wrapping the check in
+    a lambda would price a function call, not the guard the hot paths
+    actually execute.
+    """
+    probe = None
+    hits = 0
+    start = time.perf_counter()
+    for _ in range(iterations):
+        if probe is not None:
+            hits += 1
+    guarded = time.perf_counter() - start
+    start = time.perf_counter()
+    for _ in range(iterations):
+        pass
+    empty = time.perf_counter() - start
+    assert hits == 0
+    return max((guarded - empty) / iterations, 1e-10)
+
+
+def test_fig1_disabled_path_under_budget():
+    """Disabled-path cost on the fig1 workload is provably <5%.
+
+    With ``obs=None`` the fork sim executes exactly three null-span
+    entries and one ``is not None`` guard per run.  Price those
+    primitives and compare against the measured run time.
+    """
+    runtime = _median_runtime(lambda: run_fork_sim(FIG1_CONFIG))
+
+    null_ctx = nullcontext()
+
+    def enter_null_span():
+        with null_ctx:
+            pass
+
+    span_cost = _unit_cost(enter_null_span)
+    guard_cost = _guard_cost()
+
+    spans_per_run = 3  # forksim.market, forksim.prefix, forksim.day_loop
+    disabled_overhead = spans_per_run * span_cost + guard_cost
+    ratio = disabled_overhead / runtime
+    print(
+        f"\nfig1 runtime {runtime * 1e3:.1f}ms; disabled-path overhead "
+        f"{disabled_overhead * 1e9:.0f}ns ({ratio:.2e} of runtime)"
+    )
+    assert ratio < 0.05
+
+
+def test_partition_disabled_path_under_budget():
+    """The message-level hot path stays under budget too.
+
+    Every send/deliver/drop with ``obs=None`` costs a handful of cached
+    ``is not None`` checks.  Count the messages an identical run emits,
+    price the checks, and bound the total against the run time.
+    """
+    runtime = _median_runtime(
+        lambda: PartitionScenario(PARTITION_CONFIG).run()
+    )
+
+    obs = Observability.enabled(capacity=16)
+    PartitionScenario(PARTITION_CONFIG, obs=obs).run()
+    events = obs.tracer.events_emitted
+    assert events > 1_000  # the workload is message-heavy, not trivial
+
+    guard_cost = _guard_cost()
+    checks_per_event = 8  # generous: send + schedule + fire guards
+    disabled_overhead = events * checks_per_event * guard_cost
+    ratio = disabled_overhead / runtime
+    print(
+        f"\npartition runtime {runtime * 1e3:.1f}ms; {events} events; "
+        f"disabled-path overhead {disabled_overhead * 1e6:.0f}us "
+        f"({ratio:.2%} of runtime)"
+    )
+    assert ratio < 0.05
+
+
+def test_enabled_tracing_bounded_and_faithful():
+    """Full instrumentation is affordable and does not perturb results."""
+    disabled = _median_runtime(lambda: run_fork_sim(FIG1_CONFIG))
+    enabled = _median_runtime(
+        lambda: run_fork_sim(FIG1_CONFIG, obs=Observability.enabled())
+    )
+    print(
+        f"\nfig1 disabled {disabled * 1e3:.1f}ms, "
+        f"enabled {enabled * 1e3:.1f}ms "
+        f"({enabled / disabled:.2f}x)"
+    )
+    # Generous bound: tracing every event may cost real time, but an
+    # order-of-magnitude blowup would make --stats runs impractical.
+    assert enabled < disabled * 5.0
+
+    bare = run_fork_sim(FIG1_CONFIG)
+    observed = run_fork_sim(FIG1_CONFIG, obs=Observability.enabled())
+    assert bare.digest() == observed.digest()

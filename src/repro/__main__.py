@@ -26,6 +26,12 @@ Subcommands:
     cache, writing ``robustness.txt``/``.csv``/``.json`` with per-cell
     recovery times and a reproducibility digest.
 
+``trace``
+    Run one partition (or chaos-partition) scenario with the
+    :mod:`repro.obs` layer fully enabled: export every trace event as
+    JSONL (``--out``) and print deterministic stats plus the wall-time
+    span profile (``--stats``).
+
 The full-fidelity runs live in ``benchmarks/``; this CLI trades horizon
 for latency so a first look takes tens of seconds, not minutes.
 """
@@ -121,6 +127,33 @@ def _build_parser() -> argparse.ArgumentParser:
                             "<output-dir>/fault-sweep-manifest.json)")
     sweep.add_argument("--timeout", type=float, default=900.0)
     sweep.add_argument("--retries", type=int, default=1)
+
+    trace = sub.add_parser(
+        "trace",
+        help="run one scenario fully instrumented; export the trace "
+             "stream and print deterministic stats",
+    )
+    trace.add_argument("--scenario", type=str, default="partition",
+                       choices=["partition", "chaos-partition"],
+                       help="which message-level scenario to trace")
+    trace.add_argument("--out", type=str, default=None,
+                       help="write every trace event to this JSONL path")
+    trace.add_argument("--stats", action="store_true",
+                       help="print per-kind event counts, counter totals, "
+                            "digests, and the span profile")
+    trace.add_argument("--nodes", type=int, default=20)
+    trace.add_argument("--miners", type=int, default=6)
+    trace.add_argument("--seed", type=int, default=2016_07_20)
+    trace.add_argument("--horizon", type=float, default=1800.0,
+                       help="simulated seconds past the fork")
+    trace.add_argument("--churn", type=float, default=0.005,
+                       help="chaos only: crashes per simulated second")
+    trace.add_argument("--loss", type=float, default=0.1,
+                       help="chaos only: extra region-wide loss fraction")
+    trace.add_argument("--split", type=float, default=300.0,
+                       help="chaos only: cross-region cut duration (s)")
+    trace.add_argument("--ring", type=int, default=4096,
+                       help="ring-buffer capacity for in-memory capture")
     return parser
 
 
@@ -262,6 +295,69 @@ def cmd_fault_sweep(args) -> int:
     return 1 if manifest.failures else 0
 
 
+def cmd_trace(args) -> int:
+    from .harness.faultsweep import FaultSweepConfig
+    from .obs import Observability
+    from .scenarios.partition_event import (
+        PartitionScenario,
+        PartitionScenarioConfig,
+    )
+
+    if args.scenario == "chaos-partition":
+        sweep = FaultSweepConfig(
+            num_nodes=args.nodes,
+            num_miners=args.miners,
+            post_fork_horizon=args.horizon,
+            seed=args.seed,
+        )
+        config = sweep.cell_config(args.churn, args.loss, args.split)
+    else:
+        config = PartitionScenarioConfig(
+            num_nodes=args.nodes,
+            num_miners=args.miners,
+            post_fork_horizon=args.horizon,
+            seed=args.seed,
+        )
+
+    sink = None
+    if args.out:
+        try:
+            sink = open(args.out, "w")
+        except OSError as exc:
+            print(f"error: cannot open {args.out}: {exc}", file=sys.stderr)
+            return 1
+    try:
+        obs = Observability.enabled(capacity=args.ring, sink=sink)
+        print(
+            f"tracing {args.scenario} ({args.nodes} nodes, seed "
+            f"{args.seed})...",
+            file=sys.stderr,
+        )
+        PartitionScenario(config, obs=obs).run()
+    finally:
+        if sink is not None:
+            sink.close()
+
+    summary = obs.tracer.summary()
+    print(f"{summary['events']} trace events "
+          f"(digest {summary['digest'][:16]}...)")
+    if args.out:
+        print(f"wrote {summary['events']} events to {args.out}")
+    if args.stats:
+        print("\nevents by kind:")
+        for kind, count in summary["by_kind"].items():
+            print(f"  {kind:<22} {count:>10}")
+        dump = obs.metrics.dump()
+        print("\ncounters:")
+        for name, value in dump["counters"].items():
+            print(f"  {name:<28} {value:>10}")
+        print(f"\nmetrics digest: {obs.metrics.digest()}")
+        print(f"trace digest:   {obs.tracer.digest()}")
+        print("\nspan profile (wall time, non-deterministic):")
+        print(obs.profile.report())
+    return 0
+
+
 def cmd_fork_lengths(_args) -> int:
     from .scenarios.dos_forks import compare_upgrade_forks
 
@@ -280,6 +376,7 @@ def main(argv: Optional[list] = None) -> int:
         "fork-lengths": cmd_fork_lengths,
         "run-all": cmd_run_all,
         "fault-sweep": cmd_fault_sweep,
+        "trace": cmd_trace,
     }
     return handlers[args.command](args)
 

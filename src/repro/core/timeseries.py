@@ -68,20 +68,35 @@ class TimeSeries:
         )
 
     def ratio_to(self, other: "TimeSeries", name: str = "") -> "TimeSeries":
-        """Pointwise self/other on the shared timestamps."""
+        """Pointwise self/other on the shared timestamps.
+
+        A zero denominator yields NaN — a *gap*, not a value.  The old
+        behaviour returned ``inf`` (and ``0/0`` became ``inf`` too),
+        which silently poisoned every downstream mean: one zero-volume
+        window turned a whole resampled figure series infinite.  NaN
+        gaps are skipped by :meth:`resample_mean` and :meth:`mean`.
+        """
         mine, theirs = align(self, other)
         values = [
-            a / b if b else float("inf") for a, b in zip(mine.values, theirs.values)
+            a / b if b else float("nan")
+            for a, b in zip(mine.values, theirs.values)
         ]
         return TimeSeries(mine.timestamps, values, name)
 
     # -- resampling ----------------------------------------------------------
 
     def resample_mean(self, width: int) -> "TimeSeries":
-        """Mean value per window of ``width`` seconds."""
+        """Mean value per window of ``width`` seconds.
+
+        NaN values mark gaps and are excluded from their window's mean;
+        a window containing only NaN is dropped entirely (no timestamp),
+        so a resampled series never manufactures values out of gaps.
+        """
         sums: Dict[int, float] = {}
         counts: Dict[int, int] = {}
         for timestamp, value in self:
+            if math.isnan(value):
+                continue
             index = int(timestamp // width)
             sums[index] = sums.get(index, 0.0) + value
             counts[index] = counts.get(index, 0) + 1
@@ -99,9 +114,11 @@ class TimeSeries:
     # -- summaries -------------------------------------------------------------
 
     def mean(self) -> float:
-        if not self.values:
-            raise ValueError("empty series has no mean")
-        return sum(self.values) / len(self.values)
+        """Arithmetic mean over the finite values (NaN gaps skipped)."""
+        finite = [v for v in self.values if not math.isnan(v)]
+        if not finite:
+            raise ValueError("series has no non-NaN values to average")
+        return sum(finite) / len(finite)
 
     def max(self) -> float:
         return max(self.values)

@@ -233,13 +233,25 @@ class FaultInjector:
     def _note(self, event: str) -> None:
         self.log.append((self.network.sim.now, event))
 
+    def _trace(self, kind: str, **fields) -> None:
+        tracer = self.network._tracer
+        if tracer is not None:
+            tracer.emit(self.network.sim.now, kind, **fields)
+        metrics = (
+            self.network.obs.metrics if self.network.obs is not None else None
+        )
+        if metrics is not None:
+            metrics.counter(f"faults.{kind.split('.', 1)[1]}").inc()
+
     def _open_window(self, fault) -> None:
         self.active.activate(fault)
         self._note(f"open {fault.KIND}")
+        self._trace("fault.activated", fault=fault.KIND)
 
     def _close_window(self, fault) -> None:
         self.active.deactivate(fault)
         self._note(f"close {fault.KIND}")
+        self._trace("fault.expired", fault=fault.KIND)
 
     def _crash(self, name: str, restart_after: Optional[float]) -> None:
         node = self.network.nodes.get(name)
@@ -247,6 +259,7 @@ class FaultInjector:
             return
         node.go_offline()
         self._note(f"crash {name}")
+        self._trace("fault.activated", fault="crash", node=name)
         if restart_after is not None:
             self.network.sim.schedule(restart_after, self._restart, name)
 
@@ -267,6 +280,7 @@ class FaultInjector:
             return
         node.go_online()
         self._note(f"restart {name}")
+        self._trace("fault.expired", fault="crash", node=name)
         # A bounced client redials from its routing table, exactly like
         # the discovery-driven recovery the paper observed post-fork.
         for peer_name in node.routing.random_peers(

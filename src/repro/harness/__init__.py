@@ -40,6 +40,7 @@ from .jobs import (
     execute_job,
     figure_spec,
     fork_lengths_spec,
+    obs_probe_spec,
     observations_spec,
     partition_spec,
     register_runner,
@@ -77,6 +78,7 @@ __all__ = [
     "execute_job",
     "figure_spec",
     "fork_lengths_spec",
+    "obs_probe_spec",
     "observations_spec",
     "partition_spec",
     "register_runner",

@@ -27,6 +27,7 @@ from ..core.echoes import EchoDetector
 from ..core.metrics import trace_transactions_per_day
 from ..core.observations import Observation, evaluate_all
 from ..core.report import FigureData, figure_1, figure_2, figure_3, figure_4, figure_5
+from ..obs import MetricsRegistry, Observability
 from ..scenarios.dos_forks import compare_upgrade_forks
 from ..scenarios.partition_event import (
     ChaosPartitionConfig,
@@ -52,6 +53,7 @@ __all__ = [
     "simulate_spec",
     "partition_spec",
     "chaos_partition_spec",
+    "obs_probe_spec",
     "echoes_spec",
     "figure_spec",
     "observations_spec",
@@ -112,46 +114,75 @@ class JobSpec:
 class JobOutcome(NamedTuple):
     value: Any
     cache_hit: bool
+    #: ``MetricsRegistry.summary()`` from an instrumented execution, or
+    #: None (metrics collection off, cache hit, or nothing recorded).
+    metrics: Optional[Dict[str, Any]] = None
 
 
 # --------------------------------------------------------------------------
 # runner registry
 
 
-_RUNNERS: Dict[str, Callable[[Dict[str, Any], Any], Any]] = {}
+_RUNNERS: Dict[str, Callable[..., Any]] = {}
+#: Kinds whose runner accepts ``(params, cache, registry)`` — they
+#: thread a per-job :class:`~repro.obs.MetricsRegistry` into the work.
+_REGISTRY_AWARE: set = set()
 
 
-def register_runner(kind: str):
-    """Decorator: register the runner for a job kind."""
+def register_runner(kind: str, wants_registry: bool = False):
+    """Decorator: register the runner for a job kind.
 
-    def decorator(fn: Callable[[Dict[str, Any], Any], Any]):
+    ``wants_registry=True`` declares the signature
+    ``(params, cache, registry)`` where ``registry`` is a per-job
+    :class:`~repro.obs.MetricsRegistry` (or None when metrics collection
+    is off).  The default keeps the original ``(params, cache)``
+    contract, so custom runners registered by downstream code keep
+    working unchanged.
+    """
+
+    def decorator(fn: Callable[..., Any]):
         _RUNNERS[kind] = fn
+        if wants_registry:
+            _REGISTRY_AWARE.add(kind)
+        else:
+            _REGISTRY_AWARE.discard(kind)
         return fn
 
     return decorator
 
 
-def run_job(spec: JobSpec, cache) -> Any:
+def run_job(spec: JobSpec, cache, registry=None) -> Any:
     """Execute a spec unconditionally (no lookup of *this* spec's key).
 
     The runner may still consult ``cache`` for sub-results it composes
     over (e.g. a figure job loading the shared simulation).
+    ``registry`` is forwarded only to registry-aware runners.
     """
     runner = _RUNNERS.get(spec.kind)
     if runner is None:
         raise KeyError(f"no runner registered for job kind {spec.kind!r}")
+    if spec.kind in _REGISTRY_AWARE:
+        return runner(spec.params, cache, registry)
     return runner(spec.params, cache)
 
 
-def execute_job(spec: JobSpec, cache) -> JobOutcome:
-    """Cache-through execution: lookup, else run and store."""
+def execute_job(spec: JobSpec, cache, collect_metrics: bool = False) -> JobOutcome:
+    """Cache-through execution: lookup, else run and store.
+
+    With ``collect_metrics=True`` a fresh per-job registry instruments
+    the run (registry-aware kinds only) and its deterministic summary
+    rides back on the outcome — it never enters the cached value, so
+    cache keys and stored results are identical either way.
+    """
     key = spec.cache_key()
     hit, value = cache.lookup(key)
     if hit:
         return JobOutcome(value, True)
-    value = run_job(spec, cache)
+    registry = MetricsRegistry() if collect_metrics else None
+    value = run_job(spec, cache, registry)
     cache.store(key, value)
-    return JobOutcome(value, False)
+    summary = registry.summary() if registry is not None else None
+    return JobOutcome(value, False, summary)
 
 
 def run_cached(spec: JobSpec, cache) -> Any:
@@ -187,6 +218,24 @@ def chaos_partition_spec(config: ChaosPartitionConfig) -> JobSpec:
         "chaos-partition",
         {"config": asdict(config)},
         label=f"chaos[{config.num_nodes}n sched={digest}]",
+    )
+
+
+def obs_probe_spec(config: PartitionScenarioConfig) -> JobSpec:
+    """A fully instrumented partition run that returns only digests.
+
+    The probe exists for the determinism test surface: it runs the
+    scenario with metrics *and* tracing live and returns a plain dict of
+    fingerprints (never the heavyweight result), so identical seeds must
+    yield identical payloads in-process and across fork/spawn workers.
+    """
+    return JobSpec.make(
+        "obs-probe",
+        {
+            "config": asdict(config),
+            "chaos": isinstance(config, ChaosPartitionConfig),
+        },
+        label=f"obs-probe[{config.num_nodes}n seed={config.seed}]",
     )
 
 
@@ -247,21 +296,32 @@ class EchoBundle:
     records: list = field(default_factory=list)
 
 
-@register_runner("simulate")
-def _run_simulate(params: Dict[str, Any], cache) -> ForkSimResult:
-    return run_fork_sim(ForkSimConfig.from_dict(params["config"]))
+def _registry_obs(registry) -> Optional[Observability]:
+    """Wrap a per-job registry as a metrics-only obs bundle (or None)."""
+    if registry is None:
+        return None
+    return Observability(metrics=registry)
 
 
-@register_runner("partition")
-def _run_partition(params: Dict[str, Any], cache) -> PartitionResult:
+@register_runner("simulate", wants_registry=True)
+def _run_simulate(params: Dict[str, Any], cache, registry=None) -> ForkSimResult:
+    return run_fork_sim(
+        ForkSimConfig.from_dict(params["config"]), obs=_registry_obs(registry)
+    )
+
+
+@register_runner("partition", wants_registry=True)
+def _run_partition(params: Dict[str, Any], cache, registry=None) -> PartitionResult:
     config = PartitionScenarioConfig(**params["config"])
-    return PartitionScenario(config).run()
+    return PartitionScenario(config, obs=_registry_obs(registry)).run()
 
 
-@register_runner("chaos-partition")
-def _run_chaos_partition(params: Dict[str, Any], cache) -> PartitionResult:
+@register_runner("chaos-partition", wants_registry=True)
+def _run_chaos_partition(
+    params: Dict[str, Any], cache, registry=None
+) -> PartitionResult:
     config = ChaosPartitionConfig(**params["config"])
-    return PartitionScenario(config).run()
+    return PartitionScenario(config, obs=_registry_obs(registry)).run()
 
 
 @register_runner("echoes")
@@ -307,6 +367,20 @@ def _run_observations(params: Dict[str, Any], cache) -> List[Observation]:
 @register_runner("fork-lengths")
 def _run_fork_lengths(params: Dict[str, Any], cache) -> Tuple[Any, Any]:
     return compare_upgrade_forks()
+
+
+@register_runner("obs-probe")
+def _run_obs_probe(params: Dict[str, Any], cache) -> Dict[str, Any]:
+    config_cls = ChaosPartitionConfig if params["chaos"] else PartitionScenarioConfig
+    config = config_cls(**params["config"])
+    obs = Observability.enabled()
+    PartitionScenario(config, obs=obs).run()
+    return {
+        "metrics": obs.metrics.dumps(),
+        "metrics_digest": obs.metrics.digest(),
+        "trace_digest": obs.tracer.digest(),
+        "events": obs.tracer.events_emitted,
+    }
 
 
 # --------------------------------------------------------------------------

@@ -19,7 +19,10 @@ from typing import Any, Dict, List, Optional, Union
 
 __all__ = ["JobRecord", "RunManifest", "MANIFEST_SCHEMA_VERSION"]
 
-MANIFEST_SCHEMA_VERSION = 1
+#: v2: JobRecord grew an optional ``metrics`` summary (repro.obs).
+#: Older manifests parse fine (the field defaults to None); newer ones
+#: are refused by :meth:`RunManifest.from_dict`.
+MANIFEST_SCHEMA_VERSION = 2
 
 #: Terminal job states a record may carry.
 JOB_STATUSES = ("ok", "failed", "timeout")
@@ -37,6 +40,10 @@ class JobRecord:
     wall_time: float
     attempts: int
     error: Optional[str] = None
+    #: Deterministic per-job metrics summary (counter totals + registry
+    #: digest) when the pool ran with ``collect_metrics=True`` and the
+    #: job actually executed; None on cache hits and uninstrumented runs.
+    metrics: Optional[Dict[str, Any]] = None
 
     def __post_init__(self) -> None:
         if self.status not in JOB_STATUSES:

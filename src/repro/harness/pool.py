@@ -53,18 +53,31 @@ class _Task:
         self.first_start = None  # perf_counter at first launch
 
 
-def _child_main(conn, spec: JobSpec, cache_dir: Optional[str]) -> None:
+def _child_main(
+    conn, spec: JobSpec, cache_dir: Optional[str], collect_metrics: bool = False
+) -> None:
     """Worker entry point: run one job, ship (status, payload) back."""
     start = time.perf_counter()
     try:
         cache = ResultCache(cache_dir) if cache_dir else NullCache()
-        value, cache_hit = execute_job(spec, cache)
-        conn.send(("ok", value, cache_hit, time.perf_counter() - start))
+        outcome = execute_job(spec, cache, collect_metrics=collect_metrics)
+        conn.send(
+            (
+                "ok",
+                outcome.value,
+                outcome.cache_hit,
+                time.perf_counter() - start,
+                outcome.metrics,
+            )
+        )
     except BaseException as exc:  # noqa: BLE001 - report, don't die silently
         detail = f"{type(exc).__name__}: {exc}"
         tail = traceback.format_exc(limit=3)
         try:
-            conn.send(("error", f"{detail}\n{tail}", False, time.perf_counter() - start))
+            conn.send(
+                ("error", f"{detail}\n{tail}", False,
+                 time.perf_counter() - start, None)
+            )
         except Exception:
             pass
     finally:
@@ -82,6 +95,7 @@ class WorkerPool:
         retries: int = 1,
         progress=None,
         start_method: Optional[str] = None,
+        collect_metrics: bool = False,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -91,6 +105,9 @@ class WorkerPool:
         self.cache_dir = str(cache_dir) if cache_dir else None
         self.timeout = timeout
         self.retries = retries
+        #: When True, each executed (non-cached) job runs with a per-job
+        #: metrics registry and its summary lands on the JobRecord.
+        self.collect_metrics = collect_metrics
         self.progress = progress or NullProgress()
         self._ctx = None
         if workers > 1:
@@ -148,11 +165,17 @@ class WorkerPool:
             error: Optional[str] = None
             value = None
             cache_hit = False
+            metrics = None
             status = "failed"
             while attempts <= self.retries:
                 attempts += 1
                 try:
-                    value, cache_hit = execute_job(spec, cache)
+                    outcome = execute_job(
+                        spec, cache, collect_metrics=self.collect_metrics
+                    )
+                    value = outcome.value
+                    cache_hit = outcome.cache_hit
+                    metrics = outcome.metrics
                     status = "ok"
                     error = None
                     break
@@ -171,6 +194,7 @@ class WorkerPool:
                 wall_time=time.perf_counter() - start,
                 attempts=attempts,
                 error=error,
+                metrics=metrics,
             )
             self.progress.job_finished(record)
             results.append(JobResult(spec, record, value))
@@ -182,7 +206,7 @@ class WorkerPool:
         reader, writer = self._ctx.Pipe(duplex=False)
         process = self._ctx.Process(
             target=_child_main,
-            args=(writer, task.spec, self.cache_dir),
+            args=(writer, task.spec, self.cache_dir, self.collect_metrics),
             daemon=True,
         )
         task.attempts += 1
@@ -208,6 +232,7 @@ class WorkerPool:
         cache_hit: bool,
         error: Optional[str],
         results: dict,
+        metrics: Optional[dict] = None,
     ) -> None:
         record = JobRecord(
             label=task.spec.label,
@@ -218,6 +243,7 @@ class WorkerPool:
             wall_time=time.perf_counter() - task.first_start,
             attempts=task.attempts,
             error=error,
+            metrics=metrics,
         )
         self.progress.job_finished(record)
         results[task.index] = JobResult(task.spec, record, value)
@@ -265,8 +291,11 @@ class WorkerPool:
                             results,
                         )
                     elif message[0] == "ok":
-                        _, value, cache_hit, _ = message
-                        self._settle(task, "ok", value, cache_hit, None, results)
+                        _, value, cache_hit, _, metrics = message
+                        self._settle(
+                            task, "ok", value, cache_hit, None, results,
+                            metrics=metrics,
+                        )
                     else:
                         self._retry_or_settle(
                             task, "failed", message[1], pending, results

@@ -90,7 +90,15 @@ class GeographicLatency:
     }
 
     def __init__(self, base=None, jitter_sigma: float = 0.25) -> None:
+        if jitter_sigma < 0:
+            raise ValueError("jitter_sigma must be non-negative")
         self.base = dict(base or self.DEFAULT_BASE)
+        for pair, delay in self.base.items():
+            if delay < 0:
+                raise ValueError(
+                    f"base delay for {pair!r} must be non-negative, "
+                    f"got {delay}"
+                )
         # Symmetrize.
         for (a, b), delay in list(self.base.items()):
             self.base[(b, a)] = delay

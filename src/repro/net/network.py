@@ -14,13 +14,17 @@ disappear; we count nodes whose fork-block hash matches each branch.
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional, Tuple
+import warnings
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from ..chain.types import Hash32
 from .latency import GeographicLatency, LatencyModel
 from .messages import Message, NewBlock
 from .node import FullNode
 from .simulator import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..obs import Observability
 
 __all__ = ["Network", "NetworkCensus"]
 
@@ -59,10 +63,42 @@ class Network:
         latency: Optional[LatencyModel] = None,
         seed: int = 0,
         loss_rate: float = 0.0,
+        obs: Optional["Observability"] = None,
     ) -> None:
         if not 0 <= loss_rate < 1:
             raise ValueError("loss rate must be in [0, 1)")
         self.sim = sim
+        # Observability defaults to the simulator's bundle so scenarios
+        # only have to thread `obs` through one constructor.
+        if obs is None:
+            obs = getattr(sim, "obs", None)
+        self.obs = obs
+        self._tracer = obs.tracer if obs is not None else None
+        if obs is not None and obs.metrics is not None:
+            metrics = obs.metrics
+            self._ctr_sent = metrics.counter("net.messages.sent")
+            self._ctr_lost = metrics.counter("net.messages.lost")
+            self._ctr_undeliverable = metrics.counter(
+                "net.messages.undeliverable"
+            )
+            self._ctr_blocked = metrics.counter("net.messages.blocked")
+            self._hist_delay = metrics.histogram("net.delivery_delay_s")
+            # Block-lifecycle counters are owned here (one per universe)
+            # and incremented by the member FullNodes.
+            self._ctr_blk_produced = metrics.counter("chain.blocks.produced")
+            self._ctr_blk_imported = metrics.counter("chain.blocks.imported")
+            self._ctr_blk_orphaned = metrics.counter("chain.blocks.orphaned")
+            self._ctr_reorgs = metrics.counter("chain.reorgs")
+        else:
+            self._ctr_sent = None
+            self._ctr_lost = None
+            self._ctr_undeliverable = None
+            self._ctr_blocked = None
+            self._hist_delay = None
+            self._ctr_blk_produced = None
+            self._ctr_blk_imported = None
+            self._ctr_blk_orphaned = None
+            self._ctr_reorgs = None
         self.latency = latency or GeographicLatency()
         self.sim_rng = random.Random(seed)
         self.loss_rate = loss_rate
@@ -119,6 +155,12 @@ class Network:
         :attr:`messages_blocked`; new code (the fault-sweep metrics in
         particular) should read the specific counters.
         """
+        warnings.warn(
+            "Network.messages_dropped is deprecated; read messages_lost, "
+            "messages_undeliverable, and messages_blocked instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return (
             self.messages_lost
             + self.messages_undeliverable
@@ -134,14 +176,48 @@ class Network:
 
     # -- transport --------------------------------------------------------------
 
+    def _trace_drop(
+        self, kind: str, source: str, destination: str, message: Message
+    ) -> None:
+        self._tracer.emit(
+            self.sim.now,
+            kind,
+            src=source,
+            dst=destination,
+            type=type(message).__name__,
+        )
+
+    def _traced_receive(self, target: FullNode, message: Message) -> None:
+        """Delivery trampoline used only when a tracer is attached.
+
+        Scheduled in place of ``target.receive`` so ``msg.deliver`` is
+        emitted at the *delivery* timestamp; the simulator trajectory is
+        identical either way (same delay, same RNG draws).
+        """
+        self._tracer.emit(
+            self.sim.now,
+            "msg.deliver",
+            dst=target.name,
+            type=type(message).__name__,
+        )
+        target.receive(message)
+
     def send(self, source: str, destination: str, message: Message) -> None:
         """Deliver ``message`` after a sampled latency (maybe drop it)."""
         target = self.nodes.get(destination)
         if target is None or not target.online:
             self.messages_undeliverable += 1
+            if self._ctr_undeliverable is not None:
+                self._ctr_undeliverable.inc()
+            if self._tracer is not None:
+                self._trace_drop("msg.undeliverable", source, destination, message)
             return
         if self.loss_rate and self.sim_rng.random() < self.loss_rate:
             self.messages_lost += 1
+            if self._ctr_lost is not None:
+                self._ctr_lost.inc()
+            if self._tracer is not None:
+                self._trace_drop("msg.lost", source, destination, message)
             return
         source_node = self.nodes.get(source)
         scale, extra = 1.0, 0.0
@@ -155,11 +231,21 @@ class Network:
             )
             if verdict == "blocked":
                 self.messages_blocked += 1
+                if self._ctr_blocked is not None:
+                    self._ctr_blocked.inc()
+                if self._tracer is not None:
+                    self._trace_drop("msg.blocked", source, destination, message)
                 return
             if verdict == "lost":
                 self.messages_lost += 1
+                if self._ctr_lost is not None:
+                    self._ctr_lost.inc()
+                if self._tracer is not None:
+                    self._trace_drop("msg.lost", source, destination, message)
                 return
         self.messages_sent += 1
+        if self._ctr_sent is not None:
+            self._ctr_sent.inc()
         if isinstance(self.latency, GeographicLatency) and source_node:
             delay = self.latency.delay_between(
                 source_node.region, target.region, self.sim_rng
@@ -167,10 +253,23 @@ class Network:
         else:
             delay = self.latency.sample(self.sim_rng)
         delay = delay * scale + extra
+        if self._hist_delay is not None:
+            self._hist_delay.observe(delay)
         if self.track_block_propagation and isinstance(message, NewBlock):
             key = bytes(message.block.block_hash)
             first = self._block_first_sent.setdefault(key, self.sim.now)
             self._block_delivery_delays.append(self.sim.now + delay - first)
+        if self._tracer is not None:
+            self._tracer.emit(
+                self.sim.now,
+                "msg.send",
+                src=source,
+                dst=destination,
+                type=type(message).__name__,
+                delay=delay,
+            )
+            self.sim.schedule(delay, self._traced_receive, target, message)
+            return
         self.sim.schedule(delay, target.receive, message)
 
     # -- bootstrap ---------------------------------------------------------------

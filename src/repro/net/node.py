@@ -405,6 +405,17 @@ class FullNode:
             ommers=ommers,
         )
         self.stats["blocks_mined"] += 1
+        if self.network is not None and self.network.obs is not None:
+            if self.network._ctr_blk_produced is not None:
+                self.network._ctr_blk_produced.inc()
+            if self.network._tracer is not None:
+                self.network._tracer.emit(
+                    self.network.sim.now,
+                    "block.produced",
+                    miner=self.name,
+                    number=block.number,
+                    hash=block.block_hash.hex(),
+                )
         self._adopt_block(block, origin=None)
         self.start_mining()  # schedule the next attempt from the new head
 
@@ -420,6 +431,8 @@ class FullNode:
         """
         self.seen_blocks.add(bytes(block.block_hash))
         result = self.chain.import_block(block)
+        if self.network is not None and self.network.obs is not None:
+            self._observe_import(block, result)
         if result.status == "imported":
             self.stats["blocks_imported"] += 1
             self.mempool.remove_included(block.transactions)
@@ -443,6 +456,47 @@ class FullNode:
                 self.disconnect(origin, DisconnectReason.BREACH_OF_PROTOCOL)
                 self._punish(origin, "penalty_invalid_block")
         return result.status
+
+    def _observe_import(self, block: Block, result) -> None:
+        """Metrics + trace events for one import (obs-enabled runs only)."""
+        net = self.network
+        if result.status == "imported":
+            if net._ctr_blk_imported is not None:
+                net._ctr_blk_imported.inc()
+            if result.reorged and net._ctr_reorgs is not None:
+                net._ctr_reorgs.inc()
+        elif result.status == "orphan":
+            if net._ctr_blk_orphaned is not None:
+                net._ctr_blk_orphaned.inc()
+        tracer = net._tracer
+        if tracer is None:
+            return
+        now = net.sim.now
+        if result.status == "imported":
+            tracer.emit(
+                now,
+                "block.imported",
+                node=self.name,
+                number=block.number,
+                hash=block.block_hash.hex(),
+                reorg=bool(result.reorged),
+            )
+            if result.reorged:
+                tracer.emit(
+                    now,
+                    "reorg",
+                    node=self.name,
+                    head=block.block_hash.hex(),
+                    number=block.number,
+                )
+        elif result.status == "orphan":
+            tracer.emit(
+                now,
+                "block.orphaned",
+                node=self.name,
+                number=block.number,
+                hash=block.block_hash.hex(),
+            )
 
     #: Seconds before an unanswered ancestor request may be retried.
     ANCESTOR_RETRY_SECONDS = 20.0

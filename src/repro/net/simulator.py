@@ -9,15 +9,32 @@ The engine is deliberately minimal — a monotonic clock, a binary-heap event
 queue with stable FIFO ordering for simultaneous events, and cancellable
 handles — because determinism is the property the experiments lean on:
 a seeded scenario replays identically down to the block hashes.
+
+Observability (:mod:`repro.obs`) is opt-in: construct with ``obs=`` to
+record ``event.scheduled`` / ``event.fired`` / ``event.cancelled`` trace
+events and ``sim.events.*`` counters.  With ``obs=None`` (the default)
+the hot loop pays a single attribute test per event — trajectories are
+identical either way because nothing here touches RNG state.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Any, Callable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Callable, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..obs import Observability
 
 __all__ = ["Simulator", "EventHandle", "SimulationError"]
+
+
+def _callback_label(callback: Callable) -> str:
+    """A stable, JSON-safe name for a scheduled callable."""
+    name = getattr(callback, "__qualname__", None)
+    if name is None:  # pragma: no cover - exotic callables
+        name = type(callback).__name__
+    return name
 
 
 class SimulationError(Exception):
@@ -25,15 +42,23 @@ class SimulationError(Exception):
 
 
 class EventHandle:
-    """A scheduled event; ``cancel()`` prevents a pending callback."""
+    """A scheduled event; ``cancel()`` prevents a pending callback.
 
-    __slots__ = ("time", "callback", "args", "cancelled")
+    ``seq`` is the queue's FIFO tiebreaker and doubles as the event's
+    identity in trace streams (``event.scheduled`` / ``event.fired`` /
+    ``event.cancelled`` for one handle share one ``seq``).
+    """
 
-    def __init__(self, time: float, callback: Callable, args: tuple) -> None:
+    __slots__ = ("time", "callback", "args", "cancelled", "seq")
+
+    def __init__(
+        self, time: float, callback: Callable, args: tuple, seq: int = -1
+    ) -> None:
         self.time = time
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self.seq = seq
 
     def cancel(self) -> None:
         self.cancelled = True
@@ -42,11 +67,25 @@ class EventHandle:
 class Simulator:
     """The virtual clock and event queue."""
 
-    def __init__(self, start_time: float = 0.0) -> None:
+    def __init__(
+        self,
+        start_time: float = 0.0,
+        obs: Optional["Observability"] = None,
+    ) -> None:
         self.now = start_time
         self._queue: List[Tuple[float, int, EventHandle]] = []
         self._sequence = itertools.count()
         self.events_processed = 0
+        self.obs = obs
+        self._tracer = obs.tracer if obs is not None else None
+        if obs is not None and obs.metrics is not None:
+            self._ctr_scheduled = obs.metrics.counter("sim.events.scheduled")
+            self._ctr_fired = obs.metrics.counter("sim.events.fired")
+            self._ctr_cancelled = obs.metrics.counter("sim.events.cancelled")
+        else:
+            self._ctr_scheduled = None
+            self._ctr_fired = None
+            self._ctr_cancelled = None
 
     def schedule(
         self, delay: float, callback: Callable, *args: Any
@@ -54,8 +93,19 @@ class Simulator:
         """Run ``callback(*args)`` after ``delay`` simulated seconds."""
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past ({delay})")
-        handle = EventHandle(self.now + delay, callback, args)
-        heapq.heappush(self._queue, (handle.time, next(self._sequence), handle))
+        seq = next(self._sequence)
+        handle = EventHandle(self.now + delay, callback, args, seq)
+        heapq.heappush(self._queue, (handle.time, seq, handle))
+        if self._ctr_scheduled is not None:
+            self._ctr_scheduled.inc()
+        if self._tracer is not None:
+            self._tracer.emit(
+                self.now,
+                "event.scheduled",
+                at=handle.time,
+                fn=_callback_label(callback),
+                seq=seq,
+            )
         return handle
 
     def schedule_at(
@@ -69,14 +119,36 @@ class Simulator:
         """Events still queued (including cancelled ones not yet drained)."""
         return len(self._queue)
 
+    def _note_cancelled(self, handle: EventHandle) -> None:
+        """Account for a cancelled handle as it drains off the heap."""
+        if self._ctr_cancelled is not None:
+            self._ctr_cancelled.inc()
+        if self._tracer is not None:
+            self._tracer.emit(self.now, "event.cancelled", seq=handle.seq)
+
+    def _note_fired(self, handle: EventHandle) -> None:
+        if self._ctr_fired is not None:
+            self._ctr_fired.inc()
+        if self._tracer is not None:
+            self._tracer.emit(
+                self.now,
+                "event.fired",
+                fn=_callback_label(handle.callback),
+                seq=handle.seq,
+            )
+
     def step(self) -> bool:
         """Process the next event; returns False when the queue is empty."""
         while self._queue:
             time, _, handle = heapq.heappop(self._queue)
             if handle.cancelled:
+                if self.obs is not None:
+                    self._note_cancelled(handle)
                 continue
             self.now = time
             self.events_processed += 1
+            if self.obs is not None:
+                self._note_fired(handle)
             handle.callback(*handle.args)
             return True
         return False
@@ -96,6 +168,8 @@ class Simulator:
                 break
             if handle.cancelled:
                 heapq.heappop(self._queue)
+                if self.obs is not None:
+                    self._note_cancelled(handle)
                 continue
             if max_events is not None and processed >= max_events:
                 raise SimulationError(
@@ -104,6 +178,8 @@ class Simulator:
             heapq.heappop(self._queue)
             self.now = time
             self.events_processed += 1
+            if self.obs is not None:
+                self._note_fired(handle)
             handle.callback(*handle.args)
             processed += 1
         self.now = max(self.now, end_time)

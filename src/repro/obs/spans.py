@@ -1,0 +1,94 @@
+"""Scoped wall-time profiling: ``with obs.span("net.deliver"): ...``.
+
+This is the one deliberately *non*-deterministic corner of the
+observability layer: spans read ``time.perf_counter`` so hot paths can
+be ranked by real cost.  They therefore live in their own aggregate —
+never in the :class:`~repro.obs.metrics.MetricsRegistry` dump and never
+in the trace stream — so the deterministic artifacts (metric dumps,
+trace digests) stay byte-identical run to run while the profile varies
+with the hardware.
+
+Aggregation is by label: total seconds, call count, max single call.
+``report()`` renders the ranking the ROADMAP's "as fast as the hardware
+allows" work needs: which label burns the time.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List
+
+__all__ = ["SpanProfile", "SpanTimer"]
+
+
+class SpanTimer:
+    """One active span; a reusable context manager bound to a label."""
+
+    __slots__ = ("_profile", "_label", "_start")
+
+    def __init__(self, profile: "SpanProfile", label: str) -> None:
+        self._profile = profile
+        self._label = label
+        self._start = 0.0
+
+    def __enter__(self) -> "SpanTimer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._profile._record(
+            self._label, time.perf_counter() - self._start
+        )
+
+
+class SpanProfile:
+    """Wall-time totals per label."""
+
+    def __init__(self) -> None:
+        self.totals: Dict[str, float] = {}
+        self.counts: Dict[str, int] = {}
+        self.maxima: Dict[str, float] = {}
+
+    def span(self, label: str) -> SpanTimer:
+        return SpanTimer(self, label)
+
+    def _record(self, label: str, elapsed: float) -> None:
+        self.totals[label] = self.totals.get(label, 0.0) + elapsed
+        self.counts[label] = self.counts.get(label, 0) + 1
+        if elapsed > self.maxima.get(label, 0.0):
+            self.maxima[label] = elapsed
+
+    def is_empty(self) -> bool:
+        return not self.totals
+
+    def dump(self) -> Dict[str, Dict[str, float]]:
+        """Per-label totals (wall time — excluded from deterministic dumps)."""
+        return {
+            label: {
+                "total_s": self.totals[label],
+                "count": self.counts[label],
+                "max_s": self.maxima[label],
+            }
+            for label in sorted(self.totals)
+        }
+
+    def report(self, top: int = 20) -> str:
+        """Labels ranked by total wall time, widest burner first."""
+        if not self.totals:
+            return "(no spans recorded)"
+        ranked: List[str] = sorted(
+            self.totals, key=lambda label: -self.totals[label]
+        )[:top]
+        width = max(len(label) for label in ranked)
+        lines = [
+            f"{'span':<{width}}  {'total':>10}  {'calls':>8}  "
+            f"{'mean':>10}  {'max':>10}"
+        ]
+        for label in ranked:
+            total = self.totals[label]
+            count = self.counts[label]
+            lines.append(
+                f"{label:<{width}}  {total:>9.4f}s  {count:>8d}  "
+                f"{total / count:>9.6f}s  {self.maxima[label]:>9.6f}s"
+            )
+        return "\n".join(lines)

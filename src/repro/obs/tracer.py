@@ -1,0 +1,135 @@
+"""Structured trace events with virtual-time timestamps.
+
+The tracer is the simulator's flight recorder.  Every instrumented layer
+emits typed events — the taxonomy below — tagged with the *virtual*
+clock, never the wall clock, so a seeded run emits the identical event
+stream every time.
+
+Two capture modes, combinable:
+
+* **ring buffer** (default) — always-on cheap capture of the last
+  ``capacity`` events, for post-mortem inspection of a run that went
+  wrong (``tail()``);
+* **JSONL sink** — full export of every event as one canonical JSON
+  object per line, for offline analysis (``python -m repro trace``).
+
+Independently of either mode, a running SHA-256 over the canonical
+encoding of *every* emitted event (not just the retained tail) gives
+:meth:`Tracer.digest` — the stream's reproducibility fingerprint used by
+the determinism regression tests.
+
+Event taxonomy (``kind`` strings):
+
+======================  ====================================================
+``event.scheduled``     simulator callback queued (``at``, ``fn``, ``seq``)
+``event.fired``         simulator callback executed (``fn``, ``seq``)
+``event.cancelled``     cancelled handle drained from the queue (``seq``)
+``msg.send``            transport accepted a message (``src dst type delay``)
+``msg.deliver``         message handed to the destination node
+``msg.lost``            sampled packet loss (base loss or link fault)
+``msg.blocked``         scheduled fault cut (split / byzantine withholding)
+``msg.undeliverable``   destination offline or unknown
+``block.produced``      a miner assembled a block
+``block.imported``      a chain accepted a block (``reorg`` flag)
+``block.orphaned``      import parked a block with unknown parent
+``reorg``               an import switched the canonical head branch
+``fault.activated``     a fault window opened / a crash fired
+``fault.expired``       a fault window closed / a crashed node restarted
+======================  ====================================================
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import deque
+from typing import Any, Dict, IO, List, Optional
+
+__all__ = ["Tracer", "DEFAULT_RING_CAPACITY", "TRACE_EVENT_KINDS"]
+
+DEFAULT_RING_CAPACITY = 4096
+
+#: The closed set of event kinds the instrumented layers emit.
+TRACE_EVENT_KINDS = (
+    "event.scheduled",
+    "event.fired",
+    "event.cancelled",
+    "msg.send",
+    "msg.deliver",
+    "msg.lost",
+    "msg.blocked",
+    "msg.undeliverable",
+    "block.produced",
+    "block.imported",
+    "block.orphaned",
+    "reorg",
+    "fault.activated",
+    "fault.expired",
+)
+
+
+class Tracer:
+    """Collects trace events; see the module docstring for the modes."""
+
+    __slots__ = (
+        "_ring", "_sink", "_hasher", "events_emitted", "counts_by_kind",
+    )
+
+    def __init__(
+        self,
+        capacity: Optional[int] = DEFAULT_RING_CAPACITY,
+        sink: Optional[IO[str]] = None,
+    ) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError("ring capacity must be >= 1 (or None)")
+        self._ring: deque = deque(maxlen=capacity)
+        self._sink = sink
+        self._hasher = hashlib.sha256()
+        self.events_emitted = 0
+        self.counts_by_kind: Dict[str, int] = {}
+
+    # -- emission ----------------------------------------------------------
+
+    def emit(self, time: float, kind: str, **fields: Any) -> None:
+        """Record one event at virtual ``time``.
+
+        ``fields`` must be JSON-representable (callers stringify hashes
+        and callables before emitting); NaN is rejected so the canonical
+        encoding — and hence the digest — stays well-defined.
+        """
+        record = {"t": time, "kind": kind}
+        record.update(fields)
+        line = json.dumps(
+            record, sort_keys=True, separators=(",", ":"), allow_nan=False
+        )
+        self.events_emitted += 1
+        self.counts_by_kind[kind] = self.counts_by_kind.get(kind, 0) + 1
+        self._hasher.update(line.encode("utf-8"))
+        self._hasher.update(b"\n")
+        self._ring.append(line)
+        if self._sink is not None:
+            self._sink.write(line + "\n")
+
+    # -- inspection --------------------------------------------------------
+
+    def tail(self, count: Optional[int] = None) -> List[Dict[str, Any]]:
+        """The most recent retained events, oldest first, as dicts."""
+        lines = list(self._ring)
+        if count is not None:
+            lines = lines[-count:]
+        return [json.loads(line) for line in lines]
+
+    def digest(self) -> str:
+        """SHA-256 over every event emitted so far (not just the ring)."""
+        return self._hasher.copy().hexdigest()
+
+    def summary(self) -> Dict[str, Any]:
+        """Deterministic accounting: totals per kind plus the digest."""
+        return {
+            "events": self.events_emitted,
+            "by_kind": {
+                kind: self.counts_by_kind[kind]
+                for kind in sorted(self.counts_by_kind)
+            },
+            "digest": self.digest(),
+        }

@@ -20,8 +20,12 @@ over the following simulated hours).
 from __future__ import annotations
 
 import random
+from contextlib import nullcontext
 from dataclasses import dataclass, replace
-from typing import Any, Dict, List, Optional, Set
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Set
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..obs import Observability
 
 from ..chain.chainstore import Blockchain
 from ..chain.config import ETC_CONFIG, ETH_CONFIG
@@ -164,10 +168,26 @@ class PartitionResult:
 
 
 class PartitionScenario:
-    """Build, run, and measure the partition event."""
+    """Build, run, and measure the partition event.
 
-    def __init__(self, config: Optional[PartitionScenarioConfig] = None) -> None:
+    Pass ``obs`` (a :class:`repro.obs.Observability`) to instrument the
+    run: the simulator, transport, nodes, and injector all share the one
+    bundle, and the scenario phases are wrapped in wall-time spans.  The
+    trajectory is identical with or without it.
+    """
+
+    def __init__(
+        self,
+        config: Optional[PartitionScenarioConfig] = None,
+        obs: Optional["Observability"] = None,
+    ) -> None:
         self.config = config or PartitionScenarioConfig()
+        self.obs = obs
+
+    def _span(self, label: str):
+        if self.obs is None:
+            return nullcontext()
+        return self.obs.span(label)
 
     def run(self) -> PartitionResult:
         config = self.config
@@ -200,7 +220,7 @@ class PartitionScenario:
             bomb_delay=10**9,
         )
 
-        sim = Simulator()
+        sim = Simulator(obs=self.obs)
         network = Network(
             sim, latency=LognormalLatency(median=0.12), seed=config.seed
         )
@@ -227,7 +247,8 @@ class PartitionScenario:
         if not upgraders:
             upgraders.append(holdouts.pop())
 
-        network.bootstrap_mesh(target_degree=config.target_degree)
+        with self._span("scenario.bootstrap"):
+            network.bootstrap_mesh(target_degree=config.target_degree)
         network.schedule_redial_loop(config.redial_interval)
 
         injector: Optional[FaultInjector] = None
@@ -310,10 +331,11 @@ class PartitionScenario:
         while tick <= end_time:
             sim.schedule_at(tick, census)
             tick += config.census_interval
-        sim.run_until(
-            end_time,
-            max_events=config.max_events if chaos else None,
-        )
+        with self._span("scenario.run"):
+            sim.run_until(
+                end_time,
+                max_events=config.max_events if chaos else None,
+            )
 
         refusals = sum(
             node.stats["handshakes_refused"] for node in network.nodes.values()

@@ -30,8 +30,15 @@ from __future__ import annotations
 import hashlib
 import random
 import struct
+from contextlib import nullcontext
 from dataclasses import dataclass, field, fields
-from typing import Any, Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..obs import Observability
+
+#: Shared reusable no-op context for the obs-disabled path.
+_NULL_CONTEXT = nullcontext()
 
 from ..chain.config import ETC_CONFIG, ETH_CONFIG, PRE_FORK_CONFIG, DAO_FORK_BLOCK
 from ..data.store import ChainDatabase
@@ -188,17 +195,39 @@ class ForkSimResult:
 
 
 class ForkSimulation:
-    """Runs the full scenario; see the module docstring for the phases."""
+    """Runs the full scenario; see the module docstring for the phases.
 
-    def __init__(self, config: Optional[ForkSimConfig] = None) -> None:
+    ``obs`` (a :class:`repro.obs.Observability`) is optional: when set,
+    the run records per-phase wall-time spans plus deterministic
+    per-chain metrics (block counts, final difficulty, daily-block
+    histograms) into the bundle.  The simulated trajectory is identical
+    with or without it.
+    """
+
+    def __init__(
+        self,
+        config: Optional[ForkSimConfig] = None,
+        obs: Optional["Observability"] = None,
+    ) -> None:
         self.config = config or ForkSimConfig()
+        self.obs = obs
+
+    def _span(self, label: str):
+        if self.obs is None:
+            return _NULL_CONTEXT
+        return self.obs.span(label)
 
     def run(self) -> ForkSimResult:
         config = self.config
 
         # -- market inputs, precomputed day by day -------------------------
-        eth_prices = eth_price_process(seed=config.seed + 1).series(config.days)
-        etc_prices = etc_price_process(seed=config.seed + 2).series(config.days)
+        with self._span("forksim.market"):
+            eth_prices = eth_price_process(seed=config.seed + 1).series(
+                config.days
+            )
+            etc_prices = etc_price_process(seed=config.seed + 2).series(
+                config.days
+            )
         rates = ExchangeRateSeries()
         rates.set_series("ETH", eth_prices)
         rates.set_series("ETC", etc_prices)
@@ -226,21 +255,22 @@ class ForkSimulation:
             start_difficulty=equilibrium_difficulty,
             seed=config.seed + 4,
         )
-        for day_offset in range(config.prefork_days):
-            day = day_offset - config.prefork_days  # negative: before fork
-            hashrate = supply.trend(day)
-            sampler = prefork_landscape.make_sampler(day)
-            tx_sampler = None
-            if config.with_transactions:
-                rng = random.Random(f"{config.seed}:wl-pre:{day_offset}")
-                total = prefork_workload.daily_count(0, rng)
-                tx_sampler = prefork_workload.per_block_sampler(0, total)
-            producer.run_until(
-                start_ts + (day_offset + 1) * SECONDS_PER_DAY,
-                hashrate,
-                sampler,
-                tx_sampler,
-            )
+        with self._span("forksim.prefix"):
+            for day_offset in range(config.prefork_days):
+                day = day_offset - config.prefork_days  # negative: before fork
+                hashrate = supply.trend(day)
+                sampler = prefork_landscape.make_sampler(day)
+                tx_sampler = None
+                if config.with_transactions:
+                    rng = random.Random(f"{config.seed}:wl-pre:{day_offset}")
+                    total = prefork_workload.daily_count(0, rng)
+                    tx_sampler = prefork_workload.per_block_sampler(0, total)
+                producer.run_until(
+                    start_ts + (day_offset + 1) * SECONDS_PER_DAY,
+                    hashrate,
+                    sampler,
+                    tx_sampler,
+                )
 
         fork_number = producer.number
         fork_timestamp = producer.timestamp
@@ -289,44 +319,47 @@ class ForkSimulation:
         daily_hashrate: Dict[str, List[float]] = {"ETH": [], "ETC": []}
 
         # -- phase 3+4: the day loop ------------------------------------------
-        for day in range(config.days):
-            day_supply = supply.available(day)
-            etc_loyal_today = config.etc_day0_fraction + (
-                config.etc_loyal_fraction - config.etc_day0_fraction
-            ) * min(1.0, day / config.etc_loyal_ramp_days)
-            floors = {
-                "ETH": config.eth_loyal_fraction * day_supply,
-                "ETC": etc_loyal_today * day_supply,
-            }
-            profit = max(0.0, day_supply - sum(floors.values()))
-            if day < config.etc_listing_day:
-                # No market for ETC yet: profit hashpower cannot price it
-                # and stays on ETH.  Pin the allocation directly (and keep
-                # the allocator's state in sync for the handover).
-                allocation = {
-                    "ETH": floors["ETH"] + profit,
-                    "ETC": floors["ETC"],
+        with self._span("forksim.day_loop"):
+            for day in range(config.days):
+                day_supply = supply.available(day)
+                etc_loyal_today = config.etc_day0_fraction + (
+                    config.etc_loyal_fraction - config.etc_day0_fraction
+                ) * min(1.0, day / config.etc_loyal_ramp_days)
+                floors = {
+                    "ETH": config.eth_loyal_fraction * day_supply,
+                    "ETC": etc_loyal_today * day_supply,
                 }
-                allocator.reset(allocation)
-            else:
-                prices = {"ETH": eth_prices[day], "ETC": etc_prices[day]}
-                allocation = allocator.step(profit, prices, floors)
+                profit = max(0.0, day_supply - sum(floors.values()))
+                if day < config.etc_listing_day:
+                    # No market for ETC yet: profit hashpower cannot price
+                    # it and stays on ETH.  Pin the allocation directly (and
+                    # keep the allocator's state in sync for the handover).
+                    allocation = {
+                        "ETH": floors["ETH"] + profit,
+                        "ETC": floors["ETC"],
+                    }
+                    allocator.reset(allocation)
+                else:
+                    prices = {"ETH": eth_prices[day], "ETC": etc_prices[day]}
+                    allocation = allocator.step(profit, prices, floors)
 
-            day_end = fork_timestamp + (day + 1) * SECONDS_PER_DAY
-            for chain in ("ETH", "ETC"):
-                hashrate = allocation[chain]
-                daily_hashrate[chain].append(hashrate)
-                sampler = landscapes[chain].make_sampler(day)
-                tx_sampler = None
-                if config.with_transactions:
-                    rng = random.Random(f"{config.seed}:wl:{chain}:{day}")
-                    total = workloads[chain].daily_count(day, rng)
-                    tx_sampler = workloads[chain].per_block_sampler(day, total)
-                producers[chain].run_until(
-                    day_end, hashrate, sampler, tx_sampler
-                )
+                day_end = fork_timestamp + (day + 1) * SECONDS_PER_DAY
+                for chain in ("ETH", "ETC"):
+                    hashrate = allocation[chain]
+                    daily_hashrate[chain].append(hashrate)
+                    sampler = landscapes[chain].make_sampler(day)
+                    tx_sampler = None
+                    if config.with_transactions:
+                        rng = random.Random(f"{config.seed}:wl:{chain}:{day}")
+                        total = workloads[chain].daily_count(day, rng)
+                        tx_sampler = workloads[chain].per_block_sampler(
+                            day, total
+                        )
+                    producers[chain].run_until(
+                        day_end, hashrate, sampler, tx_sampler
+                    )
 
-        return ForkSimResult(
+        result = ForkSimResult(
             config=config,
             eth_trace=eth_trace,
             etc_trace=etc_trace,
@@ -335,6 +368,48 @@ class ForkSimulation:
             rates=rates,
             daily_hashrate=daily_hashrate,
         )
+        if self.obs is not None and self.obs.metrics is not None:
+            self._record_metrics(result)
+        return result
+
+    def _record_metrics(self, result: ForkSimResult) -> None:
+        """Deterministic per-chain accounting for the run's registry.
+
+        Everything recorded here derives from the simulated traces
+        (virtual time and seeded RNG only), so same-seed runs dump
+        byte-identical registries.
+        """
+        metrics = self.obs.metrics
+        metrics.counter("forksim.days").inc(self.config.days)
+        for chain, trace in result.traces().items():
+            key = chain.lower()
+            post_fork = [
+                i
+                for i in range(len(trace.numbers))
+                if trace.numbers[i] > result.fork_number
+            ]
+            metrics.counter(f"forksim.{key}.blocks").inc(len(post_fork))
+            if len(trace.difficulties):
+                metrics.gauge(f"forksim.{key}.final_difficulty").set(
+                    float(trace.difficulties[-1])
+                )
+            # Daily block production, bucketed: the collapse signature
+            # (ETC's handful of blocks per day vs ETH's ~5900) in one
+            # histogram per chain.
+            hist = metrics.histogram(
+                f"forksim.{key}.blocks_per_day",
+                buckets=(10.0, 50.0, 100.0, 500.0, 1000.0, 2000.0,
+                         4000.0, 6000.0, 8000.0),
+            )
+            per_day: Dict[int, int] = {}
+            for i in post_fork:
+                day = int(
+                    (trace.timestamps[i] - result.fork_timestamp)
+                    // SECONDS_PER_DAY
+                )
+                per_day[day] = per_day.get(day, 0) + 1
+            for day in sorted(per_day):
+                hist.observe(float(per_day[day]))
 
     @staticmethod
     def _expected_blocks(days: int) -> int:
@@ -342,13 +417,16 @@ class ForkSimulation:
         return int(days * SECONDS_PER_DAY / 14)
 
 
-def run_fork_sim(config: ForkSimConfig) -> ForkSimResult:
+def run_fork_sim(
+    config: ForkSimConfig, obs: Optional["Observability"] = None
+) -> ForkSimResult:
     """Pure entry point for cross-process dispatch.
 
     Every source of randomness below here is derived from
     ``config.seed`` (no module-level RNG state), so a worker subprocess
     running this function produces a bit-identical
     :meth:`ForkSimResult.digest` to an in-process call — the property
-    the harness cache keys depend on.
+    the harness cache keys depend on.  ``obs`` records metrics/spans
+    without perturbing the trajectory.
     """
-    return ForkSimulation(config).run()
+    return ForkSimulation(config, obs=obs).run()

@@ -55,6 +55,27 @@ class TestParser:
         assert args.split == [0.0, 300.0]
         assert args.no_resilience is True
 
+    def test_trace_defaults(self):
+        args = _build_parser().parse_args(["trace"])
+        assert args.command == "trace"
+        assert args.scenario == "partition"
+        assert args.out is None
+        assert args.stats is False
+        assert args.ring == 4096
+
+    def test_trace_flags_parse(self):
+        args = _build_parser().parse_args(
+            ["trace", "--scenario", "chaos-partition", "--nodes", "8",
+             "--horizon", "300", "--out", "t.jsonl", "--stats",
+             "--ring", "128"]
+        )
+        assert args.scenario == "chaos-partition"
+        assert args.out == "t.jsonl"
+        assert args.stats is True
+        assert args.ring == 128
+        with pytest.raises(SystemExit):
+            _build_parser().parse_args(["trace", "--scenario", "bogus"])
+
 
 class TestCommands:
     def test_fork_lengths_prints_table(self, capsys):
@@ -112,6 +133,34 @@ class TestCommands:
         assert (tmp_path / "out" / "robustness.json").exists()
         assert (tmp_path / "out" / "fault-sweep-manifest.json").exists()
         assert "jobs ok" in captured.out
+
+    def test_trace_small(self, tmp_path, capsys):
+        out_path = tmp_path / "trace.jsonl"
+        code = main(
+            ["trace", "--nodes", "6", "--miners", "2",
+             "--horizon", "120", "--out", str(out_path), "--stats"]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "trace events" in captured.out
+        assert "events by kind" in captured.out
+        lines = out_path.read_text().splitlines()
+        assert lines
+        import json
+
+        first = json.loads(lines[0])
+        assert "t" in first and "kind" in first
+
+    def test_trace_unwritable_out_fails_cleanly(self, tmp_path, capsys):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("i am a file")
+        code = main(
+            ["trace", "--nodes", "6", "--miners", "2",
+             "--horizon", "120", "--out", str(blocker / "t.jsonl")]
+        )
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "Traceback" not in err
 
     def test_run_all_small(self, tmp_path, capsys):
         code = main(

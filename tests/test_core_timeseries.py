@@ -1,5 +1,7 @@
 """TimeSeries operations and the Pearson statistic."""
 
+import math
+
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -59,6 +61,80 @@ class TestOperations:
     def test_empty_series_mean_raises(self):
         with pytest.raises(ValueError):
             TimeSeries([], []).mean()
+
+
+class TestNaNGaps:
+    """Zero denominators are gaps (NaN), never ``inf``.
+
+    Regression for the silent numeric poisoning: ``ratio_to`` used to
+    map ``a/0`` — including ``0/0`` — to ``float("inf")``, and one such
+    point turned every downstream windowed mean infinite.
+    """
+
+    def test_zero_denominator_is_nan_not_inf(self):
+        a = TimeSeries([0, 1, 2], [10.0, 20.0, 30.0])
+        b = TimeSeries([0, 1, 2], [2.0, 0.0, 3.0])
+        ratio = a.ratio_to(b)
+        assert ratio.values[0] == 5.0
+        assert math.isnan(ratio.values[1])
+        assert ratio.values[2] == 10.0
+        assert not any(math.isinf(v) for v in ratio.values)
+
+    def test_zero_over_zero_is_nan(self):
+        a = TimeSeries([0], [0.0])
+        b = TimeSeries([0], [0.0])
+        assert math.isnan(a.ratio_to(b).values[0])
+
+    def test_resample_mean_skips_nan(self):
+        series = TimeSeries(
+            [0, 10, 20], [1.0, float("nan"), 3.0]
+        )
+        resampled = series.resample_mean(3600)
+        assert resampled.values == [2.0]
+
+    def test_resample_drops_all_nan_windows(self):
+        series = TimeSeries(
+            [0, 3700], [float("nan"), 4.0]
+        )
+        resampled = series.resample_mean(3600)
+        assert resampled.timestamps == [3600]
+        assert resampled.values == [4.0]
+
+    def test_mean_skips_nan(self):
+        series = TimeSeries([0, 1, 2], [1.0, float("nan"), 3.0])
+        assert series.mean() == 2.0
+
+    def test_all_nan_mean_raises(self):
+        with pytest.raises(ValueError):
+            TimeSeries([0], [float("nan")]).mean()
+
+    def test_figure3_ratio_path_with_zero_volume_window(self):
+        """The Figure 3 hashes/USD comparison with a dead window.
+
+        Build two daily series the way the figure pipeline does (one
+        value per day), zero out one ETC day (a zero-volume window: no
+        blocks, no priced revenue), take the ETH:ETC ratio, and resample
+        to weekly means.  Every resampled mean must be finite — under
+        the old ``inf`` behaviour the week containing the dead day (and
+        the overall mean) came out infinite.
+        """
+        day = 86_400
+        timestamps = [i * day for i in range(14)]
+        eth = TimeSeries(timestamps, [5.0e15 + i * 1e13 for i in range(14)],
+                         name="ETH hashes/USD")
+        etc_values = [2.0e15 + i * 1e13 for i in range(14)]
+        etc_values[3] = 0.0  # the zero-volume window
+        etc = TimeSeries(timestamps, etc_values, name="ETC hashes/USD")
+
+        ratio = eth.ratio_to(etc, name="ETH:ETC")
+        weekly = ratio.resample_mean(7 * day)
+
+        assert len(weekly) == 2
+        assert all(math.isfinite(v) for v in weekly.values)
+        assert math.isfinite(ratio.mean())
+        # The dead day is a gap, not a data point: the weekly mean must
+        # average the six live days, staying near the true ~2.5 ratio.
+        assert weekly.values[0] == pytest.approx(2.5, rel=0.05)
 
 
 class TestAlign:

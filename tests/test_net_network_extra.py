@@ -1,6 +1,7 @@
 """Network harness extras: census, transport, lifecycle, latency models."""
 
 import random
+import warnings
 from dataclasses import replace
 
 import pytest
@@ -51,13 +52,13 @@ class TestTransport:
         nodes[1].go_offline()
         net.send("n0", "n1", Ping(sender_id="n0"))
         sim.run_all()
-        assert net.messages_dropped == 1
+        assert net.messages_undeliverable == 1
         assert net.messages_sent == 0
 
     def test_unknown_destination_drops(self):
         sim, net, _ = tiny_network()
         net.send("n0", "ghost", Ping(sender_id="n0"))
-        assert net.messages_dropped == 1
+        assert net.messages_undeliverable == 1
 
     def test_loss_rate(self):
         genesis, _ = build_genesis({})
@@ -70,7 +71,7 @@ class TestTransport:
         net.add_node(b)
         for _ in range(200):
             net.send("a", "b", Ping(sender_id="a"))
-        assert 50 < net.messages_dropped < 150
+        assert 50 < net.messages_lost < 150
 
     def test_invalid_loss_rate(self):
         with pytest.raises(ValueError):
@@ -130,12 +131,25 @@ class TestDropCounters:
         assert net.messages_lost > 0
         assert net.messages_undeliverable == 0
 
-    def test_deprecated_aggregate_sums_all_classes(self):
+    def test_deprecated_aggregate_warns_and_sums_all_classes(self):
         sim, net, nodes = tiny_network()
         net.messages_lost = 2
         net.messages_undeliverable = 3
         net.messages_blocked = 5
-        assert net.messages_dropped == 10
+        with pytest.warns(DeprecationWarning, match="messages_dropped"):
+            assert net.messages_dropped == 10
+
+    def test_split_counters_do_not_warn(self):
+        sim, net, nodes = tiny_network()
+        net.send("n0", "ghost", Ping(sender_id="n0"))
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            total = (
+                net.messages_lost
+                + net.messages_undeliverable
+                + net.messages_blocked
+            )
+        assert total == 1
 
 
 class TestCensusAndUpgrades:
@@ -202,6 +216,21 @@ class TestLatencyModels:
         assert model.delay_between("mars", "eu", rng) == pytest.approx(
             0.12, rel=0.01
         )
+
+    def test_geographic_rejects_negative_jitter_sigma(self):
+        # Silently "worked" before validation: lognormvariate accepts a
+        # negative sigma and just mirrors the distribution.
+        with pytest.raises(ValueError, match="jitter_sigma"):
+            GeographicLatency(jitter_sigma=-0.1)
+
+    def test_geographic_rejects_negative_base_delay(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            GeographicLatency(base={("na", "eu"): -0.05})
+
+    def test_geographic_zero_jitter_is_deterministic(self):
+        model = GeographicLatency(jitter_sigma=0.0)
+        rng = random.Random(6)
+        assert model.delay_between("na", "eu", rng) == pytest.approx(0.09)
 
 
 class TestNodeLifecycle:
