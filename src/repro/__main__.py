@@ -26,6 +26,13 @@ Subcommands:
     cache, writing ``robustness.txt``/``.csv``/``.json`` with per-cell
     recovery times and a reproducibility digest.
 
+``bench``
+    Benchmark the performance kernels (batched block production, fast
+    difficulty rules, event-loop and transport fast paths) against the
+    retained seed-state implementations; write canonical
+    ``BENCH_<name>.json`` regression reports and exit nonzero if any
+    fast/reference result digests diverge.
+
 ``trace``
     Run one partition (or chaos-partition) scenario with the
     :mod:`repro.obs` layer fully enabled: export every trace event as
@@ -154,6 +161,16 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="chaos only: cross-region cut duration (s)")
     trace.add_argument("--ring", type=int, default=4096,
                        help="ring-buffer capacity for in-memory capture")
+
+    bench = sub.add_parser(
+        "bench",
+        help="benchmark the fast kernels against the seed-state "
+             "reference implementations; write BENCH_*.json and fail "
+             "on any digest divergence",
+    )
+    from .perf.bench import add_bench_arguments
+
+    add_bench_arguments(bench)
     return parser
 
 
@@ -358,6 +375,12 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def cmd_bench(args) -> int:
+    from .perf.bench import bench_from_args
+
+    return bench_from_args(args)
+
+
 def cmd_fork_lengths(_args) -> int:
     from .scenarios.dos_forks import compare_upgrade_forks
 
@@ -377,6 +400,7 @@ def main(argv: Optional[list] = None) -> int:
         "run-all": cmd_run_all,
         "fault-sweep": cmd_fault_sweep,
         "trace": cmd_trace,
+        "bench": cmd_bench,
     }
     return handlers[args.command](args)
 

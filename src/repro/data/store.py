@@ -29,25 +29,38 @@ class ChainDatabase:
     # -- ingest ----------------------------------------------------------------
 
     def insert_blocks(self, records: Iterable[BlockRecord]) -> int:
+        # Only re-sort the chains this batch touched: repeated ingest
+        # (the streaming to_database path inserts per chain) used to
+        # re-sort every table on every call.
         count = 0
+        touched = set()
+        blocks = self._blocks
         for record in records:
-            self._blocks.setdefault(record.chain, []).append(record)
+            chain = record.chain
+            rows = blocks.get(chain)
+            if rows is None:
+                rows = blocks[chain] = []
+            rows.append(record)
+            touched.add(chain)
             count += 1
-        for chain_records in self._blocks.values():
-            chain_records.sort(key=lambda r: r.number)
+        for chain in touched:
+            blocks[chain].sort(key=lambda r: r.number)
         return count
 
     def insert_transactions(self, records: Iterable[TxRecord]) -> int:
         count = 0
+        touched = set()
         for record in records:
-            self._txs.setdefault(record.chain, []).append(record)
-            index = self._tx_by_hash.setdefault(record.chain, {})
+            chain = record.chain
+            self._txs.setdefault(chain, []).append(record)
+            index = self._tx_by_hash.setdefault(chain, {})
             # First observation wins: block order approximates broadcast
             # order, and the echo join wants the earliest sighting.
             index.setdefault(record.tx_hash, record)
+            touched.add(chain)
             count += 1
-        for chain_records in self._txs.values():
-            chain_records.sort(key=lambda r: (r.timestamp, r.block_number))
+        for chain in touched:
+            self._txs[chain].sort(key=lambda r: (r.timestamp, r.block_number))
         return count
 
     # -- block queries ------------------------------------------------------------

@@ -41,6 +41,7 @@ from .jobs import (
     figure_spec,
     fork_lengths_spec,
     obs_probe_spec,
+    perf_probe_spec,
     observations_spec,
     partition_spec,
     register_runner,
@@ -79,6 +80,7 @@ __all__ = [
     "figure_spec",
     "fork_lengths_spec",
     "obs_probe_spec",
+    "perf_probe_spec",
     "observations_spec",
     "partition_spec",
     "register_runner",

@@ -57,6 +57,12 @@ class NetworkCensus:
 class Network:
     """Transport + membership for one simulated P2P universe."""
 
+    #: Class-level switch for the :meth:`send` fast path.  The benchmark
+    #: reference arm (:mod:`repro.perf.reference`) flips this to False to
+    #: time the pre-optimization transport; trajectories are identical
+    #: either way.
+    use_fast_path = True
+
     def __init__(
         self,
         sim: Simulator,
@@ -100,6 +106,12 @@ class Network:
             self._ctr_blk_orphaned = None
             self._ctr_reorgs = None
         self.latency = latency or GeographicLatency()
+        #: Hoisted ``isinstance`` for the per-message latency dispatch.
+        self._geo_latency = isinstance(self.latency, GeographicLatency)
+        #: True when no tracer and no metrics are attached — together
+        #: with ``faults is None`` and propagation tracking off, this
+        #: routes :meth:`send` through the plain fast path.
+        self._plain_obs = self._tracer is None and self._ctr_sent is None
         self.sim_rng = random.Random(seed)
         self.loss_rate = loss_rate
         self.nodes: Dict[str, FullNode] = {}
@@ -204,6 +216,33 @@ class Network:
 
     def send(self, source: str, destination: str, message: Message) -> None:
         """Deliver ``message`` after a sampled latency (maybe drop it)."""
+        if (
+            self.use_fast_path
+            and self._plain_obs
+            and self.faults is None
+            and not self.loss_rate
+            and not self.track_block_propagation
+        ):
+            # Plain fast path: no faults, tracing, metrics, loss, or
+            # propagation bookkeeping installed.  Same lookups, same
+            # single latency draw on ``sim_rng``, same schedule call —
+            # trajectory-identical to the full path below, minus a dozen
+            # dead branch tests per message.
+            nodes = self.nodes
+            target = nodes.get(destination)
+            if target is None or not target.online:
+                self.messages_undeliverable += 1
+                return
+            self.messages_sent += 1
+            source_node = nodes.get(source)
+            if self._geo_latency and source_node:
+                delay = self.latency.delay_between(
+                    source_node.region, target.region, self.sim_rng
+                )
+            else:
+                delay = self.latency.sample(self.sim_rng)
+            self.sim.schedule(delay, target.receive, message)
+            return
         target = self.nodes.get(destination)
         if target is None or not target.online:
             self.messages_undeliverable += 1
@@ -246,7 +285,7 @@ class Network:
         self.messages_sent += 1
         if self._ctr_sent is not None:
             self._ctr_sent.inc()
-        if isinstance(self.latency, GeographicLatency) and source_node:
+        if self._geo_latency and source_node:
             delay = self.latency.delay_between(
                 source_node.region, target.region, self.sim_rng
             )

@@ -28,6 +28,8 @@ if TYPE_CHECKING:  # pragma: no cover
 
 __all__ = ["Simulator", "EventHandle", "SimulationError"]
 
+_INF = float("inf")
+
 
 def _callback_label(callback: Callable) -> str:
     """A stable, JSON-safe name for a scheduled callable."""
@@ -64,8 +66,28 @@ class EventHandle:
         self.cancelled = True
 
 
+_heappush = heapq.heappush
+_new_handle = EventHandle.__new__
+
+
 class Simulator:
     """The virtual clock and event queue."""
+
+    # ``self.now`` is written once per event and the queue/sequence are
+    # read on every ``schedule``: slot storage keeps those accesses off
+    # the instance dict.
+    __slots__ = (
+        "now",
+        "_queue",
+        "_sequence",
+        "events_processed",
+        "obs",
+        "_tracer",
+        "_ctr_scheduled",
+        "_ctr_fired",
+        "_ctr_cancelled",
+        "__weakref__",
+    )
 
     def __init__(
         self,
@@ -90,28 +112,58 @@ class Simulator:
     def schedule(
         self, delay: float, callback: Callable, *args: Any
     ) -> EventHandle:
-        """Run ``callback(*args)`` after ``delay`` simulated seconds."""
-        if delay < 0:
+        """Run ``callback(*args)`` after ``delay`` simulated seconds.
+
+        ``delay`` must be a finite, non-negative number.  NaN is the
+        insidious case: it fails every comparison, so a NaN-timed entry
+        silently corrupts the heap invariant and events start firing out
+        of order — reject it loudly here instead.
+        """
+        # One chained comparison rejects negative, NaN (fails both
+        # sides), and +inf together; the slow branch sorts out which
+        # error to raise.  ``schedule`` runs once per event, so its
+        # constant factor shows up directly in events/sec.
+        if not 0.0 <= delay < _INF:
+            if delay != delay or delay == _INF:
+                raise SimulationError(
+                    f"event delay must be finite, got {delay!r}"
+                )
             raise SimulationError(f"cannot schedule into the past ({delay})")
         seq = next(self._sequence)
-        handle = EventHandle(self.now + delay, callback, args, seq)
-        heapq.heappush(self._queue, (handle.time, seq, handle))
-        if self._ctr_scheduled is not None:
-            self._ctr_scheduled.inc()
-        if self._tracer is not None:
-            self._tracer.emit(
-                self.now,
-                "event.scheduled",
-                at=handle.time,
-                fn=_callback_label(callback),
-                seq=seq,
-            )
+        # Inline EventHandle construction: filling the slots here skips
+        # the per-event __init__ frame.
+        handle = _new_handle(EventHandle)
+        handle.time = time = self.now + delay
+        handle.callback = callback
+        handle.args = args
+        handle.cancelled = False
+        handle.seq = seq
+        _heappush(self._queue, (time, seq, handle))
+        if self.obs is not None:
+            if self._ctr_scheduled is not None:
+                self._ctr_scheduled.inc()
+            if self._tracer is not None:
+                self._tracer.emit(
+                    self.now,
+                    "event.scheduled",
+                    at=time,
+                    fn=_callback_label(callback),
+                    seq=seq,
+                )
         return handle
 
     def schedule_at(
         self, time: float, callback: Callable, *args: Any
     ) -> EventHandle:
-        """Run ``callback(*args)`` at absolute virtual ``time``."""
+        """Run ``callback(*args)`` at absolute virtual ``time``.
+
+        Past times clamp to "now".  NaN must be rejected *before* the
+        clamp: ``max(0.0, nan)`` returns ``0.0`` (NaN loses every
+        comparison), which would silently turn a poisoned timestamp into
+        an immediate event instead of an error.
+        """
+        if time != time:
+            raise SimulationError(f"event time must be finite, got {time!r}")
         return self.schedule(max(0.0, time - self.now), callback, *args)
 
     @property
@@ -139,15 +191,18 @@ class Simulator:
 
     def step(self) -> bool:
         """Process the next event; returns False when the queue is empty."""
-        while self._queue:
-            time, _, handle = heapq.heappop(self._queue)
+        queue = self._queue
+        heappop = heapq.heappop
+        obs = self.obs
+        while queue:
+            time, _, handle = heappop(queue)
             if handle.cancelled:
-                if self.obs is not None:
+                if obs is not None:
                     self._note_cancelled(handle)
                 continue
             self.now = time
             self.events_processed += 1
-            if self.obs is not None:
+            if obs is not None:
                 self._note_fired(handle)
             handle.callback(*handle.args)
             return True
@@ -161,6 +216,76 @@ class Simulator:
         gossip meshes); exceeding it raises so a runaway scenario fails
         loudly instead of hanging.
         """
+        if self.obs is not None:
+            return self._run_until_observed(end_time, max_events)
+        # Obs-disabled hot loop: the heap, pop, and counters live in
+        # locals; cancelled entries drain with a single attribute test;
+        # ``events_processed`` flushes once at exit (the ``finally``
+        # keeps it right even if a callback raises).  Trajectory is
+        # identical to the observed loop — nothing here touches RNG
+        # state or event order.
+        queue = self._queue
+        heappop = heapq.heappop
+        processed = 0
+        try:
+            if max_events is None:
+                # Pop-first: one heap operation per event instead of a
+                # peek plus a pop; the one overshooting entry is pushed
+                # back when the horizon is reached.  No-arg callbacks
+                # (timers, retries — the majority in pure event-loop
+                # workloads) dispatch through a plain call instead of
+                # unpacking an empty tuple.
+                while queue:
+                    entry = heappop(queue)
+                    time = entry[0]
+                    if time > end_time:
+                        _heappush(queue, entry)
+                        break
+                    handle = entry[2]
+                    if handle.cancelled:
+                        continue
+                    self.now = time
+                    args = handle.args
+                    if args:
+                        handle.callback(*args)
+                    else:
+                        handle.callback()
+                    processed += 1
+            else:
+                while queue:
+                    entry = heappop(queue)
+                    time = entry[0]
+                    if time > end_time:
+                        _heappush(queue, entry)
+                        break
+                    handle = entry[2]
+                    if handle.cancelled:
+                        continue
+                    if processed >= max_events:
+                        _heappush(queue, entry)
+                        raise SimulationError(
+                            f"exceeded {max_events} events before "
+                            f"t={end_time}"
+                        )
+                    self.now = time
+                    args = handle.args
+                    if args:
+                        handle.callback(*args)
+                    else:
+                        handle.callback()
+                    processed += 1
+        finally:
+            self.events_processed += processed
+        if self.now < end_time:
+            self.now = end_time
+        return processed
+
+    def _run_until_observed(
+        self, end_time: float, max_events: Optional[int] = None
+    ) -> int:
+        """The pre-optimization :meth:`run_until` body, used whenever
+        observability is attached (and kept verbatim as the oracle the
+        trajectory-equality tests compare the hot loop against)."""
         processed = 0
         while self._queue:
             time, _, handle = self._queue[0]

@@ -1,0 +1,46 @@
+"""Performance kernels and their regression gate.
+
+The fast paths live where the hot loops are — the batched block
+kernel in :meth:`repro.sim.blockprod.BlockProducer.advance_batch`, the
+inlined difficulty rules in :func:`repro.chain.difficulty.make_fast_rule`,
+the tightened event loop in :meth:`repro.net.simulator.Simulator.run_until`,
+and the plain-transport fast path in :meth:`repro.net.network.Network.send`.
+This package holds what keeps them honest:
+
+:mod:`repro.perf.reference`
+    The seed-state implementations, kept verbatim, plus context managers
+    that swap them in process-wide.  Every benchmark times fast-vs-
+    reference on the *same* workload and every differential test asserts
+    the two arms produce bit-identical trajectories.
+
+:mod:`repro.perf.bench`
+    The benchmark harness behind ``python -m repro bench``: canonical
+    ``BENCH_<name>.json`` regression reports with wall times, throughput,
+    result digests, and a hard failure when the arms' digests diverge.
+"""
+
+from .bench import (
+    BENCH_SCHEMA,
+    add_bench_arguments,
+    bench_from_args,
+    main,
+    run_bench,
+    validate_report,
+)
+from .reference import (
+    ReferenceSimulator,
+    reference_block_loop,
+    reference_event_loop,
+)
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "ReferenceSimulator",
+    "add_bench_arguments",
+    "bench_from_args",
+    "main",
+    "reference_block_loop",
+    "reference_event_loop",
+    "run_bench",
+    "validate_report",
+]

@@ -1,0 +1,227 @@
+"""Seed-state reference implementations, and the switches to them.
+
+Honest speedup numbers need an honest baseline: the code paths the
+repository shipped *before* the kernels landed, not a strawman.  Each
+optimized layer therefore keeps its original implementation alive —
+``BlockProducer.advance_one`` / ``_run_until_reference``,
+``PoolLandscape.make_sampler_reference``,
+``Simulator._run_until_observed``, and the full ``Network.send`` body —
+and this module provides the swaps that route a whole run through them:
+
+* :func:`reference_block_loop` — fork-sim block production on the
+  per-block loop with the original sampler closures.
+* :func:`reference_event_loop` — message-level scenarios on the
+  pre-optimization transport path.
+* :class:`ReferenceSimulator` — a drop-in :class:`Simulator` pinned to
+  the original event loop; inject via the scenarios'
+  ``simulator_factory`` seam.
+
+All three are trajectory-preserving by construction: the reference and
+fast arms consume RNG draws in the same order and produce bit-identical
+results, which the benchmarks assert by comparing digests.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Any, Callable, Iterator, List, Optional, Tuple
+
+from ..net.network import Network
+from ..net.simulator import EventHandle, SimulationError
+from ..net.simulator import _callback_label, _INF
+from ..sim.blockprod import BlockProducer
+from ..sim.population import PoolLandscape
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..obs import Observability
+
+__all__ = [
+    "ReferenceSimulator",
+    "reference_block_loop",
+    "reference_event_loop",
+]
+
+
+class ReferenceSimulator:
+    """The seed-state :class:`~repro.net.simulator.Simulator`, verbatim.
+
+    A standalone class (not a subclass) so nothing about the optimized
+    engine leaks into the baseline: dict-backed instances (the hot
+    paths' ``__slots__`` layout would speed the original loop's
+    attribute traffic too), the original per-event enqueue (constructor
+    call, separate validation branches, separate counter/tracer tests),
+    and the original peek-then-pop ``run_until``.  Duck-type compatible
+    with :class:`~repro.net.simulator.Simulator`; inject via the
+    scenarios' ``simulator_factory`` seam.  Trajectory-identical to the
+    hot paths — only the constant factors differ.  NaN/±inf validation
+    is kept (it is a correctness fix, not an optimization), in the
+    seed's two-branch form.
+    """
+
+    def __init__(
+        self,
+        start_time: float = 0.0,
+        obs: Optional["Observability"] = None,
+    ) -> None:
+        self.now = start_time
+        self._queue: List[Tuple[float, int, EventHandle]] = []
+        self._sequence = itertools.count()
+        self.events_processed = 0
+        self.obs = obs
+        self._tracer = obs.tracer if obs is not None else None
+        if obs is not None and obs.metrics is not None:
+            self._ctr_scheduled = obs.metrics.counter("sim.events.scheduled")
+            self._ctr_fired = obs.metrics.counter("sim.events.fired")
+            self._ctr_cancelled = obs.metrics.counter("sim.events.cancelled")
+        else:
+            self._ctr_scheduled = None
+            self._ctr_fired = None
+            self._ctr_cancelled = None
+
+    def schedule(
+        self, delay: float, callback: Callable, *args: Any
+    ) -> EventHandle:
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past ({delay})")
+        if delay != delay or delay == _INF:
+            raise SimulationError(
+                f"event delay must be finite, got {delay!r}"
+            )
+        seq = next(self._sequence)
+        handle = EventHandle(self.now + delay, callback, args, seq)
+        heapq.heappush(self._queue, (handle.time, seq, handle))
+        if self._ctr_scheduled is not None:
+            self._ctr_scheduled.inc()
+        if self._tracer is not None:
+            self._tracer.emit(
+                self.now,
+                "event.scheduled",
+                at=handle.time,
+                fn=_callback_label(callback),
+                seq=seq,
+            )
+        return handle
+
+    def schedule_at(
+        self, time: float, callback: Callable, *args: Any
+    ) -> EventHandle:
+        if time != time:
+            raise SimulationError(f"event time must be finite, got {time!r}")
+        return self.schedule(max(0.0, time - self.now), callback, *args)
+
+    @property
+    def pending(self) -> int:
+        return len(self._queue)
+
+    def _note_cancelled(self, handle: EventHandle) -> None:
+        if self._ctr_cancelled is not None:
+            self._ctr_cancelled.inc()
+        if self._tracer is not None:
+            self._tracer.emit(self.now, "event.cancelled", seq=handle.seq)
+
+    def _note_fired(self, handle: EventHandle) -> None:
+        if self._ctr_fired is not None:
+            self._ctr_fired.inc()
+        if self._tracer is not None:
+            self._tracer.emit(
+                self.now,
+                "event.fired",
+                fn=_callback_label(handle.callback),
+                seq=handle.seq,
+            )
+
+    def step(self) -> bool:
+        while self._queue:
+            time, _, handle = heapq.heappop(self._queue)
+            if handle.cancelled:
+                if self.obs is not None:
+                    self._note_cancelled(handle)
+                continue
+            self.now = time
+            self.events_processed += 1
+            if self.obs is not None:
+                self._note_fired(handle)
+            handle.callback(*handle.args)
+            return True
+        return False
+
+    def run_until(
+        self, end_time: float, max_events: Optional[int] = None
+    ) -> int:
+        processed = 0
+        while self._queue:
+            time, _, handle = self._queue[0]
+            if time > end_time:
+                break
+            if handle.cancelled:
+                heapq.heappop(self._queue)
+                if self.obs is not None:
+                    self._note_cancelled(handle)
+                continue
+            if max_events is not None and processed >= max_events:
+                raise SimulationError(
+                    f"exceeded {max_events} events before t={end_time}"
+                )
+            heapq.heappop(self._queue)
+            self.now = time
+            self.events_processed += 1
+            if self.obs is not None:
+                self._note_fired(handle)
+            handle.callback(*handle.args)
+            processed += 1
+        self.now = max(self.now, end_time)
+        return processed
+
+    def run_all(self, max_events: int = 10_000_000) -> int:
+        processed = 0
+        while self._queue:
+            if processed >= max_events and any(
+                not handle.cancelled for _, _, handle in self._queue
+            ):
+                raise SimulationError(f"exceeded {max_events} events")
+            if not self.step():
+                break
+            processed += 1
+        return processed
+
+
+@contextmanager
+def reference_block_loop() -> Iterator[None]:
+    """Run block production on the seed-state code paths.
+
+    Flips :attr:`BlockProducer.use_batch_kernel` off (``run_until``
+    falls back to the per-block ``advance_one`` loop) and swaps
+    :meth:`PoolLandscape.make_sampler` for the retained
+    :meth:`~PoolLandscape.make_sampler_reference`.  Class-level patches,
+    restored on exit — don't nest with concurrent fast-path runs in the
+    same process.
+    """
+    saved_kernel = BlockProducer.use_batch_kernel
+    saved_sampler = PoolLandscape.make_sampler
+    BlockProducer.use_batch_kernel = False
+    PoolLandscape.make_sampler = PoolLandscape.make_sampler_reference
+    try:
+        yield
+    finally:
+        BlockProducer.use_batch_kernel = saved_kernel
+        PoolLandscape.make_sampler = saved_sampler
+
+
+@contextmanager
+def reference_event_loop() -> Iterator[None]:
+    """Run the message layer on the seed-state transport path.
+
+    Disables the :meth:`Network.send` fast path so every message walks
+    the full fault/trace/metrics branch ladder, exactly as the seed
+    transport did.  Combine with :class:`ReferenceSimulator` (via the
+    scenarios' ``simulator_factory``) to put the whole event layer on
+    the reference loop.
+    """
+    saved = Network.use_fast_path
+    Network.use_fast_path = False
+    try:
+        yield
+    finally:
+        Network.use_fast_path = saved

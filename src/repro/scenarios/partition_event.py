@@ -22,7 +22,7 @@ from __future__ import annotations
 import random
 from contextlib import nullcontext
 from dataclasses import dataclass, replace
-from typing import TYPE_CHECKING, Any, Dict, List, Optional, Set
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Set
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..obs import Observability
@@ -180,9 +180,14 @@ class PartitionScenario:
         self,
         config: Optional[PartitionScenarioConfig] = None,
         obs: Optional["Observability"] = None,
+        simulator_factory: Optional[Callable[..., Simulator]] = None,
     ) -> None:
         self.config = config or PartitionScenarioConfig()
         self.obs = obs
+        #: Constructor seam for the event engine — the benchmark harness
+        #: injects :class:`repro.perf.reference.ReferenceSimulator` here
+        #: to time the scenario on the pre-optimization event loop.
+        self.simulator_factory = simulator_factory or Simulator
 
     def _span(self, label: str):
         if self.obs is None:
@@ -220,7 +225,7 @@ class PartitionScenario:
             bomb_delay=10**9,
         )
 
-        sim = Simulator(obs=self.obs)
+        sim = self.simulator_factory(obs=self.obs)
         network = Network(
             sim, latency=LognormalLatency(median=0.12), seed=config.seed
         )

@@ -27,6 +27,7 @@ series through :class:`~repro.data.store.ChainDatabase`.
 
 from __future__ import annotations
 
+import bisect
 import hashlib
 import random
 import struct
@@ -180,16 +181,22 @@ class ForkSimResult:
         return hasher.hexdigest()
 
     def to_database(self, include_prefix: bool = True) -> ChainDatabase:
-        """Load block records into a fresh analysis database."""
+        """Load block records into a fresh analysis database.
+
+        Streams through :meth:`ChainTrace.iter_block_records` so the
+        bulk ingest never holds a second full copy of a million-block
+        trace in memory.
+        """
         database = ChainDatabase()
         for trace in (self.eth_trace, self.etc_trace):
-            records = trace.block_records()
+            records = trace.iter_block_records()
             if not include_prefix:
-                records = [
+                fork_number = self.fork_number
+                records = (
                     record
                     for record in records
-                    if record.number > self.fork_number
-                ]
+                    if record.number > fork_number
+                )
             database.insert_blocks(records)
         return database
 
@@ -383,11 +390,10 @@ class ForkSimulation:
         metrics.counter("forksim.days").inc(self.config.days)
         for chain, trace in result.traces().items():
             key = chain.lower()
-            post_fork = [
-                i
-                for i in range(len(trace.numbers))
-                if trace.numbers[i] > result.fork_number
-            ]
+            # Block numbers are strictly increasing, so the post-fork
+            # suffix starts at a bisection point — no full-trace scan.
+            start = bisect.bisect_right(trace.numbers, result.fork_number)
+            post_fork = range(start, len(trace.numbers))
             metrics.counter(f"forksim.{key}.blocks").inc(len(post_fork))
             if len(trace.difficulties):
                 metrics.gauge(f"forksim.{key}.final_difficulty").set(

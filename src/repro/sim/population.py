@@ -23,8 +23,9 @@ from __future__ import annotations
 
 import math
 import random
+from bisect import bisect_right
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 __all__ = [
     "PoolSpec",
@@ -83,6 +84,21 @@ class PoolLandscape:
         self.turnover_days = turnover_days
         self.tail_threshold = tail_threshold
         self.seed = seed
+        self._solo_label_cache: Optional[List[str]] = None
+
+    def _solo_labels(self) -> List[str]:
+        """Interned solo-miner labels, built once per landscape.
+
+        The per-block sampler used to format ``f"solo-{i:05d}"`` on every
+        solo win — measurable string traffic at millions of blocks.  The
+        label for a given index is unchanged; only the formatting moved
+        out of the hot loop.
+        """
+        if self._solo_label_cache is None:
+            self._solo_label_cache = [
+                f"solo-{i:05d}" for i in range(self.solo_identities)
+            ]
+        return self._solo_label_cache
 
     def _mixture(self, day: float) -> List[float]:
         m = 1.0 - math.exp(-max(day, 0.0) / self.coalesce_days)
@@ -121,6 +137,58 @@ class PoolLandscape:
         self, day: float
     ) -> Callable[[random.Random], str]:
         """Per-block winner sampler for the :class:`BlockProducer`."""
+        weights = self.weights_on_day(day)
+        labels = list(weights)
+        cumulative: List[float] = []
+        running = 0.0
+        for label in labels:
+            running += weights[label]
+            cumulative.append(running)
+        pooled_mass = running
+        solo_count = self.solo_identities
+        solo_labels = self._solo_labels()
+        last = len(labels) - 1
+        _bisect_right = bisect_right
+
+        def sampler(rng: random.Random) -> str:
+            # One rng.random() per block, exactly as before; the clamp,
+            # bisect lookup, and solo label are all hoisted/bound so the
+            # per-call cost is two C calls and an index.
+            point = rng.random()
+            if point >= pooled_mass:
+                return solo_labels[rng.randrange(solo_count)]
+            index = _bisect_right(cumulative, point)
+            return labels[index if index < last else last]
+
+        # Expose the closure's parameters so the batch kernel
+        # (:meth:`repro.sim.blockprod.BlockProducer.advance_batch`) can
+        # inline the categorical draw without an indirect call per block.
+        # The inlined arithmetic mirrors the body above expression for
+        # expression; the differential tests hold both paths to identical
+        # winner sequences.
+        sampler.categorical_parts = (
+            cumulative,
+            labels,
+            pooled_mass,
+            solo_count,
+            solo_labels,
+            last,
+        )
+        return sampler
+
+    def make_sampler_reference(
+        self, day: float
+    ) -> Callable[[random.Random], str]:
+        """The pre-optimization sampler, kept verbatim as the oracle.
+
+        Draw-for-draw identical to :meth:`make_sampler` (one
+        ``rng.random()``, one ``rng.randrange`` on solo wins) but with
+        the original per-call costs (inner import, f-string solo labels,
+        ``min``/``len`` clamp).  :func:`repro.perf.reference` swaps this
+        in to measure the kernels against the seed-state hot loop, and
+        the differential tests assert both samplers yield identical
+        winner sequences.
+        """
         weights = self.weights_on_day(day)
         labels = list(weights)
         cumulative: List[float] = []

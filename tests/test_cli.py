@@ -76,6 +76,28 @@ class TestParser:
         with pytest.raises(SystemExit):
             _build_parser().parse_args(["trace", "--scenario", "bogus"])
 
+    def test_bench_defaults(self):
+        args = _build_parser().parse_args(["bench"])
+        assert args.command == "bench"
+        assert args.smoke is False
+        assert args.repeats is None
+        assert args.only is None
+        assert args.out_dir == "."
+        assert args.report_dir == "benchmarks/output"
+
+    def test_bench_flags_parse(self):
+        args = _build_parser().parse_args(
+            ["bench", "--smoke", "--repeats", "2", "--only", "forksim",
+             "--out-dir", "out", "--report-dir", ""]
+        )
+        assert args.smoke is True
+        assert args.repeats == 2
+        assert args.only == ["forksim"]
+        assert args.out_dir == "out"
+        assert args.report_dir == ""
+        with pytest.raises(SystemExit):
+            _build_parser().parse_args(["bench", "--only", "bogus"])
+
 
 class TestCommands:
     def test_fork_lengths_prints_table(self, capsys):
@@ -83,6 +105,19 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "ETH/EIP-150" in out
         assert "3583" in out
+
+    def test_bench_smoke_run(self, tmp_path, capsys):
+        assert main(
+            ["bench", "--smoke", "--only", "forksim",
+             "--out-dir", str(tmp_path), "--report-dir", ""]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "BENCH_forksim.json" in out
+        assert (tmp_path / "BENCH_forksim.json").exists()
+
+    def test_bench_bad_repeats_rejected(self, capsys):
+        assert main(["bench", "--repeats", "0"]) == 2
+        assert "--repeats" in capsys.readouterr().err
 
     def test_figure_command_small_run(self, capsys):
         assert main(["figure", "1", "--days", "6", "--sample-days", "2"]) == 0

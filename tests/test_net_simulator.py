@@ -177,3 +177,40 @@ class TestEdgeCases:
         sim.schedule(2.0, lambda: None)
         assert sim.run_until(5.0) == 1
         assert sim.events_processed == 1
+
+
+class TestScheduleValidation:
+    """NaN/infinity rejection (regression tests).
+
+    NaN is the insidious one: it loses every comparison, so a NaN-timed
+    heap entry silently breaks the heap invariant and events start
+    firing out of order — and ``max(0.0, nan)`` in ``schedule_at``'s
+    clamp would convert a poisoned timestamp into an immediate event.
+    Both must be loud errors instead.
+    """
+
+    @pytest.mark.parametrize(
+        "delay", [float("nan"), float("inf"), -1.0, -0.001]
+    )
+    def test_schedule_rejects_nonfinite_and_negative_delays(self, delay):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(delay, lambda: None)
+        assert sim.pending == 0
+
+    @pytest.mark.parametrize("time", [float("nan"), float("inf")])
+    def test_schedule_at_rejects_nonfinite_times(self, time):
+        sim = Simulator(start_time=10.0)
+        with pytest.raises(SimulationError):
+            sim.schedule_at(time, lambda: None)
+        assert sim.pending == 0
+
+    def test_rejected_delay_leaves_trajectory_intact(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, "a")
+        with pytest.raises(SimulationError):
+            sim.schedule(float("nan"), fired.append, "poison")
+        sim.schedule(2.0, fired.append, "b")
+        sim.run_all()
+        assert fired == ["a", "b"]
