@@ -98,6 +98,13 @@ class Blockchain:
         self._head_hash: Hash32 = genesis.block_hash
         self.genesis = genesis
 
+        #: Read-only aliases of the hash->block and number->hash indices,
+        #: for hot paths that probe membership per message and cannot
+        #: afford a method call per probe (``repro.net.node``).  These are
+        #: the same dict objects; treat them as immutable views.
+        self.block_index = self._blocks
+        self.canonical_index = self._canonical
+
         if execute_transactions:
             if genesis_state is None:
                 raise ChainStoreError("full mode requires a genesis state")

@@ -59,9 +59,12 @@ class SeenCache:
 
     def add(self, item: bytes) -> bool:
         """Record ``item``; returns True if it was new."""
-        key = bytes(item)
-        if key in self._seen:
+        if item in self._seen:
+            # bytes subclasses (Hash32) hash and compare as their value,
+            # so membership needs no normalizing copy; only stored keys
+            # are canonicalized below.
             return False
+        key = bytes(item)
         self._seen.add(key)
         self._order.append(key)
         if len(self._order) > self.capacity:
@@ -70,7 +73,7 @@ class SeenCache:
         return True
 
     def __contains__(self, item: bytes) -> bool:
-        return bytes(item) in self._seen
+        return item in self._seen
 
     def __len__(self) -> int:
         return len(self._seen)

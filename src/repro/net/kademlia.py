@@ -63,6 +63,12 @@ class RoutingTable:
         self.bucket_size = bucket_size
         self._buckets: Dict[int, List[str]] = {}
         self._digests: Dict[str, bytes] = {}
+        #: name -> bucket index.  ``observe`` runs once per received
+        #: message, and the seed recomputed two 256-bit ``int.from_bytes``
+        #: conversions, an XOR, and a ``bit_length`` on every call even
+        #: though name -> index is immutable (both ids are digests of
+        #: fixed names).  Never invalidated, same as ``_digests``.
+        self._indices: Dict[str, int] = {}
 
     def _digest(self, name: str) -> bytes:
         digest = self._digests.get(name)
@@ -75,6 +81,31 @@ class RoutingTable:
         """Record contact with ``name``; returns False if the bucket is
         full and the peer was not admitted (classic Kademlia keeps the
         old, long-lived entry — a Sybil defence)."""
+        index = self._indices.get(name)
+        if index is None:
+            if name == self.own_name:
+                return False
+            index = bucket_index(self.own_id, self._digest(name))
+            self._indices[name] = index
+        bucket = self._buckets.get(index)
+        if bucket is None:
+            bucket = self._buckets[index] = []
+        elif bucket and bucket[-1] == name:
+            return True  # already most-recently-seen; refresh is a no-op
+        if name in bucket:
+            bucket.remove(name)
+            bucket.append(name)  # refresh to most-recently-seen
+            return True
+        if len(bucket) < self.bucket_size:
+            bucket.append(name)
+            return True
+        return False
+
+    def observe_reference(self, name: str) -> bool:
+        """The seed-state :meth:`observe` body, verbatim (modulo the
+        digest memo it always had) — swapped in class-wide by
+        :func:`repro.perf.reference.reference_event_loop` so the
+        benchmark reference arm pays the original per-call index math."""
         if name == self.own_name:
             return False
         index = bucket_index(self.own_id, self._digest(name))

@@ -13,20 +13,69 @@ disappear; we count nodes whose fork-block hash matches each branch.
 
 from __future__ import annotations
 
+import math
 import random
 import warnings
-from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Tuple
 
 from ..chain.types import Hash32
-from .latency import GeographicLatency, LatencyModel
+from .latency import GeographicLatency, LatencyModel, LognormalLatency
 from .messages import Message, NewBlock
 from .node import FullNode
-from .simulator import Simulator
+from .simulator import (
+    EventHandle,
+    Simulator,
+    _heappush,
+    _INF,
+    _new_handle,
+)
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..obs import Observability
 
 __all__ = ["Network", "NetworkCensus"]
+
+_log = math.log
+_exp = math.exp
+#: CPython's ``random.NV_MAGICCONST`` — the Kinderman-Monahan ratio
+#: constant used by ``Random.normalvariate``.
+_NV_MAGICCONST = 4 * math.exp(-0.5) / math.sqrt(2.0)
+
+
+def _inline_lognorm_matches() -> bool:
+    """Probe: does the inlined lognormal sampler reproduce CPython's?
+
+    The delivery-wave kernels inline ``Random.lognormvariate`` —
+    ``exp(mu + z*sigma)`` with ``z`` from the Kinderman-Monahan
+    accept/reject loop — to skip two call frames per message.  The RNG
+    contract is *byte-identical trajectories*: every draw must equal the
+    library's and consume the same number of ``random()`` calls.  This
+    probe drives both samplers from identically-seeded generators and
+    compares values *and* generator states; on any mismatch (a
+    hypothetical future CPython changing the algorithm, or an exotic
+    Random subclass semantics change) the kernels fall back to calling
+    the library sampler — slower, still trajectory-exact.
+    """
+    probe = random.Random(0xC0FFEE)
+    ref = random.Random(0xC0FFEE)
+    probe_random = probe.random
+    for mu, sigma in ((0.0, 0.25), (math.log(0.12), 0.6)):
+        for _ in range(8):
+            while True:
+                u1 = probe_random()
+                u2 = 1.0 - probe_random()
+                z = _NV_MAGICCONST * (u1 - 0.5) / u2
+                if z * z / 4.0 <= -_log(u2):
+                    break
+            if _exp(mu + z * sigma) != ref.lognormvariate(mu, sigma):
+                return False
+            if probe.getstate() != ref.getstate():
+                return False
+    return True
+
+
+#: Computed once at import; guards every inline-sampler fast path.
+_INLINE_LOGNORM_OK = _inline_lognorm_matches()
 
 
 class NetworkCensus:
@@ -108,6 +157,20 @@ class Network:
         self.latency = latency or GeographicLatency()
         #: Hoisted ``isinstance`` for the per-message latency dispatch.
         self._geo_latency = isinstance(self.latency, GeographicLatency)
+        # Inline-sampler parameters, cached like ``_geo_latency`` (the
+        # latency model is fixed at construction).  ``None`` routes the
+        # kernels to the library sampler — either the model isn't the
+        # exact class the inline code reproduces, or the import-time
+        # probe found the inlined algorithm diverging from the library.
+        lat = self.latency
+        if _INLINE_LOGNORM_OK and type(lat) is LognormalLatency:
+            self._ln_params: Optional[Tuple[float, float]] = (lat.mu, lat.sigma)
+        else:
+            self._ln_params = None
+        if _INLINE_LOGNORM_OK and type(lat) is GeographicLatency:
+            self._geo_jitter: Optional[float] = lat.jitter_sigma
+        else:
+            self._geo_jitter = None
         #: True when no tracer and no metrics are attached — together
         #: with ``faults is None`` and propagation tracking off, this
         #: routes :meth:`send` through the plain fast path.
@@ -225,23 +288,51 @@ class Network:
         ):
             # Plain fast path: no faults, tracing, metrics, loss, or
             # propagation bookkeeping installed.  Same lookups, same
-            # single latency draw on ``sim_rng``, same schedule call —
-            # trajectory-identical to the full path below, minus a dozen
-            # dead branch tests per message.
+            # single latency draw on ``sim_rng`` (the inline sampler is
+            # probe-verified to consume draws exactly like the library
+            # one), same (time, seq) enqueue — trajectory-identical to
+            # the full path below, minus a dozen dead branch tests and
+            # up to three call frames per message.
             nodes = self.nodes
             target = nodes.get(destination)
             if target is None or not target.online:
                 self.messages_undeliverable += 1
                 return
             self.messages_sent += 1
-            source_node = nodes.get(source)
-            if self._geo_latency and source_node:
-                delay = self.latency.delay_between(
-                    source_node.region, target.region, self.sim_rng
-                )
+            rng = self.sim_rng
+            ln = self._ln_params
+            if ln is not None:
+                random_ = rng.random
+                while True:
+                    u1 = random_()
+                    u2 = 1.0 - random_()
+                    z = _NV_MAGICCONST * (u1 - 0.5) / u2
+                    if z * z / 4.0 <= -_log(u2):
+                        break
+                delay = _exp(ln[0] + z * ln[1])
             else:
-                delay = self.latency.sample(self.sim_rng)
-            self.sim.schedule(delay, target.receive, message)
+                source_node = nodes.get(source)
+                if self._geo_latency and source_node:
+                    delay = self.latency.delay_between(
+                        source_node.region, target.region, rng
+                    )
+                else:
+                    delay = self.latency.sample(rng)
+            sim = self.sim
+            if type(sim) is Simulator and sim.obs is None and 0.0 <= delay < _INF:
+                # Inline Simulator.schedule's obs-disabled hot body.
+                # Only for the exact base class — subclasses and the
+                # calendar-queue engine own their insert discipline.
+                seq = next(sim._sequence)
+                handle = _new_handle(EventHandle)
+                handle.time = time = sim.now + delay
+                handle.callback = target.receive
+                handle.args = (message,)
+                handle.cancelled = False
+                handle.seq = seq
+                _heappush(sim._queue, (time, seq, handle))
+            else:
+                sim.schedule(delay, target.receive, message)
             return
         target = self.nodes.get(destination)
         if target is None or not target.online:
@@ -310,6 +401,233 @@ class Network:
             self.sim.schedule(delay, self._traced_receive, target, message)
             return
         self.sim.schedule(delay, target.receive, message)
+
+    # -- delivery-wave kernels ---------------------------------------------------
+
+    def send_wave(
+        self, source: str, destinations: Iterable[str], message: Message
+    ) -> None:
+        """Deliver one ``message`` to many recipients in one kernel call.
+
+        Semantically identical to ``for d in destinations: send(source,
+        d, message)`` — same per-recipient drop ladder, same counters,
+        and the same RNG draws in the same order (loss draw, fault
+        judgement, latency draw, per recipient, in iteration order) —
+        but with every invariant lookup hoisted out of the loop: the
+        node map, the RNG's ``random`` method, the latency parameters,
+        the fault judge, the ``isinstance(message, NewBlock)`` test, and
+        the counter flushes (accumulated locally, written back once per
+        wave).  Gossip fan-outs (block relay, announcements, tx relay)
+        are the hot waves; at 40-node partition rates this is most of
+        the transport's per-message overhead.
+
+        With the fast path disabled (the benchmark reference arm) or
+        any tracer/metrics attached, it literally *is* the send loop,
+        so observed runs and the reference arm keep the seed-state
+        behaviour to the byte.
+        """
+        if not destinations:
+            return
+        if not (self.use_fast_path and self._plain_obs):
+            for destination in destinations:
+                self.send(source, destination, message)
+            return
+        if (
+            self.faults is None
+            and not self.loss_rate
+            and not self.track_block_propagation
+        ):
+            self._send_wave_plain(source, destinations, message)
+        else:
+            self._send_wave_general(source, destinations, message)
+
+    def _send_wave_plain(
+        self, source: str, destinations: Iterable[str], message: Message
+    ) -> None:
+        """Wave kernel for the no-loss / no-faults / no-tracking case."""
+        nodes = self.nodes
+        sim = self.sim
+        rng = self.sim_rng
+        random_ = rng.random
+        latency = self.latency
+        ln = self._ln_params
+        geo_jitter = self._geo_jitter
+        source_node = nodes.get(source)
+        geo = self._geo_latency and source_node is not None
+        src_region = source_node.region if geo else ""
+        base_map = latency.base if geo else None
+        sample = latency.sample
+        inline_sched = type(sim) is Simulator and sim.obs is None
+        if inline_sched:
+            queue = sim._queue
+            seq_iter = sim._sequence
+            now = sim.now
+            # One shared args tuple per wave: handles never mutate it.
+            args = (message,)
+        sent = 0
+        undeliverable = 0
+        try:
+            for destination in destinations:
+                target = nodes.get(destination)
+                if target is None or not target.online:
+                    undeliverable += 1
+                    continue
+                sent += 1
+                if ln is not None:
+                    while True:
+                        u1 = random_()
+                        u2 = 1.0 - random_()
+                        z = _NV_MAGICCONST * (u1 - 0.5) / u2
+                        if z * z / 4.0 <= -_log(u2):
+                            break
+                    delay = _exp(ln[0] + z * ln[1])
+                elif geo:
+                    if geo_jitter is not None:
+                        # delay_between == base * lognormvariate(0, jitter);
+                        # exp(0.0 + z*jitter) is bit-equal to the library's
+                        # exp(mu + z*sigma) with mu = 0.0.
+                        while True:
+                            u1 = random_()
+                            u2 = 1.0 - random_()
+                            z = _NV_MAGICCONST * (u1 - 0.5) / u2
+                            if z * z / 4.0 <= -_log(u2):
+                                break
+                        delay = base_map.get(
+                            (src_region, target.region), 0.12
+                        ) * _exp(z * geo_jitter)
+                    else:
+                        delay = latency.delay_between(
+                            src_region, target.region, rng
+                        )
+                else:
+                    delay = sample(rng)
+                if inline_sched and 0.0 <= delay < _INF:
+                    seq = next(seq_iter)
+                    handle = _new_handle(EventHandle)
+                    handle.time = time = now + delay
+                    handle.callback = target.receive
+                    handle.args = args
+                    handle.cancelled = False
+                    handle.seq = seq
+                    _heappush(queue, (time, seq, handle))
+                else:
+                    # Degenerate delay or a non-base-class engine:
+                    # schedule() validates and raises exactly like the
+                    # per-send path would.
+                    sim.schedule(delay, target.receive, message)
+        finally:
+            # Counter writes batched per wave; the finally keeps the
+            # tallies exact even if a sampler overflows mid-wave.
+            if sent:
+                self.messages_sent += sent
+            if undeliverable:
+                self.messages_undeliverable += undeliverable
+
+    def _send_wave_general(
+        self, source: str, destinations: Iterable[str], message: Message
+    ) -> None:
+        """Wave kernel for the loss / faults / propagation-tracking case.
+
+        The chaos scenarios live here: ``faults`` stays attached for the
+        whole run and block-propagation tracking is on, so the plain
+        kernel never fires.  The ladder below is the full :meth:`send`
+        branch ladder with the per-message invariants hoisted — the
+        fault judge, loss rate, ``NewBlock`` test, and the propagation
+        book-keeping dict — drawing from ``sim_rng`` and the fault
+        injector's RNG in exactly the per-send order.
+        """
+        nodes = self.nodes
+        sim = self.sim
+        rng = self.sim_rng
+        random_ = rng.random
+        loss_rate = self.loss_rate
+        faults = self.faults
+        judge = faults.judge if faults is not None else None
+        latency = self.latency
+        ln = self._ln_params
+        sample = latency.sample
+        source_node = nodes.get(source)
+        src_region = source_node.region if source_node is not None else ""
+        geo = self._geo_latency and source_node is not None
+        schedule = sim.schedule
+        now = sim.now
+        track = self.track_block_propagation and isinstance(message, NewBlock)
+        if track:
+            key = bytes(message.block.block_hash)
+            first_sent = self._block_first_sent
+            delivery_delays = self._block_delivery_delays
+        inline_sched = type(sim) is Simulator and sim.obs is None
+        if inline_sched:
+            queue = sim._queue
+            seq_iter = sim._sequence
+            # One shared args tuple per wave: handles never mutate it.
+            args = (message,)
+        sent = 0
+        lost = 0
+        undeliverable = 0
+        blocked = 0
+        try:
+            for destination in destinations:
+                target = nodes.get(destination)
+                if target is None or not target.online:
+                    undeliverable += 1
+                    continue
+                if loss_rate and random_() < loss_rate:
+                    lost += 1
+                    continue
+                scale, extra = 1.0, 0.0
+                if judge is not None:
+                    verdict, scale, extra = judge(
+                        source, src_region, destination, target.region, message
+                    )
+                    if verdict == "blocked":
+                        blocked += 1
+                        continue
+                    if verdict == "lost":
+                        lost += 1
+                        continue
+                sent += 1
+                if ln is not None:
+                    while True:
+                        u1 = random_()
+                        u2 = 1.0 - random_()
+                        z = _NV_MAGICCONST * (u1 - 0.5) / u2
+                        if z * z / 4.0 <= -_log(u2):
+                            break
+                    delay = _exp(ln[0] + z * ln[1])
+                elif geo:
+                    delay = latency.delay_between(
+                        src_region, target.region, rng
+                    )
+                else:
+                    delay = sample(rng)
+                delay = delay * scale + extra
+                if track:
+                    first = first_sent.setdefault(key, now)
+                    delivery_delays.append(now + delay - first)
+                if inline_sched and 0.0 <= delay < _INF:
+                    seq = next(seq_iter)
+                    handle = _new_handle(EventHandle)
+                    handle.time = time = now + delay
+                    handle.callback = target.receive
+                    handle.args = args
+                    handle.cancelled = False
+                    handle.seq = seq
+                    _heappush(queue, (time, seq, handle))
+                else:
+                    # Degenerate delay or a non-base-class engine:
+                    # schedule() validates and raises exactly like the
+                    # per-send path would.
+                    schedule(delay, target.receive, message)
+        finally:
+            if sent:
+                self.messages_sent += sent
+            if lost:
+                self.messages_lost += lost
+            if undeliverable:
+                self.messages_undeliverable += undeliverable
+            if blocked:
+                self.messages_blocked += blocked
 
     # -- bootstrap ---------------------------------------------------------------
 

@@ -67,11 +67,33 @@ class EventHandle:
 
 
 _heappush = heapq.heappush
+_heappop = heapq.heappop
 _new_handle = EventHandle.__new__
 
 
 class Simulator:
-    """The virtual clock and event queue."""
+    """The virtual clock and event queue.
+
+    The queue is a binary heap by default.  Setting the class switch
+    :attr:`use_bucket_queue` makes ``Simulator(...)`` construct a
+    :class:`~repro.net.bucketqueue.BucketSimulator` instead — a
+    calendar-queue engine that amortizes heap discipline over time
+    buckets (see :mod:`repro.net.bucketqueue`).  Both engines fire
+    events in identical ``(time, seq)`` order; the switch follows the
+    same opt-in pattern as :attr:`repro.net.network.Network.use_fast_path`.
+    """
+
+    #: Class-level switch: when True, ``Simulator(...)`` builds a
+    #: :class:`~repro.net.bucketqueue.BucketSimulator`.  Subclasses are
+    #: never redirected (the benchmark's ReferenceSimulator stays put).
+    use_bucket_queue = False
+
+    def __new__(cls, *args, **kwargs):
+        if cls is Simulator and cls.use_bucket_queue:
+            from .bucketqueue import BucketSimulator
+
+            return object.__new__(BucketSimulator)
+        return object.__new__(cls)
 
     # ``self.now`` is written once per event and the queue/sequence are
     # read on every ``schedule``: slot storage keeps those accesses off
@@ -190,12 +212,17 @@ class Simulator:
             )
 
     def step(self) -> bool:
-        """Process the next event; returns False when the queue is empty."""
+        """Process the next event; returns False when the queue is empty.
+
+        Shares the hot ``run_until`` dispatch discipline: cancelled
+        entries drain with one attribute test, no-arg callbacks skip the
+        empty-tuple unpack, and ``heappop`` is bound once at module
+        import instead of per call.
+        """
         queue = self._queue
-        heappop = heapq.heappop
         obs = self.obs
         while queue:
-            time, _, handle = heappop(queue)
+            time, _, handle = _heappop(queue)
             if handle.cancelled:
                 if obs is not None:
                     self._note_cancelled(handle)
@@ -204,7 +231,11 @@ class Simulator:
             self.events_processed += 1
             if obs is not None:
                 self._note_fired(handle)
-            handle.callback(*handle.args)
+            args = handle.args
+            if args:
+                handle.callback(*args)
+            else:
+                handle.callback()
             return True
         return False
 
@@ -251,6 +282,26 @@ class Simulator:
                     else:
                         handle.callback()
                     processed += 1
+                    # Batched same-timestamp dispatch: a run of events
+                    # with exactly this timestamp (census fan-outs,
+                    # schedule_at bursts, simultaneous timeouts) drains
+                    # in an inner loop — no horizon re-check and no
+                    # clock store per event.  Heap pops in a tie come
+                    # off in ``seq`` order, so FIFO is preserved, and
+                    # events a callback schedules *at* the running
+                    # timestamp land behind the tie run in the heap
+                    # (larger seq), exactly as the reference loop
+                    # orders them.
+                    while queue and queue[0][0] == time:
+                        handle = heappop(queue)[2]
+                        if handle.cancelled:
+                            continue
+                        args = handle.args
+                        if args:
+                            handle.callback(*args)
+                        else:
+                            handle.callback()
+                        processed += 1
             else:
                 while queue:
                     entry = heappop(queue)
@@ -274,6 +325,26 @@ class Simulator:
                     else:
                         handle.callback()
                     processed += 1
+                    # Same-timestamp drain, with the storm guard kept
+                    # per event (a tie run must not overshoot the
+                    # budget unnoticed).
+                    while queue and queue[0][0] == time:
+                        entry = heappop(queue)
+                        handle = entry[2]
+                        if handle.cancelled:
+                            continue
+                        if processed >= max_events:
+                            _heappush(queue, entry)
+                            raise SimulationError(
+                                f"exceeded {max_events} events before "
+                                f"t={end_time}"
+                            )
+                        args = handle.args
+                        if args:
+                            handle.callback(*args)
+                        else:
+                            handle.callback()
+                        processed += 1
         finally:
             self.events_processed += processed
         if self.now < end_time:
@@ -311,14 +382,28 @@ class Simulator:
         return processed
 
     def run_all(self, max_events: int = 10_000_000) -> int:
-        """Drain the queue completely (bounded by ``max_events``)."""
+        """Drain the queue completely (bounded by ``max_events``).
+
+        The per-event cost of the budget is one integer comparison; the
+        full-queue scan for a live (non-cancelled) event runs at most
+        once, when the budget is actually reached — the seed version
+        re-scanned the whole queue on every event past the budget,
+        which made a storm's failure path itself O(n²).
+        """
         processed = 0
+        step = self.step
         while self._queue:
-            if processed >= max_events and any(
-                not handle.cancelled for _, _, handle in self._queue
-            ):
-                raise SimulationError(f"exceeded {max_events} events")
-            if not self.step():
+            if processed >= max_events:
+                if any(
+                    not handle.cancelled for _, _, handle in self._queue
+                ):
+                    raise SimulationError(f"exceeded {max_events} events")
+                # Only cancelled entries remain: drain them (keeping the
+                # obs cancellation accounting) and stop, exactly as the
+                # seed loop's final step() did.
+                step()
+                break
+            if not step():
                 break
             processed += 1
         return processed

@@ -56,8 +56,20 @@ BENCH_SCHEMA = "repro.bench/1"
 #: Case name -> report name; drives ``--only`` filtering too.
 _REPORTS: Dict[str, Sequence[str]] = {
     "forksim": ("forksim_difficulty", "forksim_workload"),
-    "eventloop": ("eventloop_chain", "partition", "chaos_partition"),
+    "eventloop": (
+        "eventloop_chain",
+        "eventloop_bucket",
+        "partition",
+        "chaos_partition",
+    ),
 }
+
+#: When set (``--profile``), :func:`_case_row` re-runs each case's fast
+#: arm once under cProfile and writes a cumulative top-N report here.
+_PROFILE_DIR: Optional[Path] = None
+
+#: Entries in each ``--profile`` report (top N by cumulative time).
+_PROFILE_TOP_N = 40
 
 
 def _best_of(fn: Callable[[], Any], repeats: int) -> Tuple[float, Any]:
@@ -114,6 +126,10 @@ def _case_row(
     fast_work, fast_digest = measure(fast_value)
     ref_work, ref_digest = measure(ref_value)
     speedup = ref_secs / fast_secs if fast_secs > 0 else float("inf")
+    if _PROFILE_DIR is not None:
+        # Separate, untimed run: the profiler's tracing overhead must
+        # never leak into the recorded wall times above.
+        _write_profile(name, fast_fn)
     return {
         "case": name,
         "params": params,
@@ -122,6 +138,30 @@ def _case_row(
         "speedup": round(speedup, 3),
         "digests_match": fast_digest == ref_digest,
     }
+
+
+def _write_profile(case: str, fast_fn: Callable[[], Any]) -> Path:
+    """Profile one extra fast-arm run; write the top-N cumulative table."""
+    import cProfile
+    import io
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        fast_fn()
+    finally:
+        profiler.disable()
+    stream = io.StringIO()
+    stats = pstats.Stats(profiler, stream=stream)
+    stats.sort_stats("cumulative").print_stats(_PROFILE_TOP_N)
+    path = _PROFILE_DIR / f"profile_{case}.txt"
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        f"cProfile of the fast arm, case {case!r} "
+        f"(top {_PROFILE_TOP_N} by cumulative time)\n{stream.getvalue()}"
+    )
+    return path
 
 
 # -- fork-sim cases ---------------------------------------------------------
@@ -214,6 +254,79 @@ def _eventloop_chain_case(ticks: int, repeats: int) -> Dict[str, Any]:
         {"ticks": ticks, "timers": 4},
         "events",
         run(Simulator),
+        run(ReferenceSimulator),
+        measure,
+        repeats,
+    )
+
+
+def _eventloop_bucket_case(events: int, repeats: int) -> Dict[str, Any]:
+    """Calendar-queue microbench: a dense, self-sustaining event storm.
+
+    Drives the schedulers at partition-scenario arrival rates: every
+    fired event draws from a per-run seeded RNG and schedules followers
+    — usually nearby (dense buckets), sometimes a same-timestamp burst
+    of three (FIFO ties inside one bucket), occasionally a far jump
+    (the sparse tail the heap fallback covers).  Fast arm =
+    :class:`~repro.net.bucketqueue.BucketSimulator`; reference arm =
+    the seed heapq loop.  Both arms replay the identical schedule
+    because the RNG is only consumed inside callbacks, in firing order
+    — which is exactly what the digest then locks down.
+    """
+    import itertools
+    import random as _random
+
+    from ..net.bucketqueue import BucketSimulator
+
+    def run(sim_cls):
+        def thunk():
+            sim = sim_cls()
+            rng = _random.Random(0xB0C5)
+            random_ = rng.random
+            fired: List[int] = []
+            append = fired.append
+            schedule = sim.schedule
+            ids = itertools.count()
+
+            def spawn():
+                label = next(ids)
+
+                def callback() -> None:
+                    append(label)
+                    if len(fired) >= events:
+                        return
+                    u = random_()
+                    if u < 0.30:
+                        delay = random_() * 0.5
+                        for _ in range(3):
+                            schedule(delay, spawn())
+                    elif u < 0.85:
+                        schedule(random_() * 1.5, spawn())
+                    else:
+                        schedule(10.0 + random_() * 40.0, spawn())
+
+                return callback
+
+            for _ in range(64):
+                schedule(random_() * 1.0, spawn())
+            sim.run_until(1e9)
+            return sim.events_processed, fired
+
+        return thunk
+
+    def measure(value) -> Tuple[int, str]:
+        processed, fired = value
+        hasher = hashlib.sha256()
+        for label in fired:
+            hasher.update(label.to_bytes(8, "little"))
+        hasher.update(str(processed).encode())
+        return processed, hasher.hexdigest()
+
+    return _case_row(
+        "eventloop_bucket",
+        {"events": events, "seeds": 64},
+        "events",
+        run(BucketSimulator),
         run(ReferenceSimulator),
         measure,
         repeats,
@@ -352,6 +465,8 @@ def _build_case(
         return _forksim_case(case, 4 if smoke else 60, True, seed, repeats)
     if case == "eventloop_chain":
         return _eventloop_chain_case(5_000 if smoke else 150_000, repeats)
+    if case == "eventloop_bucket":
+        return _eventloop_bucket_case(20_000 if smoke else 300_000, repeats)
     if case == "partition":
         return _partition_case(smoke, seed, repeats)
     if case == "chaos_partition":
@@ -428,14 +543,18 @@ def run_bench(
     only: Optional[Sequence[str]] = None,
     out_dir: str = ".",
     report_dir: Optional[str] = "benchmarks/output",
+    profile: bool = False,
     echo: Callable[[str], None] = lambda line: print(line, file=sys.stderr),
 ) -> Tuple[List[Path], bool]:
     """Run every selected case and write the ``BENCH_*.json`` reports.
 
     Returns the written paths and whether every case's fast/reference
     digests matched.  ``report_dir`` additionally gets a rendered text
-    table per report (None skips it).
+    table per report (None skips it).  ``profile`` re-runs each case's
+    fast arm once under :mod:`cProfile` (outside the timed region) and
+    writes ``profile_<case>.txt`` next to the text reports.
     """
+    global _PROFILE_DIR
     if repeats is None:
         repeats = 1 if smoke else 3
     selected = {name: cases for name, cases in _REPORTS.items()
@@ -447,6 +566,32 @@ def run_bench(
     created = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
     paths: List[Path] = []
     all_match = True
+    saved_profile_dir = _PROFILE_DIR
+    if profile:
+        _PROFILE_DIR = Path(report_dir) if report_dir else Path(
+            "benchmarks/output"
+        )
+    try:
+        return _run_bench_selected(
+            selected, smoke, seed, repeats, created, out_dir, report_dir,
+            paths, all_match, echo,
+        )
+    finally:
+        _PROFILE_DIR = saved_profile_dir
+
+
+def _run_bench_selected(
+    selected: Dict[str, Sequence[str]],
+    smoke: bool,
+    seed: int,
+    repeats: int,
+    created: str,
+    out_dir: str,
+    report_dir: Optional[str],
+    paths: List[Path],
+    all_match: bool,
+    echo: Callable[[str], None],
+) -> Tuple[List[Path], bool]:
     for name, case_names in selected.items():
         rows = []
         for case in case_names:
@@ -461,6 +606,8 @@ def run_bench(
             )
             rows.append(row)
             all_match = all_match and row["digests_match"]
+            if _PROFILE_DIR is not None:
+                paths.append(_PROFILE_DIR / f"profile_{case}.txt")
         payload = {
             "schema": BENCH_SCHEMA,
             "name": name,
@@ -507,6 +654,10 @@ def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--report-dir", type=str,
                         default="benchmarks/output",
                         help="rendered text tables (use '' to skip)")
+    parser.add_argument("--profile", action="store_true",
+                        help="additionally cProfile each case's fast arm "
+                             "(one extra untimed run) and write "
+                             "profile_<case>.txt next to the text reports")
 
 
 def bench_from_args(args: argparse.Namespace) -> int:
@@ -521,6 +672,7 @@ def bench_from_args(args: argparse.Namespace) -> int:
             only=args.only,
             out_dir=args.out_dir,
             report_dir=args.report_dir or None,
+            profile=getattr(args, "profile", False),
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -211,17 +211,56 @@ def reference_block_loop() -> Iterator[None]:
 
 @contextmanager
 def reference_event_loop() -> Iterator[None]:
-    """Run the message layer on the seed-state transport path.
+    """Run the message layer on the seed-state code paths.
 
-    Disables the :meth:`Network.send` fast path so every message walks
-    the full fault/trace/metrics branch ladder, exactly as the seed
-    transport did.  Combine with :class:`ReferenceSimulator` (via the
-    scenarios' ``simulator_factory``) to put the whole event layer on
-    the reference loop.
+    Three class-wide swaps put every message on the original machinery:
+
+    * :attr:`Network.use_fast_path` off — every send walks the full
+      fault/trace/metrics branch ladder, and ``send_wave`` degenerates
+      to the per-send loop (no delivery-wave kernels, no inline
+      sampler, no inline scheduling);
+    * :meth:`FullNode.receive` -> :meth:`FullNode.receive_reference` —
+      delivery dispatches through the seed ``isinstance`` ladder
+      instead of the exact-type table;
+    * :meth:`RoutingTable.observe` -> ``observe_reference`` — the
+      per-message bucket index is recomputed from the 256-bit digests
+      instead of memoized;
+    * the four hot block-sync handlers (``_on_new_block``,
+      ``_on_blocks``, ``_on_new_block_hashes``, ``_on_get_blocks``) ->
+      their retained ``*_reference`` seed bodies — every served or
+      announced block pays the full ``_adopt_block``/``import_block``
+      call chain and the per-call index lookups the seed paid.
+
+    Combine with :class:`ReferenceSimulator` (via the scenarios'
+    ``simulator_factory``) to put the whole event layer on the
+    reference loop.  Class-level patches, restored on exit — don't nest
+    with concurrent fast-path runs in the same process.
     """
-    saved = Network.use_fast_path
+    from ..net.kademlia import RoutingTable
+    from ..net.node import FullNode
+
+    saved_fast_path = Network.use_fast_path
+    saved_receive = FullNode.receive
+    saved_observe = RoutingTable.observe
+    saved_handlers = {
+        name: getattr(FullNode, name)
+        for name in (
+            "_on_new_block",
+            "_on_blocks",
+            "_on_new_block_hashes",
+            "_on_get_blocks",
+        )
+    }
     Network.use_fast_path = False
+    FullNode.receive = FullNode.receive_reference
+    RoutingTable.observe = RoutingTable.observe_reference
+    for name in saved_handlers:
+        setattr(FullNode, name, getattr(FullNode, f"{name}_reference"))
     try:
         yield
     finally:
-        Network.use_fast_path = saved
+        Network.use_fast_path = saved_fast_path
+        FullNode.receive = saved_receive
+        RoutingTable.observe = saved_observe
+        for name, saved in saved_handlers.items():
+            setattr(FullNode, name, saved)

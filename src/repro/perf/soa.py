@@ -1,0 +1,95 @@
+"""Struct-of-arrays accounting for the obs-disabled hot paths.
+
+The seed kept per-node telemetry in a plain ``dict`` — every counter
+bump on the message hot path paid a string hash, a dict probe, and a
+boxed-int store.  :class:`NodeStats` keeps the same counters in
+``__slots__`` storage, so the hot sites increment a fixed slot
+(``stats.blocks_imported += 1``) while every existing reader keeps
+working: the class implements the read side of the mapping protocol
+(``stats["blocks_mined"]``, ``stats.get(key, 0)``, iteration,
+``dict(stats)``), because the scenarios, the robustness report, and the
+tests all read telemetry by key.
+
+This is the "struct" half of struct-of-arrays; the "arrays" are the
+nodes — each field lives at the same slot offset in every node, instead
+of each node carrying its own hash table of boxed counters.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, Tuple
+
+__all__ = ["NodeStats"]
+
+
+class NodeStats:
+    """Fixed-field per-node counters with a dict-compatible read side."""
+
+    __slots__ = (
+        "blocks_imported",
+        "blocks_mined",
+        "txs_admitted",
+        "handshakes_refused",
+        "disconnects_incompatible",
+        "dials_started",
+        "dials_timed_out",
+        "peers_evicted_unresponsive",
+        "peers_banned",
+        "head_reannounces",
+    )
+
+    def __init__(self) -> None:
+        for field in self.__slots__:
+            setattr(self, field, 0)
+
+    # -- mapping protocol (read/write by key, for the telemetry readers) --
+
+    def __getitem__(self, key: str) -> int:
+        try:
+            return getattr(self, key)
+        except (AttributeError, TypeError):
+            raise KeyError(key) from None
+
+    def __setitem__(self, key: str, value: int) -> None:
+        if key not in self.__slots__:
+            raise KeyError(key)
+        setattr(self, key, value)
+
+    def get(self, key: str, default: Any = None) -> Any:
+        if key in self.__slots__:
+            return getattr(self, key)
+        return default
+
+    def __contains__(self, key: object) -> bool:
+        return key in self.__slots__
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.__slots__)
+
+    def __len__(self) -> int:
+        return len(self.__slots__)
+
+    def keys(self) -> Tuple[str, ...]:
+        return self.__slots__
+
+    def values(self) -> Tuple[int, ...]:
+        return tuple(getattr(self, field) for field in self.__slots__)
+
+    def items(self) -> Tuple[Tuple[str, int], ...]:
+        return tuple(
+            (field, getattr(self, field)) for field in self.__slots__
+        )
+
+    def as_dict(self) -> Dict[str, int]:
+        return {field: getattr(self, field) for field in self.__slots__}
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, NodeStats):
+            return self.items() == other.items()
+        if isinstance(other, dict):
+            return self.as_dict() == other
+        return NotImplemented
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        body = ", ".join(f"{k}={v}" for k, v in self.items())
+        return f"NodeStats({body})"

@@ -1,0 +1,230 @@
+"""Differential tests: the calendar-queue scheduler vs the heap engine.
+
+:class:`BucketSimulator` claims trajectory-identity with the binary-heap
+:class:`Simulator` (and the seed-state :class:`ReferenceSimulator`): same
+firing order, same ``events_processed``, same observability streams, for
+any legal schedule/cancel/run_until sequence.  These tests feed all
+three engines identical randomized workloads — same-timestamp bursts,
+mid-run cancellations, rejected NaN/inf delays, staggered horizons —
+and require bit-identical outcomes.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.net.bucketqueue import BucketSimulator
+from repro.net.simulator import SimulationError, Simulator
+from repro.obs import Observability
+from repro.perf.reference import ReferenceSimulator
+
+ENGINES = [Simulator, BucketSimulator, ReferenceSimulator]
+
+
+def run_workload(factory, seed, cap=2500):
+    """A deterministic, self-scheduling storm with ties and cancels.
+
+    The RNG is consumed only inside callbacks, in firing order — so two
+    engines stay in lockstep exactly as long as they fire identically,
+    and any ordering divergence snowballs into a different log.
+    """
+    sim = factory()
+    rng = random.Random(seed)
+    log = []
+    cancellable = []
+
+    def spawn(label):
+        def callback():
+            log.append((sim.now, label))
+            if len(log) >= cap:
+                return
+            u = rng.random()
+            if u < 0.30:
+                # Same-timestamp burst: three FIFO ties in one bucket.
+                delay = rng.random() * 2.0
+                for i in range(3):
+                    cancellable.append(
+                        sim.schedule(delay, spawn(label * 7 + i + 1))
+                    )
+            elif u < 0.62:
+                sim.schedule(rng.random() * 5.0, spawn(label + 101))
+            elif u < 0.72 and cancellable:
+                cancellable.pop(rng.randrange(len(cancellable))).cancel()
+            elif u < 0.76:
+                # Rejected delays must not consume queue state.
+                with pytest.raises(SimulationError):
+                    sim.schedule(float("nan"), callback)
+            elif u < 0.80:
+                sim.schedule(25.0 + rng.random() * 100.0, spawn(label + 977))
+        return callback
+
+    for i in range(40):
+        cancellable.append(sim.schedule(rng.random() * 10.0, spawn(i)))
+    processed = [sim.run_until(horizon)
+                 for horizon in (6.0, 6.0, 21.5, 80.0, 400.0)]
+    processed.append(sim.run_all())
+    return log, processed, sim.events_processed, sim.now, sim.pending
+
+
+class TestRandomizedDifferential:
+    @pytest.mark.parametrize("seed", [1, 7, 23, 1016])
+    def test_three_engines_agree(self, seed):
+        results = [run_workload(engine, seed) for engine in ENGINES]
+        assert results[0] == results[1] == results[2]
+
+    @pytest.mark.parametrize("width", [0.05, 0.25, 3.0, 500.0])
+    def test_bucket_width_does_not_change_trajectory(self, width):
+        baseline = run_workload(Simulator, 99)
+        bucketed = run_workload(
+            lambda: BucketSimulator(bucket_width=width), 99
+        )
+        assert bucketed == baseline
+
+    @pytest.mark.parametrize("seed", [3, 44])
+    def test_obs_streams_identical(self, seed):
+        def observed(engine):
+            obs = Observability.enabled()
+            run_workload(lambda: engine(obs=obs), seed, cap=600)
+            return obs.tracer.digest(), obs.metrics.digest()
+
+        assert observed(Simulator) == observed(BucketSimulator)
+
+
+class TestOrderingEquivalence:
+    def test_fifo_among_equal_timestamps_across_buckets(self):
+        """Ties must fire in schedule order even when interleaved with
+        schedules into the currently draining bucket."""
+        def run(factory):
+            sim = factory()
+            log = []
+
+            def tick(tag):
+                log.append((sim.now, tag))
+                if tag == "a0":
+                    # schedule back into the current bucket, same time
+                    sim.schedule(0.0, lambda: log.append((sim.now, "nested")))
+            for i in range(6):
+                sim.schedule(1.0, lambda i=i: tick(f"a{i}"))
+                sim.schedule(1.0 + 1e-12, lambda i=i: tick(f"b{i}"))
+            sim.run_all()
+            return log
+
+        assert run(Simulator) == run(lambda: BucketSimulator(bucket_width=0.5))
+
+    def test_horizon_pause_then_earlier_schedule(self):
+        """After a horizon pause mid-bucket, a schedule targeting an
+        earlier bucket must still fire in global time order."""
+        def run(factory):
+            sim = factory()
+            log = []
+            sim.schedule(10.0, lambda: log.append("late"))
+            sim.run_until(2.0)  # loads nothing, but establishes now=2.0
+            sim.schedule(1.0, lambda: log.append("early"))  # t=3.0 < 10.0
+            sim.run_all()
+            return log
+
+        expected = run(Simulator)
+        assert expected == ["early", "late"]
+        assert run(lambda: BucketSimulator(bucket_width=100.0)) == expected
+
+
+class TestBudgetsAndStep:
+    def test_max_events_raises_identically(self):
+        def run(factory):
+            sim = factory()
+            fired = []
+            for i in range(10):
+                sim.schedule(float(i), lambda i=i: fired.append(i))
+            with pytest.raises(SimulationError):
+                sim.run_until(100.0, max_events=4)
+            # The budgeted entries fired; the rest are still queued.
+            resumed = sim.run_until(100.0)
+            return fired, resumed, sim.events_processed
+
+        assert run(Simulator) == run(BucketSimulator)
+
+    def test_step_drains_cancelled_and_dispatches(self):
+        def run(factory):
+            sim = factory()
+            fired = []
+            keep = sim.schedule(1.0, lambda: fired.append("keep"))
+            for _ in range(3):
+                sim.schedule(0.5, lambda: fired.append("dead")).cancel()
+            steps = []
+            while sim.step():
+                steps.append(sim.now)
+            return fired, steps, sim.events_processed, sim.pending
+
+        assert run(Simulator) == run(BucketSimulator) == run(ReferenceSimulator)
+
+    def test_run_all_budget_ignores_cancelled_tail(self):
+        def run(factory):
+            sim = factory()
+            for i in range(5):
+                sim.schedule(float(i), lambda: None)
+            sim.schedule(9.0, lambda: None).cancel()
+            return sim.run_all(max_events=5), sim.pending
+
+        assert run(Simulator) == run(BucketSimulator) == (5, 0)
+
+
+class TestValidationAndConstruction:
+    @pytest.mark.parametrize(
+        "delay", [-1.0, float("nan"), float("inf"), -float("inf")]
+    )
+    def test_bad_delays_rejected(self, delay):
+        sim = BucketSimulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(delay, lambda: None)
+        assert sim.pending == 0
+
+    def test_bad_bucket_width_rejected(self):
+        for width in (0.0, -1.0, float("nan"), float("inf")):
+            with pytest.raises((SimulationError, ValueError)):
+                BucketSimulator(bucket_width=width)
+
+    def test_negative_start_time_rejected(self):
+        with pytest.raises((SimulationError, ValueError)):
+            BucketSimulator(start_time=-5.0)
+
+    def test_class_switch_redirects_construction(self):
+        saved = Simulator.use_bucket_queue
+        try:
+            Simulator.use_bucket_queue = True
+            sim = Simulator()
+            assert type(sim) is BucketSimulator
+        finally:
+            Simulator.use_bucket_queue = saved
+        assert type(Simulator()) is Simulator
+
+    def test_class_switch_leaves_subclasses_alone(self):
+        class Custom(Simulator):
+            pass
+
+        saved = Simulator.use_bucket_queue
+        try:
+            Simulator.use_bucket_queue = True
+            assert type(Custom()) is Custom
+        finally:
+            Simulator.use_bucket_queue = saved
+
+
+class TestScenarioDigest:
+    def test_partition_digest_identical_under_bucket_engine(self):
+        from repro.perf.bench import _partition_digest
+        from repro.scenarios.partition_event import (
+            PartitionScenario,
+            PartitionScenarioConfig,
+        )
+
+        def run(sim_cls):
+            config = PartitionScenarioConfig(
+                num_nodes=10, num_miners=3, post_fork_horizon=240.0, seed=13
+            )
+            scenario = PartitionScenario(
+                config, simulator_factory=lambda **kw: sim_cls(**kw)
+            )
+            return _partition_digest(scenario.run())
+
+        assert run(Simulator) == run(BucketSimulator)
