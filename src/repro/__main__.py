@@ -33,6 +33,13 @@ Subcommands:
     ``BENCH_<name>.json`` regression reports and exit nonzero if any
     fast/reference result digests diverge.
 
+``serve``
+    Start the long-running scenario service (:mod:`repro.serve`): an
+    asyncio HTTP/JSON server that accepts scenario jobs, dedupes
+    identical configs into one running job, streams progress over SSE,
+    persists results to a durable SQLite store, and enforces per-tenant
+    admission quotas.
+
 ``trace``
     Run one partition (or chaos-partition) scenario with the
     :mod:`repro.obs` layer fully enabled: export every trace event as
@@ -104,6 +111,10 @@ def _build_parser() -> argparse.ArgumentParser:
                              "worker is killed and the job retried")
     runall.add_argument("--retries", type=int, default=1,
                         help="extra attempts after a timeout or crash")
+    runall.add_argument("--cache-max-bytes", type=int, default=None,
+                        help="after the run, evict least-recently-stored "
+                             "cache entries until the cache fits this "
+                             "many bytes")
 
     sweep = sub.add_parser(
         "fault-sweep",
@@ -161,6 +172,51 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="chaos only: cross-region cut duration (s)")
     trace.add_argument("--ring", type=int, default=4096,
                        help="ring-buffer capacity for in-memory capture")
+
+    serve = sub.add_parser(
+        "serve",
+        help="long-running multi-tenant scenario service: HTTP/JSON "
+             "job submission with dedupe, durable results, SSE "
+             "progress streaming, and per-tenant quotas",
+    )
+    serve.add_argument("--host", type=str, default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8734,
+                       help="listen port (0 binds an ephemeral port; "
+                            "the bound port is printed on startup)")
+    serve.add_argument("--cache-dir", type=str, default=".repro-cache",
+                       help="content-addressed result cache shared "
+                            "with run-all")
+    serve.add_argument("--no-cache", action="store_true",
+                       help="run every job without the pickle cache")
+    serve.add_argument("--db", type=str, default=".repro-serve.db",
+                       help="durable SQLite job/result store (WAL); "
+                            "'none' disables durability")
+    serve.add_argument("--workers", type=int, default=1,
+                       help="worker processes per job (1 = in-thread "
+                            "serial execution)")
+    serve.add_argument("--exec-threads", type=int, default=4,
+                       help="concurrent jobs the server executes")
+    serve.add_argument("--timeout", type=float, default=900.0,
+                       help="per-job deadline (seconds)")
+    serve.add_argument("--retries", type=int, default=1)
+    serve.add_argument("--max-inflight", type=int, default=16,
+                       help="server-wide cap on queued+running jobs")
+    serve.add_argument("--tenant-max-inflight", type=int, default=2,
+                       help="running jobs allowed per tenant")
+    serve.add_argument("--tenant-max-queued", type=int, default=8,
+                       help="queued jobs allowed per tenant")
+    serve.add_argument("--cache-max-bytes", type=int, default=None,
+                       help="maintenance loop prunes the cache to this "
+                            "size (LRU by mtime); unset = unbounded")
+    serve.add_argument("--maintenance-interval", type=float, default=60.0,
+                       help="seconds between cache maintenance passes")
+    serve.add_argument("--drain-timeout", type=float, default=30.0,
+                       help="seconds to wait for in-flight jobs on "
+                            "shutdown")
+    serve.add_argument("--allow-kind", action="append", default=None,
+                       metavar="KIND",
+                       help="extend the served job kinds (repeatable); "
+                            "default: the public experiment kinds")
 
     bench = sub.add_parser(
         "bench",
@@ -268,6 +324,7 @@ def cmd_run_all(args) -> int:
         retries=args.retries,
         sample_days=args.sample_days,
         progress=ProgressReporter(),
+        cache_max_bytes=args.cache_max_bytes,
     )
     print()
     print(manifest.summary())
@@ -375,6 +432,53 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    import asyncio
+
+    from .serve.app import DEFAULT_ALLOWED_KINDS
+    from .serve.server import ScenarioServer, ServeConfig
+
+    for name, value in (("--port", args.port), ("--workers", args.workers),
+                        ("--exec-threads", args.exec_threads),
+                        ("--max-inflight", args.max_inflight),
+                        ("--tenant-max-inflight", args.tenant_max_inflight)):
+        if value < 0 or (value < 1 and name not in ("--port",)):
+            print(f"error: {name} must be >= 1", file=sys.stderr)
+            return 2
+    if args.tenant_max_queued < 0:
+        print("error: --tenant-max-queued must be >= 0", file=sys.stderr)
+        return 2
+    if args.cache_max_bytes is not None and args.cache_max_bytes < 0:
+        print("error: --cache-max-bytes must be >= 0", file=sys.stderr)
+        return 2
+    allowed = None
+    if args.allow_kind:
+        allowed = tuple(dict.fromkeys(
+            (*DEFAULT_ALLOWED_KINDS, *args.allow_kind)
+        ))
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        cache_dir=None if args.no_cache else args.cache_dir,
+        db_path=None if args.db.lower() == "none" else args.db,
+        workers=args.workers,
+        timeout=args.timeout,
+        retries=args.retries,
+        max_threads=args.exec_threads,
+        max_inflight=args.max_inflight,
+        tenant_max_inflight=args.tenant_max_inflight,
+        tenant_max_queued=args.tenant_max_queued,
+        cache_max_bytes=args.cache_max_bytes,
+        maintenance_interval=args.maintenance_interval,
+        drain_timeout=args.drain_timeout,
+        allowed_kinds=allowed,
+    )
+    try:
+        return asyncio.run(ScenarioServer(config).serve_forever())
+    except KeyboardInterrupt:  # platforms without signal-handler support
+        return 0
+
+
 def cmd_bench(args) -> int:
     from .perf.bench import bench_from_args
 
@@ -400,6 +504,7 @@ def main(argv: Optional[list] = None) -> int:
         "run-all": cmd_run_all,
         "fault-sweep": cmd_fault_sweep,
         "trace": cmd_trace,
+        "serve": cmd_serve,
         "bench": cmd_bench,
     }
     return handlers[args.command](args)

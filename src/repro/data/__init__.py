@@ -9,6 +9,7 @@ from .csvio import (
     write_txs_csv,
 )
 from .records import BlockRecord, TxRecord, export_chain, export_transactions
+from .resultstore import RESULTSTORE_SCHEMA_VERSION, JobRow, ResultStore
 from .sqlstore import SqliteChainDatabase
 from .store import ChainDatabase
 from .windows import (
@@ -29,6 +30,9 @@ __all__ = [
     "export_chain",
     "export_transactions",
     "ChainDatabase",
+    "JobRow",
+    "RESULTSTORE_SCHEMA_VERSION",
+    "ResultStore",
     "SqliteChainDatabase",
     "HOUR",
     "DAY",

@@ -61,9 +61,24 @@ class SqliteChainDatabase:
             print(db.blocks_per_hour("ETC"))
     """
 
+    #: Milliseconds a writer waits on a locked database before raising
+    #: ``sqlite3.OperationalError`` — generous enough for a reader-heavy
+    #: scenario server sharing the file with an ingesting writer.
+    BUSY_TIMEOUT_MS = 5000
+
     def __init__(self, path: Union[str, Path] = ":memory:") -> None:
         self._conn = sqlite3.connect(str(path))
+        # WAL lets concurrent readers (e.g. the repro.serve process)
+        # proceed while one writer appends; on ``:memory:`` databases
+        # SQLite ignores the request and stays in ``memory`` mode.
+        self._conn.execute(f"PRAGMA busy_timeout={self.BUSY_TIMEOUT_MS}")
+        self._conn.execute("PRAGMA journal_mode=WAL")
         self._conn.executescript(_SCHEMA)
+
+    @property
+    def journal_mode(self) -> str:
+        (mode,) = self._conn.execute("PRAGMA journal_mode").fetchone()
+        return mode
 
     # -- lifecycle -----------------------------------------------------------
 

@@ -23,7 +23,7 @@ bit-identical simulation whether run in-process or in a worker
 experiment's identity and a hit is equivalent to a re-run.
 """
 
-from .cache import CacheStats, NullCache, ResultCache
+from .cache import CacheStats, NullCache, PruneResult, ResultCache
 from .faultsweep import (
     FaultSweepConfig,
     build_fault_grid,
@@ -45,6 +45,7 @@ from .jobs import (
     observations_spec,
     partition_spec,
     register_runner,
+    registered_kinds,
     run_cached,
     run_job,
     simulate_spec,
@@ -69,6 +70,7 @@ __all__ = [
     "NullCache",
     "NullProgress",
     "ProgressReporter",
+    "PruneResult",
     "ResultCache",
     "RunManifest",
     "WorkerPool",
@@ -84,6 +86,7 @@ __all__ = [
     "observations_spec",
     "partition_spec",
     "register_runner",
+    "registered_kinds",
     "run_all",
     "run_cached",
     "run_fault_sweep",

@@ -20,24 +20,49 @@ import os
 import pickle
 import tempfile
 from pathlib import Path
-from typing import Any, Tuple, Union
+from typing import Any, List, NamedTuple, Tuple, Union
 
-__all__ = ["ResultCache", "NullCache", "CacheStats"]
+__all__ = ["ResultCache", "NullCache", "CacheStats", "PruneResult"]
 
 
 class CacheStats:
-    """Hit/miss/store counters, shared by both cache flavours."""
+    """Hit/miss/store counters plus byte accounting, shared by both
+    cache flavours.  ``bytes_written`` totals the pickled payloads this
+    instance stored; ``evictions``/``bytes_evicted`` count what
+    :meth:`ResultCache.prune` removed."""
 
     def __init__(self) -> None:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.bytes_written = 0
+        self.evictions = 0
+        self.bytes_evicted = 0
 
     def as_dict(self) -> dict:
-        return {"hits": self.hits, "misses": self.misses, "stores": self.stores}
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "bytes_written": self.bytes_written,
+            "evictions": self.evictions,
+            "bytes_evicted": self.bytes_evicted,
+        }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"CacheStats(hits={self.hits}, misses={self.misses}, stores={self.stores})"
+        return (
+            f"CacheStats(hits={self.hits}, misses={self.misses}, "
+            f"stores={self.stores}, bytes_written={self.bytes_written}, "
+            f"evictions={self.evictions}, bytes_evicted={self.bytes_evicted})"
+        )
+
+
+class PruneResult(NamedTuple):
+    """What one :meth:`ResultCache.prune` pass removed and kept."""
+
+    evicted: int
+    bytes_evicted: int
+    remaining_bytes: int
 
 
 class NullCache:
@@ -103,6 +128,7 @@ class ResultCache:
         try:
             with os.fdopen(descriptor, "wb") as handle:
                 pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                size = handle.tell()
             os.replace(tmp_name, path)
         except BaseException:
             try:
@@ -111,3 +137,57 @@ class ResultCache:
                 pass
             raise
         self.stats.stores += 1
+        self.stats.bytes_written += size
+
+    # -- size accounting and eviction --------------------------------------
+
+    def _entries(self) -> List[Tuple[float, int, Path]]:
+        """Every live entry as ``(mtime, size, path)``; vanished files
+        (a concurrent prune or eviction) are simply skipped."""
+        entries: List[Tuple[float, int, Path]] = []
+        if not self.root.exists():
+            return entries
+        for path in self.root.glob("*/*.pkl"):
+            try:
+                info = path.stat()
+            except OSError:
+                continue
+            entries.append((info.st_mtime, info.st_size, path))
+        return entries
+
+    def total_bytes(self) -> int:
+        """Bytes currently held by cache entries (excludes temp files)."""
+        return sum(size for _, size, _ in self._entries())
+
+    def prune(self, max_bytes: int) -> PruneResult:
+        """Evict least-recently-modified entries until the cache fits.
+
+        LRU-by-mtime: ``lookup`` never touches mtime, so this is
+        least-recently-*stored* — good enough for a maintenance loop
+        whose job is bounding disk, not perfect recency.  Races are
+        benign: an entry deleted under us is counted as already gone,
+        and a concurrent ``store`` of an evicted key simply recreates
+        it on the next miss.
+        """
+        if max_bytes < 0:
+            raise ValueError("max_bytes must be >= 0")
+        entries = sorted(self._entries())
+        total = sum(size for _, size, _ in entries)
+        evicted = 0
+        bytes_evicted = 0
+        for _, size, path in entries:
+            if total <= max_bytes:
+                break
+            try:
+                path.unlink()
+            except FileNotFoundError:
+                total -= size
+                continue
+            except OSError:
+                continue
+            total -= size
+            evicted += 1
+            bytes_evicted += size
+        self.stats.evictions += evicted
+        self.stats.bytes_evicted += bytes_evicted
+        return PruneResult(evicted, bytes_evicted, total)

@@ -47,6 +47,7 @@ __all__ = [
     "JobOutcome",
     "EchoBundle",
     "register_runner",
+    "registered_kinds",
     "run_job",
     "execute_job",
     "run_cached",
@@ -150,6 +151,12 @@ def register_runner(kind: str, wants_registry: bool = False):
         return fn
 
     return decorator
+
+
+def registered_kinds() -> Tuple[str, ...]:
+    """Every job kind with a registered runner, sorted (for the serve
+    layer's request validation and for introspection)."""
+    return tuple(sorted(_RUNNERS))
 
 
 def run_job(spec: JobSpec, cache, registry=None) -> Any:

@@ -12,6 +12,8 @@ answerable from the artifact alone.
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 import time
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
@@ -103,9 +105,24 @@ class RunManifest:
         return json.dumps(self.to_dict(), indent=2, sort_keys=True)
 
     def write(self, path: Union[str, Path]) -> Path:
+        """Atomic write (temp file + ``os.replace``, matching
+        :meth:`ResultCache.store`): a run killed mid-write leaves either
+        the previous manifest or the new one, never a truncated JSON."""
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(self.dumps() + "\n")
+        descriptor, tmp_name = tempfile.mkstemp(
+            prefix=f".{path.name}-", suffix=".tmp", dir=path.parent
+        )
+        try:
+            with os.fdopen(descriptor, "w") as handle:
+                handle.write(self.dumps() + "\n")
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
         return path
 
     @classmethod

@@ -36,6 +36,7 @@ from .jobs import (
     partition_spec,
     simulate_spec,
 )
+from .cache import ResultCache
 from .manifest import RunManifest
 from .pool import DEFAULT_TIMEOUT, WorkerPool
 from .progress import NullProgress
@@ -74,11 +75,14 @@ def run_all(
     sample_days: int = 7,
     progress=None,
     partition_config: Optional[PartitionScenarioConfig] = None,
+    cache_max_bytes: Optional[int] = None,
 ) -> RunManifest:
     """Produce all five figures and the scoreboard; returns the manifest.
 
     ``cache_dir=None`` disables caching entirely (the ``--no-cache``
     path); every job then recomputes its inputs from scratch.
+    ``cache_max_bytes`` bounds the cache after the run: oldest entries
+    are evicted (LRU by mtime) until the total fits.
     """
     progress = progress or NullProgress()
     output_dir = Path(output_dir)
@@ -135,6 +139,15 @@ def run_all(
 
     manifest.write(manifest_path)
     progress.note(f"manifest: {manifest_path}")
+
+    if cache_dir is not None and cache_max_bytes is not None:
+        pruned = ResultCache(cache_dir).prune(cache_max_bytes)
+        if pruned.evicted:
+            progress.note(
+                f"cache pruned: evicted {pruned.evicted} entries "
+                f"({pruned.bytes_evicted} bytes), "
+                f"{pruned.remaining_bytes} bytes remain"
+            )
     return manifest
 
 

@@ -1,0 +1,70 @@
+"""repro.serve — the multi-tenant scenario service.
+
+A fifth layer on top of orchestration (:mod:`repro.harness`), chaos
+(:mod:`repro.faults`), observability (:mod:`repro.obs`), and perf
+(:mod:`repro.perf`): a long-running asyncio HTTP/JSON server — stdlib
+only — that turns the harness's content-addressed jobs into a shared
+service.  ``python -m repro serve`` starts it.
+
+* :mod:`~repro.serve.http` — hand-rolled HTTP/1.1 + SSE on asyncio
+  streams (no new runtime dependencies).
+* :mod:`~repro.serve.summary` — canonical-JSON result summaries and the
+  SHA-256 digest contract shared with local ``run-all`` execution.
+* :mod:`~repro.serve.quotas` — tenant identity (token header → tenant
+  id) and admission control (per-tenant in-flight/queued budgets, 429).
+* :mod:`~repro.serve.registry` — single-flight job dedupe over four
+  answer tiers (memory / durable store / in-flight / execute) with
+  append-only event histories fanned out to any number of subscribers.
+* :mod:`~repro.serve.executor` — the bridge running jobs on the
+  existing :class:`~repro.harness.pool.WorkerPool` (same cache, same
+  timeouts/retries, same ``collect_metrics``) in threads off the loop.
+* :mod:`~repro.serve.app` — the endpoint table (``POST /jobs``,
+  ``GET /jobs/{id}``, ``GET /jobs/{id}/events``, ``GET
+  /results/{digest}``, ``GET /metrics``, ``GET /healthz``).
+* :mod:`~repro.serve.server` — lifecycle: sockets, SIGTERM-graceful
+  drain, the cache-pruning maintenance loop, and
+  :class:`BackgroundServer` for embedding/tests.
+
+Durability lives in :class:`repro.data.resultstore.ResultStore` (WAL
+SQLite): job records and result summaries survive restarts, so a
+resubmitted config is answered without recomputation and
+``GET /results/{digest}`` works across process lifetimes.
+"""
+
+from .app import DEFAULT_ALLOWED_KINDS, ScenarioApp
+from .executor import EventLoopProgress, ExecutorBridge
+from .http import HttpError, Request, Response, read_request, sse_event
+from .quotas import (
+    AdmissionController,
+    QuotaExceeded,
+    TenantQuota,
+    tenant_for,
+)
+from .registry import TERMINAL_EVENTS, JobRegistry, ServeJob
+from .server import BackgroundServer, ScenarioServer, ServeConfig
+from .summary import register_summarizer, summarize, summary_digest
+
+__all__ = [
+    "AdmissionController",
+    "BackgroundServer",
+    "DEFAULT_ALLOWED_KINDS",
+    "EventLoopProgress",
+    "ExecutorBridge",
+    "HttpError",
+    "JobRegistry",
+    "QuotaExceeded",
+    "Request",
+    "Response",
+    "ScenarioApp",
+    "ScenarioServer",
+    "ServeConfig",
+    "ServeJob",
+    "TERMINAL_EVENTS",
+    "TenantQuota",
+    "read_request",
+    "register_summarizer",
+    "sse_event",
+    "summarize",
+    "summary_digest",
+    "tenant_for",
+]

@@ -1,0 +1,123 @@
+"""The executor bridge: harness :class:`WorkerPool` runs, off the loop.
+
+The event loop must never block on a simulation, so every engine-bound
+job is handed to a small :class:`~concurrent.futures.ThreadPoolExecutor`
+whose threads each drive one :class:`~repro.harness.pool.WorkerPool`
+invocation — the *same* execution path as ``run-all``: content-addressed
+cache lookup first, per-job timeout, bounded fresh-worker retries, and
+``collect_metrics`` summaries on the job record.  With ``workers=1`` the
+pool runs the job in the bridge thread itself (the serial path); with
+more, it forks worker processes and the bridge thread merely supervises.
+
+Progress crosses back to the loop through
+:class:`EventLoopProgress`, a thread-safe
+:class:`~repro.harness.progress.NullProgress` subclass that re-posts
+every pool callback (``job_started``, ``job_finished``, ``note``) onto
+the event loop via ``call_soon_threadsafe`` — the registry turns those
+into SSE events for subscribers.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import asdict
+from typing import Callable, Optional
+
+from ..harness.jobs import JobSpec
+from ..harness.pool import DEFAULT_TIMEOUT, JobResult, WorkerPool
+from ..harness.progress import NullProgress
+
+__all__ = ["ExecutorBridge", "EventLoopProgress"]
+
+
+class EventLoopProgress(NullProgress):
+    """Pool progress callbacks, marshalled onto the event loop.
+
+    Every method may be (and is) called from the bridge thread; each
+    re-posts through ``call_soon_threadsafe``.  ``on_started`` fires at
+    most once, when the pool first picks the job up.
+    """
+
+    def __init__(
+        self,
+        loop: asyncio.AbstractEventLoop,
+        publish: Callable[[str, dict], None],
+        on_started: Optional[Callable[[], None]] = None,
+    ) -> None:
+        self._loop = loop
+        self._publish = publish
+        self._on_started = on_started
+        self._started_sent = False
+
+    def _post(self, callback, *args) -> None:
+        try:
+            self._loop.call_soon_threadsafe(callback, *args)
+        except RuntimeError:
+            pass  # loop already closed mid-shutdown; drop the event
+
+    def job_started(self, label: str) -> None:
+        if not self._started_sent:
+            self._started_sent = True
+            if self._on_started is not None:
+                self._post(self._on_started)
+        self._post(self._publish, "started", {"label": label})
+
+    def job_finished(self, record) -> None:
+        payload = asdict(record)
+        payload.pop("metrics", None)  # streamed separately when present
+        self._post(self._publish, "progress", payload)
+
+    def note(self, message: str) -> None:
+        self._post(self._publish, "note", {"message": message})
+
+
+class ExecutorBridge:
+    """Owns the bridge threads and the pool configuration."""
+
+    def __init__(
+        self,
+        workers: int = 1,
+        cache_dir: Optional[str] = None,
+        timeout: Optional[float] = DEFAULT_TIMEOUT,
+        retries: int = 1,
+        collect_metrics: bool = True,
+        max_threads: int = 4,
+    ) -> None:
+        if max_threads < 1:
+            raise ValueError("max_threads must be >= 1")
+        self.workers = workers
+        self.cache_dir = str(cache_dir) if cache_dir else None
+        self.timeout = timeout
+        self.retries = retries
+        self.collect_metrics = collect_metrics
+        self._threads = ThreadPoolExecutor(
+            max_workers=max_threads, thread_name_prefix="repro-serve-exec"
+        )
+
+    async def execute(
+        self,
+        spec: JobSpec,
+        publish: Callable[[str, dict], None],
+        on_started: Optional[Callable[[], None]] = None,
+    ) -> JobResult:
+        """Run one spec through a WorkerPool in a bridge thread."""
+        loop = asyncio.get_running_loop()
+        progress = EventLoopProgress(loop, publish, on_started)
+        return await loop.run_in_executor(
+            self._threads, self._run_sync, spec, progress
+        )
+
+    def _run_sync(self, spec: JobSpec, progress: EventLoopProgress) -> JobResult:
+        pool = WorkerPool(
+            workers=self.workers,
+            cache_dir=self.cache_dir,
+            timeout=self.timeout,
+            retries=self.retries,
+            progress=progress,
+            collect_metrics=self.collect_metrics,
+        )
+        return pool.run([spec])[0]
+
+    def shutdown(self, wait: bool = False) -> None:
+        self._threads.shutdown(wait=wait, cancel_futures=True)

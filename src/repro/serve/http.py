@@ -1,0 +1,216 @@
+"""Minimal HTTP/1.1 + Server-Sent Events on asyncio streams.
+
+The scenario service deliberately runs on the standard library alone, so
+this module hand-rolls the few pieces of HTTP it actually needs: parse a
+request (line + headers + Content-Length body), render a response,
+format SSE frames.  Every connection is ``Connection: close`` — the
+service's clients are either one-shot JSON calls or long-lived SSE
+streams, neither of which benefits from keep-alive, and closing per
+request keeps the connection state machine trivial.
+
+Limits are conservative and explicit: request line and each header line
+at 8 KiB, 64 headers, 1 MiB bodies.  Anything outside them raises
+:class:`HttpError`, which the server turns into a JSON error response.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+__all__ = [
+    "HttpError",
+    "Request",
+    "Response",
+    "read_request",
+    "sse_event",
+    "STATUS_REASONS",
+]
+
+MAX_LINE_BYTES = 8192
+MAX_HEADERS = 64
+MAX_BODY_BYTES = 1 << 20
+
+STATUS_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class HttpError(Exception):
+    """A request the server refuses, with the status to say so."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+class Request:
+    """One parsed request."""
+
+    __slots__ = ("method", "path", "query", "headers", "body")
+
+    def __init__(
+        self,
+        method: str,
+        path: str,
+        query: Dict[str, str],
+        headers: Dict[str, str],
+        body: bytes,
+    ) -> None:
+        self.method = method
+        self.path = path
+        self.query = query
+        self.headers = headers
+        self.body = body
+
+    def json(self) -> Any:
+        """The body parsed as JSON; 400 on anything malformed."""
+        if not self.body:
+            raise HttpError(400, "expected a JSON body")
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise HttpError(400, f"malformed JSON body: {exc}") from exc
+
+    def header(self, name: str, default: Optional[str] = None) -> Optional[str]:
+        return self.headers.get(name.lower(), default)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Request({self.method} {self.path})"
+
+
+class Response:
+    """One response, either complete (``body``) or streaming (``stream``).
+
+    A streaming response carries an async iterator of byte chunks (SSE
+    frames); the connection handler writes the header block and then
+    drains the iterator, flushing per chunk.
+    """
+
+    __slots__ = ("status", "headers", "body", "stream")
+
+    def __init__(
+        self,
+        status: int = 200,
+        body: bytes = b"",
+        content_type: str = "application/json",
+        headers: Optional[Dict[str, str]] = None,
+        stream=None,
+    ) -> None:
+        self.status = status
+        self.body = body
+        self.stream = stream
+        self.headers = {"Content-Type": content_type}
+        if headers:
+            self.headers.update(headers)
+
+    @classmethod
+    def json(
+        cls, payload: Any, status: int = 200,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> "Response":
+        body = json.dumps(payload, sort_keys=True, indent=1).encode("utf-8")
+        return cls(status=status, body=body + b"\n", headers=headers)
+
+    @classmethod
+    def error(cls, status: int, message: str) -> "Response":
+        return cls.json({"error": message, "status": status}, status=status)
+
+    @classmethod
+    def sse(cls, stream) -> "Response":
+        return cls(
+            status=200,
+            content_type="text/event-stream",
+            headers={"Cache-Control": "no-store"},
+            stream=stream,
+        )
+
+    def header_bytes(self) -> bytes:
+        reason = STATUS_REASONS.get(self.status, "Unknown")
+        lines = [f"HTTP/1.1 {self.status} {reason}"]
+        headers = dict(self.headers)
+        headers["Connection"] = "close"
+        if self.stream is None:
+            headers["Content-Length"] = str(len(self.body))
+        for name, value in headers.items():
+            lines.append(f"{name}: {value}")
+        return ("\r\n".join(lines) + "\r\n\r\n").encode("ascii")
+
+
+async def _read_line(reader: asyncio.StreamReader) -> bytes:
+    try:
+        line = await reader.readuntil(b"\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return b""  # clean EOF between requests
+        raise HttpError(400, "truncated request") from exc
+    except asyncio.LimitOverrunError as exc:
+        raise HttpError(400, "header line too long") from exc
+    if len(line) > MAX_LINE_BYTES:
+        raise HttpError(400, "header line too long")
+    return line.rstrip(b"\r\n")
+
+
+async def read_request(reader: asyncio.StreamReader) -> Optional[Request]:
+    """Parse one request; None on a connection closed before any bytes."""
+    request_line = await _read_line(reader)
+    if not request_line:
+        return None
+    parts = request_line.split()
+    if len(parts) != 3:
+        raise HttpError(400, "malformed request line")
+    method, target, version = (part.decode("latin-1") for part in parts)
+    if not version.startswith("HTTP/1."):
+        raise HttpError(400, f"unsupported protocol {version}")
+
+    headers: Dict[str, str] = {}
+    while True:
+        line = await _read_line(reader)
+        if not line:
+            break
+        if len(headers) >= MAX_HEADERS:
+            raise HttpError(400, "too many headers")
+        name, sep, value = line.decode("latin-1").partition(":")
+        if not sep:
+            raise HttpError(400, f"malformed header line {line!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    body = b""
+    length_header = headers.get("content-length")
+    if length_header is not None:
+        try:
+            length = int(length_header)
+        except ValueError:
+            raise HttpError(400, "malformed Content-Length") from None
+        if length < 0:
+            raise HttpError(400, "malformed Content-Length")
+        if length > MAX_BODY_BYTES:
+            raise HttpError(413, f"body exceeds {MAX_BODY_BYTES} bytes")
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError as exc:
+            raise HttpError(400, "truncated body") from exc
+    elif headers.get("transfer-encoding"):
+        raise HttpError(400, "chunked request bodies are not supported")
+
+    split = urlsplit(target)
+    query = dict(parse_qsl(split.query, keep_blank_values=True))
+    return Request(method, unquote(split.path), query, headers, body)
+
+
+def sse_event(event: str, data: Any) -> bytes:
+    """One Server-Sent Events frame: ``event:`` + single-line JSON data."""
+    payload = json.dumps(data, sort_keys=True, separators=(",", ":"))
+    return f"event: {event}\ndata: {payload}\n\n".encode("utf-8")

@@ -1,0 +1,159 @@
+"""Admission control: tenant identity and per-tenant/in-flight quotas.
+
+Tenancy is deliberately lightweight — the service trusts its perimeter
+(a reverse proxy, a VPN) for authentication and only needs a stable
+*accounting identity* per caller:
+
+* an explicit ``X-Repro-Tenant: <name>`` header wins;
+* otherwise an ``Authorization: Bearer <token>`` is hashed to a stable
+  pseudonym (the token itself is never stored or logged);
+* otherwise the caller is the shared ``public`` tenant.
+
+Quotas are counted over *engine-bound* jobs only: a request answered
+from memory, the durable store, or the in-flight dedupe table costs the
+tenant nothing — that asymmetry is the whole point of content-addressed
+serving (the cheap path should be free so callers prefer it).  Breaches
+raise :class:`QuotaExceeded`, which the HTTP layer maps to 429, and
+every decision increments a per-tenant counter in the server's
+:class:`~repro.obs.MetricsRegistry`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import re
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+__all__ = ["TenantQuota", "QuotaExceeded", "AdmissionController", "tenant_for"]
+
+_TENANT_RE = re.compile(r"[^a-z0-9_.-]+")
+PUBLIC_TENANT = "public"
+
+
+def tenant_for(headers: Dict[str, str]) -> str:
+    """Resolve the accounting identity for one request's headers."""
+    explicit = headers.get("x-repro-tenant", "").strip().lower()
+    if explicit:
+        return _TENANT_RE.sub("-", explicit)[:64] or PUBLIC_TENANT
+    authorization = headers.get("authorization", "")
+    scheme, _, token = authorization.partition(" ")
+    if scheme.lower() == "bearer" and token.strip():
+        digest = hashlib.sha256(token.strip().encode("utf-8")).hexdigest()
+        return f"tok-{digest[:12]}"
+    return PUBLIC_TENANT
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Limits applied to every tenant individually."""
+
+    max_inflight: int = 2
+    max_queued: int = 8
+
+    def __post_init__(self) -> None:
+        if self.max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        if self.max_queued < 0:
+            raise ValueError("max_queued must be >= 0")
+
+
+class QuotaExceeded(Exception):
+    """Admission refused; ``reason`` names the exhausted budget."""
+
+    def __init__(self, tenant: str, reason: str) -> None:
+        super().__init__(f"tenant {tenant!r}: {reason}")
+        self.tenant = tenant
+        self.reason = reason
+
+
+class AdmissionController:
+    """Book-keeping for queued/running jobs, globally and per tenant.
+
+    The registry drives the lifecycle: :meth:`admit` when a new
+    engine-bound job is accepted (raises on breach), :meth:`started`
+    when its executor picks it up, :meth:`finished` when it lands.
+    All calls happen on the event-loop thread, so plain dicts suffice.
+    """
+
+    def __init__(
+        self,
+        quota: Optional[TenantQuota] = None,
+        max_inflight_total: int = 16,
+        metrics=None,
+    ) -> None:
+        if max_inflight_total < 1:
+            raise ValueError("max_inflight_total must be >= 1")
+        self.quota = quota or TenantQuota()
+        self.max_inflight_total = max_inflight_total
+        self.metrics = metrics
+        self._queued: Dict[str, int] = {}
+        self._running: Dict[str, int] = {}
+
+    # -- counters ----------------------------------------------------------
+
+    def queued_for(self, tenant: str) -> int:
+        return self._queued.get(tenant, 0)
+
+    def running_for(self, tenant: str) -> int:
+        return self._running.get(tenant, 0)
+
+    @property
+    def total_queued(self) -> int:
+        return sum(self._queued.values())
+
+    @property
+    def total_running(self) -> int:
+        return sum(self._running.values())
+
+    @property
+    def total_inflight(self) -> int:
+        return self.total_queued + self.total_running
+
+    def _count(self, name: str, tenant: str) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(f"serve.admission.{name}").inc()
+            self.metrics.counter(f"serve.tenant.{tenant}.{name}").inc()
+
+    def _update_gauges(self) -> None:
+        if self.metrics is not None:
+            self.metrics.gauge("serve.queue.depth").set(self.total_queued)
+            self.metrics.gauge("serve.jobs.running").set(self.total_running)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def admit(self, tenant: str) -> None:
+        """Count one new engine-bound job in, or raise QuotaExceeded."""
+        if self.total_inflight >= self.max_inflight_total:
+            self._count("rejected", tenant)
+            raise QuotaExceeded(
+                tenant,
+                f"server at capacity ({self.max_inflight_total} jobs in flight)",
+            )
+        if self.running_for(tenant) >= self.quota.max_inflight and (
+            self.queued_for(tenant) >= self.quota.max_queued
+        ):
+            self._count("rejected", tenant)
+            raise QuotaExceeded(
+                tenant,
+                f"quota exhausted ({self.quota.max_inflight} running, "
+                f"{self.quota.max_queued} queued)",
+            )
+        self._queued[tenant] = self.queued_for(tenant) + 1
+        self._count("admitted", tenant)
+        self._update_gauges()
+
+    def started(self, tenant: str) -> None:
+        if self.queued_for(tenant) > 0:
+            self._queued[tenant] -= 1
+        self._running[tenant] = self.running_for(tenant) + 1
+        self._update_gauges()
+
+    def finished(self, tenant: str) -> None:
+        if self.running_for(tenant) > 0:
+            self._running[tenant] -= 1
+        elif self.queued_for(tenant) > 0:
+            # A job that failed before its executor started still
+            # releases the slot it was admitted into.
+            self._queued[tenant] -= 1
+        self._update_gauges()

@@ -1,0 +1,308 @@
+"""The job registry: single-flight dedupe, live state, event fan-out.
+
+Every submitted scenario reduces to a :class:`~repro.harness.JobSpec`
+whose ``cache_key()`` is its content address, and the registry keys
+everything on it.  ``submit`` resolves a request through four tiers,
+cheapest first:
+
+1. **memory** — a terminal ``ok`` job from this process's lifetime is
+   returned as-is;
+2. **store** — a completed row in the durable
+   :class:`~repro.data.resultstore.ResultStore` (an earlier process
+   computed it) is materialized into a terminal job, no engine work;
+3. **inflight** (single-flight) — a queued/running job with the same key
+   absorbs the request: the caller shares the job's id, its eventual
+   digest, and its SSE stream, and ``serve.jobs.deduped`` counts the
+   duplicate;
+4. **executed** — only now does admission control charge the tenant and
+   an executor task take the job to the worker pool.
+
+Jobs publish a small event vocabulary (``queued``, ``started``,
+``progress``, ``note``, ``metrics``, then terminal ``done``/``failed``)
+into an append-only history; subscribers get the full history replayed
+and then live events, so late SSE attachments never miss the digest.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import asdict
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..data.resultstore import JobRow, ResultStore
+from ..harness.jobs import JobSpec, canonical_json
+from .quotas import AdmissionController
+from .summary import summarize, summary_digest
+
+__all__ = ["ServeJob", "JobRegistry", "TERMINAL_EVENTS"]
+
+#: SSE event names that end a job's stream.
+TERMINAL_EVENTS = ("done", "failed")
+
+_TERMINAL_STATES = ("ok", "failed", "timeout")
+
+
+class ServeJob:
+    """One content-addressed job and its subscribers."""
+
+    def __init__(
+        self,
+        key: str,
+        kind: str,
+        label: str,
+        tenant: str,
+        spec: Optional[JobSpec] = None,
+    ) -> None:
+        self.key = key
+        self.kind = kind
+        self.label = label
+        self.tenant = tenant
+        self.spec = spec
+        self.state = "queued"
+        self.digest: Optional[str] = None
+        self.error: Optional[str] = None
+        self.record: Optional[Dict[str, Any]] = None
+        self.submitted_at = time.time()
+        self.history: List[Tuple[str, Any]] = []
+        self.done = asyncio.Event()
+        self._subscribers: List[asyncio.Queue] = []
+        self.task: Optional[asyncio.Task] = None
+
+    # -- state -------------------------------------------------------------
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in _TERMINAL_STATES
+
+    def snapshot(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "job": self.key,
+            "kind": self.kind,
+            "label": self.label,
+            "tenant": self.tenant,
+            "state": self.state,
+            "digest": self.digest,
+            "error": self.error,
+            "events": len(self.history),
+        }
+        if self.record is not None:
+            payload["record"] = self.record
+        return payload
+
+    # -- event fan-out -----------------------------------------------------
+
+    def publish(self, event: str, data: Any) -> None:
+        """Append to history and push to every live subscriber."""
+        self.history.append((event, data))
+        for queue in self._subscribers:
+            queue.put_nowait((event, data))
+
+    def subscribe(self) -> Tuple[List[Tuple[str, Any]], asyncio.Queue]:
+        """Atomically: the history so far plus a queue for what follows."""
+        queue: asyncio.Queue = asyncio.Queue()
+        self._subscribers.append(queue)
+        return list(self.history), queue
+
+    def unsubscribe(self, queue: asyncio.Queue) -> None:
+        try:
+            self._subscribers.remove(queue)
+        except ValueError:
+            pass
+
+    def finish(
+        self,
+        state: str,
+        digest: Optional[str] = None,
+        error: Optional[str] = None,
+        record: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        if state not in _TERMINAL_STATES:
+            raise ValueError(f"not a terminal state: {state!r}")
+        self.state = state
+        self.digest = digest
+        self.error = error
+        self.record = record
+        if state == "ok":
+            self.publish("done", {"job": self.key, "digest": digest,
+                                  "state": state})
+        else:
+            self.publish("failed", {"job": self.key, "state": state,
+                                    "error": error})
+        self.done.set()
+
+
+class JobRegistry:
+    """Single-flight scheduling over the executor bridge and the store."""
+
+    def __init__(
+        self,
+        executor,
+        store: Optional[ResultStore] = None,
+        admission: Optional[AdmissionController] = None,
+        metrics=None,
+    ) -> None:
+        self.executor = executor
+        self.store = store
+        self.admission = admission or AdmissionController(metrics=metrics)
+        self.metrics = metrics
+        self.jobs: Dict[str, ServeJob] = {}
+
+    # -- helpers -----------------------------------------------------------
+
+    def _count(self, name: str, amount: int = 1) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(f"serve.jobs.{name}").inc(amount)
+
+    @property
+    def inflight(self) -> List[ServeJob]:
+        return [job for job in self.jobs.values() if not job.terminal]
+
+    def _materialize(self, row: JobRow) -> ServeJob:
+        """A terminal job reconstructed from a durable store row."""
+        job = ServeJob(row.key, row.kind, row.label, row.tenant)
+        job.state = row.status
+        job.digest = row.digest
+        job.error = row.error
+        job.submitted_at = row.submitted_at
+        if row.status == "ok":
+            job.publish("done", {"job": job.key, "digest": row.digest,
+                                 "state": "ok", "source": "store"})
+        else:
+            job.publish("failed", {"job": job.key, "state": row.status,
+                                   "error": row.error, "source": "store"})
+        job.done.set()
+        self.jobs[row.key] = job
+        return job
+
+    # -- public API --------------------------------------------------------
+
+    def lookup(self, key: str) -> Optional[ServeJob]:
+        """The live job for a key, materializing terminal store rows."""
+        job = self.jobs.get(key)
+        if job is not None:
+            return job
+        if self.store is not None:
+            row = self.store.get_job(key)
+            if row is not None and row.terminal:
+                return self._materialize(row)
+        return None
+
+    def submit(self, spec: JobSpec, tenant: str) -> Tuple[ServeJob, str]:
+        """Resolve one request; returns ``(job, source)``.
+
+        ``source`` is one of ``memory`` / ``store`` / ``inflight`` /
+        ``executed`` — the tier that answered (see module docstring).
+        Raises :class:`~repro.serve.quotas.QuotaExceeded` only on the
+        ``executed`` tier.
+        """
+        key = spec.cache_key()
+        job = self.jobs.get(key)
+        if job is not None:
+            if not job.terminal:
+                self._count("deduped")
+                return job, "inflight"
+            if job.state == "ok":
+                self._count("replayed_memory")
+                return job, "memory"
+            # A failed/timeout terminal job may be retried: drop it and
+            # fall through to a fresh submission.
+            del self.jobs[key]
+        if self.store is not None:
+            row = self.store.get_job(key)
+            if row is not None and row.status == "ok":
+                job = self._materialize(row)
+                self._count("replayed_store")
+                return job, "store"
+        self.admission.admit(tenant)  # may raise QuotaExceeded
+        job = ServeJob(key, spec.kind, spec.label, tenant, spec=spec)
+        self.jobs[key] = job
+        if self.store is not None:
+            self.store.record_submitted(
+                key, spec.kind, spec.label, spec.params_json, tenant,
+                submitted_at=job.submitted_at,
+            )
+        self._count("submitted")
+        job.publish("queued", {"job": key, "kind": spec.kind,
+                               "label": spec.label, "tenant": tenant})
+        job.task = asyncio.get_running_loop().create_task(self._run(job))
+        return job, "executed"
+
+    # -- execution ---------------------------------------------------------
+
+    def _on_started(self, job: ServeJob) -> None:
+        if job.state == "queued":
+            job.state = "running"
+            self.admission.started(job.tenant)
+
+    async def _run(self, job: ServeJob) -> None:
+        started = False
+
+        def mark_started() -> None:
+            nonlocal started
+            started = True
+            self._on_started(job)
+
+        try:
+            result = await self.executor.execute(
+                job.spec, publish=job.publish, on_started=mark_started
+            )
+        except Exception as exc:  # noqa: BLE001 - executor infrastructure
+            self._settle_failure(
+                job, "failed", f"executor error: {type(exc).__name__}: {exc}"
+            )
+            return
+        finally:
+            if not started:
+                # The pool never picked it up (crash before start):
+                # release the queued slot.
+                self.admission.started(job.tenant)
+            self.admission.finished(job.tenant)
+
+        record = result.record
+        record_dict = asdict(record)
+        if record.status != "ok":
+            self._count("failed")
+            if self.store is not None:
+                self.store.record_completed(
+                    job.key, record.status, error=record.error,
+                    attempts=record.attempts, wall_time=record.wall_time,
+                )
+            job.finish(record.status, error=record.error, record=record_dict)
+            return
+
+        summary = summarize(job.spec.kind, result.value)
+        digest = summary_digest(summary)
+        if self.metrics is not None:
+            name = "serve.cache.hits" if record.cache_hit else "serve.cache.misses"
+            self.metrics.counter(name).inc()
+        self._count("completed")
+        if self.store is not None:
+            self.store.record_completed(
+                job.key, "ok", digest=digest,
+                summary_json=canonical_json(summary), kind=job.kind,
+                attempts=record.attempts, wall_time=record.wall_time,
+                cache_hit=record.cache_hit,
+            )
+        if record.metrics:
+            job.publish("metrics", record.metrics)
+        job.finish("ok", digest=digest, record=record_dict)
+
+    def _settle_failure(self, job: ServeJob, state: str, error: str) -> None:
+        self._count("failed")
+        if self.store is not None:
+            self.store.record_completed(job.key, "failed", error=error)
+        job.finish(state, error=error)
+
+    # -- shutdown ----------------------------------------------------------
+
+    async def drain(self, timeout: Optional[float] = None) -> bool:
+        """Wait for every in-flight job to land; False on timeout."""
+        waiters = [job.done.wait() for job in self.inflight]
+        if not waiters:
+            return True
+        try:
+            await asyncio.wait_for(asyncio.gather(*waiters), timeout)
+        except asyncio.TimeoutError:
+            return False
+        return True

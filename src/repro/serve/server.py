@@ -1,0 +1,321 @@
+"""Server lifecycle: sockets, signals, maintenance, graceful drain.
+
+``python -m repro serve`` builds a :class:`ScenarioServer` from a
+:class:`ServeConfig` and parks in :meth:`ScenarioServer.serve_forever`
+until SIGTERM/SIGINT.  Shutdown is graceful by construction:
+
+1. stop accepting connections (the listener closes; ``/healthz`` and
+   ``POST /jobs`` start reporting ``draining``),
+2. wait up to ``drain_timeout`` for in-flight jobs to land — their
+   subscribers receive the terminal SSE event and the durable store
+   records the result,
+3. cancel whatever connections remain (idle SSE clients), stop the
+   maintenance loop, shut the executor down, close the store.
+
+The maintenance loop periodically prunes the harness result cache to
+``cache_max_bytes`` (LRU by mtime) so a long-lived server's disk use
+stays bounded no matter how many distinct scenarios it has computed.
+
+:class:`BackgroundServer` runs the same stack on a private event loop in
+a daemon thread — the shape the test suite (and any embedding process)
+uses to stand a live server up without blocking.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import signal
+import sys
+import threading
+from dataclasses import dataclass
+from typing import Optional, Set, Tuple
+
+from ..data.resultstore import ResultStore
+from ..harness.cache import ResultCache
+from ..harness.pool import DEFAULT_TIMEOUT
+from ..obs import MetricsRegistry
+from .app import ScenarioApp
+from .executor import ExecutorBridge
+from .http import HttpError, Response, read_request
+from .quotas import AdmissionController, TenantQuota
+from .registry import JobRegistry
+
+__all__ = ["ServeConfig", "ScenarioServer", "BackgroundServer"]
+
+
+@dataclass
+class ServeConfig:
+    """Everything ``python -m repro serve`` can tune."""
+
+    host: str = "127.0.0.1"
+    #: 0 binds an ephemeral port; the bound port is printed and exposed
+    #: as :attr:`ScenarioServer.port`.
+    port: int = 8734
+    cache_dir: Optional[str] = ".repro-cache"
+    db_path: Optional[str] = ".repro-serve.db"
+    workers: int = 1
+    timeout: Optional[float] = DEFAULT_TIMEOUT
+    retries: int = 1
+    max_threads: int = 4
+    max_inflight: int = 16
+    tenant_max_inflight: int = 2
+    tenant_max_queued: int = 8
+    cache_max_bytes: Optional[int] = None
+    maintenance_interval: float = 60.0
+    drain_timeout: float = 30.0
+    allowed_kinds: Optional[Tuple[str, ...]] = None
+    collect_metrics: bool = True
+
+
+class ScenarioServer:
+    """One serving process: listener + registry + store + maintenance."""
+
+    def __init__(self, config: Optional[ServeConfig] = None) -> None:
+        self.config = config or ServeConfig()
+        self.metrics = MetricsRegistry()
+        self.store: Optional[ResultStore] = None
+        self.registry: Optional[JobRegistry] = None
+        self.app: Optional[ScenarioApp] = None
+        self.executor: Optional[ExecutorBridge] = None
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._connections: Set[asyncio.Task] = set()
+        self._maintenance_task: Optional[asyncio.Task] = None
+        self._stop = asyncio.Event()
+        self.port: Optional[int] = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        config = self.config
+        self.store = ResultStore(config.db_path) if config.db_path else None
+        self.executor = ExecutorBridge(
+            workers=config.workers,
+            cache_dir=config.cache_dir,
+            timeout=config.timeout,
+            retries=config.retries,
+            collect_metrics=config.collect_metrics,
+            max_threads=config.max_threads,
+        )
+        admission = AdmissionController(
+            quota=TenantQuota(
+                max_inflight=config.tenant_max_inflight,
+                max_queued=config.tenant_max_queued,
+            ),
+            max_inflight_total=config.max_inflight,
+            metrics=self.metrics,
+        )
+        self.registry = JobRegistry(
+            self.executor, store=self.store, admission=admission,
+            metrics=self.metrics,
+        )
+        self.app = ScenarioApp(
+            self.registry, store=self.store, metrics=self.metrics,
+            allowed_kinds=config.allowed_kinds,
+        )
+        self._server = await asyncio.start_server(
+            self._on_connection, host=config.host, port=config.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        if config.cache_dir and config.cache_max_bytes is not None:
+            self._maintenance_task = asyncio.get_running_loop().create_task(
+                self._maintenance_loop()
+            )
+
+    async def serve_forever(self, install_signals: bool = True) -> int:
+        """Start, announce, park until a stop signal, drain, exit 0."""
+        await self.start()
+        loop = asyncio.get_running_loop()
+        if install_signals:
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                with contextlib.suppress(NotImplementedError, ValueError):
+                    loop.add_signal_handler(signum, self._stop.set)
+        print(
+            f"serve: listening on http://{self.config.host}:{self.port}",
+            flush=True,
+        )
+        await self._stop.wait()
+        print("serve: shutting down (draining in-flight jobs)", flush=True)
+        drained = await self.shutdown()
+        print(
+            "serve: drained cleanly" if drained
+            else "serve: drain timed out; some jobs were abandoned",
+            flush=True,
+        )
+        return 0
+
+    def request_stop(self) -> None:
+        self._stop.set()
+
+    async def shutdown(self) -> bool:
+        """Graceful teardown; True when every job drained in time."""
+        if self.app is not None:
+            self.app.draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        drained = True
+        if self.registry is not None:
+            drained = await self.registry.drain(self.config.drain_timeout)
+        if self._maintenance_task is not None:
+            self._maintenance_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._maintenance_task
+        # Give SSE subscribers one scheduling pass to flush the terminal
+        # events the drain produced, then cancel the stragglers.
+        await asyncio.sleep(0)
+        for task in list(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(*self._connections, return_exceptions=True)
+        if self.executor is not None:
+            self.executor.shutdown()
+        if self.store is not None:
+            self.store.close()
+        return drained
+
+    # -- connections -------------------------------------------------------
+
+    def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.get_running_loop().create_task(
+            self._handle_connection(reader, writer)
+        )
+        self._connections.add(task)
+        task.add_done_callback(self._connections.discard)
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        response: Optional[Response] = None
+        try:
+            try:
+                request = await read_request(reader)
+                if request is None:
+                    return
+                response = await self.app.handle(request)
+            except HttpError as exc:
+                response = Response.error(exc.status, exc.message)
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:  # noqa: BLE001 - last-resort 500
+                print(f"serve: internal error: {exc!r}", file=sys.stderr)
+                response = Response.error(500, "internal server error")
+            await self._write_response(writer, response)
+        except (ConnectionError, BrokenPipeError, TimeoutError):
+            pass  # client went away mid-response
+        except asyncio.CancelledError:
+            pass  # shutdown cancelled this connection
+        finally:
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    async def _write_response(
+        self, writer: asyncio.StreamWriter, response: Response
+    ) -> None:
+        writer.write(response.header_bytes())
+        if response.stream is None:
+            writer.write(response.body)
+            await writer.drain()
+            return
+        stream = response.stream
+        try:
+            async for chunk in stream:
+                writer.write(chunk)
+                await writer.drain()
+        finally:
+            aclose = getattr(stream, "aclose", None)
+            if aclose is not None:
+                with contextlib.suppress(Exception):
+                    await aclose()
+
+    # -- maintenance -------------------------------------------------------
+
+    async def _maintenance_loop(self) -> None:
+        config = self.config
+        cache = ResultCache(config.cache_dir)
+        while True:
+            await asyncio.sleep(config.maintenance_interval)
+            pruned = await asyncio.to_thread(
+                cache.prune, config.cache_max_bytes
+            )
+            if pruned.evicted:
+                self.metrics.counter("serve.cache.evictions").inc(
+                    pruned.evicted
+                )
+                self.metrics.counter("serve.cache.bytes_evicted").inc(
+                    pruned.bytes_evicted
+                )
+            self.metrics.gauge("serve.cache.bytes").set(
+                pruned.remaining_bytes
+            )
+
+
+class BackgroundServer:
+    """A :class:`ScenarioServer` on a private loop in a daemon thread.
+
+    ``start()`` blocks until the listener is bound (so ``.port`` is
+    valid); ``stop()`` triggers the same graceful drain as a signal and
+    joins the thread.  Used by the test suite and embeddable anywhere a
+    blocking process-wide ``serve_forever`` is inconvenient.
+    """
+
+    def __init__(self, config: Optional[ServeConfig] = None) -> None:
+        self.config = config or ServeConfig(port=0)
+        self.server: Optional[ScenarioServer] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+
+    @property
+    def port(self) -> int:
+        assert self.server is not None and self.server.port is not None
+        return self.server.port
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return (self.config.host, self.port)
+
+    def start(self, timeout: float = 30.0) -> "BackgroundServer":
+        self._thread = threading.Thread(
+            target=self._thread_main, name="repro-serve", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout):
+            raise RuntimeError("server failed to start in time")
+        if self._startup_error is not None:
+            raise RuntimeError(
+                f"server failed to start: {self._startup_error!r}"
+            )
+        return self
+
+    def stop(self, timeout: float = 30.0) -> None:
+        if self._loop is not None and self._thread is not None:
+            with contextlib.suppress(RuntimeError):
+                self._loop.call_soon_threadsafe(self.server.request_stop)
+            self._thread.join(timeout)
+
+    def __enter__(self) -> "BackgroundServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def _thread_main(self) -> None:
+        asyncio.run(self._main())
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self.server = ScenarioServer(self.config)
+        try:
+            await self.server.start()
+        except BaseException as exc:  # noqa: BLE001 - surface to starter
+            self._startup_error = exc
+            self._ready.set()
+            return
+        self._ready.set()
+        await self.server._stop.wait()
+        await self.server.shutdown()

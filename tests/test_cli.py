@@ -210,3 +210,46 @@ class TestCommands:
         assert (tmp_path / "out" / "observations.txt").exists()
         assert (tmp_path / "out" / "manifest.json").exists()
         assert "jobs ok" in captured.out
+
+
+class TestServeParser:
+    def test_serve_defaults(self):
+        args = _build_parser().parse_args(["serve"])
+        assert args.command == "serve"
+        assert args.host == "127.0.0.1"
+        assert args.port == 8734
+        assert args.cache_dir == ".repro-cache"
+        assert args.db == ".repro-serve.db"
+        assert args.allow_kind is None
+
+    def test_serve_flags_parse(self):
+        args = _build_parser().parse_args(
+            ["serve", "--port", "0", "--workers", "2", "--no-cache",
+             "--db", "none", "--max-inflight", "4",
+             "--tenant-max-inflight", "1", "--tenant-max-queued", "2",
+             "--cache-max-bytes", "1000000", "--drain-timeout", "5",
+             "--allow-kind", "selftest-echo"]
+        )
+        assert args.port == 0
+        assert args.workers == 2
+        assert args.no_cache is True
+        assert args.db == "none"
+        assert args.max_inflight == 4
+        assert args.tenant_max_inflight == 1
+        assert args.tenant_max_queued == 2
+        assert args.cache_max_bytes == 1_000_000
+        assert args.drain_timeout == 5.0
+        assert args.allow_kind == ["selftest-echo"]
+
+    def test_run_all_cache_max_bytes(self):
+        args = _build_parser().parse_args(
+            ["run-all", "--cache-max-bytes", "4096"]
+        )
+        assert args.cache_max_bytes == 4096
+        assert _build_parser().parse_args(["run-all"]).cache_max_bytes is None
+
+    def test_serve_rejects_bad_port(self, capsys):
+        assert main(["serve", "--port", "-1"]) == 2
+
+    def test_serve_rejects_bad_cache_budget(self, capsys):
+        assert main(["serve", "--cache-max-bytes", "-5"]) == 2

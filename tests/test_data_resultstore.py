@@ -1,0 +1,205 @@
+"""The durable serve-layer result store (WAL SQLite)."""
+
+import threading
+
+import pytest
+
+from repro.data.resultstore import (
+    RESULTSTORE_SCHEMA_VERSION,
+    JobRow,
+    ResultStore,
+)
+
+
+def submit(store, key="ab" * 32, tenant="public", kind="selftest-echo"):
+    store.record_submitted(
+        key=key, kind=kind, label=f"{kind}[test]",
+        params_json='{"value":1}', tenant=tenant,
+    )
+    return key
+
+
+class TestLifecycle:
+    def test_submitted_row_is_pending(self, tmp_path):
+        with ResultStore(tmp_path / "s.db") as store:
+            key = submit(store)
+            row = store.get_job(key)
+            assert isinstance(row, JobRow)
+            assert row.status == "submitted"
+            assert not row.terminal
+            assert row.digest is None
+
+    def test_completion_roundtrip(self, tmp_path):
+        with ResultStore(tmp_path / "s.db") as store:
+            key = submit(store)
+            store.record_completed(
+                key=key, status="ok", digest="d" * 64,
+                summary_json='{"kind":"selftest-echo","value":1}',
+                attempts=1, wall_time=0.5, cache_hit=False,
+            )
+            row = store.get_job(key)
+            assert row.terminal and row.status == "ok"
+            assert row.digest == "d" * 64
+            result = store.get_result("d" * 64)
+            assert result["summary"]["value"] == 1
+            assert result["kind"] == "selftest-echo"
+
+    def test_failed_completion_keeps_error(self, tmp_path):
+        with ResultStore(tmp_path / "s.db") as store:
+            key = submit(store)
+            store.record_completed(
+                key=key, status="failed", error="boom",
+                attempts=2, wall_time=0.1, cache_hit=False,
+            )
+            row = store.get_job(key)
+            assert row.status == "failed"
+            assert row.error == "boom"
+            assert row.digest is None
+
+    def test_ok_requires_digest_and_summary(self, tmp_path):
+        with ResultStore(tmp_path / "s.db") as store:
+            key = submit(store)
+            with pytest.raises(ValueError):
+                store.record_completed(
+                    key=key, status="ok", attempts=1,
+                    wall_time=0.0, cache_hit=False,
+                )
+
+    def test_nonterminal_status_rejected(self, tmp_path):
+        with ResultStore(tmp_path / "s.db") as store:
+            key = submit(store)
+            with pytest.raises(ValueError):
+                store.record_completed(
+                    key=key, status="running", attempts=1,
+                    wall_time=0.0, cache_hit=False,
+                )
+
+    def test_resubmit_resets_terminal_row(self, tmp_path):
+        with ResultStore(tmp_path / "s.db") as store:
+            key = submit(store)
+            store.record_completed(
+                key=key, status="failed", error="flake",
+                attempts=1, wall_time=0.1, cache_hit=False,
+            )
+            submit(store, key=key)  # upsert: same primary key
+            row = store.get_job(key)
+            assert row.status == "submitted"
+            assert row.error is None
+
+    def test_forget_removes_job(self, tmp_path):
+        with ResultStore(tmp_path / "s.db") as store:
+            key = submit(store)
+            store.forget(key)
+            assert store.get_job(key) is None
+
+
+class TestQueries:
+    def test_counts_and_list(self, tmp_path):
+        with ResultStore(tmp_path / "s.db") as store:
+            submit(store, key="aa" * 32, tenant="alice")
+            key = submit(store, key="bb" * 32, tenant="bob")
+            store.record_completed(
+                key=key, status="ok", digest="e" * 64,
+                summary_json='{"kind":"selftest-echo","value":2}',
+                attempts=1, wall_time=0.2, cache_hit=True,
+            )
+            counts = store.counts()
+            assert counts["jobs"] == 2
+            assert counts["results"] == 1
+            rows = store.list_jobs()
+            assert {row.tenant for row in rows} == {"alice", "bob"}
+
+    def test_missing_lookups_return_none(self, tmp_path):
+        with ResultStore(tmp_path / "s.db") as store:
+            assert store.get_job("ff" * 32) is None
+            assert store.get_result("ff" * 32) is None
+
+    def test_as_dict_is_json_shaped(self, tmp_path):
+        with ResultStore(tmp_path / "s.db") as store:
+            key = submit(store)
+            payload = store.get_job(key).as_dict()
+            assert payload["key"] == key
+            assert payload["status"] == "submitted"
+
+
+class TestDurabilityAndConcurrency:
+    def test_survives_reopen(self, tmp_path):
+        path = tmp_path / "s.db"
+        with ResultStore(path) as store:
+            key = submit(store)
+            store.record_completed(
+                key=key, status="ok", digest="a" * 64,
+                summary_json='{"kind":"selftest-echo","value":3}',
+                attempts=1, wall_time=0.1, cache_hit=False,
+            )
+        with ResultStore(path) as store:
+            assert store.get_job(key).status == "ok"
+            assert store.get_result("a" * 64)["summary"]["value"] == 3
+
+    def test_wal_mode_on_file(self, tmp_path):
+        with ResultStore(tmp_path / "s.db") as store:
+            assert store.journal_mode == "wal"
+
+    def test_threaded_writes_do_not_corrupt(self, tmp_path):
+        with ResultStore(tmp_path / "s.db") as store:
+            errors = []
+
+            def work(base):
+                try:
+                    for index in range(20):
+                        key = f"{base:02x}{index:02x}" + "0" * 60
+                        submit(store, key=key, tenant=f"t{base}")
+                        store.record_completed(
+                            key=key, status="ok",
+                            digest=f"{base:02x}{index:02x}" + "f" * 60,
+                            summary_json='{"kind":"selftest-echo"}',
+                            attempts=1, wall_time=0.0, cache_hit=False,
+                        )
+                except Exception as exc:
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=work, args=(n,))
+                       for n in range(4)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert errors == []
+            assert store.counts()["jobs"] == 80
+
+    def test_second_connection_sees_committed_rows(self, tmp_path):
+        path = tmp_path / "s.db"
+        with ResultStore(path) as writer, ResultStore(path) as reader:
+            key = submit(writer)
+            assert reader.get_job(key) is not None
+
+
+class TestSchemaVersioning:
+    def test_version_recorded(self, tmp_path):
+        path = tmp_path / "s.db"
+        with ResultStore(path) as store:
+            pass
+        import sqlite3
+
+        conn = sqlite3.connect(path)
+        (version,) = conn.execute(
+            "SELECT value FROM meta WHERE name = 'schema_version'"
+        ).fetchone()
+        conn.close()
+        assert int(version) == RESULTSTORE_SCHEMA_VERSION
+
+    def test_newer_schema_refused(self, tmp_path):
+        path = tmp_path / "s.db"
+        with ResultStore(path):
+            pass
+        import sqlite3
+
+        conn = sqlite3.connect(path)
+        conn.execute(
+            "UPDATE meta SET value = ? WHERE name = 'schema_version'",
+            (str(RESULTSTORE_SCHEMA_VERSION + 1),),
+        )
+        conn.commit()
+        conn.close()
+        with pytest.raises(ValueError):
+            ResultStore(path)

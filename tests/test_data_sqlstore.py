@@ -169,3 +169,27 @@ class TestPersistence:
             detector.observe_records(db.iter_tx_sightings())
         assert len(detector.echoes) == 1
         assert detector.echoes[0].echo_chain == "ETC"
+
+class TestConcurrencyPragmas:
+    def test_file_backed_store_uses_wal(self, tmp_path):
+        db = SqliteChainDatabase(tmp_path / "chain.db")
+        assert db.journal_mode == "wal"
+
+    def test_memory_store_reports_memory_journal(self):
+        db = SqliteChainDatabase(":memory:")
+        assert db.journal_mode == "memory"
+
+    def test_busy_timeout_configured(self, tmp_path):
+        db = SqliteChainDatabase(tmp_path / "chain.db")
+        (timeout_ms,) = db._conn.execute("PRAGMA busy_timeout").fetchone()
+        assert timeout_ms == SqliteChainDatabase.BUSY_TIMEOUT_MS
+
+    def test_reader_coexists_with_writer(self, tmp_path):
+        """WAL allows a reader to see committed rows mid-write-session."""
+        path = tmp_path / "chain.db"
+        writer = SqliteChainDatabase(path)
+        writer.insert_blocks(make_blocks("ETH", 10))
+        reader = SqliteChainDatabase(path)
+        assert reader.block_count("ETH") == 10
+        writer.insert_blocks(make_blocks("ETC", 5, seed=9))
+        assert reader.block_count("ETC") == 5

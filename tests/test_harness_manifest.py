@@ -119,3 +119,34 @@ class TestFileIO:
         payload = json.loads(path.read_text())
         assert payload["jobs"][0]["kind"] == "simulate"
         assert "started_at_iso" in payload
+
+
+class TestAtomicWrite:
+    def test_no_temp_file_left_behind(self, tmp_path):
+        sample_manifest().write(tmp_path / "manifest.json")
+        leftovers = [p.name for p in tmp_path.iterdir()
+                     if p.name != "manifest.json"]
+        assert leftovers == []
+
+    def test_overwrite_is_all_or_nothing(self, tmp_path):
+        path = tmp_path / "manifest.json"
+        sample_manifest().write(path)
+        before = path.read_text()
+
+        class Unserializable(RunManifest):
+            def dumps(self):
+                raise RuntimeError("simulated serialization failure")
+
+        broken = Unserializable(command="x", workers=1, cache_dir=None,
+                                started_at=0.0)
+        with pytest.raises(RuntimeError):
+            broken.write(path)
+        # The original file is untouched and no temp junk remains.
+        assert path.read_text() == before
+        assert [p.name for p in tmp_path.iterdir()] == ["manifest.json"]
+
+    def test_written_file_is_complete_json(self, tmp_path):
+        path = sample_manifest().write(tmp_path / "m.json")
+        # A reader that wins the race sees either nothing or valid JSON —
+        # never a partial document (os.replace is atomic).
+        assert json.loads(path.read_text())["jobs"]

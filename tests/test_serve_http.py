@@ -1,0 +1,123 @@
+"""The hand-rolled HTTP layer: parsing, responses, SSE frames."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.serve.http import (
+    HttpError,
+    Request,
+    Response,
+    read_request,
+    sse_event,
+)
+
+
+def parse(raw: bytes):
+    async def go():
+        reader = asyncio.StreamReader()
+        reader.feed_data(raw)
+        reader.feed_eof()
+        return await read_request(reader)
+
+    return asyncio.run(go())
+
+
+class TestRequestParsing:
+    def test_get_with_query(self):
+        request = parse(b"GET /jobs/abc?limit=5&x=%20y HTTP/1.1\r\n"
+                        b"Host: localhost\r\n\r\n")
+        assert request.method == "GET"
+        assert request.path == "/jobs/abc"
+        assert request.query == {"limit": "5", "x": " y"}
+        assert request.header("host") == "localhost"
+
+    def test_post_with_body(self):
+        body = json.dumps({"kind": "partition"}).encode()
+        raw = (b"POST /jobs HTTP/1.1\r\nContent-Length: "
+               + str(len(body)).encode() + b"\r\n\r\n" + body)
+        request = parse(raw)
+        assert request.body == body
+        assert request.json() == {"kind": "partition"}
+
+    def test_header_names_lowercased(self):
+        request = parse(b"GET / HTTP/1.1\r\nX-Repro-Tenant: Alice\r\n\r\n")
+        assert request.headers["x-repro-tenant"] == "Alice"
+
+    def test_eof_before_any_bytes_is_none(self):
+        assert parse(b"") is None
+
+    def test_malformed_request_line(self):
+        with pytest.raises(HttpError) as excinfo:
+            parse(b"GARBAGE\r\n\r\n")
+        assert excinfo.value.status == 400
+
+    def test_truncated_body_rejected(self):
+        with pytest.raises(HttpError) as excinfo:
+            parse(b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc")
+        assert excinfo.value.status == 400
+
+    def test_oversized_body_rejected(self):
+        raw = b"POST / HTTP/1.1\r\nContent-Length: 99999999\r\n\r\n"
+        with pytest.raises(HttpError) as excinfo:
+            parse(raw)
+        assert excinfo.value.status == 413
+
+    def test_bad_content_length(self):
+        with pytest.raises(HttpError):
+            parse(b"POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n")
+
+    def test_chunked_rejected(self):
+        with pytest.raises(HttpError):
+            parse(b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n")
+
+    def test_json_on_empty_body_is_400(self):
+        request = parse(b"POST / HTTP/1.1\r\nContent-Length: 0\r\n\r\n")
+        with pytest.raises(HttpError) as excinfo:
+            request.json()
+        assert excinfo.value.status == 400
+
+    def test_json_on_malformed_body_is_400(self):
+        request = parse(b"POST / HTTP/1.1\r\nContent-Length: 3\r\n\r\n{{{")
+        with pytest.raises(HttpError) as excinfo:
+            request.json()
+        assert excinfo.value.status == 400
+
+
+class TestResponse:
+    def test_json_response_roundtrip(self):
+        response = Response.json({"ok": True}, status=202)
+        header = response.header_bytes().decode()
+        assert header.startswith("HTTP/1.1 202 Accepted\r\n")
+        assert "Content-Type: application/json" in header
+        assert f"Content-Length: {len(response.body)}" in header
+        assert "Connection: close" in header
+        assert json.loads(response.body) == {"ok": True}
+
+    def test_error_response(self):
+        response = Response.error(429, "slow down")
+        payload = json.loads(response.body)
+        assert response.status == 429
+        assert payload == {"error": "slow down", "status": 429}
+
+    def test_sse_response_has_no_content_length(self):
+        async def stream():
+            yield b""
+
+        response = Response.sse(stream())
+        header = response.header_bytes().decode()
+        assert "Content-Length" not in header
+        assert "text/event-stream" in header
+
+
+class TestSse:
+    def test_frame_shape(self):
+        frame = sse_event("progress", {"n": 1}).decode()
+        assert frame == 'event: progress\ndata: {"n":1}\n\n'
+
+    def test_data_is_single_line_canonical_json(self):
+        frame = sse_event("done", {"b": 2, "a": "x\ny"}).decode()
+        lines = frame.splitlines()
+        assert lines[0] == "event: done"
+        assert lines[1] == 'data: {"a":"x\\ny","b":2}'

@@ -1,0 +1,284 @@
+"""End-to-end: the scenario service over real HTTP.
+
+Covers the acceptance criteria for the serving layer:
+
+* determinism — a scenario submitted via HTTP returns the same
+  canonical-JSON digest as the identical config run through
+  ``execute_job`` locally;
+* single-flight — two concurrent identical POSTs execute the engine
+  once (dedupe metric counts exactly one duplicate) and both callers
+  receive the same digest;
+* durability — a restarted server answers the same config from the
+  SQLite store without recomputation;
+* streaming — the SSE endpoint delivers progress events and terminates
+  with the digest;
+* quotas — a tenant over budget gets 429 while others proceed.
+"""
+
+import http.client
+import json
+import threading
+import time
+
+import pytest
+
+from repro.harness import JobSpec, NullCache, execute_job
+from repro.serve import BackgroundServer, ServeConfig
+from repro.serve.summary import summarize, summary_digest
+
+TEST_KINDS = (
+    "partition", "selftest-echo", "selftest-sleep", "fork-lengths",
+)
+
+TINY_PARTITION = {
+    "config": {
+        "num_nodes": 6,
+        "num_miners": 2,
+        "post_fork_horizon": 120.0,
+        "census_interval": 30.0,
+        "fork_block": 10,
+    }
+}
+
+
+def make_config(tmp_path, **overrides):
+    options = dict(
+        port=0,
+        cache_dir=str(tmp_path / "cache"),
+        db_path=str(tmp_path / "serve.db"),
+        allowed_kinds=TEST_KINDS,
+        drain_timeout=30.0,
+    )
+    options.update(overrides)
+    return ServeConfig(**options)
+
+
+def request(port, method, path, payload=None, headers=None, timeout=60):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=timeout)
+    body = None
+    all_headers = dict(headers or {})
+    if payload is not None:
+        body = json.dumps(payload)
+        all_headers.setdefault("Content-Type", "application/json")
+    conn.request(method, path, body, all_headers)
+    response = conn.getresponse()
+    raw = response.read()
+    conn.close()
+    return response.status, (json.loads(raw) if raw else None)
+
+
+def post_job(port, kind, params, headers=None):
+    return request(port, "POST", "/jobs", {"kind": kind, "params": params},
+                   headers=headers)
+
+
+def wait_for_job(port, key, timeout=60.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        status, snapshot = request(port, "GET", f"/jobs/{key}")
+        assert status == 200
+        if snapshot["state"] in ("ok", "failed", "timeout"):
+            return snapshot
+        time.sleep(0.05)
+    raise AssertionError(f"job {key} did not finish in {timeout}s")
+
+
+def read_sse(port, key, timeout=60):
+    """Every (event, data) frame until the stream ends."""
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=timeout)
+    conn.request("GET", f"/jobs/{key}/events")
+    response = conn.getresponse()
+    assert response.status == 200
+    assert response.getheader("Content-Type") == "text/event-stream"
+    frames = []
+    event = None
+    for raw in response:
+        line = raw.decode("utf-8").rstrip("\n")
+        if line.startswith("event: "):
+            event = line[len("event: "):]
+        elif line.startswith("data: "):
+            frames.append((event, json.loads(line[len("data: "):])))
+    conn.close()
+    return frames
+
+
+class TestEndToEnd:
+    def test_differential_digest_and_sse(self, tmp_path):
+        """HTTP execution == local execution, byte-identical digest."""
+        with BackgroundServer(make_config(tmp_path)) as bg:
+            status, first = post_job(bg.port, "partition", TINY_PARTITION)
+            assert status == 202
+            assert first["source"] == "executed"
+            snapshot = wait_for_job(bg.port, first["job"])
+            assert snapshot["state"] == "ok"
+            served_digest = snapshot["digest"]
+
+            # SSE after completion replays history through the digest.
+            frames = read_sse(bg.port, first["job"])
+            events = [event for event, _ in frames]
+            assert events[0] == "queued"
+            assert "started" in events
+            assert "progress" in events
+            assert events[-1] == "done"
+            assert frames[-1][1]["digest"] == served_digest
+
+            # The summary is durably queryable by digest.
+            status, result = request(
+                bg.port, "GET", f"/results/{served_digest}"
+            )
+            assert status == 200
+            assert result["kind"] == "partition"
+            assert result["summary"]["type"] == "PartitionResult"
+
+        spec = JobSpec.make("partition", TINY_PARTITION)
+        outcome = execute_job(spec, NullCache())
+        local_digest = summary_digest(summarize("partition", outcome.value))
+        assert served_digest == local_digest
+
+    def test_concurrent_identical_posts_dedupe(self, tmp_path):
+        with BackgroundServer(make_config(tmp_path)) as bg:
+            params = {"seconds": 0.5}
+            results = []
+
+            def submit():
+                results.append(post_job(bg.port, "selftest-sleep", params))
+
+            threads = [threading.Thread(target=submit) for _ in range(2)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+
+            keys = {payload["job"] for _, payload in results}
+            assert len(keys) == 1  # single-flight: one job id
+            sources = sorted(payload["source"] for _, payload in results)
+            assert sources == ["executed", "inflight"]
+            snapshot = wait_for_job(bg.port, keys.pop())
+            assert snapshot["state"] == "ok"
+
+            status, metrics = request(bg.port, "GET", "/metrics")
+            assert status == 200
+            counters = metrics["metrics"]["counters"]
+            assert counters["serve.jobs.submitted"] == 1
+            assert counters["serve.jobs.deduped"] == 1  # exactly 1 duplicate
+            assert metrics["derived"]["dedupe_ratio"] == pytest.approx(0.5)
+
+    def test_restart_serves_from_durable_store(self, tmp_path):
+        config = make_config(tmp_path)
+        with BackgroundServer(config) as bg:
+            status, first = post_job(bg.port, "selftest-echo", {"value": 11})
+            digest = wait_for_job(bg.port, first["job"])["digest"]
+
+        # Fresh process-equivalent: new server, new (empty) cache dir,
+        # same durable store — the answer must come from SQLite.
+        config2 = make_config(
+            tmp_path, cache_dir=str(tmp_path / "cache-b")
+        )
+        with BackgroundServer(config2) as bg:
+            status, replay = post_job(bg.port, "selftest-echo", {"value": 11})
+            assert status == 200
+            assert replay["source"] == "store"
+            assert replay["state"] == "ok"
+            assert replay["digest"] == digest
+
+            status, metrics = request(bg.port, "GET", "/metrics")
+            counters = metrics["metrics"]["counters"]
+            assert "serve.jobs.submitted" not in counters  # nothing ran
+            assert counters["serve.jobs.replayed_store"] == 1
+            assert metrics["store"]["results"] == 1
+
+    def test_second_post_after_completion_is_memory_hit(self, tmp_path):
+        with BackgroundServer(make_config(tmp_path)) as bg:
+            _, first = post_job(bg.port, "selftest-echo", {"value": 5})
+            wait_for_job(bg.port, first["job"])
+            status, second = post_job(bg.port, "selftest-echo", {"value": 5})
+            assert status == 200
+            assert second["source"] == "memory"
+            assert second["digest"] == first.get("digest") or second["digest"]
+
+    def test_tenant_quota_returns_429(self, tmp_path):
+        config = make_config(
+            tmp_path, tenant_max_inflight=1, tenant_max_queued=0,
+            max_inflight=10,
+        )
+        with BackgroundServer(config) as bg:
+            alice = {"X-Repro-Tenant": "alice"}
+            status, first = post_job(
+                bg.port, "selftest-sleep", {"seconds": 1.0}, headers=alice
+            )
+            assert status == 202
+            # Wait for the job to actually start (queued slots don't
+            # count against max_inflight until then).
+            deadline = time.monotonic() + 10
+            while time.monotonic() < deadline:
+                _, snap = request(bg.port, "GET", f"/jobs/{first['job']}")
+                if snap["state"] == "running":
+                    break
+                time.sleep(0.02)
+            status, refusal = post_job(
+                bg.port, "selftest-sleep", {"seconds": 2.0}, headers=alice
+            )
+            assert status == 429
+            assert "quota" in refusal["error"]
+            # Another tenant is still admitted.
+            status, ok = post_job(
+                bg.port, "selftest-sleep", {"seconds": 0.05},
+                headers={"X-Repro-Tenant": "bob"},
+            )
+            assert status == 202
+            wait_for_job(bg.port, first["job"])
+            wait_for_job(bg.port, ok["job"])
+
+    def test_validation_errors(self, tmp_path):
+        with BackgroundServer(make_config(tmp_path)) as bg:
+            status, payload = request(bg.port, "POST", "/jobs", {"params": {}})
+            assert status == 400 and "kind" in payload["error"]
+            status, payload = post_job(bg.port, "not-a-kind", {})
+            assert status == 400
+            status, payload = request(bg.port, "GET", "/jobs/deadbeef")
+            assert status == 404
+            status, payload = request(bg.port, "GET", "/results/deadbeef")
+            assert status == 404
+            status, payload = request(bg.port, "GET", "/nope")
+            assert status == 404
+            status, payload = request(bg.port, "DELETE", "/jobs")
+            assert status == 405
+
+    def test_healthz(self, tmp_path):
+        with BackgroundServer(make_config(tmp_path)) as bg:
+            status, payload = request(bg.port, "GET", "/healthz")
+            assert status == 200
+            assert payload["ok"] is True
+            assert payload["draining"] is False
+
+    def test_graceful_stop_drains_inflight_job(self, tmp_path):
+        config = make_config(tmp_path)
+        bg = BackgroundServer(config).start()
+        try:
+            _, first = post_job(bg.port, "selftest-sleep", {"seconds": 0.5})
+            key = first["job"]
+        finally:
+            bg.stop()
+        # The drain let the job land in the durable store.
+        from repro.data.resultstore import ResultStore
+
+        with ResultStore(config.db_path) as store:
+            row = store.get_job(key)
+            assert row is not None
+            assert row.status == "ok"
+
+    def test_cache_shared_with_local_harness(self, tmp_path):
+        """A result precomputed by run-all's cache is a serve cache hit."""
+        cache_dir = tmp_path / "cache"
+        from repro.harness import ResultCache
+
+        spec = JobSpec.make("selftest-echo", {"value": 99})
+        execute_job(spec, ResultCache(cache_dir))  # warm the pickle cache
+
+        with BackgroundServer(make_config(tmp_path)) as bg:
+            _, first = post_job(bg.port, "selftest-echo", {"value": 99})
+            snapshot = wait_for_job(bg.port, first["job"])
+            assert snapshot["state"] == "ok"
+            status, metrics = request(bg.port, "GET", "/metrics")
+            counters = metrics["metrics"]["counters"]
+            assert counters.get("serve.cache.hits", 0) == 1
