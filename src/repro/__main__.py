@@ -58,6 +58,36 @@ import time
 from typing import Optional
 
 
+def _add_chunked_arguments(parser: argparse.ArgumentParser) -> None:
+    """The chunked/resumable sweep flags shared by run-all + fault-sweep."""
+    parser.add_argument("--chunk-size", type=int, default=None,
+                        metavar="N",
+                        help="run through the sweep ledger in chunks of N "
+                             "jobs: crash-safe, resumable (--resume), and "
+                             "shareable by concurrent processes; unset = "
+                             "the classic single-shot path")
+    parser.add_argument("--resume", action="store_true",
+                        help="continue an interrupted chunked run from "
+                             "its ledger instead of starting over")
+    parser.add_argument("--max-quarantined", type=int, default=None,
+                        metavar="N",
+                        help="fail the sweep (exit 1) once more than N "
+                             "chunks are quarantined; unset = complete "
+                             "degraded (exit 4) no matter how many")
+    parser.add_argument("--ledger-dir", type=str, default=None,
+                        help="sweep-ledger directory (default: under "
+                             "<output-dir>)")
+    parser.add_argument("--lease-seconds", type=float, default=300.0,
+                        help="chunk lease duration; a crashed claimant's "
+                             "chunk becomes claimable again after this")
+    parser.add_argument("--retry-backoff", type=float, default=0.0,
+                        metavar="SECONDS",
+                        help="base delay before a job's first retry, "
+                             "doubling per further retry with "
+                             "deterministic seeded jitter (0 = retry "
+                             "immediately, the default)")
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -115,6 +145,7 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="after the run, evict least-recently-stored "
                              "cache entries until the cache fits this "
                              "many bytes")
+    _add_chunked_arguments(runall)
 
     sweep = sub.add_parser(
         "fault-sweep",
@@ -145,6 +176,11 @@ def _build_parser() -> argparse.ArgumentParser:
                             "<output-dir>/fault-sweep-manifest.json)")
     sweep.add_argument("--timeout", type=float, default=900.0)
     sweep.add_argument("--retries", type=int, default=1)
+    sweep.add_argument("--max-events", type=int, default=None,
+                       help="per-cell event budget; a cell that exceeds "
+                            "it fails (mainly for fault-injection tests "
+                            "of the quarantine path)")
+    _add_chunked_arguments(sweep)
 
     trace = sub.add_parser(
         "trace",
@@ -199,6 +235,12 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--timeout", type=float, default=900.0,
                        help="per-job deadline (seconds)")
     serve.add_argument("--retries", type=int, default=1)
+    serve.add_argument("--retry-backoff", type=float, default=0.0,
+                       metavar="SECONDS",
+                       help="base delay before a job's first retry, "
+                            "doubling per further retry with "
+                            "deterministic seeded jitter (0 = retry "
+                            "immediately)")
     serve.add_argument("--max-inflight", type=int, default=16,
                        help="server-wide cap on queued+running jobs")
     serve.add_argument("--tenant-max-inflight", type=int, default=2,
@@ -303,8 +345,43 @@ def cmd_figure(args) -> int:
     return 0
 
 
+def _check_chunked_arguments(args) -> Optional[str]:
+    """Validate the shared chunked-sweep flags; an error string or None."""
+    if args.chunk_size is not None and args.chunk_size < 1:
+        return "--chunk-size must be >= 1"
+    if args.max_quarantined is not None and args.max_quarantined < 0:
+        return "--max-quarantined must be >= 0"
+    if args.lease_seconds <= 0:
+        return "--lease-seconds must be > 0"
+    if args.retry_backoff < 0:
+        return "--retry-backoff must be >= 0"
+    if args.resume and args.chunk_size is None:
+        return "--resume requires --chunk-size"
+    return None
+
+
+def _report_chunked(result) -> int:
+    """Print a ChunkedSweepResult's outcome; returns its exit code."""
+    print()
+    if result.manifest is not None:
+        print(result.manifest.summary())
+        for path in result.manifest.outputs:
+            print(f"  wrote {path}")
+    if result.error:
+        print(f"  {result.error}", file=sys.stderr)
+    for entry in result.quarantined:
+        print(
+            f"  quarantined chunk {entry['chunk_id'][:12]} "
+            f"({entry['label']}): {entry['error']}",
+            file=sys.stderr,
+        )
+    print(f"  sweep {result.state} (exit {result.exit_code})",
+          file=sys.stderr)
+    return result.exit_code
+
+
 def cmd_run_all(args) -> int:
-    from .harness import ProgressReporter, run_all
+    from .harness import ProgressReporter, run_all, run_all_chunked
 
     if args.jobs < 1:
         print("error: --jobs must be >= 1", file=sys.stderr)
@@ -312,6 +389,37 @@ def cmd_run_all(args) -> int:
     if args.retries < 0:
         print("error: --retries must be >= 0", file=sys.stderr)
         return 2
+    error = _check_chunked_arguments(args)
+    if error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.chunk_size is not None:
+        from .harness import LedgerError
+
+        try:
+            result = run_all_chunked(
+                days=args.days,
+                seed=args.seed,
+                prefork_days=7,
+                jobs=args.jobs,
+                cache_dir=None if args.no_cache else args.cache_dir,
+                output_dir=args.output_dir,
+                manifest_path=args.manifest,
+                timeout=args.timeout,
+                retries=args.retries,
+                sample_days=args.sample_days,
+                progress=ProgressReporter(),
+                retry_backoff=args.retry_backoff,
+                chunk_size=args.chunk_size,
+                resume=args.resume,
+                max_quarantined=args.max_quarantined,
+                ledger_dir=args.ledger_dir,
+                lease_seconds=args.lease_seconds,
+            )
+        except LedgerError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        return _report_chunked(result)
     manifest = run_all(
         days=args.days,
         seed=args.seed,
@@ -325,6 +433,7 @@ def cmd_run_all(args) -> int:
         sample_days=args.sample_days,
         progress=ProgressReporter(),
         cache_max_bytes=args.cache_max_bytes,
+        retry_backoff=args.retry_backoff,
     )
     print()
     print(manifest.summary())
@@ -334,7 +443,12 @@ def cmd_run_all(args) -> int:
 
 
 def cmd_fault_sweep(args) -> int:
-    from .harness import FaultSweepConfig, ProgressReporter, run_fault_sweep
+    from .harness import (
+        FaultSweepConfig,
+        ProgressReporter,
+        run_fault_sweep,
+        run_fault_sweep_chunked,
+    )
 
     if args.jobs < 1:
         print("error: --jobs must be >= 1", file=sys.stderr)
@@ -342,7 +456,14 @@ def cmd_fault_sweep(args) -> int:
     if args.retries < 0:
         print("error: --retries must be >= 0", file=sys.stderr)
         return 2
-    config = FaultSweepConfig(
+    if args.max_events is not None and args.max_events < 1:
+        print("error: --max-events must be >= 1", file=sys.stderr)
+        return 2
+    error = _check_chunked_arguments(args)
+    if error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    config_kwargs = dict(
         num_nodes=args.nodes,
         num_miners=args.miners,
         post_fork_horizon=args.horizon,
@@ -352,6 +473,33 @@ def cmd_fault_sweep(args) -> int:
         split_durations=tuple(args.split),
         resilience=not args.no_resilience,
     )
+    if args.max_events is not None:
+        config_kwargs["max_events"] = args.max_events
+    config = FaultSweepConfig(**config_kwargs)
+    if args.chunk_size is not None:
+        from .harness import LedgerError
+
+        try:
+            result = run_fault_sweep_chunked(
+                config,
+                jobs=args.jobs,
+                cache_dir=None if args.no_cache else args.cache_dir,
+                output_dir=args.output_dir,
+                manifest_path=args.manifest,
+                timeout=args.timeout,
+                retries=args.retries,
+                progress=ProgressReporter(),
+                retry_backoff=args.retry_backoff,
+                chunk_size=args.chunk_size,
+                resume=args.resume,
+                max_quarantined=args.max_quarantined,
+                ledger_dir=args.ledger_dir,
+                lease_seconds=args.lease_seconds,
+            )
+        except LedgerError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        return _report_chunked(result)
     manifest = run_fault_sweep(
         config,
         jobs=args.jobs,
@@ -361,6 +509,7 @@ def cmd_fault_sweep(args) -> int:
         timeout=args.timeout,
         retries=args.retries,
         progress=ProgressReporter(),
+        retry_backoff=args.retry_backoff,
     )
     print()
     print(manifest.summary())
@@ -448,6 +597,9 @@ def cmd_serve(args) -> int:
     if args.tenant_max_queued < 0:
         print("error: --tenant-max-queued must be >= 0", file=sys.stderr)
         return 2
+    if args.retry_backoff < 0:
+        print("error: --retry-backoff must be >= 0", file=sys.stderr)
+        return 2
     if args.cache_max_bytes is not None and args.cache_max_bytes < 0:
         print("error: --cache-max-bytes must be >= 0", file=sys.stderr)
         return 2
@@ -464,6 +616,7 @@ def cmd_serve(args) -> int:
         workers=args.workers,
         timeout=args.timeout,
         retries=args.retries,
+        retry_backoff=args.retry_backoff,
         max_threads=args.exec_threads,
         max_inflight=args.max_inflight,
         tenant_max_inflight=args.tenant_max_inflight,

@@ -108,6 +108,20 @@ class RobustnessReport:
             "fault_log": [[t, e] for t, e in self.fault_log],
         }
 
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "RobustnessReport":
+        """Rebuild a report from :meth:`to_dict` output (chunk artifacts
+        round-trip reports through JSON; the rebuilt report's digest
+        equals the original's byte-for-byte)."""
+        data = dict(payload)
+        data["samples"] = [
+            RobustnessSample(*row) for row in data.get("samples", [])
+        ]
+        data["fault_log"] = [
+            (t, event) for t, event in data.get("fault_log", [])
+        ]
+        return cls(**data)
+
     def digest(self) -> str:
         """SHA-256 over the canonical JSON — the run's reproducibility
         fingerprint (identical seed + schedule ⇒ identical digest)."""

@@ -16,6 +16,13 @@ into declarative, cacheable, parallel experiment jobs:
 * :mod:`~repro.harness.progress` — stderr narration for CLI runs.
 * :mod:`~repro.harness.runall` — the ``run-all`` orchestrator: all five
   figures plus the observation scoreboard in one parallel pass.
+* :mod:`~repro.harness.ledger` — the durable WAL-SQLite **sweep
+  ledger**: per-chunk leases, retries, and quarantine, shared safely by
+  concurrent processes.
+* :mod:`~repro.harness.sweeprun` — chunked, resumable sweep execution
+  (:class:`SweepRunner`) over content-addressed chunks, with the
+  :class:`CrashyPool` fault-injection rig that proves crash-anywhere
+  resumability.
 
 The load-bearing invariant: an identical config + seed produces a
 bit-identical simulation whether run in-process or in a worker
@@ -28,7 +35,17 @@ from .faultsweep import (
     FaultSweepConfig,
     build_fault_grid,
     run_fault_sweep,
+    run_fault_sweep_chunked,
     sweep_digest,
+)
+from .ledger import (
+    ChunkDef,
+    ChunkRow,
+    ClaimedChunk,
+    LedgerError,
+    LedgerMismatch,
+    LedgerNeedsResume,
+    SweepLedger,
 )
 from .jobs import (
     CACHE_SCHEMA_VERSION,
@@ -53,19 +70,48 @@ from .jobs import (
 from .manifest import MANIFEST_SCHEMA_VERSION, JobRecord, RunManifest
 from .pool import DEFAULT_TIMEOUT, JobResult, WorkerPool
 from .progress import NullProgress, ProgressReporter
-from .runall import DEFAULT_CACHE_DIR, build_waves, run_all
+from .runall import DEFAULT_CACHE_DIR, build_waves, run_all, run_all_chunked
+from .sweeprun import (
+    EXIT_DEGRADED,
+    EXIT_FAILED,
+    EXIT_INTERRUPTED,
+    EXIT_OK,
+    EXIT_USAGE,
+    ChunkFailure,
+    ChunkedSweepResult,
+    CrashyPool,
+    SweepChunk,
+    SweepOutcome,
+    SweepRunner,
+    plan_chunks,
+    sweep_key_for,
+)
 
 __all__ = [
     "CACHE_SCHEMA_VERSION",
     "CacheStats",
+    "ChunkDef",
+    "ChunkFailure",
+    "ChunkRow",
+    "ChunkedSweepResult",
+    "ClaimedChunk",
+    "CrashyPool",
     "DEFAULT_CACHE_DIR",
     "DEFAULT_TIMEOUT",
+    "EXIT_DEGRADED",
+    "EXIT_FAILED",
+    "EXIT_INTERRUPTED",
+    "EXIT_OK",
+    "EXIT_USAGE",
     "EchoBundle",
     "FaultSweepConfig",
     "JobOutcome",
     "JobRecord",
     "JobResult",
     "JobSpec",
+    "LedgerError",
+    "LedgerMismatch",
+    "LedgerNeedsResume",
     "MANIFEST_SCHEMA_VERSION",
     "NullCache",
     "NullProgress",
@@ -73,6 +119,10 @@ __all__ = [
     "PruneResult",
     "ResultCache",
     "RunManifest",
+    "SweepChunk",
+    "SweepLedger",
+    "SweepOutcome",
+    "SweepRunner",
     "WorkerPool",
     "build_fault_grid",
     "build_waves",
@@ -85,12 +135,16 @@ __all__ = [
     "perf_probe_spec",
     "observations_spec",
     "partition_spec",
+    "plan_chunks",
     "register_runner",
     "registered_kinds",
     "run_all",
+    "run_all_chunked",
     "run_cached",
     "run_fault_sweep",
+    "run_fault_sweep_chunked",
     "run_job",
     "simulate_spec",
     "sweep_digest",
+    "sweep_key_for",
 ]

@@ -455,6 +455,9 @@ def _run_selftest_flaky(params: Dict[str, Any], cache) -> int:
 
     Attempt counting uses a marker file so the count survives fresh
     worker processes — exactly the retry path the pool must handle.
+    An optional ``sleep_seconds`` burns time *inside* each attempt, so
+    the timeout tests can distinguish per-attempt deadlines from a
+    cumulative one.
     """
     marker = params["marker_path"]
     try:
@@ -465,8 +468,36 @@ def _run_selftest_flaky(params: Dict[str, Any], cache) -> int:
     attempts += 1
     with open(marker, "w") as handle:
         handle.write(str(attempts))
+    if params.get("sleep_seconds"):
+        time.sleep(params["sleep_seconds"])
     if attempts <= params["fail_times"]:
         raise RuntimeError(
             f"selftest-flaky failing on purpose (attempt {attempts})"
         )
     return attempts
+
+
+@register_runner("selftest-killme")
+def _run_selftest_killme(params: Dict[str, Any], cache) -> str:
+    """SIGKILLs its own worker process on the first attempt.
+
+    The crash-recovery regression: the first execution writes a marker
+    (so the parent can see the job is live) and dies with ``kill -9`` —
+    no exception, no pipe message, just a dead process.  The fresh
+    worker the pool retries into finds the marker and returns the
+    deterministic digest of the params, which must equal an in-process
+    run of the same spec.  ``hang_seconds`` (default 30) keeps the first
+    attempt alive long enough for external-kill variants of the test.
+    """
+    import os as _os
+    import signal as _signal
+
+    marker = params["marker_path"]
+    if not _os.path.exists(marker):
+        with open(marker, "w") as handle:
+            handle.write(str(_os.getpid()))
+        if params.get("suicide", True):
+            _os.kill(_os.getpid(), _signal.SIGKILL)
+        time.sleep(params.get("hang_seconds", 30.0))
+    digest_payload = canonical_json({"value": params["value"]})
+    return hashlib.sha256(digest_payload.encode("utf-8")).hexdigest()

@@ -1,0 +1,431 @@
+"""The sweep ledger: durable per-chunk state for resumable sweeps.
+
+A chunked sweep (:mod:`repro.harness.sweeprun`) is only as survivable as
+the record of what already happened.  The ledger is that record: one
+WAL-mode SQLite file (same stack and idiom as
+:class:`repro.data.resultstore.ResultStore`) holding one row per chunk
+with a small state machine::
+
+    pending ──claim──▶ leased ──complete──▶ done
+       ▲                  │
+       │                  ├──fail (attempts left)──▶ pending
+       │                  └──fail (exhausted)──────▶ quarantined
+       └──lease expiry / release / corrupt-artifact demotion
+
+Claims are atomic (``BEGIN IMMEDIATE`` serialises writers), carry a
+**lease** with an expiry timestamp, and pick the lowest-``seq`` claimable
+chunk of the lowest unfinished stage — so several processes pointed at
+the same ledger directory cooperate without coordination: each claims a
+disjoint chunk, a crashed claimant's lease lapses and the chunk returns
+to the claimable pool, and stage barriers (``run-all`` waves) are
+respected because a stage opens only once every earlier stage is
+terminal.
+
+Nothing in here is part of the deterministic artifact surface: lease
+timestamps and attempt counts are wall-clock bookkeeping.  The
+determinism contract lives one level up — the per-chunk artifact digests
+the ledger records are what the combine step verifies.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+import threading
+import time
+from pathlib import Path
+from typing import Dict, List, NamedTuple, Optional, Sequence, Union
+
+__all__ = [
+    "SweepLedger",
+    "ChunkRow",
+    "ChunkDef",
+    "ClaimedChunk",
+    "LedgerError",
+    "LedgerMismatch",
+    "LedgerNeedsResume",
+    "CHUNK_STATES",
+    "LEDGER_SCHEMA_VERSION",
+]
+
+#: Bump on any table/column change; refuse files from a newer layout.
+LEDGER_SCHEMA_VERSION = 1
+
+#: Every state a chunk row may be in.
+CHUNK_STATES = ("pending", "leased", "done", "failed", "quarantined")
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS meta (
+    name  TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+
+CREATE TABLE IF NOT EXISTS chunks (
+    chunk_id      TEXT PRIMARY KEY,     -- content address (sha-256 hex)
+    seq           INTEGER NOT NULL,     -- canonical combine order
+    stage         INTEGER NOT NULL,     -- barrier stage (run-all wave)
+    label         TEXT NOT NULL,
+    state         TEXT NOT NULL,        -- pending|leased|done|failed|quarantined
+    owner         TEXT,                 -- current/last lease holder
+    lease_expires REAL,                 -- wall-clock expiry of the lease
+    attempts      INTEGER NOT NULL DEFAULT 0,  -- execution attempts begun
+    failures      INTEGER NOT NULL DEFAULT 0,  -- attempts that ended in error
+    digest        TEXT,                 -- artifact digest (done only)
+    error         TEXT,                 -- last failure detail
+    updated_at    REAL NOT NULL
+);
+CREATE INDEX IF NOT EXISTS chunks_by_state ON chunks (state, stage, seq);
+"""
+
+_CHUNK_COLUMNS = (
+    "chunk_id", "seq", "stage", "label", "state", "owner", "lease_expires",
+    "attempts", "failures", "digest", "error", "updated_at",
+)
+
+
+class LedgerError(RuntimeError):
+    """Base class for ledger usage errors."""
+
+
+class LedgerMismatch(LedgerError):
+    """The ledger on disk belongs to a different sweep."""
+
+
+class LedgerNeedsResume(LedgerError):
+    """The ledger has prior progress; attach with ``resume=True``."""
+
+
+class ChunkDef(NamedTuple):
+    """What :meth:`SweepLedger.register` needs to know about a chunk."""
+
+    chunk_id: str
+    seq: int
+    stage: int
+    label: str
+
+
+class ChunkRow(NamedTuple):
+    """One persisted chunk record."""
+
+    chunk_id: str
+    seq: int
+    stage: int
+    label: str
+    state: str
+    owner: Optional[str]
+    lease_expires: Optional[float]
+    attempts: int
+    failures: int
+    digest: Optional[str]
+    error: Optional[str]
+    updated_at: float
+
+
+class ClaimedChunk(NamedTuple):
+    """A successful :meth:`SweepLedger.claim`: the fresh row plus
+    whether the claim took over another owner's lapsed lease."""
+
+    row: ChunkRow
+    expired_takeover: bool
+
+
+class SweepLedger:
+    """WAL-mode SQLite persistence for one sweep's chunk state machine."""
+
+    BUSY_TIMEOUT_MS = 5000
+
+    def __init__(self, path: Union[str, Path] = ":memory:") -> None:
+        self.path = str(path)
+        if self.path != ":memory:":
+            Path(self.path).parent.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        self._conn = sqlite3.connect(self.path, check_same_thread=False)
+        self._conn.execute(f"PRAGMA busy_timeout={self.BUSY_TIMEOUT_MS}")
+        self._conn.execute("PRAGMA journal_mode=WAL")
+        self._conn.execute("PRAGMA synchronous=NORMAL")
+        with self._conn:
+            self._conn.executescript(_SCHEMA)
+            self._check_schema_version()
+
+    def _check_schema_version(self) -> None:
+        row = self._conn.execute(
+            "SELECT value FROM meta WHERE name='schema_version'"
+        ).fetchone()
+        if row is None:
+            self._conn.execute(
+                "INSERT INTO meta VALUES ('schema_version', ?)",
+                (str(LEDGER_SCHEMA_VERSION),),
+            )
+            return
+        version = int(row[0])
+        if version > LEDGER_SCHEMA_VERSION:
+            raise LedgerError(
+                f"sweep ledger schema {version} is newer than this code "
+                f"understands ({LEDGER_SCHEMA_VERSION})"
+            )
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        with self._lock:
+            self._conn.close()
+
+    def __enter__(self) -> "SweepLedger":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- registration ------------------------------------------------------
+
+    @property
+    def sweep_key(self) -> Optional[str]:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT value FROM meta WHERE name='sweep_key'"
+            ).fetchone()
+        return row[0] if row else None
+
+    def register(
+        self,
+        sweep_key: str,
+        chunks: Sequence[ChunkDef],
+        resume: bool = False,
+    ) -> int:
+        """Bind the ledger to a sweep and ensure every chunk has a row.
+
+        Returns the number of chunks already ``done`` (the resume
+        credit).  A fresh ledger is claimed for ``sweep_key``; an
+        existing one must carry the *same* key (else
+        :class:`LedgerMismatch`) and, if any progress was recorded, the
+        caller must opt in with ``resume=True`` (else
+        :class:`LedgerNeedsResume` — the guard against two different
+        invocations silently interleaving).
+        """
+        now = time.time()
+        with self._lock, self._conn:
+            row = self._conn.execute(
+                "SELECT value FROM meta WHERE name='sweep_key'"
+            ).fetchone()
+            if row is None:
+                self._conn.execute(
+                    "INSERT INTO meta VALUES ('sweep_key', ?)", (sweep_key,)
+                )
+            elif row[0] != sweep_key:
+                raise LedgerMismatch(
+                    f"ledger {self.path} belongs to sweep {row[0][:16]}..., "
+                    f"not {sweep_key[:16]}...; use a fresh ledger directory"
+                )
+            else:
+                (progressed,) = self._conn.execute(
+                    "SELECT COUNT(*) FROM chunks WHERE state != 'pending'"
+                ).fetchone()
+                if progressed and not resume:
+                    raise LedgerNeedsResume(
+                        f"ledger {self.path} records prior progress "
+                        f"({progressed} chunk(s) past pending); pass "
+                        f"--resume to continue it"
+                    )
+            self._conn.executemany(
+                "INSERT OR IGNORE INTO chunks"
+                " (chunk_id, seq, stage, label, state, updated_at)"
+                " VALUES (?,?,?,?,'pending',?)",
+                [(c.chunk_id, c.seq, c.stage, c.label, now) for c in chunks],
+            )
+            (done,) = self._conn.execute(
+                "SELECT COUNT(*) FROM chunks WHERE state='done'"
+            ).fetchone()
+        return done
+
+    # -- the claim/complete/fail cycle -------------------------------------
+
+    def claim(
+        self,
+        owner: str,
+        lease_seconds: float,
+        now: Optional[float] = None,
+    ) -> Optional[ClaimedChunk]:
+        """Atomically lease the next claimable chunk, or return ``None``.
+
+        Claimable: ``pending``, or ``leased`` with an expired lease (the
+        claimant died); restricted to the lowest stage that still has
+        non-terminal chunks, so stage barriers hold across processes.
+        The returned row already carries this claim (state ``leased``,
+        ``attempts`` incremented).
+        """
+        now = time.time() if now is None else now
+        with self._lock:
+            self._conn.execute("BEGIN IMMEDIATE")
+            try:
+                stage_row = self._conn.execute(
+                    "SELECT MIN(stage) FROM chunks"
+                    " WHERE state NOT IN ('done', 'quarantined')"
+                ).fetchone()
+                if stage_row is None or stage_row[0] is None:
+                    self._conn.execute("COMMIT")
+                    return None
+                stage = stage_row[0]
+                # A stage only opens once every earlier stage is terminal.
+                (blockers,) = self._conn.execute(
+                    "SELECT COUNT(*) FROM chunks WHERE stage < ?"
+                    " AND state NOT IN ('done', 'quarantined')",
+                    (stage,),
+                ).fetchone()
+                if blockers:  # pragma: no cover - stage is already the min
+                    self._conn.execute("COMMIT")
+                    return None
+                row = self._conn.execute(
+                    "SELECT chunk_id, state FROM chunks WHERE stage = ?"
+                    " AND (state = 'pending'"
+                    "      OR (state = 'leased' AND lease_expires < ?))"
+                    " ORDER BY seq LIMIT 1",
+                    (stage, now),
+                ).fetchone()
+                if row is None:
+                    self._conn.execute("COMMIT")
+                    return None
+                chunk_id, prior_state = row
+                self._conn.execute(
+                    "UPDATE chunks SET state='leased', owner=?,"
+                    " lease_expires=?, attempts=attempts+1, updated_at=?"
+                    " WHERE chunk_id=?",
+                    (owner, now + lease_seconds, now, chunk_id),
+                )
+                self._conn.execute("COMMIT")
+            except BaseException:
+                self._conn.execute("ROLLBACK")
+                raise
+        return ClaimedChunk(
+            row=self.get(chunk_id),
+            expired_takeover=(prior_state == "leased"),
+        )
+
+    def renew(
+        self,
+        chunk_id: str,
+        owner: str,
+        lease_seconds: float,
+        now: Optional[float] = None,
+    ) -> bool:
+        """Extend a held lease (heartbeat).  False: the lease was lost."""
+        now = time.time() if now is None else now
+        with self._lock, self._conn:
+            cursor = self._conn.execute(
+                "UPDATE chunks SET lease_expires=?, updated_at=?"
+                " WHERE chunk_id=? AND owner=? AND state='leased'",
+                (now + lease_seconds, now, chunk_id, owner),
+            )
+        return cursor.rowcount == 1
+
+    def complete(self, chunk_id: str, owner: str, digest: str) -> bool:
+        """Mark a leased chunk ``done``.  False: the lease was already
+        stolen (a slow claimant racing a takeover) — results are
+        identical by determinism, so the caller just moves on."""
+        now = time.time()
+        with self._lock, self._conn:
+            cursor = self._conn.execute(
+                "UPDATE chunks SET state='done', digest=?, error=NULL,"
+                " owner=?, lease_expires=NULL, updated_at=?"
+                " WHERE chunk_id=? AND owner=? AND state='leased'",
+                (digest, owner, now, chunk_id, owner),
+            )
+        return cursor.rowcount == 1
+
+    def fail(
+        self, chunk_id: str, owner: str, error: str, max_failures: int
+    ) -> Optional[str]:
+        """Record a failed execution; re-pend or quarantine.
+
+        Returns the resulting state (``pending`` or ``quarantined``), or
+        ``None`` when the lease had already been stolen.
+        """
+        now = time.time()
+        with self._lock:
+            self._conn.execute("BEGIN IMMEDIATE")
+            try:
+                row = self._conn.execute(
+                    "SELECT failures FROM chunks WHERE chunk_id=? AND"
+                    " owner=? AND state='leased'",
+                    (chunk_id, owner),
+                ).fetchone()
+                if row is None:
+                    self._conn.execute("COMMIT")
+                    return None
+                failures = row[0] + 1
+                state = "pending" if failures <= max_failures else "quarantined"
+                self._conn.execute(
+                    "UPDATE chunks SET state=?, failures=?, error=?,"
+                    " owner=NULL, lease_expires=NULL, updated_at=?"
+                    " WHERE chunk_id=?",
+                    (state, failures, error, now, chunk_id),
+                )
+                self._conn.execute("COMMIT")
+            except BaseException:
+                self._conn.execute("ROLLBACK")
+                raise
+        return state
+
+    def release(self, chunk_id: str, owner: str) -> bool:
+        """Voluntarily return a leased chunk to ``pending`` (graceful
+        interrupt); the execution attempt is not counted as a failure."""
+        now = time.time()
+        with self._lock, self._conn:
+            cursor = self._conn.execute(
+                "UPDATE chunks SET state='pending', owner=NULL,"
+                " lease_expires=NULL, attempts=MAX(attempts-1, 0),"
+                " updated_at=? WHERE chunk_id=? AND owner=?"
+                " AND state='leased'",
+                (now, chunk_id, owner),
+            )
+        return cursor.rowcount == 1
+
+    def demote(self, chunk_id: str, reason: str) -> None:
+        """Send a ``done`` chunk back to ``pending`` (its artifact
+        vanished or failed verification on attach)."""
+        now = time.time()
+        with self._lock, self._conn:
+            self._conn.execute(
+                "UPDATE chunks SET state='pending', digest=NULL, error=?,"
+                " owner=NULL, lease_expires=NULL, updated_at=?"
+                " WHERE chunk_id=? AND state='done'",
+                (reason, now, chunk_id),
+            )
+
+    # -- reads -------------------------------------------------------------
+
+    def get(self, chunk_id: str) -> Optional[ChunkRow]:
+        with self._lock:
+            row = self._conn.execute(
+                f"SELECT {', '.join(_CHUNK_COLUMNS)} FROM chunks"
+                " WHERE chunk_id=?",
+                (chunk_id,),
+            ).fetchone()
+        return ChunkRow(*row) if row else None
+
+    def chunks(self) -> List[ChunkRow]:
+        """Every chunk row, in canonical (``seq``) order."""
+        with self._lock:
+            rows = self._conn.execute(
+                f"SELECT {', '.join(_CHUNK_COLUMNS)} FROM chunks"
+                " ORDER BY seq"
+            ).fetchall()
+        return [ChunkRow(*row) for row in rows]
+
+    def counts(self) -> Dict[str, int]:
+        """Chunk totals by state (absent states map to 0)."""
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT state, COUNT(*) FROM chunks GROUP BY state"
+            ).fetchall()
+        payload = {state: 0 for state in CHUNK_STATES}
+        payload.update(dict(rows))
+        payload["total"] = sum(count for _, count in rows)
+        return payload
+
+    def all_terminal(self) -> bool:
+        """True once every chunk is ``done`` or ``quarantined``."""
+        with self._lock:
+            (open_chunks,) = self._conn.execute(
+                "SELECT COUNT(*) FROM chunks"
+                " WHERE state NOT IN ('done', 'quarantined')"
+            ).fetchone()
+        return open_chunks == 0

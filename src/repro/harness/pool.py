@@ -13,12 +13,22 @@ an unpicklable result) take the same retry path.
 When ``workers <= 1``, or ``multiprocessing`` cannot start processes on
 the host, the pool degrades to in-process serial execution with
 identical results and manifest records (timeouts are best-effort there:
-a job cannot be preempted from inside its own process, so the deadline
-is only checked between attempts).
+a job cannot be preempted from inside its own process, so each
+*attempt's* duration is checked after it fails — matching the parallel
+path's per-attempt deadline).
+
+Failed attempts may optionally back off before requeueing
+(``retry_backoff``): the delay is exponential with **deterministic
+seeded jitter** — a pure function of the backoff seed, the job's cache
+key, and the attempt number — so retries stop hammering a transiently
+sick host without introducing run-to-run nondeterminism in scheduling
+decisions.  The default of ``0.0`` keeps historic behaviour (immediate
+requeue), and CI keeps it there.
 """
 
 from __future__ import annotations
 
+import random
 import time
 import traceback
 from collections import deque
@@ -44,13 +54,14 @@ class JobResult(NamedTuple):
 
 
 class _Task:
-    __slots__ = ("spec", "index", "attempts", "first_start")
+    __slots__ = ("spec", "index", "attempts", "first_start", "not_before")
 
     def __init__(self, spec: JobSpec, index: int) -> None:
         self.spec = spec
         self.index = index
         self.attempts = 0
         self.first_start = None  # perf_counter at first launch
+        self.not_before = None  # backoff gate for the next attempt
 
 
 def _child_main(
@@ -96,15 +107,24 @@ class WorkerPool:
         progress=None,
         start_method: Optional[str] = None,
         collect_metrics: bool = False,
+        retry_backoff: float = 0.0,
+        backoff_seed: int = 0,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if retries < 0:
             raise ValueError("retries must be >= 0")
+        if retry_backoff < 0:
+            raise ValueError("retry_backoff must be >= 0")
         self.workers = workers
         self.cache_dir = str(cache_dir) if cache_dir else None
         self.timeout = timeout
         self.retries = retries
+        #: Base delay (seconds) before the first retry; doubles per
+        #: further retry, with deterministic seeded jitter.  0 = requeue
+        #: immediately (the historic behaviour; CI keeps it there).
+        self.retry_backoff = retry_backoff
+        self.backoff_seed = backoff_seed
         #: When True, each executed (non-cached) job runs with a per-job
         #: metrics registry and its summary lands on the JobRecord.
         self.collect_metrics = collect_metrics
@@ -141,6 +161,22 @@ class WorkerPool:
 
     # -- public API --------------------------------------------------------
 
+    def backoff_delay(self, key: str, attempt: int) -> float:
+        """Seconds to wait before attempt ``attempt`` (1-based) of the
+        job with cache key ``key``.
+
+        Pure function of ``(backoff_seed, key, attempt)``: exponential
+        in the retry count with jitter drawn from a ``random.Random``
+        seeded by those three values, uniformly in ``[0.5, 1.0)`` of the
+        exponential step — every run of the same pool configuration
+        backs the same job off by the same amount.
+        """
+        if self.retry_backoff <= 0 or attempt <= 1:
+            return 0.0
+        rng = random.Random(f"{self.backoff_seed}:{key}:{attempt}")
+        step = self.retry_backoff * (2.0 ** (attempt - 2))
+        return step * (0.5 + rng.random() / 2.0)
+
     def run(self, specs: Sequence[JobSpec]) -> List[JobResult]:
         """Execute every spec; results come back in input order."""
         specs = list(specs)
@@ -169,6 +205,10 @@ class WorkerPool:
             status = "failed"
             while attempts <= self.retries:
                 attempts += 1
+                delay = self.backoff_delay(spec.cache_key(), attempts)
+                if delay > 0:
+                    time.sleep(delay)
+                attempt_start = time.perf_counter()
                 try:
                     outcome = execute_job(
                         spec, cache, collect_metrics=self.collect_metrics
@@ -181,7 +221,10 @@ class WorkerPool:
                     break
                 except Exception as exc:  # noqa: BLE001
                     error = f"{type(exc).__name__}: {exc}"
-                    elapsed = time.perf_counter() - start
+                    # Per-attempt deadline, matching the parallel path:
+                    # a retry starts its clock fresh rather than being
+                    # declared a timeout for its predecessors' sins.
+                    elapsed = time.perf_counter() - attempt_start
                     if self.timeout is not None and elapsed > self.timeout:
                         status = "timeout"
                         break
@@ -257,9 +300,25 @@ class WorkerPool:
         results: dict,
     ) -> None:
         if task.attempts <= self.retries:
+            delay = self.backoff_delay(
+                task.spec.cache_key(), task.attempts + 1
+            )
+            task.not_before = (
+                time.perf_counter() + delay if delay > 0 else None
+            )
             pending.append(task)
         else:
             self._settle(task, status, None, False, error, results)
+
+    def _next_ready(self, pending: deque, now: float) -> Optional[_Task]:
+        """Pop the first task whose backoff gate has passed, preserving
+        queue order among the rest; None if everyone is backing off."""
+        for _ in range(len(pending)):
+            task = pending[0]
+            if task.not_before is None or task.not_before <= now:
+                return pending.popleft()
+            pending.rotate(-1)
+        return None
 
     def _run_parallel(self, specs: Sequence[JobSpec]) -> List[JobResult]:
         from multiprocessing import connection
@@ -271,8 +330,16 @@ class WorkerPool:
         results: dict = {}
         try:
             while pending or running:
+                launch_now = time.perf_counter()
                 while pending and len(running) < self.workers:
-                    self._launch(pending.popleft(), running)
+                    task = self._next_ready(pending, launch_now)
+                    if task is None:
+                        break
+                    self._launch(task, running)
+                if not running:
+                    # Every pending task is waiting out its backoff.
+                    time.sleep(0.01)
+                    continue
                 ready = connection.wait(list(running), timeout=0.1)
                 for reader in ready:
                     task, process, _ = running.pop(reader)

@@ -23,8 +23,9 @@ from __future__ import annotations
 
 import sys
 import time
+from dataclasses import asdict
 from pathlib import Path
-from typing import Dict, List, Optional, Union
+from typing import Any, Dict, List, Optional, Union
 
 from ..scenarios.partition_event import PartitionScenarioConfig
 from ..sim.engine import ForkSimConfig
@@ -37,11 +38,21 @@ from .jobs import (
     simulate_spec,
 )
 from .cache import ResultCache
-from .manifest import RunManifest
+from .manifest import JobRecord, RunManifest
 from .pool import DEFAULT_TIMEOUT, WorkerPool
 from .progress import NullProgress
+from .sweeprun import (
+    EXIT_DEGRADED,
+    EXIT_FAILED,
+    EXIT_INTERRUPTED,
+    EXIT_OK,
+    ChunkedSweepResult,
+    SweepRunner,
+    plan_chunks,
+    sweep_key_for,
+)
 
-__all__ = ["run_all", "build_waves", "DEFAULT_CACHE_DIR"]
+__all__ = ["run_all", "run_all_chunked", "build_waves", "DEFAULT_CACHE_DIR"]
 
 DEFAULT_CACHE_DIR = ".repro-cache"
 
@@ -62,6 +73,31 @@ def build_waves(
     ]
 
 
+def _write_value_artifacts(
+    output_dir: Path, label: str, value: Any, sample_days: int
+) -> List[str]:
+    """Write the output files (if any) for one finished job's value.
+
+    Figures produce ``figureN.txt``/``.csv``; the observation scoreboard
+    produces ``observations.txt``; the root jobs (simulate, partition,
+    echoes) only warm the cache and write nothing.  Returns the paths
+    written, for the manifest's ``outputs`` list.
+    """
+    if label.startswith("figure-"):
+        number = label.split("-", 1)[1]
+        text_path = output_dir / f"figure{number}.txt"
+        csv_path = output_dir / f"figure{number}.csv"
+        text_path.write_text(value.render(sample_days=sample_days) + "\n")
+        value.write_csv(csv_path)
+        return [str(text_path), str(csv_path)]
+    if label == "observations":
+        scoreboard = "\n".join(obs.render() for obs in value)
+        obs_path = output_dir / "observations.txt"
+        obs_path.write_text(scoreboard + "\n")
+        return [str(obs_path)]
+    return []
+
+
 def run_all(
     days: int = 150,
     seed: int = 2016_07_20,
@@ -76,6 +112,7 @@ def run_all(
     progress=None,
     partition_config: Optional[PartitionScenarioConfig] = None,
     cache_max_bytes: Optional[int] = None,
+    retry_backoff: float = 0.0,
 ) -> RunManifest:
     """Produce all five figures and the scoreboard; returns the manifest.
 
@@ -108,6 +145,7 @@ def run_all(
         timeout=timeout,
         retries=retries,
         progress=progress,
+        retry_backoff=retry_backoff,
     )
 
     start = time.perf_counter()
@@ -120,22 +158,15 @@ def run_all(
     manifest.total_wall_time = time.perf_counter() - start
 
     # -- write artifacts ---------------------------------------------------
-    for number in range(1, 6):
-        figure = values.get(f"figure-{number}")
-        if figure is None:
-            continue
-        text_path = output_dir / f"figure{number}.txt"
-        text_path.write_text(figure.render(sample_days=sample_days) + "\n")
-        figure.write_csv(output_dir / f"figure{number}.csv")
-        manifest.outputs.append(str(text_path))
-        manifest.outputs.append(str(output_dir / f"figure{number}.csv"))
-
-    observations = values.get("observations")
-    if observations is not None:
-        scoreboard = "\n".join(obs.render() for obs in observations)
-        obs_path = output_dir / "observations.txt"
-        obs_path.write_text(scoreboard + "\n")
-        manifest.outputs.append(str(obs_path))
+    for wave in waves:
+        for spec in wave:
+            value = values.get(spec.label)
+            if value is not None:
+                manifest.outputs.extend(
+                    _write_value_artifacts(
+                        output_dir, spec.label, value, sample_days
+                    )
+                )
 
     manifest.write(manifest_path)
     progress.note(f"manifest: {manifest_path}")
@@ -149,6 +180,171 @@ def run_all(
                 f"{pruned.remaining_bytes} bytes remain"
             )
     return manifest
+
+
+# --------------------------------------------------------------------------
+# the chunked, resumable path
+
+
+def run_all_chunked(
+    days: int = 150,
+    seed: int = 2016_07_20,
+    prefork_days: int = 7,
+    jobs: int = 1,
+    cache_dir: Optional[Union[str, Path]] = DEFAULT_CACHE_DIR,
+    output_dir: Union[str, Path] = "runs",
+    manifest_path: Optional[Union[str, Path]] = None,
+    timeout: Optional[float] = DEFAULT_TIMEOUT,
+    retries: int = 1,
+    sample_days: int = 7,
+    progress=None,
+    partition_config: Optional[PartitionScenarioConfig] = None,
+    retry_backoff: float = 0.0,
+    chunk_size: int = 2,
+    resume: bool = False,
+    max_quarantined: Optional[int] = None,
+    ledger_dir: Optional[Union[str, Path]] = None,
+    lease_seconds: float = 300.0,
+    chunk_retries: int = 1,
+) -> ChunkedSweepResult:
+    """``run_all`` through the sweep ledger: waves become stages.
+
+    Each dependency wave maps to a ledger *stage*, so the barrier
+    semantics survive chunking — no figure chunk can be claimed until
+    every root-wave chunk is ``done``.  Figure/observation files are
+    written as each chunk finishes (they are the chunk's real output);
+    on ``resume`` the done chunks' files are already on disk and the
+    combine step only re-stitches the manifest.
+    """
+    progress = progress or NullProgress()
+    output_dir = Path(output_dir)
+    output_dir.mkdir(parents=True, exist_ok=True)
+    manifest_path = Path(manifest_path or output_dir / "manifest.json")
+    ledger_dir = Path(ledger_dir or output_dir / "run-all-ledger")
+
+    sim_config = ForkSimConfig(days=days, prefork_days=prefork_days, seed=seed)
+    waves = build_waves(sim_config, partition_config)
+    salt = {
+        "sweep": "run-all",
+        "sim": asdict(sim_config),
+        "partition": asdict(partition_config or PartitionScenarioConfig()),
+    }
+    chunks = plan_chunks(waves, chunk_size, salt=salt)
+    sweep_key = sweep_key_for(chunks, salt=salt)
+
+    pool = WorkerPool(
+        workers=jobs,
+        cache_dir=str(cache_dir) if cache_dir else None,
+        timeout=timeout,
+        retries=retries,
+        progress=progress,
+        retry_backoff=retry_backoff,
+    )
+
+    def summarize(chunk, results) -> Dict[str, Any]:
+        outputs: List[str] = []
+        for result in results:
+            outputs.extend(
+                _write_value_artifacts(
+                    output_dir, result.spec.label, result.value, sample_days
+                )
+            )
+        return {
+            "outputs": outputs,
+            "records": [asdict(result.record) for result in results],
+        }
+
+    runner = SweepRunner(
+        ledger_dir,
+        pool,
+        summarize,
+        lease_seconds=lease_seconds,
+        chunk_retries=chunk_retries,
+        max_quarantined=max_quarantined,
+        progress=progress,
+    )
+    start = time.perf_counter()
+    outcome = runner.run(chunks, sweep_key=sweep_key, resume=resume)
+
+    if outcome.state == "interrupted":
+        counts = outcome.counts
+        progress.note(
+            f"interrupted: {counts.get('done', 0)}/{counts.get('total', 0)}"
+            f" chunk(s) done; resume with --resume"
+        )
+        return ChunkedSweepResult(
+            state="interrupted", exit_code=EXIT_INTERRUPTED,
+            error=outcome.error,
+        )
+    if outcome.state == "failed":
+        return ChunkedSweepResult(
+            state="failed", exit_code=EXIT_FAILED, error=outcome.error,
+            quarantined=[
+                {
+                    "chunk_id": row.chunk_id,
+                    "label": row.label,
+                    "error": row.error,
+                    "failures": row.failures,
+                }
+                for row in outcome.quarantined
+            ],
+        )
+
+    manifest = RunManifest(
+        command=(
+            f"run-all --days {days} --seed {seed} --jobs {jobs}"
+            f" --chunk-size {chunk_size}"
+            + (" --resume" if resume else "")
+            + (" --no-cache" if cache_dir is None else "")
+        ),
+        workers=jobs,
+        cache_dir=str(cache_dir) if cache_dir else None,
+        started_at=time.time(),
+    )
+    for chunk, summary in outcome.summaries:
+        for record in summary["records"]:
+            manifest.add(JobRecord(**record))
+        manifest.outputs.extend(summary["outputs"])
+    quarantined_payload: List[Dict[str, Any]] = []
+    for row in outcome.quarantined:
+        chunk = next(c for c in chunks if c.chunk_id == row.chunk_id)
+        quarantined_payload.append(
+            {
+                "chunk_id": row.chunk_id,
+                "label": row.label,
+                "error": row.error,
+                "failures": row.failures,
+                "jobs": [spec.label for spec in chunk.specs],
+            }
+        )
+        for spec in chunk.specs:
+            manifest.add(
+                JobRecord(
+                    label=spec.label,
+                    kind=spec.kind,
+                    key=spec.cache_key(),
+                    status="failed",
+                    cache_hit=False,
+                    wall_time=0.0,
+                    attempts=row.attempts,
+                    error=f"chunk {row.chunk_id[:12]} quarantined: "
+                          f"{row.error}",
+                )
+            )
+    manifest.total_wall_time = time.perf_counter() - start
+    manifest.write(manifest_path)
+    progress.note(f"manifest: {manifest_path}")
+    if outcome.state == "degraded":
+        progress.note(
+            f"run-all completed DEGRADED: {len(quarantined_payload)} "
+            f"quarantined chunk(s)"
+        )
+    return ChunkedSweepResult(
+        state=outcome.state,
+        exit_code=EXIT_DEGRADED if outcome.state == "degraded" else EXIT_OK,
+        manifest=manifest,
+        quarantined=quarantined_payload,
+    )
 
 
 def main(argv=None) -> int:  # pragma: no cover - thin convenience wrapper

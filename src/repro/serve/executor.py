@@ -83,6 +83,7 @@ class ExecutorBridge:
         retries: int = 1,
         collect_metrics: bool = True,
         max_threads: int = 4,
+        retry_backoff: float = 0.0,
     ) -> None:
         if max_threads < 1:
             raise ValueError("max_threads must be >= 1")
@@ -90,6 +91,7 @@ class ExecutorBridge:
         self.cache_dir = str(cache_dir) if cache_dir else None
         self.timeout = timeout
         self.retries = retries
+        self.retry_backoff = retry_backoff
         self.collect_metrics = collect_metrics
         self._threads = ThreadPoolExecutor(
             max_workers=max_threads, thread_name_prefix="repro-serve-exec"
@@ -116,6 +118,7 @@ class ExecutorBridge:
             retries=self.retries,
             progress=progress,
             collect_metrics=self.collect_metrics,
+            retry_backoff=self.retry_backoff,
         )
         return pool.run([spec])[0]
 

@@ -57,6 +57,9 @@ class ServeConfig:
     workers: int = 1
     timeout: Optional[float] = DEFAULT_TIMEOUT
     retries: int = 1
+    #: Base seconds before a job's first retry (deterministic seeded
+    #: jitter; see :meth:`repro.harness.pool.WorkerPool.backoff_delay`).
+    retry_backoff: float = 0.0
     max_threads: int = 4
     max_inflight: int = 16
     tenant_max_inflight: int = 2
@@ -96,6 +99,7 @@ class ScenarioServer:
             retries=config.retries,
             collect_metrics=config.collect_metrics,
             max_threads=config.max_threads,
+            retry_backoff=config.retry_backoff,
         )
         admission = AdmissionController(
             quota=TenantQuota(

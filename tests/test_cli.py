@@ -55,6 +55,38 @@ class TestParser:
         assert args.split == [0.0, 300.0]
         assert args.no_resilience is True
 
+    def test_chunked_flags_parse(self):
+        args = _build_parser().parse_args(
+            ["fault-sweep", "--chunk-size", "2", "--resume",
+             "--max-quarantined", "1", "--ledger-dir", "led",
+             "--lease-seconds", "30", "--retry-backoff", "0.5",
+             "--max-events", "1000"]
+        )
+        assert args.chunk_size == 2
+        assert args.resume is True
+        assert args.max_quarantined == 1
+        assert args.ledger_dir == "led"
+        assert args.lease_seconds == 30.0
+        assert args.retry_backoff == 0.5
+        assert args.max_events == 1000
+
+    def test_chunked_defaults_keep_classic_path(self):
+        for command in ("run-all", "fault-sweep"):
+            args = _build_parser().parse_args([command])
+            assert args.chunk_size is None
+            assert args.resume is False
+            assert args.max_quarantined is None
+            assert args.retry_backoff == 0.0
+
+    def test_chunked_validation(self, capsys):
+        assert main(["fault-sweep", "--chunk-size", "0"]) == 2
+        assert main(["fault-sweep", "--resume"]) == 2
+        assert main(["run-all", "--retry-backoff", "-1"]) == 2
+        assert main(["run-all", "--chunk-size", "2",
+                     "--max-quarantined", "-1"]) == 2
+        assert main(["fault-sweep", "--max-events", "0"]) == 2
+        capsys.readouterr()
+
     def test_trace_defaults(self):
         args = _build_parser().parse_args(["trace"])
         assert args.command == "trace"
@@ -197,6 +229,40 @@ class TestCommands:
         err = capsys.readouterr().err
         assert "Traceback" not in err
 
+    def test_fault_sweep_chunked_small(self, tmp_path, capsys):
+        base = ["fault-sweep", "--nodes", "8", "--miners", "2",
+                "--horizon", "300", "--churn", "0", "--loss", "0",
+                "--split", "0", "--jobs", "1",
+                "--cache-dir", str(tmp_path / "cache"),
+                "--output-dir", str(tmp_path / "out"),
+                "--chunk-size", "1"]
+        code = main(base)
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "sweep complete (exit 0)" in captured.err
+        assert (tmp_path / "out" / "robustness.json").exists()
+        assert (tmp_path / "out" / "sweep-ledger" / "ledger.db").exists()
+        # Re-attaching the same finished sweep needs --resume...
+        assert main(base) == 2
+        err = capsys.readouterr().err
+        assert "--resume" in err
+        # ...and with it, stitches from the ledger without recomputing.
+        assert main(base + ["--resume"]) == 0
+        capsys.readouterr()
+
+    def test_fault_sweep_poisoned_exits_degraded(self, tmp_path, capsys):
+        code = main(
+            ["fault-sweep", "--nodes", "8", "--miners", "2",
+             "--horizon", "300", "--churn", "0", "--loss", "0",
+             "--split", "0", "--jobs", "1", "--no-cache",
+             "--output-dir", str(tmp_path / "out"),
+             "--chunk-size", "1", "--max-events", "10"]
+        )
+        captured = capsys.readouterr()
+        assert code == 4
+        assert "sweep degraded (exit 4)" in captured.err
+        assert "quarantined" in captured.err
+
     def test_run_all_small(self, tmp_path, capsys):
         code = main(
             ["run-all", "--days", "2", "--jobs", "1",
@@ -247,6 +313,12 @@ class TestServeParser:
         )
         assert args.cache_max_bytes == 4096
         assert _build_parser().parse_args(["run-all"]).cache_max_bytes is None
+
+    def test_serve_retry_backoff(self, capsys):
+        args = _build_parser().parse_args(["serve", "--retry-backoff", "1.5"])
+        assert args.retry_backoff == 1.5
+        assert _build_parser().parse_args(["serve"]).retry_backoff == 0.0
+        assert main(["serve", "--retry-backoff", "-1"]) == 2
 
     def test_serve_rejects_bad_port(self, capsys):
         assert main(["serve", "--port", "-1"]) == 2

@@ -1,14 +1,18 @@
 """The fault-sweep job family: grid, artifacts, caching, reproducibility."""
 
+import dataclasses
 import json
 
 import pytest
 
 from repro.harness import (
+    EXIT_DEGRADED,
+    EXIT_OK,
     FaultSweepConfig,
     NullProgress,
     build_fault_grid,
     run_fault_sweep,
+    run_fault_sweep_chunked,
     sweep_digest,
 )
 
@@ -108,3 +112,96 @@ class TestRunFaultSweep:
             (tmp_path / "out3" / "robustness.json").read_text()
         )
         assert third["sweep_digest"] == first["sweep_digest"]
+
+
+class TestChunkedSweep:
+    def test_chunked_combine_matches_single_shot_byte_for_byte(
+        self, tmp_path
+    ):
+        # THE determinism contract of the chunked engine: splitting the
+        # grid into ledger chunks and stitching the artifacts back must
+        # land on the identical sweep digest (and identical cells) as
+        # the uninterrupted single-shot run.  The shared cache keeps
+        # this to one cold sweep.
+        manifest = run_fault_sweep(
+            TINY,
+            jobs=1,
+            cache_dir=tmp_path / "cache",
+            output_dir=tmp_path / "single",
+            progress=NullProgress(),
+        )
+        assert not manifest.failures
+        single = json.loads(
+            (tmp_path / "single" / "robustness.json").read_text()
+        )
+
+        result = run_fault_sweep_chunked(
+            TINY,
+            jobs=1,
+            cache_dir=tmp_path / "cache",
+            output_dir=tmp_path / "chunked",
+            chunk_size=1,
+            progress=NullProgress(),
+        )
+        assert result.state == "complete"
+        assert result.exit_code == EXIT_OK
+        assert result.sweep_digest == single["sweep_digest"]
+        chunked = json.loads(
+            (tmp_path / "chunked" / "robustness.json").read_text()
+        )
+        assert chunked["cells"] == single["cells"]
+        assert not chunked["degraded"]
+        assert chunked["quarantined"] == []
+        assert (tmp_path / "chunked" / "robustness.txt").read_text() == (
+            tmp_path / "single" / "robustness.txt"
+        ).read_text()
+        assert not result.manifest.failures
+        assert result.manifest.cache_hits == 4
+
+    def test_poisoned_cells_quarantine_and_degrade(self, tmp_path):
+        # A starved event budget makes every cell fail fast — the sweep
+        # must complete DEGRADED (exit 4) with the quarantine manifest,
+        # not hang or hard-fail.
+        poisoned = dataclasses.replace(TINY, max_events=10)
+        result = run_fault_sweep_chunked(
+            poisoned,
+            jobs=1,
+            cache_dir=None,
+            output_dir=tmp_path / "out",
+            chunk_size=2,
+            chunk_retries=0,
+            progress=NullProgress(),
+        )
+        assert result.state == "degraded"
+        assert result.exit_code == EXIT_DEGRADED
+        assert len(result.quarantined) == 2  # 4 cells / chunk_size 2
+        payload = json.loads(
+            (tmp_path / "out" / "robustness.json").read_text()
+        )
+        assert payload["degraded"]
+        assert payload["cells"] == []
+        quarantined_cells = [
+            label
+            for entry in payload["quarantined"]
+            for label in entry["cells"]
+        ]
+        assert len(quarantined_cells) == 4
+        # The manifest records every quarantined cell as a failed job.
+        assert len(result.manifest.failures) == 4
+
+    def test_quarantine_budget_fails_the_sweep(self, tmp_path):
+        poisoned = dataclasses.replace(TINY, max_events=10)
+        result = run_fault_sweep_chunked(
+            poisoned,
+            jobs=1,
+            cache_dir=None,
+            output_dir=tmp_path / "out",
+            chunk_size=2,
+            chunk_retries=0,
+            max_quarantined=0,
+            progress=NullProgress(),
+        )
+        assert result.state == "failed"
+        assert result.exit_code == 1
+        assert result.manifest is None
+        assert not (tmp_path / "out" / "robustness.json").exists()

@@ -115,6 +115,144 @@ class TestParallel:
         assert warm[0].value == "shared"
 
 
+class TestSerialTimeoutSemantics:
+    def test_deadline_is_per_attempt_not_cumulative(self, tmp_path):
+        # Regression: the serial path used to measure the deadline from
+        # the FIRST attempt, so a flaky job burning 0.15s per try blew a
+        # 0.25s budget on attempt 2 and was recorded "timeout" even
+        # though no single attempt came close.  Per-attempt semantics
+        # (matching the parallel path) must let every retry run.
+        marker = tmp_path / "marker"
+        spec = JobSpec.make(
+            "selftest-flaky",
+            {
+                "marker_path": str(marker),
+                "fail_times": 3,
+                "sleep_seconds": 0.15,
+            },
+        )
+        [result] = make_pool(workers=1, timeout=0.25, retries=3).run([spec])
+        assert result.record.status == "ok"
+        assert result.record.attempts == 4
+
+    def test_single_slow_attempt_still_times_out(self, tmp_path):
+        marker = tmp_path / "marker"
+        spec = JobSpec.make(
+            "selftest-flaky",
+            {
+                "marker_path": str(marker),
+                "fail_times": 99,
+                "sleep_seconds": 0.3,
+            },
+        )
+        [result] = make_pool(workers=1, timeout=0.25, retries=3).run([spec])
+        assert result.record.status == "timeout"
+        assert result.record.attempts == 1
+
+
+class TestRetryBackoff:
+    def test_delay_is_deterministic_and_bounded(self):
+        pool = WorkerPool(workers=1, retry_backoff=0.5, backoff_seed=7)
+        same = WorkerPool(workers=1, retry_backoff=0.5, backoff_seed=7)
+        for attempt in (2, 3, 4):
+            delay = pool.backoff_delay("key", attempt)
+            assert delay == same.backoff_delay("key", attempt)
+            step = 0.5 * 2.0 ** (attempt - 2)
+            assert 0.5 * step <= delay < step
+
+    def test_first_attempt_and_disabled_backoff_wait_nothing(self):
+        pool = WorkerPool(workers=1, retry_backoff=0.5)
+        assert pool.backoff_delay("key", 1) == 0.0
+        assert WorkerPool(workers=1).backoff_delay("key", 3) == 0.0
+
+    def test_seed_and_key_shift_the_jitter(self):
+        pool = WorkerPool(workers=1, retry_backoff=0.5, backoff_seed=7)
+        other_seed = WorkerPool(workers=1, retry_backoff=0.5, backoff_seed=8)
+        assert pool.backoff_delay("key", 2) != other_seed.backoff_delay(
+            "key", 2
+        )
+        assert pool.backoff_delay("key", 2) != pool.backoff_delay("other", 2)
+
+    def test_serial_retries_actually_back_off(self, tmp_path):
+        import time
+
+        marker = tmp_path / "marker"
+        spec = JobSpec.make(
+            "selftest-flaky", {"marker_path": str(marker), "fail_times": 1}
+        )
+        pool = make_pool(workers=1, retries=1, retry_backoff=0.2)
+        start = time.perf_counter()
+        [result] = pool.run([spec])
+        elapsed = time.perf_counter() - start
+        assert result.record.status == "ok"
+        assert elapsed >= pool.backoff_delay(spec.cache_key(), 2)
+
+    def test_parallel_retries_back_off_without_stalling_others(
+        self, tmp_path
+    ):
+        marker = tmp_path / "marker"
+        flaky = JobSpec.make(
+            "selftest-flaky",
+            {"marker_path": str(marker), "fail_times": 1},
+            label="flaky",
+        )
+        pool = make_pool(workers=2, retries=1, retry_backoff=0.2)
+        results = {
+            r.spec.label: r for r in pool.run([flaky, *echo_specs(2)])
+        }
+        assert results["flaky"].record.status == "ok"
+        assert results["flaky"].record.attempts == 2
+        assert results["echo-0"].record.status == "ok"
+
+    def test_rejects_negative_backoff(self):
+        with pytest.raises(ValueError):
+            WorkerPool(workers=1, retry_backoff=-0.1)
+
+
+class TestKillDashNineRecovery:
+    def test_sigkilled_worker_is_retried_with_identical_result(
+        self, tmp_path
+    ):
+        # The worker process dies mid-job with SIGKILL — no exception,
+        # no pipe message.  The fresh-worker retry must return the same
+        # deterministic digest an undisturbed in-process run produces,
+        # with the manifest recording both attempts.
+        marker = tmp_path / "killed"
+        spec = JobSpec.make(
+            "selftest-killme",
+            {"marker_path": str(marker), "value": "fork-census"},
+            label="victim",
+        )
+        pool = make_pool(workers=2, retries=1)
+        results = {r.spec.label: r for r in pool.run([spec, *echo_specs(1)])}
+        victim = results["victim"]
+        assert victim.record.status == "ok"
+        assert victim.record.attempts == 2
+        assert marker.exists()  # the first attempt really ran
+
+        reference_marker = tmp_path / "reference"
+        reference_marker.write_text("already-dead")  # skip the suicide
+        reference = JobSpec.make(
+            "selftest-killme",
+            {"marker_path": str(reference_marker), "value": "fork-census"},
+        )
+        [in_process] = make_pool(workers=1).run([reference])
+        assert victim.value == in_process.value
+
+    def test_sigkill_with_no_retries_is_a_recorded_failure(self, tmp_path):
+        spec = JobSpec.make(
+            "selftest-killme",
+            {"marker_path": str(tmp_path / "killed"), "value": "x"},
+            label="victim",
+        )
+        pool = make_pool(workers=2, retries=0)
+        results = {r.spec.label: r for r in pool.run([spec, *echo_specs(1)])}
+        victim = results["victim"].record
+        assert victim.status == "failed"
+        assert victim.attempts == 1
+        assert "worker died" in victim.error
+
+
 class TestValidation:
     def test_rejects_zero_workers(self):
         with pytest.raises(ValueError):

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.harness import RunManifest, build_waves, run_all
+from repro.harness import RunManifest, build_waves, run_all, run_all_chunked
 from repro.scenarios.partition_event import PartitionScenarioConfig
 from repro.sim.engine import ForkSimConfig
 
@@ -84,6 +84,51 @@ class TestCacheBehavior:
         assert manifest.cache_hits == 0
         assert manifest.cache_dir is None
         assert not manifest.failures
+
+
+class TestChunkedRunAll:
+    def test_chunked_run_matches_classic_artifacts(self, cold_and_warm):
+        # Reuses the module fixture's warm cache: the chunked pass is
+        # pure cache hits, and its figure/scoreboard files must be
+        # byte-identical to the classic path's.
+        root, _, _ = cold_and_warm
+        result = run_all_chunked(
+            days=DAYS,
+            prefork_days=2,
+            jobs=1,
+            cache_dir=root / "cache",
+            output_dir=root / "chunked",
+            timeout=300.0,
+            partition_config=QUICK_PARTITION,
+            chunk_size=2,
+        )
+        assert result.state == "complete"
+        assert result.exit_code == 0
+        assert not result.manifest.failures
+        assert result.manifest.cache_hits == 9
+        for number in range(1, 6):
+            for suffix in ("txt", "csv"):
+                name = f"figure{number}.{suffix}"
+                assert (root / "chunked" / name).read_bytes() == (
+                    root / "out" / name
+                ).read_bytes()
+        assert (root / "chunked" / "observations.txt").read_bytes() == (
+            root / "out" / "observations.txt"
+        ).read_bytes()
+        assert len(result.manifest.outputs) == 11
+
+        # The waves became ledger stages: 2/1/6 jobs at chunk_size 2
+        # → 1+1+3 chunks, claimed behind stage barriers.
+        from repro.harness import SweepLedger
+
+        ledger = SweepLedger(
+            root / "chunked" / "run-all-ledger" / "ledger.db"
+        )
+        try:
+            stages = [row.stage for row in ledger.chunks()]
+        finally:
+            ledger.close()
+        assert stages == [0, 1, 2, 2, 2]
 
 
 class TestWavePlan:
