@@ -26,6 +26,14 @@ Subcommands:
     cache, writing ``robustness.txt``/``.csv``/``.json`` with per-cell
     recovery times and a reproducibility digest.
 
+``topology-sweep``
+    Run the topology realism grid (uniform / power-law / geo-clustered
+    / ring / small-world graph families) of partition scenarios plus
+    DEthna-style topology-inference probes through the same pool and
+    cache, writing ``topology.txt``/``.csv``/``.json`` with per-family
+    stabilization times, degree statistics, inference precision/recall,
+    and a reproducibility digest.
+
 ``bench``
     Benchmark the performance kernels (batched block production, fast
     difficulty rules, event-loop and transport fast paths) against the
@@ -181,6 +189,44 @@ def _build_parser() -> argparse.ArgumentParser:
                             "it fails (mainly for fault-injection tests "
                             "of the quarantine path)")
     _add_chunked_arguments(sweep)
+
+    topo = sub.add_parser(
+        "topology-sweep",
+        help="partition/stabilization scenario across topology families "
+             "(degree skew, geo-clustering) plus marked-transaction "
+             "topology inference",
+    )
+    topo.add_argument("--nodes", type=int, default=30)
+    topo.add_argument("--miners", type=int, default=8)
+    topo.add_argument("--seed", type=int, default=2016_07_20)
+    topo.add_argument("--horizon", type=float, default=3600.0,
+                      help="simulated seconds past the fork per cell")
+    topo.add_argument("--degree", type=int, default=8,
+                      help="target degree (mean/lattice/power-law floor)")
+    topo.add_argument("--topologies", type=str, nargs="+",
+                      default=["uniform", "powerlaw", "geo"],
+                      choices=["uniform", "powerlaw", "geo", "ring",
+                               "smallworld"],
+                      help="topology families to sweep, in order")
+    topo.add_argument("--gamma", type=float, default=2.2,
+                      help="power-law exponent (measurements: 2-2.5)")
+    topo.add_argument("--intra-bias", type=float, default=0.7,
+                      help="geo: probability an edge stays in-region")
+    topo.add_argument("--no-infer", action="store_true",
+                      help="skip the marked-transaction inference cells")
+    topo.add_argument("--infer-probes", type=int, default=5,
+                      help="marked transactions injected per target node")
+    topo.add_argument("--jobs", type=int, default=1,
+                      help="worker processes (1 = in-process serial)")
+    topo.add_argument("--cache-dir", type=str, default=".repro-cache")
+    topo.add_argument("--no-cache", action="store_true")
+    topo.add_argument("--output-dir", type=str, default="runs")
+    topo.add_argument("--manifest", type=str, default=None,
+                      help="manifest path (default: "
+                           "<output-dir>/topology-sweep-manifest.json)")
+    topo.add_argument("--timeout", type=float, default=900.0)
+    topo.add_argument("--retries", type=int, default=1)
+    _add_chunked_arguments(topo)
 
     trace = sub.add_parser(
         "trace",
@@ -518,6 +564,85 @@ def cmd_fault_sweep(args) -> int:
     return 1 if manifest.failures else 0
 
 
+def cmd_topology_sweep(args) -> int:
+    from .harness import (
+        ProgressReporter,
+        TopologySweepConfig,
+        run_topology_sweep,
+        run_topology_sweep_chunked,
+    )
+
+    if args.jobs < 1:
+        print("error: --jobs must be >= 1", file=sys.stderr)
+        return 2
+    if args.retries < 0:
+        print("error: --retries must be >= 0", file=sys.stderr)
+        return 2
+    if args.infer_probes < 1:
+        print("error: --infer-probes must be >= 1", file=sys.stderr)
+        return 2
+    error = _check_chunked_arguments(args)
+    if error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    try:
+        config = TopologySweepConfig(
+            num_nodes=args.nodes,
+            num_miners=args.miners,
+            post_fork_horizon=args.horizon,
+            seed=args.seed,
+            target_degree=args.degree,
+            topologies=tuple(args.topologies),
+            gamma=args.gamma,
+            intra_bias=args.intra_bias,
+            include_inference=not args.no_infer,
+            infer_probes=args.infer_probes,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.chunk_size is not None:
+        from .harness import LedgerError
+
+        try:
+            result = run_topology_sweep_chunked(
+                config,
+                jobs=args.jobs,
+                cache_dir=None if args.no_cache else args.cache_dir,
+                output_dir=args.output_dir,
+                manifest_path=args.manifest,
+                timeout=args.timeout,
+                retries=args.retries,
+                progress=ProgressReporter(),
+                retry_backoff=args.retry_backoff,
+                chunk_size=args.chunk_size,
+                resume=args.resume,
+                max_quarantined=args.max_quarantined,
+                ledger_dir=args.ledger_dir,
+                lease_seconds=args.lease_seconds,
+            )
+        except LedgerError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        return _report_chunked(result)
+    manifest = run_topology_sweep(
+        config,
+        jobs=args.jobs,
+        cache_dir=None if args.no_cache else args.cache_dir,
+        output_dir=args.output_dir,
+        manifest_path=args.manifest,
+        timeout=args.timeout,
+        retries=args.retries,
+        progress=ProgressReporter(),
+        retry_backoff=args.retry_backoff,
+    )
+    print()
+    print(manifest.summary())
+    for path in manifest.outputs:
+        print(f"  wrote {path}")
+    return 1 if manifest.failures else 0
+
+
 def cmd_trace(args) -> int:
     from .harness.faultsweep import FaultSweepConfig
     from .obs import Observability
@@ -656,6 +781,7 @@ def main(argv: Optional[list] = None) -> int:
         "fork-lengths": cmd_fork_lengths,
         "run-all": cmd_run_all,
         "fault-sweep": cmd_fault_sweep,
+        "topology-sweep": cmd_topology_sweep,
         "trace": cmd_trace,
         "serve": cmd_serve,
         "bench": cmd_bench,

@@ -47,6 +47,12 @@ from .ledger import (
     LedgerNeedsResume,
     SweepLedger,
 )
+from .toposweep import (
+    TopologySweepConfig,
+    build_topology_grid,
+    run_topology_sweep,
+    run_topology_sweep_chunked,
+)
 from .jobs import (
     CACHE_SCHEMA_VERSION,
     EchoBundle,
@@ -62,6 +68,8 @@ from .jobs import (
     observations_spec,
     partition_spec,
     register_runner,
+    topology_infer_spec,
+    topology_partition_spec,
     registered_kinds,
     run_cached,
     run_job,
@@ -105,6 +113,7 @@ __all__ = [
     "EXIT_USAGE",
     "EchoBundle",
     "FaultSweepConfig",
+    "TopologySweepConfig",
     "JobOutcome",
     "JobRecord",
     "JobResult",
@@ -125,6 +134,7 @@ __all__ = [
     "SweepRunner",
     "WorkerPool",
     "build_fault_grid",
+    "build_topology_grid",
     "build_waves",
     "chaos_partition_spec",
     "echoes_spec",
@@ -143,8 +153,12 @@ __all__ = [
     "run_cached",
     "run_fault_sweep",
     "run_fault_sweep_chunked",
+    "run_topology_sweep",
+    "run_topology_sweep_chunked",
     "run_job",
     "simulate_spec",
+    "topology_partition_spec",
+    "topology_infer_spec",
     "sweep_digest",
     "sweep_key_for",
 ]

@@ -34,6 +34,12 @@ from ..scenarios.partition_event import (
     PartitionResult,
     PartitionScenario,
     PartitionScenarioConfig,
+    TopologyPartitionConfig,
+)
+from ..scenarios.topology_inference import (
+    TopologyInferenceConfig,
+    TopologyInferenceResult,
+    TopologyInferenceScenario,
 )
 from ..scenarios.replay_attack import (
     GroundTruth,
@@ -54,6 +60,8 @@ __all__ = [
     "simulate_spec",
     "partition_spec",
     "chaos_partition_spec",
+    "topology_partition_spec",
+    "topology_infer_spec",
     "obs_probe_spec",
     "perf_probe_spec",
     "echoes_spec",
@@ -229,6 +237,27 @@ def chaos_partition_spec(config: ChaosPartitionConfig) -> JobSpec:
     )
 
 
+def topology_partition_spec(config: TopologyPartitionConfig) -> JobSpec:
+    """A partition run on an explicit topology; the family labels it."""
+    family = (config.topology or {}).get("kind", "mesh")
+    return JobSpec.make(
+        "topology-partition",
+        {"config": asdict(config)},
+        label=f"topology[{family} {config.num_nodes}n]",
+    )
+
+
+def topology_infer_spec(config: TopologyInferenceConfig) -> JobSpec:
+    """A marked-transaction topology-inference run."""
+    family = (config.topology or {}).get("kind", "uniform")
+    nodes = (config.topology or {}).get("num_nodes", config.num_nodes)
+    return JobSpec.make(
+        "topology-infer",
+        {"config": asdict(config)},
+        label=f"topology-infer[{family} {nodes}n]",
+    )
+
+
 def obs_probe_spec(config: PartitionScenarioConfig) -> JobSpec:
     """A fully instrumented partition run that returns only digests.
 
@@ -348,6 +377,22 @@ def _run_chaos_partition(
 ) -> PartitionResult:
     config = ChaosPartitionConfig(**params["config"])
     return PartitionScenario(config, obs=_registry_obs(registry)).run()
+
+
+@register_runner("topology-partition", wants_registry=True)
+def _run_topology_partition(
+    params: Dict[str, Any], cache, registry=None
+) -> PartitionResult:
+    config = TopologyPartitionConfig(**params["config"])
+    return PartitionScenario(config, obs=_registry_obs(registry)).run()
+
+
+@register_runner("topology-infer", wants_registry=True)
+def _run_topology_infer(
+    params: Dict[str, Any], cache, registry=None
+) -> TopologyInferenceResult:
+    config = TopologyInferenceConfig(**params["config"])
+    return TopologyInferenceScenario(config, obs=_registry_obs(registry)).run()
 
 
 @register_runner("echoes")

@@ -1,0 +1,543 @@
+"""``topology-sweep``: the partition scenario across topology families.
+
+The paper's stabilization-time conclusion — the minority mesh collapses
+at the fork, then recovers as fork-blind discovery finds like-minded
+peers — was reproduced on a uniform random mesh.  The measurement papers
+(Gencer et al.; DEthna) say the real graph has heavy degree skew and geo
+clustering, so the sweep re-runs the scenario once per topology family
+(``topology-partition`` jobs) and, optionally, scores a DEthna-style
+marked-transaction inference run per family (``topology-infer`` jobs).
+
+Cells are independent harness jobs, so both the single-shot path and the
+chunked/resumable path (DESIGN §10 ledger machinery) apply unchanged.
+Artifacts land in ``output_dir``:
+
+* ``topology.txt`` — one line per family (degree stats, loss, recovery
+  verdict, inference precision/recall) plus a conclusion header;
+* ``topology.csv`` — the same table for notebooks;
+* ``topology.json`` — per-cell payloads + digests and the *sweep digest*
+  (SHA-256 over the ordered per-cell digests) the CI smoke job pins.
+"""
+
+from __future__ import annotations
+
+import csv
+import hashlib
+import json
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from ..net.topology import TOPOLOGY_KINDS, TopologySpec, build_topology
+from ..scenarios.partition_event import PartitionResult, TopologyPartitionConfig
+from ..scenarios.topology_inference import (
+    TopologyInferenceConfig,
+    TopologyInferenceResult,
+)
+from .faultsweep import sweep_digest
+from .jobs import (
+    JobSpec,
+    canonical_json,
+    topology_infer_spec,
+    topology_partition_spec,
+)
+from .manifest import JobRecord, RunManifest
+from .pool import DEFAULT_TIMEOUT, WorkerPool
+from .progress import NullProgress
+from .sweeprun import (
+    EXIT_DEGRADED,
+    EXIT_FAILED,
+    EXIT_INTERRUPTED,
+    EXIT_OK,
+    ChunkedSweepResult,
+    SweepRunner,
+    plan_chunks,
+    sweep_key_for,
+)
+
+__all__ = [
+    "TopologySweepConfig",
+    "build_topology_grid",
+    "run_topology_sweep",
+    "run_topology_sweep_chunked",
+]
+
+#: A sweep cell: ``(family, role)`` where role is ``"partition"`` or
+#: ``"infer"``.
+Cell = Tuple[str, str]
+
+
+@dataclass
+class TopologySweepConfig:
+    """The family list plus the per-cell scenario shape."""
+
+    num_nodes: int = 30
+    num_miners: int = 8
+    fork_block: int = 40
+    post_fork_horizon: float = 3600.0
+    census_interval: float = 120.0
+    seed: int = 2016_07_20
+    target_degree: int = 8
+    #: Families swept, in order (each must be in ``TOPOLOGY_KINDS``).
+    topologies: Tuple[str, ...] = ("uniform", "powerlaw", "geo")
+    gamma: float = 2.2
+    intra_bias: float = 0.7
+    rewire_p: float = 0.1
+    #: Also run the marked-transaction inference scenario per family.
+    include_inference: bool = True
+    infer_probes: int = 5
+    #: Post-fork recovery threshold for the stabilization verdict.
+    recovery_fraction: float = 0.9
+
+    def __post_init__(self) -> None:
+        unknown = [t for t in self.topologies if t not in TOPOLOGY_KINDS]
+        if unknown:
+            raise ValueError(
+                f"unknown topology families {unknown}; "
+                f"expected members of {TOPOLOGY_KINDS}"
+            )
+        # Eager validation: building each family's spec surfaces bad
+        # graph parameters (gamma, degree, intra_bias, ...) at config
+        # time — a usage error — instead of mid-sweep.
+        for family in self.topologies:
+            self.topology_spec(family)
+
+    def topology_spec(self, family: str) -> TopologySpec:
+        return TopologySpec(
+            kind=family,
+            num_nodes=self.num_nodes,
+            target_degree=self.target_degree,
+            seed=self.seed,
+            gamma=self.gamma,
+            intra_bias=self.intra_bias,
+            rewire_p=self.rewire_p,
+        )
+
+    def cell_config(self, family: str) -> TopologyPartitionConfig:
+        return TopologyPartitionConfig(
+            num_nodes=self.num_nodes,
+            num_miners=self.num_miners,
+            fork_block=self.fork_block,
+            post_fork_horizon=self.post_fork_horizon,
+            census_interval=self.census_interval,
+            seed=self.seed,
+            target_degree=self.target_degree,
+            topology=self.topology_spec(family).to_dict(),
+            # Geo-clustered graphs exercise the strict geographic
+            # transport; the others keep the paper's lognormal baseline.
+            latency="geo" if family == "geo" else "lognormal",
+        )
+
+    def infer_config(self, family: str) -> TopologyInferenceConfig:
+        return TopologyInferenceConfig(
+            topology=self.topology_spec(family).to_dict(),
+            seed=self.seed,
+            probes_per_target=self.infer_probes,
+        )
+
+
+def build_topology_grid(
+    config: TopologySweepConfig,
+) -> List[Tuple[Cell, JobSpec]]:
+    """One partition spec (plus optional inference spec) per family."""
+    grid: List[Tuple[Cell, JobSpec]] = []
+    for family in config.topologies:
+        grid.append(
+            ((family, "partition"), topology_partition_spec(config.cell_config(family)))
+        )
+        if config.include_inference:
+            grid.append(
+                ((family, "infer"), topology_infer_spec(config.infer_config(family)))
+            )
+    return grid
+
+
+def _cell_digest(payload: Dict[str, Any]) -> str:
+    return hashlib.sha256(
+        canonical_json(payload).encode("utf-8")
+    ).hexdigest()
+
+
+def _partition_payload(
+    config: TopologySweepConfig, family: str, result: PartitionResult
+) -> Dict[str, Any]:
+    spec = config.topology_spec(family)
+    built = build_topology(spec)
+    stabilization = result.stabilization_time(config.recovery_fraction)
+    return {
+        "family": family,
+        "role": "partition",
+        "topology": spec.to_dict(),
+        "topology_digest": built.digest(),
+        "degree_stats": built.degree_stats(),
+        "fork_time": result.fork_time,
+        "node_loss_fraction": result.node_loss_fraction(),
+        "minimum_etc_reachable": result.minimum_etc_reachable(),
+        "stabilization_time": stabilization,
+        "stabilized": stabilization is not None,
+        "handshake_refusals": result.handshake_refusals,
+        "incompatible_disconnects": result.incompatible_disconnects,
+        "snapshots": [asdict(snapshot) for snapshot in result.snapshots],
+    }
+
+
+def _infer_payload(
+    family: str, result: TopologyInferenceResult
+) -> Dict[str, Any]:
+    return {"family": family, "role": "infer", **result.to_dict()}
+
+
+def _cell_payload(
+    config: TopologySweepConfig, cell: Cell, value: Any
+) -> Dict[str, Any]:
+    family, role = cell
+    if role == "partition":
+        payload = _partition_payload(config, family, value)
+    else:
+        payload = _infer_payload(family, value)
+    return {
+        "family": family,
+        "role": role,
+        "digest": _cell_digest(payload),
+        "payload": payload,
+    }
+
+
+def _write_sweep_artifacts(
+    output_dir: Path,
+    manifest: RunManifest,
+    config: TopologySweepConfig,
+    cells: List[Dict[str, Any]],
+    extra: Optional[Dict[str, Any]] = None,
+) -> str:
+    """Write ``topology.{txt,csv,json}`` in canonical grid order;
+    returns the sweep digest."""
+    by_cell = {(c["family"], c["role"]): c["payload"] for c in cells}
+    rows: List[Dict[str, Any]] = []
+    lines: List[str] = []
+    stabilized = 0
+    families_reported = 0
+    for family in config.topologies:
+        partition = by_cell.get((family, "partition"))
+        if partition is None:
+            continue
+        families_reported += 1
+        stats = partition["degree_stats"]
+        stabilization = partition["stabilization_time"]
+        if partition["stabilized"]:
+            stabilized += 1
+            verdict = f"RECOVERED in {stabilization:.0f}s"
+        else:
+            verdict = "NO RECOVERY"
+        line = (
+            f"{family:<10s} degree mean={stats['degree_mean']:.1f}"
+            f" max={stats['degree_max']:.0f} gini={stats['degree_gini']:.2f}"
+            f"  loss={partition['node_loss_fraction']:.2f}"
+            f" min_reach={partition['minimum_etc_reachable']}"
+            f"  {verdict}"
+        )
+        infer = by_cell.get((family, "infer"))
+        if infer is not None:
+            line += (
+                f"  | infer P={infer['precision']:.2f}"
+                f" R={infer['recall']:.2f}"
+            )
+        lines.append(line)
+        rows.append(
+            {
+                "family": family,
+                "degree_mean": stats["degree_mean"],
+                "degree_max": stats["degree_max"],
+                "degree_gini": stats["degree_gini"],
+                "node_loss_fraction": partition["node_loss_fraction"],
+                "minimum_etc_reachable": partition["minimum_etc_reachable"],
+                "stabilization_time": (
+                    "" if stabilization is None else stabilization
+                ),
+                "stabilized": partition["stabilized"],
+                "infer_precision": "" if infer is None else infer["precision"],
+                "infer_recall": "" if infer is None else infer["recall"],
+            }
+        )
+    conclusion = (
+        f"stabilization conclusion holds on {stabilized}/{families_reported}"
+        f" topology families"
+    )
+    lines.insert(0, conclusion)
+
+    text_path = output_dir / "topology.txt"
+    text_path.write_text("\n".join(lines) + "\n" if lines else "")
+    manifest.outputs.append(str(text_path))
+
+    csv_path = output_dir / "topology.csv"
+    if rows:
+        with csv_path.open("w", newline="") as handle:
+            writer = csv.DictWriter(handle, fieldnames=list(rows[0]))
+            writer.writeheader()
+            writer.writerows(rows)
+        manifest.outputs.append(str(csv_path))
+
+    digest = sweep_digest([c["digest"] for c in cells])
+    json_path = output_dir / "topology.json"
+    json_path.write_text(
+        json.dumps(
+            {
+                "seed": config.seed,
+                "sweep_digest": digest,
+                "conclusion": {
+                    "stabilized_families": stabilized,
+                    "reported_families": families_reported,
+                    "holds": stabilized == families_reported
+                    and families_reported > 0,
+                },
+                "cells": cells,
+                **(extra or {}),
+            },
+            indent=2,
+            sort_keys=True,
+        )
+        + "\n"
+    )
+    manifest.outputs.append(str(json_path))
+    return digest
+
+
+def run_topology_sweep(
+    config: Optional[TopologySweepConfig] = None,
+    jobs: int = 1,
+    cache_dir: Optional[Union[str, Path]] = ".repro-cache",
+    output_dir: Union[str, Path] = "runs",
+    manifest_path: Optional[Union[str, Path]] = None,
+    timeout: Optional[float] = DEFAULT_TIMEOUT,
+    retries: int = 1,
+    progress=None,
+    retry_backoff: float = 0.0,
+) -> RunManifest:
+    """Run the families, write the topology artifacts, return the
+    manifest."""
+    config = config or TopologySweepConfig()
+    progress = progress or NullProgress()
+    output_dir = Path(output_dir)
+    output_dir.mkdir(parents=True, exist_ok=True)
+    manifest_path = Path(
+        manifest_path or output_dir / "topology-sweep-manifest.json"
+    )
+
+    grid = build_topology_grid(config)
+
+    manifest = RunManifest(
+        command=(
+            f"topology-sweep --nodes {config.num_nodes} --seed {config.seed}"
+            f" --jobs {jobs}"
+            + (" --no-cache" if cache_dir is None else "")
+        ),
+        workers=jobs,
+        cache_dir=str(cache_dir) if cache_dir else None,
+        started_at=time.time(),
+    )
+
+    pool = WorkerPool(
+        workers=jobs,
+        cache_dir=str(cache_dir) if cache_dir else None,
+        timeout=timeout,
+        retries=retries,
+        progress=progress,
+        retry_backoff=retry_backoff,
+    )
+
+    start = time.perf_counter()
+    by_key: Dict[str, Any] = {}
+    for result in pool.run([spec for _, spec in grid]):
+        manifest.add(result.record)
+        if result.record.status == "ok":
+            by_key[result.spec.cache_key()] = result.value
+    manifest.total_wall_time = time.perf_counter() - start
+
+    cells: List[Dict[str, Any]] = []
+    for cell, spec in grid:
+        value = by_key.get(spec.cache_key())
+        if value is not None:
+            cells.append(_cell_payload(config, cell, value))
+    _write_sweep_artifacts(output_dir, manifest, config, cells)
+
+    manifest.write(manifest_path)
+    progress.note(f"manifest: {manifest_path}")
+    return manifest
+
+
+# --------------------------------------------------------------------------
+# the chunked, resumable path
+
+
+def run_topology_sweep_chunked(
+    config: Optional[TopologySweepConfig] = None,
+    jobs: int = 1,
+    cache_dir: Optional[Union[str, Path]] = ".repro-cache",
+    output_dir: Union[str, Path] = "runs",
+    manifest_path: Optional[Union[str, Path]] = None,
+    timeout: Optional[float] = DEFAULT_TIMEOUT,
+    retries: int = 1,
+    progress=None,
+    retry_backoff: float = 0.0,
+    chunk_size: int = 2,
+    resume: bool = False,
+    max_quarantined: Optional[int] = None,
+    ledger_dir: Optional[Union[str, Path]] = None,
+    lease_seconds: float = 300.0,
+    chunk_retries: int = 1,
+) -> ChunkedSweepResult:
+    """Crash-safe topology sweep over the DESIGN §10 chunk ledger.
+
+    Kill it anywhere and rerun with ``resume=True``: finished chunks are
+    stitched from their persisted summaries and the combined
+    ``topology.json`` sweep digest is byte-identical to the single-shot
+    run.  Chunks that keep failing are quarantined (degraded, exit 4).
+    """
+    config = config or TopologySweepConfig()
+    progress = progress or NullProgress()
+    output_dir = Path(output_dir)
+    output_dir.mkdir(parents=True, exist_ok=True)
+    manifest_path = Path(
+        manifest_path or output_dir / "topology-sweep-manifest.json"
+    )
+    ledger_dir = Path(ledger_dir or output_dir / "sweep-ledger")
+
+    grid = build_topology_grid(config)
+    cell_by_key = {spec.cache_key(): (cell, spec) for cell, spec in grid}
+    salt = {"sweep": "topology-sweep", "config": asdict(config)}
+    chunks = plan_chunks([[spec for _, spec in grid]], chunk_size, salt=salt)
+    sweep_key = sweep_key_for(chunks, salt=salt)
+
+    pool = WorkerPool(
+        workers=jobs,
+        cache_dir=str(cache_dir) if cache_dir else None,
+        timeout=timeout,
+        retries=retries,
+        progress=progress,
+        retry_backoff=retry_backoff,
+    )
+
+    def summarize(chunk, results) -> Dict[str, Any]:
+        summarized = []
+        for result in results:
+            cell, _ = cell_by_key[result.spec.cache_key()]
+            summarized.append(_cell_payload(config, cell, result.value))
+        return {
+            "cells": summarized,
+            "records": [asdict(result.record) for result in results],
+        }
+
+    runner = SweepRunner(
+        ledger_dir,
+        pool,
+        summarize,
+        lease_seconds=lease_seconds,
+        chunk_retries=chunk_retries,
+        max_quarantined=max_quarantined,
+        progress=progress,
+    )
+    start = time.perf_counter()
+    outcome = runner.run(chunks, sweep_key=sweep_key, resume=resume)
+
+    if outcome.state == "interrupted":
+        counts = outcome.counts
+        progress.note(
+            f"interrupted: {counts.get('done', 0)}/{counts.get('total', 0)}"
+            f" chunk(s) done; resume with --resume"
+        )
+        return ChunkedSweepResult(
+            state="interrupted", exit_code=EXIT_INTERRUPTED,
+            error=outcome.error,
+        )
+    if outcome.state == "failed":
+        return ChunkedSweepResult(
+            state="failed", exit_code=EXIT_FAILED, error=outcome.error,
+            quarantined=[
+                {
+                    "chunk_id": row.chunk_id,
+                    "label": row.label,
+                    "error": row.error,
+                    "failures": row.failures,
+                }
+                for row in outcome.quarantined
+            ],
+        )
+
+    # -- combine: stitch chunk summaries in canonical order ----------------
+    manifest = RunManifest(
+        command=(
+            f"topology-sweep --nodes {config.num_nodes} --seed {config.seed}"
+            f" --jobs {jobs} --chunk-size {chunk_size}"
+            + (" --resume" if resume else "")
+            + (" --no-cache" if cache_dir is None else "")
+        ),
+        workers=jobs,
+        cache_dir=str(cache_dir) if cache_dir else None,
+        started_at=time.time(),
+    )
+    by_cell: Dict[Cell, Dict[str, Any]] = {}
+    for chunk, summary in outcome.summaries:
+        for record in summary["records"]:
+            manifest.add(JobRecord(**record))
+        for cell_json in summary["cells"]:
+            by_cell[(cell_json["family"], cell_json["role"])] = cell_json
+    cells = [
+        by_cell[cell] for cell, _ in grid if cell in by_cell
+    ]
+    quarantined_payload: List[Dict[str, Any]] = []
+    for row in outcome.quarantined:
+        chunk = next(c for c in chunks if c.chunk_id == row.chunk_id)
+        quarantined_payload.append(
+            {
+                "chunk_id": row.chunk_id,
+                "label": row.label,
+                "error": row.error,
+                "failures": row.failures,
+                "cells": [spec.label for spec in chunk.specs],
+            }
+        )
+        for spec in chunk.specs:
+            manifest.add(
+                JobRecord(
+                    label=spec.label,
+                    kind=spec.kind,
+                    key=spec.cache_key(),
+                    status="failed",
+                    cache_hit=False,
+                    wall_time=0.0,
+                    attempts=row.attempts,
+                    error=f"chunk {row.chunk_id[:12]} quarantined: "
+                          f"{row.error}",
+                )
+            )
+    manifest.total_wall_time = time.perf_counter() - start
+
+    digest = _write_sweep_artifacts(
+        output_dir,
+        manifest,
+        config,
+        cells,
+        extra={
+            "degraded": outcome.state == "degraded",
+            "quarantined": quarantined_payload,
+            "ledger": {
+                "chunks": outcome.counts,
+                "metrics": outcome.metrics,
+            },
+        },
+    )
+    manifest.write(manifest_path)
+    progress.note(f"manifest: {manifest_path}")
+    if outcome.state == "degraded":
+        progress.note(
+            f"sweep completed DEGRADED: {len(quarantined_payload)} "
+            f"quarantined chunk(s)"
+        )
+    return ChunkedSweepResult(
+        state=outcome.state,
+        exit_code=EXIT_DEGRADED if outcome.state == "degraded" else EXIT_OK,
+        manifest=manifest,
+        sweep_digest=digest,
+        quarantined=quarantined_payload,
+    )

@@ -26,6 +26,13 @@ from .messages import (
 from .network import Network, NetworkCensus
 from .node import PROTOCOL_VERSION, FullNode, ResiliencePolicy
 from .simulator import EventHandle, SimulationError, Simulator
+from .topology import (
+    TOPOLOGY_KINDS,
+    BuiltTopology,
+    TopologySpec,
+    build_topology,
+    default_names,
+)
 
 __all__ = [
     "Simulator",
@@ -60,4 +67,9 @@ __all__ = [
     "Neighbors",
     "Ping",
     "Pong",
+    "TOPOLOGY_KINDS",
+    "TopologySpec",
+    "BuiltTopology",
+    "build_topology",
+    "default_names",
 ]

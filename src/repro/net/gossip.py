@@ -17,7 +17,8 @@ from __future__ import annotations
 
 import math
 import random
-from typing import Iterable, List, Sequence, Set, Tuple
+from collections import deque
+from typing import Deque, Iterable, List, Sequence, Set, Tuple
 
 __all__ = ["split_push_announce", "SeenCache"]
 
@@ -55,7 +56,7 @@ class SeenCache:
             raise ValueError("capacity must be positive")
         self.capacity = capacity
         self._seen: Set[bytes] = set()
-        self._order: List[bytes] = []
+        self._order: Deque[bytes] = deque()
 
     def add(self, item: bytes) -> bool:
         """Record ``item``; returns True if it was new."""
@@ -68,7 +69,7 @@ class SeenCache:
         self._seen.add(key)
         self._order.append(key)
         if len(self._order) > self.capacity:
-            oldest = self._order.pop(0)
+            oldest = self._order.popleft()
             self._seen.discard(oldest)
         return True
 

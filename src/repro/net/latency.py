@@ -89,9 +89,17 @@ class GeographicLatency:
         ("eu", "as"): 0.13,
     }
 
-    def __init__(self, base=None, jitter_sigma: float = 0.25) -> None:
+    def __init__(
+        self,
+        base=None,
+        jitter_sigma: float = 0.25,
+        strict: bool = False,
+        default_delay: float = 0.12,
+    ) -> None:
         if jitter_sigma < 0:
             raise ValueError("jitter_sigma must be non-negative")
+        if default_delay < 0:
+            raise ValueError("default_delay must be non-negative")
         self.base = dict(base or self.DEFAULT_BASE)
         for pair, delay in self.base.items():
             if delay < 0:
@@ -99,15 +107,32 @@ class GeographicLatency:
                     f"base delay for {pair!r} must be non-negative, "
                     f"got {delay}"
                 )
-        # Symmetrize.
+        # Symmetrize, refusing to guess which direction wins when the
+        # caller supplied both (a, b) and (b, a) with different delays.
         for (a, b), delay in list(self.base.items()):
-            self.base[(b, a)] = delay
+            reverse = self.base.get((b, a))
+            if reverse is None:
+                self.base[(b, a)] = delay
+            elif reverse != delay:
+                raise ValueError(
+                    f"conflicting base delays for region pair "
+                    f"({a!r}, {b!r}): {delay} vs {reverse}"
+                )
         self.jitter_sigma = jitter_sigma
+        self.strict = strict
+        self.default_delay = default_delay
 
     def delay_between(
         self, region_a: str, region_b: str, rng: random.Random
     ) -> float:
-        base = self.base.get((region_a, region_b), 0.12)
+        base = self.base.get((region_a, region_b))
+        if base is None:
+            if self.strict:
+                raise KeyError(
+                    f"no base delay for region pair "
+                    f"({region_a!r}, {region_b!r})"
+                )
+            base = self.default_delay
         return base * rng.lognormvariate(0.0, self.jitter_sigma)
 
     def sample(self, rng: random.Random) -> float:

@@ -167,7 +167,14 @@ class Network:
             self._ln_params: Optional[Tuple[float, float]] = (lat.mu, lat.sigma)
         else:
             self._ln_params = None
-        if _INLINE_LOGNORM_OK and type(lat) is GeographicLatency:
+        if (
+            _INLINE_LOGNORM_OK
+            and type(lat) is GeographicLatency
+            and not lat.strict
+        ):
+            # Strict models stay on the ``delay_between`` path so an
+            # unknown region pair raises KeyError before any jitter draw,
+            # exactly like the per-send path.
             self._geo_jitter: Optional[float] = lat.jitter_sigma
         else:
             self._geo_jitter = None
@@ -456,6 +463,7 @@ class Network:
         geo = self._geo_latency and source_node is not None
         src_region = source_node.region if geo else ""
         base_map = latency.base if geo else None
+        geo_default = latency.default_delay if geo else 0.12
         sample = latency.sample
         inline_sched = type(sim) is Simulator and sim.obs is None
         if inline_sched:
@@ -493,7 +501,7 @@ class Network:
                             if z * z / 4.0 <= -_log(u2):
                                 break
                         delay = base_map.get(
-                            (src_region, target.region), 0.12
+                            (src_region, target.region), geo_default
                         ) * _exp(z * geo_jitter)
                     else:
                         delay = latency.delay_between(
@@ -648,6 +656,57 @@ class Network:
             candidates = node.routing.random_peers(target_degree, node.rng)
             for peer_name in candidates:
                 node.dial(peer_name)
+
+    def bootstrap_from_topology(
+        self,
+        topology,
+        extra_routing: int = 16,
+        apply_regions: bool = True,
+    ) -> None:
+        """Dial an explicit edge list instead of a random mesh.
+
+        ``topology`` is a :class:`repro.net.topology.BuiltTopology`: its
+        edges are dialed once each (from the lexicographically smaller
+        endpoint; the handshake makes the link mutual), and its region
+        assignment — if any — overrides each node's ``region`` so
+        geo-clustered graphs line up with :class:`GeographicLatency`.
+
+        Routing tables are seeded with each node's topology neighbors
+        plus ``extra_routing`` random *other* nodes, sampled from the
+        population **excluding the node itself** — unlike
+        :meth:`bootstrap_mesh`, which samples ``sample_size + 1`` names
+        including the node and so hands nodes that don't draw themselves
+        one extra candidate.  Here every node observes exactly its
+        neighbors plus ``extra_routing`` extras (fewer only when the
+        population is too small), which keeps later redial-driven
+        discovery comparable across topology families.
+
+        Nodes named by the topology must already be registered; network
+        nodes *not* named by the topology (observers, monitors) are left
+        untouched.
+        """
+        names = list(topology.names)
+        missing = [name for name in names if name not in self.nodes]
+        if missing:
+            raise ValueError(
+                f"topology names absent from network: {missing[:5]!r}"
+            )
+        regions = topology.regions if apply_regions else None
+        if regions:
+            for name in names:
+                self.nodes[name].region = regions[name]
+        neighbors = topology.neighbors()
+        for name in names:
+            node = self.nodes[name]
+            for peer_name in neighbors.get(name, ()):
+                node.routing.observe(peer_name)
+            others = [other for other in names if other != name]
+            for peer_name in self.sim_rng.sample(
+                others, min(len(others), extra_routing)
+            ):
+                node.routing.observe(peer_name)
+        for a, b in topology.edges:
+            self.nodes[a].dial(b)
 
     def schedule_redial_loop(self, interval: float = 30.0) -> None:
         """Keep under-connected nodes dialing — models discovery churn.

@@ -22,7 +22,14 @@ from .partition_event import (
     PartitionScenario,
     PartitionScenarioConfig,
     PartitionSnapshot,
+    TopologyPartitionConfig,
     reachable_nodes,
+)
+from .topology_inference import (
+    MonitorNode,
+    TopologyInferenceConfig,
+    TopologyInferenceResult,
+    TopologyInferenceScenario,
 )
 from .replay_attack import (
     GroundTruth,
@@ -45,9 +52,14 @@ __all__ = [
     "PartitionScenario",
     "PartitionScenarioConfig",
     "ChaosPartitionConfig",
+    "TopologyPartitionConfig",
     "PartitionResult",
     "PartitionSnapshot",
     "reachable_nodes",
+    "MonitorNode",
+    "TopologyInferenceConfig",
+    "TopologyInferenceResult",
+    "TopologyInferenceScenario",
     "ReplayWorkload",
     "ReplayWorkloadConfig",
     "ReplayModel",

@@ -38,14 +38,16 @@ from ..faults.report import (
     build_robustness_report,
 )
 from ..faults.schedule import FaultSchedule
-from ..net.latency import LognormalLatency
+from ..net.latency import GeographicLatency, LognormalLatency
 from ..net.network import Network
 from ..net.node import FullNode, ResiliencePolicy
 from ..net.simulator import Simulator
+from ..net.topology import BuiltTopology, TopologySpec, build_topology
 
 __all__ = [
     "PartitionScenarioConfig",
     "ChaosPartitionConfig",
+    "TopologyPartitionConfig",
     "PartitionSnapshot",
     "PartitionResult",
     "PartitionScenario",
@@ -123,6 +125,37 @@ class ChaosPartitionConfig(PartitionScenarioConfig):
         return ResiliencePolicy.from_dict(self.resilience)
 
 
+@dataclass
+class TopologyPartitionConfig(PartitionScenarioConfig):
+    """The partition scenario on an explicit, seeded topology.
+
+    ``topology`` is a :meth:`~repro.net.topology.TopologySpec.to_dict`
+    payload — a dict rather than an object so ``asdict(config)`` stays
+    JSON-round-trippable and the harness cache keys it unchanged (the
+    same convention as :class:`ChaosPartitionConfig`).  Like chaos, the
+    topology axis is strictly additive: a plain
+    :class:`PartitionScenarioConfig` never touches this code path, so
+    baseline trajectories replay byte-identically.
+
+    With ``topology=None`` the scenario falls back to the legacy random
+    mesh.  ``latency`` selects the transport model: ``"lognormal"`` (the
+    paper baseline) or ``"geo"`` — a *strict*
+    :class:`~repro.net.latency.GeographicLatency`, so a typo'd or
+    unmapped region fails loudly instead of being priced at the default.
+    """
+
+    topology: Optional[Dict[str, Any]] = None
+    latency: str = "lognormal"
+    #: Random non-neighbor names seeded into each routing table (the
+    #: discovery horizon that redial loops draw from).
+    extra_routing: int = 16
+
+    def topology_spec(self) -> Optional[TopologySpec]:
+        if self.topology is None:
+            return None
+        return TopologySpec.from_dict(self.topology)
+
+
 @dataclass(frozen=True)
 class PartitionSnapshot:
     """One census row."""
@@ -166,6 +199,33 @@ class PartitionResult:
             return 0.0
         return 1.0 - self.minimum_etc_reachable() / baseline
 
+    def stabilization_time(self, fraction: float = 0.9) -> Optional[float]:
+        """Seconds from the fork until the ETC crawl recovers.
+
+        "Recovered" means the first census at/after the post-fork
+        minimum whose reachable count is at least ``fraction`` of the
+        post-fork plateau (the best crawl the side ever achieves after
+        the fork).  ``None`` when the fork never happened, no post-fork
+        census exists, or the mesh never climbs back to the threshold —
+        the paper's conclusion *fails* on that topology.
+        """
+        if self.fork_time is None:
+            return None
+        post = [s for s in self.snapshots if s.time >= self.fork_time]
+        if not post:
+            return None
+        plateau = max(s.etc_reachable for s in post)
+        if plateau <= 0:
+            return None
+        floor_index = min(
+            range(len(post)), key=lambda i: (post[i].etc_reachable, i)
+        )
+        target = fraction * plateau
+        for snapshot in post[floor_index:]:
+            if snapshot.etc_reachable >= target:
+                return snapshot.time - self.fork_time
+        return None
+
 
 class PartitionScenario:
     """Build, run, and measure the partition event.
@@ -201,6 +261,27 @@ class PartitionScenario:
         # policy), so baseline trajectories replay byte-identically.
         chaos = isinstance(config, ChaosPartitionConfig)
         policy = config.resilience_policy() if chaos else None
+        # Topology is additive the same way chaos is: plain configs never
+        # enter this branch, so their trajectories are untouched.
+        topo = config if isinstance(config, TopologyPartitionConfig) else None
+        built: Optional[BuiltTopology] = None
+        if topo is not None:
+            if topo.latency not in ("lognormal", "geo"):
+                raise ValueError(
+                    f"unknown latency model {topo.latency!r}; "
+                    "expected 'lognormal' or 'geo'"
+                )
+            spec = topo.topology_spec()
+            if spec is not None:
+                if spec.num_nodes != config.num_nodes:
+                    raise ValueError(
+                        f"topology num_nodes ({spec.num_nodes}) != "
+                        f"scenario num_nodes ({config.num_nodes})"
+                    )
+                built = build_topology(
+                    spec,
+                    names=[f"n{i:03d}" for i in range(config.num_nodes)],
+                )
         rng = random.Random(config.seed)
 
         total_hashrate = config.num_miners * config.miner_hashrate
@@ -226,9 +307,13 @@ class PartitionScenario:
         )
 
         sim = self.simulator_factory(obs=self.obs)
-        network = Network(
-            sim, latency=LognormalLatency(median=0.12), seed=config.seed
-        )
+        if topo is not None and topo.latency == "geo":
+            # Strict: an unmapped region pair raises instead of being
+            # silently priced at the default delay.
+            latency_model = GeographicLatency(strict=True)
+        else:
+            latency_model = LognormalLatency(median=0.12)
+        network = Network(sim, latency=latency_model, seed=config.seed)
 
         upgraders: List[str] = []
         holdouts: List[str] = []
@@ -253,8 +338,23 @@ class PartitionScenario:
             upgraders.append(holdouts.pop())
 
         with self._span("scenario.bootstrap"):
-            network.bootstrap_mesh(target_degree=config.target_degree)
+            if built is not None:
+                network.bootstrap_from_topology(
+                    built, extra_routing=topo.extra_routing
+                )
+            else:
+                network.bootstrap_mesh(target_degree=config.target_degree)
         network.schedule_redial_loop(config.redial_interval)
+
+        if built is not None and self.obs is not None and self.obs.metrics is not None:
+            stats = built.degree_stats()
+            metrics = self.obs.metrics
+            metrics.counter("topology.builds").inc()
+            metrics.gauge("topology.nodes").set(stats["nodes"])
+            metrics.gauge("topology.edges").set(stats["edges"])
+            metrics.gauge("topology.degree_mean").set(stats["degree_mean"])
+            metrics.gauge("topology.degree_max").set(stats["degree_max"])
+            metrics.gauge("topology.degree_gini").set(stats["degree_gini"])
 
         injector: Optional[FaultInjector] = None
         if chaos:

@@ -1,0 +1,353 @@
+"""DEthna-style topology inference from marked transactions.
+
+*DEthna* recovers the real Ethereum P2P graph without any privileged
+vantage: a measuring node peers widely, injects "marked" transactions at
+chosen nodes, and classifies every other peer as a one-hop neighbor of
+the injection point (or not) from how quickly the mark comes back.  This
+scenario reproduces that experiment against a ground-truth graph the
+simulator knows exactly, and scores the recovered edge set.
+
+Mechanics:
+
+* Build a :class:`~repro.net.topology.TopologySpec` graph, bootstrap the
+  mesh from its explicit edge list, and let handshakes settle.
+* Attach a listen-only :class:`MonitorNode` that peers with every node
+  but never relays — the measuring client.
+* For each target node in turn, inject ``probes_per_target`` unique
+  signed transactions via the node's wallet entry point.  The target
+  relays to all its peers (monitor included); each peer relays the fresh
+  transaction onward, and the monitor records every arrival with its
+  sender and virtual timestamp.  ``SeenCache`` dedupe guarantees each
+  node forwards a mark to the monitor at most once.
+* A node ``X ≠ target`` that received the mark directly needs two link
+  traversals before the monitor hears it from ``X`` (target→X, then
+  X→monitor); a two-hop node needs three.  The classifier thresholds the
+  **minimum** arrival lag over the probes at ``hop_threshold_factor ×
+  median_latency`` — between the two-draw and three-draw means.
+
+Everything draws from seeded RNGs, so the recovered edge set — and the
+result digest — is bit-identical across processes and start methods.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from contextlib import nullcontext
+from dataclasses import asdict, dataclass, replace
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..obs import Observability
+
+from ..chain.chainstore import Blockchain
+from ..chain.config import ETC_CONFIG
+from ..chain.crypto import PrivateKey
+from ..chain.genesis import build_genesis
+from ..chain.transaction import Transaction, sign_transaction
+from ..chain.types import Address
+from ..net.latency import ConstantLatency, LognormalLatency
+from ..net.messages import Message, Transactions
+from ..net.network import Network
+from ..net.node import FullNode
+from ..net.simulator import Simulator
+from ..net.topology import TopologySpec, build_topology
+
+__all__ = [
+    "TopologyInferenceConfig",
+    "TopologyInferenceResult",
+    "TopologyInferenceScenario",
+    "MonitorNode",
+]
+
+
+def _canonical_digest(payload: object) -> str:
+    data = json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), allow_nan=False
+    ).encode("utf-8")
+    return hashlib.sha256(data).hexdigest()
+
+
+@dataclass
+class TopologyInferenceConfig:
+    """Knobs for the marked-transaction inference experiment.
+
+    ``topology`` is a :meth:`~repro.net.topology.TopologySpec.to_dict`
+    payload (dict, so the config stays JSON-round-trippable for the
+    harness cache); ``None`` builds a default uniform graph from
+    ``num_nodes``/``target_degree``/``seed``.
+    """
+
+    topology: Optional[Dict[str, Any]] = None
+    num_nodes: int = 24
+    target_degree: int = 5
+    seed: int = 20160720
+    #: Marked transactions injected per target node.
+    probes_per_target: int = 5
+    #: Simulated seconds between probes of one target.
+    probe_interval: float = 20.0
+    #: Simulated seconds between successive targets.
+    round_interval: float = 120.0
+    #: Handshake settle time before (and after) the monitor attaches.
+    settle_time: float = 120.0
+    #: ``"lognormal"`` (realistic jitter) or ``"constant"`` (exact hops).
+    latency_kind: str = "lognormal"
+    median_latency: float = 0.12
+    latency_sigma: float = 0.3
+    #: Neighbor/two-hop decision boundary, in units of ``median_latency``
+    #: — direct relays cost two link traversals, two-hop relays three,
+    #: so the midpoint of the 2-draw and 3-draw sums separates them.
+    hop_threshold_factor: float = 2.5
+    monitor_name: str = "monitor"
+
+    def topology_spec(self) -> TopologySpec:
+        if self.topology is not None:
+            return TopologySpec.from_dict(self.topology)
+        return TopologySpec(
+            kind="uniform",
+            num_nodes=self.num_nodes,
+            target_degree=self.target_degree,
+            seed=self.seed,
+        )
+
+
+@dataclass
+class TopologyInferenceResult:
+    """The recovered edge set scored against ground truth."""
+
+    config: TopologyInferenceConfig
+    topology_digest: str
+    num_nodes: int
+    #: Sorted ``(a, b)`` with ``a < b`` — realized links at probe time.
+    true_edges: List[Tuple[str, str]]
+    predicted_edges: List[Tuple[str, str]]
+    precision: float
+    recall: float
+    f1: float
+    probes_sent: int
+    arrivals_recorded: int
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "config": asdict(self.config),
+            "topology_digest": self.topology_digest,
+            "num_nodes": self.num_nodes,
+            "true_edges": [list(edge) for edge in self.true_edges],
+            "predicted_edges": [list(edge) for edge in self.predicted_edges],
+            "precision": self.precision,
+            "recall": self.recall,
+            "f1": self.f1,
+            "probes_sent": self.probes_sent,
+            "arrivals_recorded": self.arrivals_recorded,
+        }
+
+    def digest(self) -> str:
+        return _canonical_digest(self.to_dict())
+
+
+class MonitorNode(FullNode):
+    """A listen-only measuring client.
+
+    Records every ``Transactions`` arrival as ``(sender, virtual time)``
+    and deliberately neither admits nor relays — the monitor must not
+    perturb the gossip it measures.  All other traffic (handshakes,
+    pings) behaves like a normal node so peers treat it as live.
+    """
+
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
+        super().__init__(*args, **kwargs)
+        self.arrivals: Dict[bytes, List[Tuple[str, float]]] = {}
+
+    def receive(self, message: Message) -> None:
+        if self.online and type(message) is Transactions:
+            now = self.network.sim.now if self.network is not None else 0.0
+            self.routing.observe(message.sender_id)
+            for tx in message.transactions:
+                self.arrivals.setdefault(bytes(tx.tx_hash), []).append(
+                    (message.sender_id, now)
+                )
+            return
+        super().receive(message)
+
+
+class TopologyInferenceScenario:
+    """Run the marked-transaction experiment and score the recovery."""
+
+    def __init__(
+        self,
+        config: Optional[TopologyInferenceConfig] = None,
+        obs: Optional["Observability"] = None,
+    ) -> None:
+        self.config = config or TopologyInferenceConfig()
+        self.obs = obs
+
+    def _span(self, label: str):
+        if self.obs is None:
+            return nullcontext()
+        return self.obs.span(label)
+
+    def run(self) -> TopologyInferenceResult:
+        config = self.config
+        if config.latency_kind not in ("lognormal", "constant"):
+            raise ValueError(
+                f"unknown latency_kind {config.latency_kind!r}; "
+                "expected 'lognormal' or 'constant'"
+            )
+        if config.probes_per_target < 1:
+            raise ValueError("probes_per_target must be at least 1")
+        spec = config.topology_spec()
+        built = build_topology(spec)
+        if config.monitor_name in built.names:
+            raise ValueError("monitor_name collides with a topology node")
+
+        genesis, _ = build_genesis(alloc={})
+        node_config = replace(
+            ETC_CONFIG,
+            dao_fork_block=10**9,
+            gas_reprice_block=None,
+            replay_protection_block=None,
+            bomb_delay=10**9,
+        )
+        sim = Simulator(obs=self.obs)
+        if config.latency_kind == "constant":
+            latency = ConstantLatency(delay=config.median_latency)
+        else:
+            latency = LognormalLatency(
+                median=config.median_latency, sigma=config.latency_sigma
+            )
+        network = Network(sim, latency=latency, seed=config.seed)
+
+        # Headroom: every node must accept the monitor on top of its
+        # topology degree (power-law hubs included).
+        max_peers = spec.num_nodes + 8
+        for index, name in enumerate(built.names):
+            network.add_node(
+                FullNode(
+                    name=name,
+                    chain=Blockchain(
+                        node_config, genesis, execute_transactions=False
+                    ),
+                    max_peers=max_peers,
+                    region=built.regions.get(name, "eu"),
+                    rng_seed=config.seed * 1000 + index,
+                )
+            )
+        monitor = MonitorNode(
+            name=config.monitor_name,
+            chain=Blockchain(node_config, genesis, execute_transactions=False),
+            max_peers=max_peers,
+            rng_seed=config.seed * 1000 + len(built.names),
+        )
+        network.add_node(monitor)
+
+        with self._span("infer.bootstrap"):
+            # No extra routing entries: the mesh stays exactly the
+            # topology (no redial loop runs, so discovery never grows it).
+            network.bootstrap_from_topology(built, extra_routing=0)
+            sim.run_until(config.settle_time)
+            for name in built.names:
+                monitor.dial(name)
+            sim.run_until(2 * config.settle_time)
+
+        # Ground truth: realized links among the targets (dials refused
+        # by a saturated peer would drop out here — none at this
+        # max_peers, but the score must measure the *actual* mesh).
+        truth = set()
+        for name in built.names:
+            for peer in network.nodes[name].peers:
+                if peer != config.monitor_name:
+                    truth.add((min(name, peer), max(name, peer)))
+
+        probes: Dict[bytes, Tuple[str, float]] = {}
+
+        def inject(target_name: str, round_index: int, probe_index: int) -> None:
+            key = PrivateKey.from_seed(
+                f"dethna:{config.seed}:{round_index}:{probe_index}"
+            )
+            tx = sign_transaction(
+                key,
+                Transaction(
+                    nonce=0,
+                    gas_price=10**9,
+                    gas_limit=21_000,
+                    to=Address.from_int(0xD47A),
+                    value=0,
+                    chain_id=None,
+                ),
+            )
+            probes[bytes(tx.tx_hash)] = (target_name, sim.now)
+            network.nodes[target_name].submit_transaction(tx)
+
+        start = sim.now
+        for round_index, target_name in enumerate(built.names):
+            for probe_index in range(config.probes_per_target):
+                sim.schedule_at(
+                    start
+                    + round_index * config.round_interval
+                    + probe_index * config.probe_interval,
+                    inject,
+                    target_name,
+                    round_index,
+                    probe_index,
+                )
+        end = (
+            start
+            + len(built.names) * config.round_interval
+            + config.round_interval
+        )
+        with self._span("infer.probe"):
+            sim.run_until(end)
+
+        # Classify on the *median* arrival lag per unordered pair, pooled
+        # over probes and both injection directions — a direct neighbor's
+        # relays cost two link draws, a two-hop node's three, and the
+        # median washes out individual jitter draws far better than the
+        # minimum (one lucky fast two-hop relay would fool a min).
+        threshold = config.hop_threshold_factor * config.median_latency
+        pair_lags: Dict[Tuple[str, str], List[float]] = {}
+        arrivals_recorded = 0
+        name_set = set(built.names)
+        for tx_hash, (target_name, injected_at) in probes.items():
+            for sender, arrived_at in monitor.arrivals.get(tx_hash, ()):
+                arrivals_recorded += 1
+                if sender == target_name or sender not in name_set:
+                    continue
+                pair = (
+                    min(target_name, sender),
+                    max(target_name, sender),
+                )
+                pair_lags.setdefault(pair, []).append(arrived_at - injected_at)
+        predicted = set()
+        for pair, lags in pair_lags.items():
+            lags.sort()
+            if lags[(len(lags) - 1) // 2] <= threshold:
+                predicted.add(pair)
+
+        correct = len(predicted & truth)
+        precision = correct / len(predicted) if predicted else 0.0
+        recall = correct / len(truth) if truth else 0.0
+        f1 = (
+            2 * precision * recall / (precision + recall)
+            if precision + recall
+            else 0.0
+        )
+
+        if self.obs is not None and self.obs.metrics is not None:
+            metrics = self.obs.metrics
+            metrics.counter("topology.infer.probes").inc(len(probes))
+            metrics.counter("topology.infer.arrivals").inc(arrivals_recorded)
+            metrics.gauge("topology.infer.precision").set(precision)
+            metrics.gauge("topology.infer.recall").set(recall)
+
+        return TopologyInferenceResult(
+            config=config,
+            topology_digest=built.digest(),
+            num_nodes=spec.num_nodes,
+            true_edges=sorted(truth),
+            predicted_edges=sorted(predicted),
+            precision=precision,
+            recall=recall,
+            f1=f1,
+            probes_sent=len(probes),
+            arrivals_recorded=arrivals_recorded,
+        )

@@ -36,6 +36,8 @@ DEFAULT_ALLOWED_KINDS: Tuple[str, ...] = (
     "simulate",
     "partition",
     "chaos-partition",
+    "topology-partition",
+    "topology-infer",
     "echoes",
     "figure",
     "observations",

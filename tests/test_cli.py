@@ -55,6 +55,35 @@ class TestParser:
         assert args.split == [0.0, 300.0]
         assert args.no_resilience is True
 
+    def test_topology_sweep_flags_parse(self):
+        args = _build_parser().parse_args(
+            ["topology-sweep", "--nodes", "12", "--degree", "4",
+             "--topologies", "uniform", "geo", "--gamma", "2.4",
+             "--intra-bias", "0.8", "--no-infer", "--jobs", "2"]
+        )
+        assert args.command == "topology-sweep"
+        assert args.nodes == 12
+        assert args.degree == 4
+        assert args.topologies == ["uniform", "geo"]
+        assert args.gamma == 2.4
+        assert args.intra_bias == 0.8
+        assert args.no_infer is True
+
+    def test_topology_sweep_rejects_unknown_family(self):
+        with pytest.raises(SystemExit):
+            _build_parser().parse_args(
+                ["topology-sweep", "--topologies", "torus"]
+            )
+
+    def test_topology_sweep_validation(self, capsys):
+        assert main(["topology-sweep", "--jobs", "0"]) == 2
+        assert main(["topology-sweep", "--infer-probes", "0"]) == 2
+        assert main(["topology-sweep", "--retries", "-1"]) == 2
+        assert main(["topology-sweep", "--chunk-size", "0"]) == 2
+        # Spec-level validation surfaces as a usage error, not a crash.
+        assert main(["topology-sweep", "--gamma", "0.5"]) == 2
+        capsys.readouterr()
+
     def test_chunked_flags_parse(self):
         args = _build_parser().parse_args(
             ["fault-sweep", "--chunk-size", "2", "--resume",
@@ -200,6 +229,38 @@ class TestCommands:
         assert (tmp_path / "out" / "robustness.json").exists()
         assert (tmp_path / "out" / "fault-sweep-manifest.json").exists()
         assert "jobs ok" in captured.out
+
+    def test_topology_sweep_small(self, tmp_path, capsys):
+        base = ["topology-sweep", "--nodes", "8", "--miners", "2",
+                "--horizon", "300", "--degree", "3",
+                "--topologies", "uniform", "geo",
+                "--infer-probes", "2", "--jobs", "1"]
+        code = main(
+            base + ["--cache-dir", str(tmp_path / "cache"),
+                    "--output-dir", str(tmp_path / "out")]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert (tmp_path / "out" / "topology.txt").exists()
+        assert (tmp_path / "out" / "topology.json").exists()
+        assert (tmp_path / "out" / "topology-sweep-manifest.json").exists()
+        assert "jobs ok" in captured.out
+
+        # The CI reproducibility gate: a cold --no-cache rerun must land
+        # on the byte-identical sweep digest.
+        code = main(
+            base + ["--no-cache",
+                    "--output-dir", str(tmp_path / "out2")]
+        )
+        capsys.readouterr()
+        assert code == 0
+        import json
+
+        first = json.loads((tmp_path / "out" / "topology.json").read_text())
+        second = json.loads(
+            (tmp_path / "out2" / "topology.json").read_text()
+        )
+        assert second["sweep_digest"] == first["sweep_digest"]
 
     def test_trace_small(self, tmp_path, capsys):
         out_path = tmp_path / "trace.jsonl"

@@ -232,6 +232,60 @@ class TestLatencyModels:
         rng = random.Random(6)
         assert model.delay_between("na", "eu", rng) == pytest.approx(0.09)
 
+    def test_geographic_strict_unknown_pair_raises(self):
+        model = GeographicLatency(strict=True)
+        rng = random.Random(7)
+        state = rng.getstate()
+        with pytest.raises(KeyError, match="mars"):
+            model.delay_between("mars", "eu", rng)
+        # Lookup happens before any jitter draw, so a raising call must
+        # not advance the RNG (a silent draw would desync replays).
+        assert rng.getstate() == state
+        # Known pairs still work in strict mode.
+        assert model.delay_between("na", "eu", rng) > 0
+
+    def test_geographic_default_delay_is_configurable(self):
+        model = GeographicLatency(jitter_sigma=0.0, default_delay=0.5)
+        rng = random.Random(8)
+        assert model.delay_between("mars", "eu", rng) == pytest.approx(0.5)
+        with pytest.raises(ValueError, match="default_delay"):
+            GeographicLatency(default_delay=-0.1)
+
+    def test_geographic_symmetrization_conflict_raises(self):
+        with pytest.raises(ValueError, match="conflicting base delays"):
+            GeographicLatency(
+                base={("na", "eu"): 0.09, ("eu", "na"): 0.10}
+            )
+
+    def test_geographic_equal_duplicates_accepted(self):
+        model = GeographicLatency(
+            base={("na", "eu"): 0.09, ("eu", "na"): 0.09},
+            jitter_sigma=0.0,
+        )
+        rng = random.Random(9)
+        assert model.delay_between("na", "eu", rng) == pytest.approx(0.09)
+        assert model.delay_between("eu", "na", rng) == pytest.approx(0.09)
+
+    def test_strict_geographic_raises_through_network_send(self):
+        genesis, _ = build_genesis({})
+        sim = Simulator()
+        net = Network(
+            sim, latency=GeographicLatency(strict=True), seed=11
+        )
+        nodes = [
+            FullNode(
+                f"n{i}",
+                Blockchain(CFG, genesis, execute_transactions=False),
+                rng_seed=i,
+            )
+            for i in range(2)
+        ]
+        for node in nodes:
+            net.add_node(node)
+        nodes[1].region = "atlantis"
+        with pytest.raises(KeyError, match="atlantis"):
+            net.send("n0", "n1", Ping(sender_id="n0"))
+
 
 class TestNodeLifecycle:
     def test_offline_node_ignores_messages(self):

@@ -210,3 +210,38 @@ class TestGossipHelpers:
     def test_seen_cache_update_counts_new(self):
         cache = SeenCache()
         assert cache.update([b"x", b"y", b"x"]) == 2
+
+    def test_seen_cache_evicts_fifo_order(self):
+        # Regression: eviction must pop the *oldest* entry (FIFO), and
+        # the set and order queue must stay the same size at capacity.
+        cache = SeenCache(capacity=3)
+        for item in (b"a", b"b", b"c"):
+            assert cache.add(item)
+        assert len(cache) == 3
+        cache.add(b"d")  # evicts "a", not "b" or "c"
+        assert b"a" not in cache
+        assert b"b" in cache and b"c" in cache and b"d" in cache
+        assert len(cache) == 3
+        cache.add(b"e")  # evicts "b" next — strict insertion order
+        assert b"b" not in cache
+        assert b"c" in cache
+        assert len(cache) == 3
+
+    def test_seen_cache_evicted_item_can_return(self):
+        cache = SeenCache(capacity=2)
+        cache.add(b"a")
+        cache.add(b"b")
+        cache.add(b"c")  # evicts "a"
+        assert cache.add(b"a")  # "a" is new again after eviction
+        assert b"b" not in cache  # and "b" was the FIFO victim
+        assert len(cache) == 2
+
+    def test_seen_cache_rejects_duplicate_without_eviction(self):
+        cache = SeenCache(capacity=2)
+        cache.add(b"a")
+        cache.add(b"b")
+        # Re-adding an existing item is not an insertion: nothing may
+        # be evicted and the order queue must not grow.
+        assert not cache.add(b"a")
+        assert b"a" in cache and b"b" in cache
+        assert len(cache) == 2

@@ -1,0 +1,348 @@
+"""Topology suite: seeded graph builders, spec contract, bootstrap seam.
+
+The sweep caches topology cells by the canonical JSON of their config,
+so the same soundness precondition applies as for the simulation seeds:
+a :class:`TopologySpec` must realize the byte-identical graph (edges,
+regions, digest) in this process and in a subprocess that re-imports
+everything from scratch.
+"""
+
+import os
+import subprocess
+import sys
+from dataclasses import replace
+
+import pytest
+
+import repro
+from repro.chain.chainstore import Blockchain
+from repro.chain.config import ETH_CONFIG
+from repro.chain.genesis import build_genesis
+from repro.net.latency import ConstantLatency
+from repro.net.network import Network
+from repro.net.node import FullNode
+from repro.net.simulator import Simulator
+from repro.net.topology import (
+    DEFAULT_REGIONS,
+    TOPOLOGY_KINDS,
+    BuiltTopology,
+    TopologySpec,
+    build_topology,
+    default_names,
+)
+
+CFG = replace(ETH_CONFIG, dao_fork_block=10**9, bomb_delay=10**9)
+
+
+def make_network(names, seed=1):
+    genesis, _ = build_genesis({})
+    sim = Simulator()
+    net = Network(sim, latency=ConstantLatency(0.01), seed=seed)
+    for index, name in enumerate(names):
+        net.add_node(
+            FullNode(
+                name,
+                Blockchain(CFG, genesis, execute_transactions=False),
+                rng_seed=index,
+                max_peers=len(names) + 4,
+            )
+        )
+    return sim, net
+
+
+class TestTopologySpec:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown topology kind"):
+            TopologySpec(kind="banana", num_nodes=10)
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ValueError, match="num_nodes"):
+            TopologySpec(kind="uniform", num_nodes=1)
+        with pytest.raises(ValueError, match="target_degree"):
+            TopologySpec(kind="uniform", num_nodes=5, target_degree=5)
+        with pytest.raises(ValueError, match="target_degree"):
+            TopologySpec(kind="uniform", num_nodes=5, target_degree=0)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError, match="gamma"):
+            TopologySpec(kind="powerlaw", num_nodes=10, gamma=1.0)
+        with pytest.raises(ValueError, match="intra_bias"):
+            TopologySpec(kind="geo", num_nodes=10, intra_bias=1.5)
+        with pytest.raises(ValueError, match="rewire_p"):
+            TopologySpec(kind="smallworld", num_nodes=10, rewire_p=-0.1)
+        with pytest.raises(ValueError, match="parallel"):
+            TopologySpec(
+                kind="geo", num_nodes=10,
+                regions=("na", "eu"), region_weights=(1.0,),
+            )
+        with pytest.raises(ValueError, match="positive"):
+            TopologySpec(
+                kind="geo", num_nodes=10,
+                regions=("na", "eu"), region_weights=(1.0, 0.0),
+            )
+
+    def test_round_trip_and_digest(self):
+        spec = TopologySpec(
+            kind="geo", num_nodes=20, target_degree=5, seed=9,
+            intra_bias=0.8,
+        )
+        clone = TopologySpec.from_dict(spec.to_dict())
+        assert clone == spec
+        assert clone.digest() == spec.digest()
+
+    def test_from_dict_rejects_unknown_fields(self):
+        payload = TopologySpec(kind="uniform", num_nodes=10).to_dict()
+        payload["surprise"] = 1
+        with pytest.raises(ValueError, match="unknown TopologySpec fields"):
+            TopologySpec.from_dict(payload)
+
+    def test_list_and_tuple_inputs_compare_equal(self):
+        # JSON round-trips hand back lists; the spec must normalize so
+        # cache keys do not depend on the container type.
+        a = TopologySpec(
+            kind="geo", num_nodes=10,
+            regions=["na", "eu"], region_weights=[1, 1],
+        )
+        b = TopologySpec(
+            kind="geo", num_nodes=10,
+            regions=("na", "eu"), region_weights=(1.0, 1.0),
+        )
+        assert a == b
+        assert a.digest() == b.digest()
+
+    def test_default_names_are_sorted_and_padded(self):
+        names = default_names(12)
+        assert names[0] == "n000" and names[-1] == "n011"
+        assert list(names) == sorted(names)
+        assert len(set(names)) == 12
+        wide = default_names(1500)
+        assert list(wide) == sorted(wide)
+
+
+class TestBuilders:
+    @pytest.mark.parametrize("kind", TOPOLOGY_KINDS)
+    @pytest.mark.parametrize("seed", [0, 7, 20160720])
+    def test_connected_at_all_kinds_and_seeds(self, kind, seed):
+        spec = TopologySpec(kind=kind, num_nodes=24, target_degree=4,
+                            seed=seed)
+        built = build_topology(spec)
+        assert built.is_connected()
+        assert all(a < b for a, b in built.edges)
+        assert list(built.edges) == sorted(set(built.edges))
+
+    @pytest.mark.parametrize("kind", TOPOLOGY_KINDS)
+    def test_same_seed_is_byte_identical_in_process(self, kind):
+        spec = TopologySpec(kind=kind, num_nodes=30, target_degree=6,
+                            seed=42)
+        a = build_topology(spec)
+        b = build_topology(spec)
+        assert a.edges == b.edges
+        assert a.regions == b.regions
+        assert a.digest() == b.digest()
+
+    @pytest.mark.parametrize("kind", TOPOLOGY_KINDS)
+    def test_seed_changes_graph(self, kind):
+        if kind == "ring":
+            pytest.skip("ring lattice is seed-independent by design")
+        base = TopologySpec(kind=kind, num_nodes=30, target_degree=6,
+                            seed=1)
+        other = replace(base, seed=2)
+        assert build_topology(base).digest() != build_topology(other).digest()
+
+    def test_powerlaw_is_more_skewed_than_uniform(self):
+        uniform = build_topology(
+            TopologySpec(kind="uniform", num_nodes=60, target_degree=6,
+                         seed=5)
+        )
+        powerlaw = build_topology(
+            TopologySpec(kind="powerlaw", num_nodes=60, target_degree=6,
+                         seed=5)
+        )
+        u_stats = uniform.degree_stats()
+        p_stats = powerlaw.degree_stats()
+        assert p_stats["degree_gini"] > u_stats["degree_gini"]
+        assert p_stats["degree_max"] > u_stats["degree_max"]
+
+    def test_powerlaw_respects_max_degree(self):
+        spec = TopologySpec(kind="powerlaw", num_nodes=60, target_degree=6,
+                            seed=5, max_degree=9)
+        built = build_topology(spec)
+        # The configuration model only ever *drops* stubs, so the cap is
+        # an upper bound on realized degree (bridging adds at most a
+        # handful of component-stitching edges).
+        assert built.degree_stats()["degree_max"] <= 9 + 2
+
+    def test_geo_assigns_every_node_a_known_region(self):
+        spec = TopologySpec(kind="geo", num_nodes=40, target_degree=6,
+                            seed=3)
+        built = build_topology(spec)
+        assert set(built.regions) == set(built.names)
+        assert set(built.regions.values()) <= set(DEFAULT_REGIONS)
+
+    def test_geo_intra_bias_localizes_edges(self):
+        def intra_fraction(bias):
+            spec = TopologySpec(kind="geo", num_nodes=60, target_degree=6,
+                                seed=11, intra_bias=bias)
+            built = build_topology(spec)
+            intra = sum(
+                1 for a, b in built.edges
+                if built.regions[a] == built.regions[b]
+            )
+            return intra / len(built.edges)
+
+        assert intra_fraction(0.9) > intra_fraction(0.0)
+
+    def test_ring_is_regular(self):
+        spec = TopologySpec(kind="ring", num_nodes=20, target_degree=4,
+                            seed=0)
+        built = build_topology(spec)
+        assert set(built.degrees().values()) == {4}
+
+    def test_smallworld_rewires_some_ring_edges(self):
+        ring = build_topology(
+            TopologySpec(kind="ring", num_nodes=40, target_degree=4, seed=0)
+        )
+        small = build_topology(
+            TopologySpec(kind="smallworld", num_nodes=40, target_degree=4,
+                         seed=0, rewire_p=0.3)
+        )
+        assert set(small.edges) != set(ring.edges)
+        assert small.is_connected()
+
+    def test_custom_names_validated(self):
+        spec = TopologySpec(kind="uniform", num_nodes=4, target_degree=2)
+        with pytest.raises(ValueError, match="expected 4 names"):
+            build_topology(spec, names=["a", "b"])
+        with pytest.raises(ValueError, match="unique"):
+            build_topology(spec, names=["a", "b", "c", "a"])
+        built = build_topology(spec, names=["d", "c", "b", "a"])
+        assert set(built.names) == {"a", "b", "c", "d"}
+
+    def test_built_topology_round_trip_digest(self):
+        spec = TopologySpec(kind="geo", num_nodes=12, target_degree=4,
+                            seed=2)
+        built = build_topology(spec)
+        payload = built.to_dict()
+        clone = BuiltTopology(
+            spec=TopologySpec.from_dict(payload["spec"]),
+            names=tuple(payload["names"]),
+            edges=tuple((a, b) for a, b in payload["edges"]),
+            regions=dict(payload["regions"]),
+        )
+        assert clone.digest() == built.digest()
+
+
+SUBPROCESS_DIGEST = """
+import sys
+from repro.net.topology import TopologySpec, build_topology
+spec = TopologySpec.from_dict(eval(sys.argv[1]))
+print(build_topology(spec).digest())
+"""
+
+
+class TestSubprocessDeterminism:
+    @pytest.mark.parametrize("kind", ["uniform", "powerlaw", "geo"])
+    def test_fresh_interpreter_digest_matches(self, kind):
+        # A fresh interpreter re-imports everything from scratch — the
+        # strict equivalent of a spawn-start worker for a pure builder.
+        spec = TopologySpec(kind=kind, num_nodes=30, target_degree=6,
+                            seed=99)
+        local = build_topology(spec).digest()
+        src_dir = os.path.dirname(os.path.dirname(repro.__file__))
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src_dir
+        out = subprocess.run(
+            [sys.executable, "-c", SUBPROCESS_DIGEST, repr(spec.to_dict())],
+            capture_output=True, text=True, env=env, check=True,
+        )
+        assert out.stdout.strip() == local
+
+
+class TestBootstrapFromTopology:
+    def test_realized_peers_equal_topology_edges(self):
+        spec = TopologySpec(kind="uniform", num_nodes=10, target_degree=3,
+                            seed=4)
+        built = build_topology(spec)
+        sim, net = make_network(built.names)
+        net.bootstrap_from_topology(built, extra_routing=4)
+        sim.run_all()
+        realized = set()
+        for name in built.names:
+            for peer in net.nodes[name].peers:
+                realized.add((min(name, peer), max(name, peer)))
+        assert realized == set(built.edges)
+
+    def test_routing_seeded_with_neighbors_not_self(self):
+        spec = TopologySpec(kind="uniform", num_nodes=12, target_degree=3,
+                            seed=6)
+        built = build_topology(spec)
+        sim, net = make_network(built.names)
+        net.bootstrap_from_topology(built, extra_routing=5)
+        neighbors = built.neighbors()
+        for name in built.names:
+            node = net.nodes[name]
+            assert name not in node.routing
+            for peer in neighbors[name]:
+                assert peer in node.routing
+
+    def test_geo_regions_applied_to_nodes(self):
+        spec = TopologySpec(kind="geo", num_nodes=12, target_degree=3,
+                            seed=8)
+        built = build_topology(spec)
+        sim, net = make_network(built.names)
+        net.bootstrap_from_topology(built)
+        for name in built.names:
+            assert net.nodes[name].region == built.regions[name]
+
+    def test_apply_regions_false_leaves_regions_alone(self):
+        spec = TopologySpec(kind="geo", num_nodes=12, target_degree=3,
+                            seed=8)
+        built = build_topology(spec)
+        sim, net = make_network(built.names)
+        before = {name: net.nodes[name].region for name in built.names}
+        net.bootstrap_from_topology(built, apply_regions=False)
+        assert {name: net.nodes[name].region for name in built.names} == before
+
+    def test_missing_node_raises(self):
+        spec = TopologySpec(kind="uniform", num_nodes=6, target_degree=2,
+                            seed=1)
+        built = build_topology(spec)
+        sim, net = make_network(built.names[:-1])
+        with pytest.raises(ValueError, match="absent from network"):
+            net.bootstrap_from_topology(built)
+
+    def test_extra_nodes_left_untouched(self):
+        spec = TopologySpec(kind="uniform", num_nodes=6, target_degree=2,
+                            seed=1)
+        built = build_topology(spec)
+        sim, net = make_network(list(built.names) + ["observer"])
+        net.bootstrap_from_topology(built)
+        sim.run_all()
+        observer = net.nodes["observer"]
+        assert not observer.peers
+        assert len(observer.routing) == 0
+
+
+class TestBootstrapMeshLegacyQuirk:
+    def test_mesh_samples_population_including_self(self):
+        # ``bootstrap_mesh`` draws ``sample_size + 1`` names from the
+        # *full* population — including the sampling node itself — and
+        # then filters self out.  Nodes that happen to draw themselves
+        # see ``sample_size`` candidates; nodes that don't see
+        # ``sample_size + 1``.  This asymmetry is a historical quirk kept
+        # verbatim because the pinned scenario digests replay through it;
+        # ``bootstrap_from_topology`` is the corrected path (exactly
+        # ``extra_routing`` extras, sampled excluding self).
+        names = [f"m{i:02d}" for i in range(30)]
+        sim, net = make_network(names, seed=5)
+        net.bootstrap_mesh(target_degree=2)
+        sample_size = min(len(names) - 1, max(2 * 3, 16))  # == 16 here
+        counts = set()
+        for name in names:
+            node = net.nodes[name]
+            assert name not in node.routing
+            counts.add(len(node.routing))
+        assert counts <= {sample_size, sample_size + 1}
+        # With 30 nodes the self-draw has probability 17/30 per node, so
+        # a fixed seed reliably exhibits both outcomes.
+        assert counts == {sample_size, sample_size + 1}
