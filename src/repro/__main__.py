@@ -154,6 +154,16 @@ def _build_parser() -> argparse.ArgumentParser:
                              "cache entries until the cache fits this "
                              "many bytes")
     _add_chunked_arguments(runall)
+    # run-all only (not shared with fault-sweep: that sweep's cells are
+    # message-level chaos scenarios, not day-loop fork simulations, so
+    # there is no horizon to checkpoint within).
+    runall.add_argument("--horizon-chunk-days", type=int, default=None,
+                        metavar="D",
+                        help="additionally split the simulation itself "
+                             "into checkpointed chunks of D days, so an "
+                             "interrupted run resumes mid-horizon instead "
+                             "of re-mining from day zero; requires "
+                             "--chunk-size and the cache")
 
     sweep = sub.add_parser(
         "fault-sweep",
@@ -439,6 +449,20 @@ def cmd_run_all(args) -> int:
     if error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    if args.horizon_chunk_days is not None:
+        if args.horizon_chunk_days < 1:
+            print("error: --horizon-chunk-days must be >= 1",
+                  file=sys.stderr)
+            return 2
+        if args.chunk_size is None:
+            print("error: --horizon-chunk-days requires --chunk-size "
+                  "(it rides on the sweep ledger)", file=sys.stderr)
+            return 2
+        if args.no_cache:
+            print("error: --horizon-chunk-days cannot be combined with "
+                  "--no-cache; simulate chunks chain their checkpoints "
+                  "through the cache", file=sys.stderr)
+            return 2
     if args.chunk_size is not None:
         from .harness import LedgerError
 
@@ -461,6 +485,7 @@ def cmd_run_all(args) -> int:
                 max_quarantined=args.max_quarantined,
                 ledger_dir=args.ledger_dir,
                 lease_seconds=args.lease_seconds,
+                horizon_chunk_days=args.horizon_chunk_days,
             )
         except LedgerError as exc:
             print(f"error: {exc}", file=sys.stderr)

@@ -22,6 +22,11 @@ __all__ = [
     "transactions_per_day",
     "contract_fraction_per_day",
     "daily_mean_difficulty",
+    "db_blocks_per_hour",
+    "db_daily_mean_difficulty",
+    "db_hourly_mean_block_delta",
+    "db_transactions_per_day",
+    "db_contract_fraction_per_day",
     "trace_blocks_per_hour",
     "trace_difficulty_series",
     "trace_block_deltas",
@@ -88,6 +93,76 @@ def contract_fraction_per_day(db: ChainDatabase, chain: str) -> TimeSeries:
 def daily_mean_difficulty(db: ChainDatabase, chain: str) -> TimeSeries:
     """Daily mean difficulty — the difficulty input to Figure 3."""
     return difficulty_series(db, chain).resample_mean(DAY)
+
+
+# -- aggregated database variants (either backend) -------------------------------
+#
+# These wrap the aggregated queries shared by :class:`ChainDatabase` and
+# :class:`~repro.data.columnar.ColumnarChainDatabase` and are pinned
+# byte-identical to the ``trace_*`` helpers below on a full-prefix
+# database (``to_database(include_prefix=True)``), on either backend —
+# the contract ``tests/test_data_columnar.py`` enforces.  They are the
+# figure pipeline's database face: no per-record iteration happens on
+# this side of the query boundary.
+
+
+def db_blocks_per_hour(db, chain: str, start_ts: Optional[float] = None) -> TimeSeries:
+    """Figure 1 (top) from aggregated queries (= ``trace_blocks_per_hour``)."""
+    return TimeSeries.from_window_dict(
+        {k: float(v) for k, v in db.blocks_per_hour(chain, start_ts).items()},
+        HOUR,
+        name=f"{chain} blocks/hour",
+    )
+
+
+def db_daily_mean_difficulty(
+    db, chain: str, start_ts: Optional[float] = None
+) -> TimeSeries:
+    """Daily mean difficulty (= ``trace_daily_mean_difficulty``)."""
+    return TimeSeries.from_window_dict(
+        db.daily_mean_difficulty(chain, start_ts),
+        DAY,
+        name=f"{chain} difficulty",
+    )
+
+
+def db_hourly_mean_block_delta(
+    db, chain: str, start_ts: Optional[float] = None
+) -> TimeSeries:
+    """Hourly mean inter-block gap
+    (= ``trace_block_deltas(...).resample_mean(HOUR)``)."""
+    return TimeSeries.from_window_dict(
+        db.hourly_mean_block_delta(chain, start_ts),
+        HOUR,
+        name=f"{chain} block delta",
+    )
+
+
+def db_transactions_per_day(
+    db, chain: str, start_ts: Optional[float] = None
+) -> TimeSeries:
+    """Daily tx counts from per-block counts
+    (= ``trace_transactions_per_day``)."""
+    return TimeSeries.from_window_dict(
+        {
+            k: float(v)
+            for k, v in db.block_transactions_per_day(chain, start_ts).items()
+        },
+        DAY,
+        name=f"{chain} tx/day",
+    )
+
+
+def db_contract_fraction_per_day(
+    db, chain: str, start_ts: Optional[float] = None
+) -> TimeSeries:
+    """Daily contract fraction from per-block counts
+    (= ``trace_contract_fraction_per_day``)."""
+    return TimeSeries.from_window_dict(
+        db.block_contract_fraction_per_day(chain, start_ts),
+        DAY,
+        name=f"{chain} contract fraction",
+    )
 
 
 # -- trace-backed (columnar) variants -------------------------------------------

@@ -26,6 +26,7 @@ __all__ = [
     "daily_top_n_shares",
     "top_n_share_series",
     "trace_top_n_share_series",
+    "db_top_n_share_series",
     "daily_top_pools",
     "migration_consistency",
     "convergence_day",
@@ -103,6 +104,44 @@ def trace_top_n_share_series(
         [index * DAY for index in indices],
         values,
         name=f"{trace.chain} top-{top_n} %",
+    )
+
+
+def db_top_n_share_series(
+    db,
+    chain: str,
+    top_n: int,
+    start_ts: Optional[float] = None,
+    solo_prefix: str = "solo-",
+) -> TimeSeries:
+    """Figure 5 series from a database's aggregated miner counts.
+
+    Byte-identical to :func:`trace_top_n_share_series` on a full-prefix
+    database from either backend: ``daily_miner_counts`` preserves
+    first-occurrence insertion order, the solo filter below preserves
+    relative order among the survivors, and ``most_common``'s stable
+    sort therefore breaks ties the same way.  Solo miners stay in the
+    denominator but never constitute a pool.
+    """
+    days = db.daily_miner_counts(chain, start_ts)
+    indices = sorted(days)
+    values = []
+    for index in indices:
+        counter = days[index]
+        total = sum(counter.values())
+        pools = Counter(
+            {
+                label: count
+                for label, count in counter.items()
+                if not label.startswith(solo_prefix)
+            }
+        )
+        top = pools.most_common(top_n)
+        values.append(100.0 * sum(count for _, count in top) / total)
+    return TimeSeries(
+        [index * DAY for index in indices],
+        values,
+        name=f"{chain} top-{top_n} %",
     )
 
 

@@ -8,6 +8,7 @@ from .csvio import (
     write_series_csv,
     write_txs_csv,
 )
+from .columnar import ColumnarChainDatabase
 from .records import BlockRecord, TxRecord, export_chain, export_transactions
 from .resultstore import RESULTSTORE_SCHEMA_VERSION, JobRow, ResultStore
 from .sqlstore import SqliteChainDatabase
@@ -30,6 +31,7 @@ __all__ = [
     "export_chain",
     "export_transactions",
     "ChainDatabase",
+    "ColumnarChainDatabase",
     "JobRow",
     "RESULTSTORE_SCHEMA_VERSION",
     "ResultStore",

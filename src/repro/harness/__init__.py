@@ -73,6 +73,7 @@ from .jobs import (
     registered_kinds,
     run_cached,
     run_job,
+    simulate_chunk_spec,
     simulate_spec,
 )
 from .manifest import MANIFEST_SCHEMA_VERSION, JobRecord, RunManifest
@@ -156,6 +157,7 @@ __all__ = [
     "run_topology_sweep",
     "run_topology_sweep_chunked",
     "run_job",
+    "simulate_chunk_spec",
     "simulate_spec",
     "topology_partition_spec",
     "topology_infer_spec",

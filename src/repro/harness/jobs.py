@@ -46,7 +46,13 @@ from ..scenarios.replay_attack import (
     ReplayWorkload,
     ReplayWorkloadConfig,
 )
-from ..sim.engine import ForkSimConfig, ForkSimResult, run_fork_sim
+from ..sim.checkpoint import ForkSimCheckpoint
+from ..sim.engine import (
+    ForkSimConfig,
+    ForkSimResult,
+    ForkSimulation,
+    run_fork_sim,
+)
 
 __all__ = [
     "JobSpec",
@@ -58,6 +64,7 @@ __all__ = [
     "execute_job",
     "run_cached",
     "simulate_spec",
+    "simulate_chunk_spec",
     "partition_spec",
     "chaos_partition_spec",
     "topology_partition_spec",
@@ -218,6 +225,34 @@ def simulate_spec(config: ForkSimConfig) -> JobSpec:
     )
 
 
+def simulate_chunk_spec(
+    config: ForkSimConfig, upto_day: int, chunk_days: int
+) -> JobSpec:
+    """One in-horizon chunk of a fork simulation: days ``[0, upto_day)``.
+
+    Chunks chain through the cache: the runner loads the previous
+    chunk's :class:`~repro.sim.checkpoint.ForkSimCheckpoint` (computing
+    it on demand if missing) and resumes, so a preempted ``run-all``
+    loses at most ``chunk_days`` of mining instead of the whole horizon.
+    The final chunk (``upto_day >= config.days``) also publishes the
+    full :class:`ForkSimResult` under the plain ``simulate`` key, so
+    downstream figure/observation jobs cache-hit as if the simulation
+    had run single-shot.
+    """
+    return JobSpec.make(
+        "simulate-chunk",
+        {
+            "config": config.to_dict(),
+            "upto_day": upto_day,
+            "chunk_days": chunk_days,
+        },
+        label=(
+            f"simulate-chunk[{min(upto_day, config.days)}/{config.days}d "
+            f"seed={config.seed}]"
+        ),
+    )
+
+
 def partition_spec(config: Optional[PartitionScenarioConfig] = None) -> JobSpec:
     config = config or PartitionScenarioConfig()
     return JobSpec.make(
@@ -363,6 +398,52 @@ def _run_simulate(params: Dict[str, Any], cache, registry=None) -> ForkSimResult
     return run_fork_sim(
         ForkSimConfig.from_dict(params["config"]), obs=_registry_obs(registry)
     )
+
+
+@register_runner("simulate-chunk", wants_registry=True)
+def _run_simulate_chunk(
+    params: Dict[str, Any], cache, registry=None
+) -> Dict[str, Any]:
+    """Resume-or-start one horizon chunk; returns a JSON-safe summary.
+
+    The heavyweight objects stay in the cache: this runner's *return
+    value* is a small dict (digest, block count, serialized checkpoint)
+    so chunk results stay cheap to ship across worker pipes and into
+    sweep ledgers.  Chaining is recursive-through-the-cache: a cold
+    intermediate chunk recomputes its predecessor via :func:`run_cached`,
+    while the scheduled stage order makes that a pure cache hit in
+    practice.
+    """
+    config = ForkSimConfig.from_dict(params["config"])
+    upto = min(params["upto_day"], config.days)
+    chunk_days = params["chunk_days"]
+    if chunk_days < 1:
+        raise ValueError("chunk_days must be >= 1")
+    checkpoint = None
+    prev_upto = upto - chunk_days
+    if prev_upto > 0:
+        previous = run_cached(
+            simulate_chunk_spec(config, prev_upto, chunk_days), cache
+        )
+        checkpoint = ForkSimCheckpoint.from_dict(previous["checkpoint"])
+    simulation = ForkSimulation(config, obs=_registry_obs(registry))
+    result = simulation.run(resume_from=checkpoint, until_day=upto)
+    if result.checkpoint is None:
+        # Final chunk: the horizon is complete — publish the full result
+        # under the single-shot key so figure/observation jobs hit it.
+        cache.store(simulate_spec(config).cache_key(), result)
+    return {
+        "upto_day": upto,
+        "chunk_days": chunk_days,
+        "days": config.days,
+        "digest": result.digest(),
+        "blocks": len(result.eth_trace) + len(result.etc_trace),
+        "checkpoint": (
+            result.checkpoint.to_dict()
+            if result.checkpoint is not None
+            else None
+        ),
+    }
 
 
 @register_runner("partition", wants_registry=True)

@@ -35,6 +35,7 @@ from .jobs import (
     figure_spec,
     observations_spec,
     partition_spec,
+    simulate_chunk_spec,
     simulate_spec,
 )
 from .cache import ResultCache
@@ -60,16 +61,47 @@ DEFAULT_CACHE_DIR = ".repro-cache"
 def build_waves(
     sim_config: ForkSimConfig,
     partition_config: Optional[PartitionScenarioConfig] = None,
+    horizon_chunk_days: Optional[int] = None,
 ) -> List[List[JobSpec]]:
-    """The three dependency waves described in the module docstring."""
+    """The three dependency waves described in the module docstring.
+
+    With ``horizon_chunk_days`` set, the single ``simulate`` root is
+    replaced by a chain of ``simulate-chunk`` jobs covering day ranges
+    ``[0, k), [0, 2k), ...`` — each wave boundary is a barrier, so every
+    chunk sees its predecessor's checkpoint already cached.  The first
+    chunk shares its wave with the partition scenario (they are
+    independent); the final chunk publishes the full simulation under
+    the plain ``simulate`` cache key, so the downstream waves are
+    identical either way.
+    """
     partition_config = partition_config or PartitionScenarioConfig()
-    return [
-        [simulate_spec(sim_config), partition_spec(partition_config)],
+    tail = [
         [echoes_spec(sim_config)],
         [
             *[figure_spec(number, sim_config) for number in range(1, 6)],
             observations_spec(sim_config, partition_config),
         ],
+    ]
+    if horizon_chunk_days is None:
+        return [
+            [simulate_spec(sim_config), partition_spec(partition_config)],
+            *tail,
+        ]
+    if horizon_chunk_days < 1:
+        raise ValueError("horizon_chunk_days must be >= 1")
+    uptos = list(
+        range(horizon_chunk_days, sim_config.days, horizon_chunk_days)
+    )
+    if not uptos or uptos[-1] != sim_config.days:
+        uptos.append(sim_config.days)
+    chunk_specs = [
+        simulate_chunk_spec(sim_config, upto, horizon_chunk_days)
+        for upto in uptos
+    ]
+    return [
+        [chunk_specs[0], partition_spec(partition_config)],
+        *[[spec] for spec in chunk_specs[1:]],
+        *tail,
     ]
 
 
@@ -206,6 +238,7 @@ def run_all_chunked(
     ledger_dir: Optional[Union[str, Path]] = None,
     lease_seconds: float = 300.0,
     chunk_retries: int = 1,
+    horizon_chunk_days: Optional[int] = None,
 ) -> ChunkedSweepResult:
     """``run_all`` through the sweep ledger: waves become stages.
 
@@ -215,7 +248,20 @@ def run_all_chunked(
     written as each chunk finishes (they are the chunk's real output);
     on ``resume`` the done chunks' files are already on disk and the
     combine step only re-stitches the manifest.
+
+    ``horizon_chunk_days`` additionally splits the simulation root
+    *within* its horizon into checkpointed ``simulate-chunk`` stages —
+    a killed run resumes from the last finished day range instead of
+    re-mining from day zero, and the stitched result is byte-identical
+    to a single-shot run (the resume-digest contract of
+    :class:`~repro.sim.checkpoint.ForkSimCheckpoint`).  Requires a
+    cache: chunks hand checkpoints to their successors through it.
     """
+    if horizon_chunk_days is not None and cache_dir is None:
+        raise ValueError(
+            "horizon_chunk_days requires a result cache; simulate "
+            "chunks chain their checkpoints through it"
+        )
     progress = progress or NullProgress()
     output_dir = Path(output_dir)
     output_dir.mkdir(parents=True, exist_ok=True)
@@ -223,12 +269,16 @@ def run_all_chunked(
     ledger_dir = Path(ledger_dir or output_dir / "run-all-ledger")
 
     sim_config = ForkSimConfig(days=days, prefork_days=prefork_days, seed=seed)
-    waves = build_waves(sim_config, partition_config)
+    waves = build_waves(
+        sim_config, partition_config, horizon_chunk_days=horizon_chunk_days
+    )
     salt = {
         "sweep": "run-all",
         "sim": asdict(sim_config),
         "partition": asdict(partition_config or PartitionScenarioConfig()),
     }
+    if horizon_chunk_days is not None:
+        salt["horizon_chunk_days"] = horizon_chunk_days
     chunks = plan_chunks(waves, chunk_size, salt=salt)
     sweep_key = sweep_key_for(chunks, salt=salt)
 
@@ -294,6 +344,11 @@ def run_all_chunked(
         command=(
             f"run-all --days {days} --seed {seed} --jobs {jobs}"
             f" --chunk-size {chunk_size}"
+            + (
+                f" --horizon-chunk-days {horizon_chunk_days}"
+                if horizon_chunk_days is not None
+                else ""
+            )
             + (" --resume" if resume else "")
             + (" --no-cache" if cache_dir is None else "")
         ),

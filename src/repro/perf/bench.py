@@ -55,7 +55,7 @@ BENCH_SCHEMA = "repro.bench/1"
 
 #: Case name -> report name; drives ``--only`` filtering too.
 _REPORTS: Dict[str, Sequence[str]] = {
-    "forksim": ("forksim_difficulty", "forksim_workload"),
+    "forksim": ("forksim_difficulty", "forksim_workload", "forksim_analysis"),
     "eventloop": (
         "eventloop_chain",
         "eventloop_bucket",
@@ -101,6 +101,27 @@ def _best_of(fn: Callable[[], Any], repeats: int) -> Tuple[float, Any]:
     return best, value
 
 
+def _traced_peak(fn: Callable[[], Any]) -> int:
+    """Tracemalloc peak of one run, in bytes.
+
+    Tracing starts fresh inside this function, so anything allocated
+    *before* the call (a shared pre-built simulation, the interpreter's
+    own state) is invisible — the peak charges only what ``fn`` itself
+    allocates.  Tracing roughly doubles allocation cost, which is why
+    memory passes are separate from the timed ones in :func:`_case_row`.
+    """
+    import tracemalloc
+
+    gc.collect()
+    tracemalloc.start()
+    try:
+        fn()
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return peak
+
+
 def _arm(seconds: float, work: int, unit: str, digest: str) -> Dict[str, Any]:
     rate = work / seconds if seconds > 0 else 0.0
     return {
@@ -120,7 +141,20 @@ def _case_row(
     ref_fn: Callable[[], Any],
     measure: Callable[[Any], Tuple[int, str]],
     repeats: int,
+    measure_memory: bool = False,
+    memory_min_ratio: Optional[float] = None,
 ) -> Dict[str, Any]:
+    """One benchmark row: timed arms, digests, optional memory arms.
+
+    With ``measure_memory`` each arm also runs once more under
+    tracemalloc (untimed — tracing is ~2x allocation overhead, so it
+    must never touch the wall-clock numbers) and records its
+    ``peak_bytes``.  ``memory_min_ratio`` turns the measurement into a
+    gate: ``memory_ok`` is False when the reference arm's peak divided
+    by the fast arm's falls below it — a fast path that quietly loses
+    its memory advantage fails the bench exactly like a digest
+    divergence does.
+    """
     fast_secs, fast_value = _best_of(fast_fn, repeats)
     ref_secs, ref_value = _best_of(ref_fn, repeats)
     fast_work, fast_digest = measure(fast_value)
@@ -130,7 +164,7 @@ def _case_row(
         # Separate, untimed run: the profiler's tracing overhead must
         # never leak into the recorded wall times above.
         _write_profile(name, fast_fn)
-    return {
+    row = {
         "case": name,
         "params": params,
         "fast": _arm(fast_secs, fast_work, unit, fast_digest),
@@ -138,6 +172,21 @@ def _case_row(
         "speedup": round(speedup, 3),
         "digests_match": fast_digest == ref_digest,
     }
+    if measure_memory:
+        fast_peak = _traced_peak(fast_fn)
+        ref_peak = _traced_peak(ref_fn)
+        row["fast"]["peak_bytes"] = fast_peak
+        row["reference"]["peak_bytes"] = ref_peak
+        memory_ratio = (
+            ref_peak / fast_peak if fast_peak > 0 else float("inf")
+        )
+        row["memory_ratio"] = round(memory_ratio, 3)
+        row["memory_ok"] = (
+            memory_min_ratio is None or memory_ratio >= memory_min_ratio
+        )
+        if memory_min_ratio is not None:
+            row["memory_min_ratio"] = memory_min_ratio
+    return row
 
 
 def _write_profile(case: str, fast_fn: Callable[[], Any]) -> Path:
@@ -202,6 +251,94 @@ def _forksim_case(
         reference,
         measure,
         repeats,
+        measure_memory=True,
+    )
+
+
+def _forksim_analysis_case(
+    name: str,
+    days: int,
+    seed: int,
+    repeats: int,
+    memory_min_ratio: float,
+) -> Dict[str, Any]:
+    """The figure/observation pipeline over both analytics backends.
+
+    The simulation is built once, untimed and *before* tracing starts,
+    so both arms measure only the analysis: load the traces into a
+    database (``columnar=True`` adopts the packed columns zero-copy;
+    the reference arm boxes every block into records) and run the full
+    db-backed figure + observation pipeline.  The digest covers every
+    series' bytes and every observation verdict — the byte-identity
+    contract of ``tests/test_data_columnar.py``, enforced here at the
+    paper's 270-day scale.  The memory gate pins the columnar arm's
+    tracemalloc peak at ``memory_min_ratio`` times below the record
+    arm's.
+    """
+    import struct as _struct
+
+    from ..core.observations import evaluate_all_db
+    from ..core.report import figures_from_database
+    from ..sim.engine import ForkSimConfig, run_fork_sim
+
+    config = ForkSimConfig(
+        days=days,
+        prefork_days=7,
+        seed=seed,
+        with_transactions=True,
+    )
+    result = run_fork_sim(config)
+    blocks = len(result.eth_trace.numbers) + len(result.etc_trace.numbers)
+
+    def analyze(columnar: bool):
+        def thunk():
+            database = result.to_database(columnar=columnar)
+            figures = figures_from_database(result, database)
+            observations = evaluate_all_db(result, database)
+            return figures, observations
+
+        return thunk
+
+    def measure(value) -> Tuple[int, str]:
+        figures, observations = value
+        hasher = hashlib.sha256()
+        for number in sorted(figures):
+            figure = figures[number]
+            hasher.update(str(number).encode())
+            for key, series in figure.series.items():
+                hasher.update(key.encode("utf-8"))
+                hasher.update(
+                    _struct.pack(
+                        f"<{len(series.timestamps)}d", *series.timestamps
+                    )
+                )
+                hasher.update(
+                    _struct.pack(f"<{len(series.values)}d", *series.values)
+                )
+        for observation in observations:
+            blob = json.dumps(
+                {
+                    "number": observation.number,
+                    "claim": observation.claim,
+                    "holds": observation.holds,
+                    "details": observation.details,
+                },
+                sort_keys=True,
+                default=repr,
+            )
+            hasher.update(blob.encode("utf-8"))
+        return blocks, hasher.hexdigest()
+
+    return _case_row(
+        name,
+        {"days": days, "with_transactions": True, "seed": seed},
+        "blocks",
+        analyze(columnar=True),
+        analyze(columnar=False),
+        measure,
+        repeats,
+        measure_memory=True,
+        memory_min_ratio=memory_min_ratio,
     )
 
 
@@ -463,6 +600,18 @@ def _build_case(
         )
     if case == "forksim_workload":
         return _forksim_case(case, 4 if smoke else 60, True, seed, repeats)
+    if case == "forksim_analysis":
+        # Full mode runs the paper's 270-day horizon and enforces the
+        # ISSUE's >=5x peak-memory advantage for the columnar backend;
+        # smoke shrinks the horizon (the boxing overhead shrinks with
+        # it, so the gate loosens to 3x).
+        return _forksim_analysis_case(
+            case,
+            8 if smoke else 270,
+            seed,
+            repeats,
+            memory_min_ratio=3.0 if smoke else 5.0,
+        )
     if case == "eventloop_chain":
         return _eventloop_chain_case(5_000 if smoke else 150_000, repeats)
     if case == "eventloop_bucket":
@@ -490,13 +639,19 @@ def _render_report(payload: Dict[str, Any]) -> str:
         f"{'speedup':>8} {'digests':>8}",
     ]
     for row in payload["cases"]:
-        lines.append(
+        line = (
             f"{row['case']:<22} {row['fast']['work']:>10} "
             f"{row['fast']['seconds']:>9.3f} "
             f"{row['reference']['seconds']:>9.3f} "
             f"{row['speedup']:>7.2f}x "
             f"{'match' if row['digests_match'] else 'DIVERGE':>8}"
         )
+        if "memory_ratio" in row:
+            line += (
+                f"  mem {row['memory_ratio']:.2f}x"
+                f"{' ok' if row.get('memory_ok', True) else ' REGRESSION'}"
+            )
+        lines.append(line)
     return "\n".join(lines) + "\n"
 
 
@@ -533,6 +688,31 @@ def validate_report(payload: Dict[str, Any]) -> List[str]:
                 problems.append(f"case {label}: {arm_name} digest invalid")
         if not isinstance(row.get("digests_match"), bool):
             problems.append(f"case {label}: digests_match must be a bool")
+        has_memory = (
+            "memory_ratio" in row
+            or "memory_ok" in row
+            or any(
+                "peak_bytes" in row.get(arm, {})
+                for arm in ("fast", "reference")
+            )
+        )
+        if payload.get("name") == "forksim" and not has_memory:
+            problems.append(
+                f"case {label}: forksim cases must carry memory accounting"
+            )
+        if has_memory:
+            for arm_name in ("fast", "reference"):
+                peak = row.get(arm_name, {}).get("peak_bytes")
+                if not isinstance(peak, int) or peak < 0:
+                    problems.append(
+                        f"case {label}: {arm_name} peak_bytes invalid"
+                    )
+            if not isinstance(row.get("memory_ratio"), (int, float)):
+                problems.append(
+                    f"case {label}: memory_ratio must be a number"
+                )
+            if not isinstance(row.get("memory_ok"), bool):
+                problems.append(f"case {label}: memory_ok must be a bool")
     return problems
 
 
@@ -604,8 +784,20 @@ def _run_bench_selected(
                 f"({row['speedup']:.2f}x, digests "
                 f"{'match' if row['digests_match'] else 'DIVERGE'})"
             )
+            if "memory_ratio" in row:
+                echo(
+                    f"bench: {name}/{case}: tracemalloc peak "
+                    f"{row['fast']['peak_bytes']:,}B fast vs "
+                    f"{row['reference']['peak_bytes']:,}B reference "
+                    f"({row['memory_ratio']:.2f}x, "
+                    f"{'ok' if row['memory_ok'] else 'MEMORY REGRESSION'})"
+                )
             rows.append(row)
-            all_match = all_match and row["digests_match"]
+            all_match = (
+                all_match
+                and row["digests_match"]
+                and row.get("memory_ok", True)
+            )
             if _PROFILE_DIR is not None:
                 paths.append(_PROFILE_DIR / f"profile_{case}.txt")
         payload = {
@@ -680,8 +872,9 @@ def bench_from_args(args: argparse.Namespace) -> int:
     for path in paths:
         print(f"wrote {path}")
     if not all_match:
-        print("error: fast/reference digests diverged — the kernels "
-              "changed the trajectory", file=sys.stderr)
+        print("error: fast/reference digests diverged or a memory gate "
+              "failed — the kernels changed the trajectory or lost "
+              "their footprint advantage", file=sys.stderr)
         return 1
     return 0
 

@@ -1,6 +1,7 @@
 """The fast per-block simulator for month-scale fork reconstructions."""
 
 from .blockprod import BlockProducer, ChainTrace
+from .checkpoint import CHECKPOINT_VERSION, ForkSimCheckpoint
 from .clock import (
     FORK_TIMESTAMP,
     SECONDS_PER_DAY,
@@ -31,6 +32,8 @@ __all__ = [
     "ForkSimConfig",
     "ForkSimResult",
     "ForkSimulation",
+    "ForkSimCheckpoint",
+    "CHECKPOINT_VERSION",
     "PoolLandscape",
     "PoolSpec",
     "eth_pool_landscape",

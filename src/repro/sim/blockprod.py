@@ -19,7 +19,7 @@ from __future__ import annotations
 import math
 import random
 from array import array
-from bisect import bisect_right
+from bisect import bisect_left, bisect_right
 from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 from ..chain.config import ChainConfig
@@ -204,10 +204,8 @@ class ChainTrace:
 
     def slice_by_time(self, start_ts: float, end_ts: float) -> range:
         """Index range of blocks with timestamp in [start_ts, end_ts)."""
-        import bisect
-
-        lo = bisect.bisect_left(self.timestamps, start_ts)
-        hi = bisect.bisect_left(self.timestamps, end_ts)
+        lo = bisect_left(self.timestamps, start_ts)
+        hi = bisect_left(self.timestamps, end_ts)
         return range(lo, hi)
 
 

@@ -48,6 +48,7 @@ from ..market.events import DEFAULT_EVENTS, ExternalDraw, HashpowerSupply
 from ..market.exchange import ExchangeRateSeries
 from ..market.price import etc_price_process, eth_price_process
 from .blockprod import BlockProducer, ChainTrace
+from .checkpoint import ForkSimCheckpoint
 from .clock import FORK_TIMESTAMP, SECONDS_PER_DAY
 from .population import (
     PoolLandscape,
@@ -143,6 +144,12 @@ class ForkSimResult:
     rates: ExchangeRateSeries
     #: Day index -> allocated hashrate per chain.
     daily_hashrate: Dict[str, List[float]]
+    #: Set on partial runs (``until_day`` short of the horizon): resume
+    #: state for the remaining days.  Deliberately excluded from
+    #: :meth:`digest` — a chunk's digest fingerprints the *mined
+    #: outcome*, and the final chunk of a resumed sequence must hash
+    #: identically to a single-shot run (which carries no checkpoint).
+    checkpoint: Optional[ForkSimCheckpoint] = None
 
     def traces(self) -> Dict[str, ChainTrace]:
         return {"ETH": self.eth_trace, "ETC": self.etc_trace}
@@ -180,13 +187,32 @@ class ForkSimResult:
             hasher.update(struct.pack(f"<{len(series)}d", *series))
         return hasher.hexdigest()
 
-    def to_database(self, include_prefix: bool = True) -> ChainDatabase:
+    def to_database(self, include_prefix: bool = True, columnar: bool = False):
         """Load block records into a fresh analysis database.
 
-        Streams through :meth:`ChainTrace.iter_block_records` so the
-        bulk ingest never holds a second full copy of a million-block
-        trace in memory.
+        ``columnar=False`` (the record path, retained as the oracle)
+        streams through :meth:`ChainTrace.iter_block_records` so the bulk
+        ingest never holds a second full copy of a million-block trace in
+        memory.  ``columnar=True`` returns a
+        :class:`~repro.data.columnar.ColumnarChainDatabase` that adopts
+        the trace columns zero-copy — no boxing at all, byte-identical
+        query results (pinned by ``tests/test_data_columnar.py``).
         """
+        if columnar:
+            from ..data.columnar import ColumnarChainDatabase
+
+            columnar_db = ColumnarChainDatabase()
+            for trace in (self.eth_trace, self.etc_trace):
+                start = 0
+                if not include_prefix:
+                    # Block numbers are strictly increasing, so the
+                    # record path's ``number > fork_number`` filter is a
+                    # suffix starting at this bisection point.
+                    start = bisect.bisect_right(
+                        trace.numbers, self.fork_number
+                    )
+                columnar_db.adopt_trace(trace, start_index=start)
+            return columnar_db
         database = ChainDatabase()
         for trace in (self.eth_trace, self.etc_trace):
             records = trace.iter_block_records()
@@ -224,8 +250,38 @@ class ForkSimulation:
             return _NULL_CONTEXT
         return self.obs.span(label)
 
-    def run(self) -> ForkSimResult:
+    def run(
+        self,
+        resume_from: Optional[ForkSimCheckpoint] = None,
+        until_day: Optional[int] = None,
+    ) -> ForkSimResult:
+        """Simulate the scenario, optionally in resumable day chunks.
+
+        ``until_day`` stops the day loop early (after mining days
+        ``[0, until_day)``); the partial result then carries a
+        :class:`ForkSimCheckpoint` for the remaining days.
+        ``resume_from`` picks up from such a checkpoint instead of
+        re-mining the prefix.  Chaining chunks produces a final result
+        whose :meth:`ForkSimResult.digest` is byte-identical to a
+        single-shot run: producer RNG state is restored exactly, and
+        every other daily input (prices, supply, pool landscapes,
+        transaction workloads) is a pure function of ``config.seed``
+        recomputed identically on every (re)entry.
+        """
         config = self.config
+        if until_day is not None and until_day < 1:
+            raise ValueError("until_day must be >= 1")
+        stop = config.days if until_day is None else min(until_day, config.days)
+        if resume_from is not None:
+            if resume_from.config != config.to_dict():
+                raise ValueError(
+                    "checkpoint was taken under a different configuration"
+                )
+            if resume_from.day > stop:
+                raise ValueError(
+                    f"checkpoint already covers day {resume_from.day}; "
+                    f"cannot resume to day {stop}"
+                )
 
         # -- market inputs, precomputed day by day -------------------------
         with self._span("forksim.market"):
@@ -245,74 +301,110 @@ class ForkSimulation:
             events=config.events,
         )
 
-        # -- phase 1: the shared prefix ------------------------------------
-        prefork_landscape = prefork_pool_landscape(seed=config.seed + 3)
-        prefork_workload = eth_workload()
-        equilibrium_difficulty = int(
-            config.total_hashrate_at_fork * 14
-        )
-        prefork_trace = ChainTrace("pre-fork")
-        start_ts = FORK_TIMESTAMP - config.prefork_days * SECONDS_PER_DAY
-        producer = BlockProducer(
-            config=PRE_FORK_CONFIG,
-            trace=prefork_trace,
-            start_number=DAO_FORK_BLOCK
-            - self._expected_blocks(config.prefork_days),
-            start_timestamp=start_ts,
-            start_difficulty=equilibrium_difficulty,
-            seed=config.seed + 4,
-        )
-        with self._span("forksim.prefix"):
-            for day_offset in range(config.prefork_days):
-                day = day_offset - config.prefork_days  # negative: before fork
-                hashrate = supply.trend(day)
-                sampler = prefork_landscape.make_sampler(day)
-                tx_sampler = None
-                if config.with_transactions:
-                    rng = random.Random(f"{config.seed}:wl-pre:{day_offset}")
-                    total = prefork_workload.daily_count(0, rng)
-                    tx_sampler = prefork_workload.per_block_sampler(0, total)
-                producer.run_until(
-                    start_ts + (day_offset + 1) * SECONDS_PER_DAY,
-                    hashrate,
-                    sampler,
-                    tx_sampler,
-                )
-
-        fork_number = producer.number
-        fork_timestamp = producer.timestamp
-
-        # -- phase 2: the split ---------------------------------------------
-        eth_trace = ChainTrace.forked_from(prefork_trace, "ETH")
-        etc_trace = ChainTrace.forked_from(prefork_trace, "ETC")
-        eth_producer = BlockProducer(
-            ETH_CONFIG,
-            eth_trace,
-            producer.number,
-            producer.timestamp,
-            producer.difficulty,
-            seed=config.seed + 5,
-        )
-        etc_producer = BlockProducer(
-            ETC_CONFIG,
-            etc_trace,
-            producer.number,
-            producer.timestamp,
-            producer.difficulty,
-            seed=config.seed + 6,
-        )
-
-        # Initial allocation: ETC holds only its day-zero loyalists;
-        # everyone else — the pro-fork bloc and the entire profit bloc —
-        # is on ETH.
-        fork_supply = supply.available(0)
         allocator = LaggedAllocator(alpha=config.allocator_alpha)
-        allocator.reset(
-            {
-                "ETH": fork_supply * (1 - config.etc_day0_fraction),
-                "ETC": fork_supply * config.etc_day0_fraction,
+
+        if resume_from is None:
+            # -- phase 1: the shared prefix --------------------------------
+            prefork_landscape = prefork_pool_landscape(seed=config.seed + 3)
+            prefork_workload = eth_workload()
+            equilibrium_difficulty = int(
+                config.total_hashrate_at_fork * 14
+            )
+            prefork_trace = ChainTrace("pre-fork")
+            start_ts = FORK_TIMESTAMP - config.prefork_days * SECONDS_PER_DAY
+            producer = BlockProducer(
+                config=PRE_FORK_CONFIG,
+                trace=prefork_trace,
+                start_number=DAO_FORK_BLOCK
+                - self._expected_blocks(config.prefork_days),
+                start_timestamp=start_ts,
+                start_difficulty=equilibrium_difficulty,
+                seed=config.seed + 4,
+            )
+            with self._span("forksim.prefix"):
+                for day_offset in range(config.prefork_days):
+                    day = day_offset - config.prefork_days  # negative: before fork
+                    hashrate = supply.trend(day)
+                    sampler = prefork_landscape.make_sampler(day)
+                    tx_sampler = None
+                    if config.with_transactions:
+                        rng = random.Random(
+                            f"{config.seed}:wl-pre:{day_offset}"
+                        )
+                        total = prefork_workload.daily_count(0, rng)
+                        tx_sampler = prefork_workload.per_block_sampler(
+                            0, total
+                        )
+                    producer.run_until(
+                        start_ts + (day_offset + 1) * SECONDS_PER_DAY,
+                        hashrate,
+                        sampler,
+                        tx_sampler,
+                    )
+
+            fork_number = producer.number
+            fork_timestamp = producer.timestamp
+
+            # -- phase 2: the split ----------------------------------------
+            eth_trace = ChainTrace.forked_from(prefork_trace, "ETH")
+            etc_trace = ChainTrace.forked_from(prefork_trace, "ETC")
+            eth_producer = BlockProducer(
+                ETH_CONFIG,
+                eth_trace,
+                producer.number,
+                producer.timestamp,
+                producer.difficulty,
+                seed=config.seed + 5,
+            )
+            etc_producer = BlockProducer(
+                ETC_CONFIG,
+                etc_trace,
+                producer.number,
+                producer.timestamp,
+                producer.difficulty,
+                seed=config.seed + 6,
+            )
+
+            # Initial allocation: ETC holds only its day-zero loyalists;
+            # everyone else — the pro-fork bloc and the entire profit bloc —
+            # is on ETH.
+            fork_supply = supply.available(0)
+            allocator.reset(
+                {
+                    "ETH": fork_supply * (1 - config.etc_day0_fraction),
+                    "ETC": fork_supply * config.etc_day0_fraction,
+                }
+            )
+            producers = {"ETH": eth_producer, "ETC": etc_producer}
+            daily_hashrate: Dict[str, List[float]] = {"ETH": [], "ETC": []}
+            first_day = 0
+        else:
+            # -- resume: restore exactly what the day loop carries ---------
+            fork_number = resume_from.fork_number
+            fork_timestamp = resume_from.fork_timestamp
+            eth_trace = resume_from.traces["ETH"].restore()
+            etc_trace = resume_from.traces["ETC"].restore()
+            producers = {}
+            for chain, chain_config, trace in (
+                ("ETH", ETH_CONFIG, eth_trace),
+                ("ETC", ETC_CONFIG, etc_trace),
+            ):
+                state = resume_from.producers[chain]
+                restored = BlockProducer(
+                    chain_config,
+                    trace,
+                    state.number,
+                    state.timestamp,
+                    state.difficulty,
+                )
+                state.apply(restored)
+                producers[chain] = restored
+            allocator.reset(resume_from.allocation)
+            daily_hashrate = {
+                chain: list(values)
+                for chain, values in resume_from.daily_hashrate.items()
             }
-        )
+            first_day = resume_from.day
 
         landscapes: Dict[str, PoolLandscape] = {
             "ETH": eth_pool_landscape(seed=config.seed + 3),
@@ -322,12 +414,10 @@ class ForkSimulation:
             "ETH": eth_workload(),
             "ETC": etc_workload(),
         }
-        producers = {"ETH": eth_producer, "ETC": etc_producer}
-        daily_hashrate: Dict[str, List[float]] = {"ETH": [], "ETC": []}
 
         # -- phase 3+4: the day loop ------------------------------------------
         with self._span("forksim.day_loop"):
-            for day in range(config.days):
+            for day in range(first_day, stop):
                 day_supply = supply.available(day)
                 etc_loyal_today = config.etc_day0_fraction + (
                     config.etc_loyal_fraction - config.etc_day0_fraction
@@ -366,6 +456,19 @@ class ForkSimulation:
                         day_end, hashrate, sampler, tx_sampler
                     )
 
+        checkpoint: Optional[ForkSimCheckpoint] = None
+        if stop < config.days:
+            checkpoint = ForkSimCheckpoint.capture(
+                config=config,
+                day=stop,
+                fork_number=fork_number,
+                fork_timestamp=fork_timestamp,
+                producers=producers,
+                traces={"ETH": eth_trace, "ETC": etc_trace},
+                allocation=allocator.current,
+                daily_hashrate=daily_hashrate,
+            )
+
         result = ForkSimResult(
             config=config,
             eth_trace=eth_trace,
@@ -374,6 +477,7 @@ class ForkSimulation:
             fork_number=fork_number,
             rates=rates,
             daily_hashrate=daily_hashrate,
+            checkpoint=checkpoint,
         )
         if self.obs is not None and self.obs.metrics is not None:
             self._record_metrics(result)

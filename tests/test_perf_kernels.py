@@ -376,9 +376,20 @@ class TestBenchHarness:
         payload = json.loads(json_paths[0].read_text())
         assert validate_report(payload) == []
         assert {row["case"] for row in payload["cases"]} == {
-            "forksim_difficulty", "forksim_workload",
+            "forksim_difficulty", "forksim_workload", "forksim_analysis",
         }
         assert all(row["digests_match"] for row in payload["cases"])
+        # Every forksim case carries tracemalloc accounting, and the
+        # analysis case enforces its columnar-vs-record memory floor.
+        for row in payload["cases"]:
+            assert row["fast"]["peak_bytes"] >= 0
+            assert row["reference"]["peak_bytes"] >= 0
+            assert row["memory_ok"] is True
+        analysis = {row["case"]: row for row in payload["cases"]}[
+            "forksim_analysis"
+        ]
+        assert analysis["memory_min_ratio"] > 1.0
+        assert analysis["memory_ratio"] >= analysis["memory_min_ratio"]
         assert (tmp_path / "reports" / "bench_forksim.txt").exists()
 
     def test_validate_report_flags_problems(self):

@@ -74,6 +74,17 @@ class TestChainTrace:
         window = trace.slice_by_time(120, 150)
         assert list(window) == [2, 3, 4]
 
+    def test_slice_by_time_half_open_boundaries(self):
+        trace = ChainTrace("X")
+        for i in range(10):
+            trace.append(i, 100 + 10 * i, 1000, "m")
+        # A block exactly at start_ts is included; exactly at end_ts is
+        # excluded — [start, end) matches blocks_between's contract.
+        assert list(trace.slice_by_time(120, 140)) == [2, 3]
+        assert list(trace.slice_by_time(0, 100)) == []
+        assert list(trace.slice_by_time(190, 10_000)) == [9]
+        assert list(trace.slice_by_time(145, 145)) == []
+
     def test_forked_from_copies_history(self):
         parent = ChainTrace("pre")
         parent.append(1, 100, 1000, "m")

@@ -1,0 +1,115 @@
+"""In-horizon checkpointing: resumed chunks are bit-exact.
+
+``ForkSimulation.run(until_day=...)`` stops mid-horizon and attaches a
+:class:`ForkSimCheckpoint`; ``run(resume_from=...)`` picks the loop back
+up.  The contract the chunked ``run-all`` path depends on: the final
+result of *any* chunking of a horizon has the same digest as the
+single-shot run — including when every checkpoint takes a round trip
+through its JSON wire format, as it does in the job cache.
+"""
+
+import json
+
+import pytest
+
+from repro.sim.checkpoint import CHECKPOINT_VERSION, ForkSimCheckpoint
+from repro.sim.engine import ForkSimConfig, ForkSimulation
+
+
+CONFIG = ForkSimConfig(days=20, prefork_days=3, seed=99, with_transactions=True)
+
+
+@pytest.fixture(scope="module")
+def single_shot():
+    return ForkSimulation(CONFIG).run()
+
+
+def _run_chunked(config, uptos):
+    """Run a horizon as successive resumed chunks with JSON round-trips."""
+    checkpoint = None
+    result = None
+    for upto in uptos:
+        result = ForkSimulation(config).run(
+            resume_from=checkpoint, until_day=upto
+        )
+        if result.checkpoint is not None:
+            wire = json.dumps(result.checkpoint.to_dict())
+            checkpoint = ForkSimCheckpoint.from_dict(json.loads(wire))
+    return result
+
+
+class TestResumeBitExact:
+    def test_two_chunks(self, single_shot):
+        chunked = _run_chunked(CONFIG, [9, 20])
+        assert chunked.digest() == single_shot.digest()
+
+    def test_many_uneven_chunks(self, single_shot):
+        chunked = _run_chunked(CONFIG, [1, 4, 5, 13, 20])
+        assert chunked.digest() == single_shot.digest()
+
+    def test_partial_run_carries_checkpoint(self):
+        partial = ForkSimulation(CONFIG).run(until_day=7)
+        cp = partial.checkpoint
+        assert cp is not None
+        assert cp.day == 7
+        assert set(cp.producers) == {"ETH", "ETC"}
+        assert set(cp.traces) == {"ETH", "ETC"}
+        assert cp.config == CONFIG.to_dict()
+
+    def test_final_chunk_has_no_checkpoint(self, single_shot):
+        assert single_shot.checkpoint is None
+        chunked = _run_chunked(CONFIG, [9, 20])
+        assert chunked.checkpoint is None
+
+    def test_until_day_beyond_horizon_clamps(self, single_shot):
+        result = ForkSimulation(CONFIG).run(until_day=1000)
+        assert result.checkpoint is None
+        assert result.digest() == single_shot.digest()
+
+    def test_checkpoint_excluded_from_digest(self):
+        partial = ForkSimulation(CONFIG).run(until_day=7)
+        stripped = ForkSimulation(CONFIG).run(until_day=7)
+        stripped.checkpoint = None
+        assert partial.digest() == stripped.digest()
+
+
+class TestCheckpointFormat:
+    def test_round_trip_digest_stable(self):
+        cp = ForkSimulation(CONFIG).run(until_day=5).checkpoint
+        wire = json.dumps(cp.to_dict(), sort_keys=True)
+        restored = ForkSimCheckpoint.from_dict(json.loads(wire))
+        assert restored.digest() == cp.digest()
+        assert json.dumps(restored.to_dict(), sort_keys=True) == wire
+
+    def test_version_mismatch_rejected(self):
+        cp = ForkSimulation(CONFIG).run(until_day=5).checkpoint
+        payload = cp.to_dict()
+        payload["version"] = CHECKPOINT_VERSION + 1
+        with pytest.raises(ValueError, match="version"):
+            ForkSimCheckpoint.from_dict(payload)
+
+    def test_rng_state_survives_round_trip(self):
+        cp = ForkSimulation(CONFIG).run(until_day=5).checkpoint
+        restored = ForkSimCheckpoint.from_dict(json.loads(json.dumps(cp.to_dict())))
+        for chain, state in cp.producers.items():
+            assert restored.producers[chain].rng_state == state.rng_state
+            assert isinstance(restored.producers[chain].rng_state[1], tuple)
+
+
+class TestResumeValidation:
+    def test_config_mismatch_rejected(self):
+        cp = ForkSimulation(CONFIG).run(until_day=5).checkpoint
+        other = ForkSimConfig(
+            days=20, prefork_days=3, seed=100, with_transactions=True
+        )
+        with pytest.raises(ValueError, match="configuration"):
+            ForkSimulation(other).run(resume_from=cp, until_day=20)
+
+    def test_resume_past_stop_rejected(self):
+        cp = ForkSimulation(CONFIG).run(until_day=10).checkpoint
+        with pytest.raises(ValueError):
+            ForkSimulation(CONFIG).run(resume_from=cp, until_day=5)
+
+    def test_until_day_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ForkSimulation(CONFIG).run(until_day=0)
